@@ -1,0 +1,75 @@
+// Ablation: test-response space compaction (paper Section 2: "If test
+// response compaction is used, the number of outputs will be significantly
+// smaller" — shrinking the baseline storage of the same/different
+// dictionary). Sweeps XOR-compactor widths and reports how aliasing trades
+// baseline storage against resolution for every dictionary type.
+//
+//   $ ./bench_ablation_compaction [--circuits=s344] [--tests=150] [--seed=1]
+#include <cstdio>
+
+#include "bmcirc/registry.h"
+#include "core/baseline.h"
+#include "dict/full_dict.h"
+#include "dict/passfail_dict.h"
+#include "fault/collapse.h"
+#include "netlist/transform.h"
+#include "util/cli.h"
+#include "util/log.h"
+
+using namespace sddict;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  set_log_level(LogLevel::kWarn);
+  std::vector<std::string> circuits = args.get_list("circuits");
+  if (circuits.empty()) circuits = {"s344", "s526"};
+  const std::size_t num_tests = args.get_int("tests", 150);
+  const std::uint64_t seed = args.get_int("seed", 1);
+
+  std::printf("Ablation: XOR response compaction (%zu random tests)\n\n",
+              num_tests);
+  std::printf("%-8s %8s %12s %12s %12s %14s\n", "circuit", "outputs", "full",
+              "p/f", "s/d (P1)", "s/d bits");
+
+  for (const auto& name : circuits) {
+    Netlist scan = load_benchmark(name);
+    if (scan.has_dffs()) scan = full_scan(scan);
+    const std::size_t m = scan.num_outputs();
+
+    for (std::size_t sigs : {m, m / 2, m / 4, std::size_t{4}, std::size_t{1}}) {
+      if (sigs == 0 || sigs > m) continue;
+      const Netlist nl = sigs == m ? scan : xor_compact_outputs(scan, sigs);
+      // Fault universe: the functional core only. Compactor gates ("sig*")
+      // are tester-side logic, so their faults are filtered out.
+      FaultList faults = collapsed_fault_list(nl).collapsed;
+      {
+        std::vector<StuckFault> core;
+        for (const auto& f : faults)
+          if (nl.gate(f.gate).name.rfind("sig", 0) != 0) core.push_back(f);
+        faults = FaultList(std::move(core));
+      }
+      TestSet tests(nl.num_inputs());
+      Rng rng(seed);
+      tests.add_random(num_tests, rng);
+      const ResponseMatrix rm = build_response_matrix(nl, faults, tests);
+      const auto full = FullDictionary::build(rm);
+      const auto pf = PassFailDictionary::build(rm);
+      BaselineSelectionConfig cfg;
+      cfg.calls1 = 10;
+      cfg.seed = seed;
+      cfg.target_indistinguished = full.indistinguished_pairs();
+      const auto p1 = run_procedure1(rm, cfg);
+      std::printf("%-8s %8zu %12llu %12llu %12llu %14llu\n", name.c_str(),
+                  sigs, (unsigned long long)full.indistinguished_pairs(),
+                  (unsigned long long)pf.indistinguished_pairs(),
+                  (unsigned long long)p1.indistinguished_pairs,
+                  (unsigned long long)dictionary_sizes(tests.size(),
+                                                       faults.size(), sigs)
+                      .same_different_bits);
+    }
+    std::printf("\n");
+  }
+  std::printf("fewer signature outputs shrink s/d baseline storage but "
+              "aliasing raises every dictionary's indistinguished count.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Ablation: more than one baseline per test — the extension the paper
+// leaves open in Section 2. Sweeps the per-test baseline count r and
+// reports resolution vs size against the r=1 same/different dictionary,
+// the pass/fail dictionary, and the full-dictionary floor.
+//
+//   $ ./bench_ablation_multibaseline [--circuits=...] [--tests=150] [--seed=1]
+#include <cstdio>
+
+#include "bmcirc/registry.h"
+#include "core/multibaseline.h"
+#include "dict/full_dict.h"
+#include "dict/multibaseline_dict.h"
+#include "dict/passfail_dict.h"
+#include "fault/collapse.h"
+#include "netlist/transform.h"
+#include "util/cli.h"
+#include "util/log.h"
+
+using namespace sddict;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  set_log_level(LogLevel::kWarn);
+  std::vector<std::string> circuits = args.get_list("circuits");
+  if (circuits.empty()) circuits = {"s298", "s344", "s526"};
+  const std::size_t num_tests = args.get_int("tests", 150);
+  const std::uint64_t seed = args.get_int("seed", 1);
+
+  std::printf("Ablation: baselines per test (paper extension; %zu random "
+              "tests per circuit)\n\n", num_tests);
+  std::printf("%-8s %4s %15s %14s\n", "circuit", "r", "indistinguished",
+              "size (bits)");
+
+  for (const auto& name : circuits) {
+    Netlist nl = load_benchmark(name);
+    if (nl.has_dffs()) nl = full_scan(nl);
+    const FaultList faults = collapsed_fault_list(nl).collapsed;
+    TestSet tests(nl.num_inputs());
+    Rng rng(seed);
+    tests.add_random(num_tests, rng);
+    const ResponseMatrix rm = build_response_matrix(nl, faults, tests);
+
+    const auto pf = PassFailDictionary::build(rm);
+    const std::uint64_t floor =
+        FullDictionary::build(rm).indistinguished_pairs();
+    std::printf("%-8s %4s %15llu %14llu  (pass/fail)\n", name.c_str(), "-",
+                (unsigned long long)pf.indistinguished_pairs(),
+                (unsigned long long)pf.size_bits());
+
+    for (std::size_t rank : {1u, 2u, 3u, 4u}) {
+      BaselineSelectionConfig cfg;
+      cfg.calls1 = 10;
+      cfg.seed = seed;
+      cfg.target_indistinguished = floor;
+      const MultiBaselineSelection sel = run_multi_baseline(rm, rank, cfg);
+      const auto dict = MultiBaselineDictionary::build(rm, sel.baselines);
+      if (dict.indistinguished_pairs() != sel.indistinguished_pairs) {
+        std::fprintf(stderr, "BUG: selection/dictionary disagree on %s r=%zu\n",
+                     name.c_str(), rank);
+        return 1;
+      }
+      std::printf("%-8s %4zu %15llu %14llu\n", name.c_str(), rank,
+                  (unsigned long long)dict.indistinguished_pairs(),
+                  (unsigned long long)dict.size_bits());
+    }
+    std::printf("%-8s %4s %15llu %14s  (full-dictionary floor)\n\n",
+                name.c_str(), "-", (unsigned long long)floor, "-");
+  }
+  return 0;
+}

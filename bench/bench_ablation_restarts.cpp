@@ -1,0 +1,58 @@
+// Ablation: the CALLS1 restart budget of Procedure 1 (paper Section 3:
+// test order affects baseline selection, so Procedure 1 is restarted with
+// random orders until CALLS1 consecutive calls bring no improvement).
+// Reports resolution and wall time as the restart budget grows.
+//
+//   $ ./bench_ablation_restarts [--circuits=s298,s400] [--tests=150] [--seed=1]
+#include <cstdio>
+
+#include "bmcirc/registry.h"
+#include "core/baseline.h"
+#include "dict/full_dict.h"
+#include "fault/collapse.h"
+#include "netlist/transform.h"
+#include "util/cli.h"
+#include "util/log.h"
+#include "util/timer.h"
+
+using namespace sddict;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  set_log_level(LogLevel::kWarn);
+  std::vector<std::string> circuits = args.get_list("circuits");
+  if (circuits.empty()) circuits = {"s298", "s400"};
+  const std::size_t num_tests = args.get_int("tests", 150);
+  const std::uint64_t seed = args.get_int("seed", 1);
+
+  std::printf("Ablation: Procedure-1 restart budget CALLS1 "
+              "(%zu random tests per circuit)\n\n", num_tests);
+  std::printf("%-8s %7s %15s %12s %10s\n", "circuit", "CALLS1",
+              "indistinguished", "calls used", "time (s)");
+
+  for (const auto& name : circuits) {
+    Netlist nl = load_benchmark(name);
+    if (nl.has_dffs()) nl = full_scan(nl);
+    const FaultList faults = collapsed_fault_list(nl).collapsed;
+    TestSet tests(nl.num_inputs());
+    Rng rng(seed);
+    tests.add_random(num_tests, rng);
+    const ResponseMatrix rm = build_response_matrix(nl, faults, tests);
+    const std::uint64_t floor = FullDictionary::build(rm).indistinguished_pairs();
+
+    for (std::size_t calls1 : {1u, 5u, 10u, 25u, 50u, 100u}) {
+      BaselineSelectionConfig cfg;
+      cfg.calls1 = calls1;
+      cfg.seed = seed;
+      cfg.target_indistinguished = floor;
+      Timer timer;
+      const BaselineSelection sel = run_procedure1(rm, cfg);
+      std::printf("%-8s %7zu %15llu %12zu %10.2f\n", name.c_str(), calls1,
+                  (unsigned long long)sel.indistinguished_pairs,
+                  sel.calls_used, timer.seconds());
+    }
+    std::printf("%-8s %7s %15llu   (full-dictionary floor)\n\n", name.c_str(),
+                "-", (unsigned long long)floor);
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Ablation: test-set size vs the same/different advantage (paper Section 4:
+// "the difference is higher when the test set size is higher" — more tests
+// give baseline selection more opportunities). Sweeps the number of random
+// tests on fixed circuits and reports pass/fail vs same/different
+// resolution and the gap between them.
+//
+//   $ ./bench_ablation_testsize [--circuits=s298,s420] [--seed=1]
+#include <cstdio>
+
+#include "bmcirc/registry.h"
+#include "core/baseline.h"
+#include "dict/full_dict.h"
+#include "dict/passfail_dict.h"
+#include "fault/collapse.h"
+#include "netlist/transform.h"
+#include "util/cli.h"
+#include "util/log.h"
+
+using namespace sddict;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  set_log_level(LogLevel::kWarn);
+  std::vector<std::string> circuits = args.get_list("circuits");
+  if (circuits.empty()) circuits = {"s298", "s420"};
+  const std::uint64_t seed = args.get_int("seed", 1);
+
+  std::printf("Ablation: resolution vs test-set size (random tests)\n\n");
+  std::printf("%-8s %6s %12s %12s %12s %16s\n", "circuit", "|T|", "full",
+              "p/f", "s/d", "p/f - s/d gap");
+
+  for (const auto& name : circuits) {
+    Netlist nl = load_benchmark(name);
+    if (nl.has_dffs()) nl = full_scan(nl);
+    const FaultList faults = collapsed_fault_list(nl).collapsed;
+
+    for (std::size_t k : {25u, 50u, 100u, 200u, 400u, 800u}) {
+      TestSet tests(nl.num_inputs());
+      Rng rng(seed);  // same seed: larger sets are supersets in distribution
+      tests.add_random(k, rng);
+      const ResponseMatrix rm = build_response_matrix(nl, faults, tests);
+      const auto full = FullDictionary::build(rm).indistinguished_pairs();
+      const auto pf = PassFailDictionary::build(rm).indistinguished_pairs();
+      BaselineSelectionConfig cfg;
+      cfg.calls1 = 10;
+      cfg.seed = seed;
+      cfg.target_indistinguished = full;
+      const auto sd = run_procedure1(rm, cfg).indistinguished_pairs;
+      std::printf("%-8s %6zu %12llu %12llu %12llu %16lld\n", name.c_str(), k,
+                  (unsigned long long)full, (unsigned long long)pf,
+                  (unsigned long long)sd,
+                  (long long)(pf - sd));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Microbenchmarks: the inner loops of the paper's Procedures 1 and 2.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "bmcirc/registry.h"
+#include "core/baseline.h"
+#include "core/procedure2.h"
+#include "dict/partition.h"
+#include "fault/collapse.h"
+#include "netlist/transform.h"
+#include "util/rng.h"
+
+namespace sddict {
+namespace {
+
+struct Setup {
+  Netlist nl;
+  FaultList faults;
+  TestSet tests{0};
+  ResponseMatrix rm;
+};
+
+const Setup& setup() {
+  static Setup* s = [] {
+    auto* out = new Setup{full_scan(load_benchmark("s953")), {}, TestSet{0}, {}};
+    out->faults = collapsed_fault_list(out->nl).collapsed;
+    out->tests = TestSet(out->nl.num_inputs());
+    Rng rng(1);
+    out->tests.add_random(200, rng);
+    out->rm = build_response_matrix(out->nl, out->faults, out->tests);
+    return out;
+  }();
+  return *s;
+}
+
+void BM_CandidateDist(benchmark::State& state) {
+  const Setup& s = setup();
+  Partition part(s.rm.num_faults());
+  std::size_t t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(candidate_dist(s.rm, t, part));
+    t = (t + 1) % s.rm.num_tests();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(s.rm.num_faults()));
+}
+BENCHMARK(BM_CandidateDist);
+
+void BM_Procedure1SinglePass(benchmark::State& state) {
+  const Setup& s = setup();
+  std::vector<std::size_t> order(s.rm.num_tests());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        procedure1_single(s.rm, order, 10).indistinguished_pairs);
+  }
+}
+BENCHMARK(BM_Procedure1SinglePass);
+
+void BM_Procedure2Sweep(benchmark::State& state) {
+  const Setup& s = setup();
+  std::vector<std::size_t> order(s.rm.num_tests());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  const auto p1 = procedure1_single(s.rm, order, 10);
+  Procedure2Config cfg;
+  cfg.max_sweeps = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        run_procedure2(s.rm, p1.baselines, cfg).indistinguished_pairs);
+  }
+}
+BENCHMARK(BM_Procedure2Sweep);
+
+void BM_CountIndistinguished(benchmark::State& state) {
+  const Setup& s = setup();
+  const std::vector<ResponseId> baselines(s.rm.num_tests(), 0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(count_indistinguished(s.rm, baselines));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(s.rm.num_faults()) *
+                          static_cast<std::int64_t>(s.rm.num_tests()));
+}
+BENCHMARK(BM_CountIndistinguished);
+
+}  // namespace
+}  // namespace sddict
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// Microbenchmarks: dictionary construction and partition refinement.
+#include <benchmark/benchmark.h>
+
+#include "bmcirc/registry.h"
+#include "dict/full_dict.h"
+#include "dict/partition.h"
+#include "dict/passfail_dict.h"
+#include "dict/samediff_dict.h"
+#include "fault/collapse.h"
+#include "netlist/transform.h"
+#include "util/rng.h"
+
+namespace sddict {
+namespace {
+
+struct Setup {
+  Netlist nl;
+  FaultList faults;
+  TestSet tests{0};
+  ResponseMatrix rm;
+};
+
+const Setup& setup() {
+  static Setup* s = [] {
+    auto* out = new Setup{full_scan(load_benchmark("s953")), {}, TestSet{0}, {}};
+    out->faults = collapsed_fault_list(out->nl).collapsed;
+    out->tests = TestSet(out->nl.num_inputs());
+    Rng rng(1);
+    out->tests.add_random(200, rng);
+    out->rm = build_response_matrix(out->nl, out->faults, out->tests);
+    return out;
+  }();
+  return *s;
+}
+
+void BM_PartitionRefine(benchmark::State& state) {
+  const Setup& s = setup();
+  for (auto _ : state) {
+    Partition part(s.rm.num_faults());
+    for (std::size_t t = 0; t < s.rm.num_tests(); ++t)
+      part.refine_with(
+          [&](std::uint32_t f) { return s.rm.response(f, t); });
+    benchmark::DoNotOptimize(part.indistinguished_pairs());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(s.rm.num_tests()) *
+                          static_cast<std::int64_t>(s.rm.num_faults()));
+}
+BENCHMARK(BM_PartitionRefine);
+
+void BM_BuildFullDictionary(benchmark::State& state) {
+  const Setup& s = setup();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(FullDictionary::build(s.rm).indistinguished_pairs());
+}
+BENCHMARK(BM_BuildFullDictionary);
+
+void BM_BuildPassFailDictionary(benchmark::State& state) {
+  const Setup& s = setup();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        PassFailDictionary::build(s.rm).indistinguished_pairs());
+}
+BENCHMARK(BM_BuildPassFailDictionary);
+
+void BM_BuildSameDifferentDictionary(benchmark::State& state) {
+  const Setup& s = setup();
+  std::vector<ResponseId> baselines(s.rm.num_tests());
+  for (std::size_t t = 0; t < s.rm.num_tests(); ++t)
+    baselines[t] = s.rm.num_distinct(t) - 1;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(SameDifferentDictionary::build(s.rm, baselines)
+                                 .indistinguished_pairs());
+}
+BENCHMARK(BM_BuildSameDifferentDictionary);
+
+void BM_DiagnoseSameDifferent(benchmark::State& state) {
+  const Setup& s = setup();
+  const auto sd = SameDifferentDictionary::build(
+      s.rm, std::vector<ResponseId>(s.rm.num_tests(), 0));
+  std::vector<ResponseId> observed(s.rm.num_tests());
+  for (std::size_t t = 0; t < s.rm.num_tests(); ++t)
+    observed[t] = s.rm.response(42, t);
+  const BitVec bits = sd.encode(observed);
+  for (auto _ : state) benchmark::DoNotOptimize(sd.diagnose(bits, 10));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(s.rm.num_faults()));
+}
+BENCHMARK(BM_DiagnoseSameDifferent);
+
+}  // namespace
+}  // namespace sddict
+
+BENCHMARK_MAIN();

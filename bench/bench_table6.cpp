@@ -1,0 +1,96 @@
+// Regenerates the paper's Table 6: for every circuit and test-set type,
+// dictionary sizes (full / pass-fail / same-different) and indistinguished
+// fault-pair counts (full / pass-fail / s-d after Procedure 1 / s-d after
+// Procedure 2).
+//
+// Defaults are sized for an unattended run over all circuits
+// (CALLS1 scaled down to 10); reproduce the paper's exact configuration
+// with:
+//
+//   $ ./bench_table6 --calls1=100 --lower=10
+//
+// Useful flags:
+//   --circuits=s208,s298,...   subset of circuits (default: all 16)
+//   --ttype=diag|10det|both    test-set types to run (default both)
+//   --calls1=N --lower=N       Procedure-1 parameters (paper: 100 / 10)
+//   --ndetect=N                n for the n-detection test set (paper: 10)
+//   --proc2=false              skip Procedure 2
+//   --seed=N
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bmcirc/registry.h"
+#include "core/experiment.h"
+#include "netlist/stats.h"
+#include "netlist/transform.h"
+#include "util/cli.h"
+#include "util/log.h"
+#include "util/timer.h"
+
+using namespace sddict;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const auto unknown = args.unknown_flags(
+      {"circuits", "ttype", "calls1", "lower", "ndetect", "proc2", "seed",
+       "verbose"});
+  if (!unknown.empty()) {
+    for (const auto& f : unknown)
+      std::fprintf(stderr, "unknown flag --%s\n", f.c_str());
+    return 1;
+  }
+  if (args.get_bool("verbose", false))
+    set_log_level(LogLevel::kDebug);
+  else
+    set_log_level(LogLevel::kWarn);
+
+  std::vector<std::string> circuits = args.get_list("circuits");
+  if (circuits.empty()) circuits = table6_circuit_names();
+
+  const std::string ttype = args.get("ttype", "both");
+  ExperimentConfig cfg;
+  cfg.baseline.lower = args.get_int("lower", 10);
+  cfg.baseline.calls1 = args.get_int("calls1", 10);
+  cfg.baseline.seed = args.get_int("seed", 1);
+  cfg.ndetect.n = args.get_int("ndetect", 10);
+  cfg.ndetect.seed = cfg.baseline.seed;
+  cfg.diag.seed = cfg.baseline.seed;
+  cfg.run_proc2 = args.get_bool("proc2", true);
+
+  std::printf("Table 6: experimental results (CALLS1=%zu, LOWER=%zu)\n",
+              cfg.baseline.calls1, cfg.baseline.lower);
+  std::printf("note: circuits are deterministic synthetic stand-ins at the "
+              "published ISCAS-89 profiles (see DESIGN.md)\n\n");
+  std::printf("%s\n", experiment_header().c_str());
+
+  Timer total;
+  for (const auto& name : circuits) {
+    if (!is_known_benchmark(name)) {
+      std::fprintf(stderr, "skipping unknown circuit '%s'\n", name.c_str());
+      continue;
+    }
+    Netlist nl = load_benchmark(name);
+    if (nl.has_dffs()) nl = full_scan(nl);
+    nl.set_name(name);  // paper prints the base circuit name
+
+    for (TestSetKind kind : {TestSetKind::kDiagnostic, TestSetKind::kTenDetect}) {
+      if (ttype == "diag" && kind != TestSetKind::kDiagnostic) continue;
+      if (ttype == "10det" && kind != TestSetKind::kTenDetect) continue;
+      Timer row_timer;
+      const ExperimentRow row = run_experiment(nl, kind, cfg);
+      std::printf("%s\n", format_experiment_row(row).c_str());
+      std::fflush(stdout);
+      std::fprintf(stderr,
+                   "  [%s %s: %.1fs total; testgen %.1fs, faultsim %.1fs, "
+                   "proc1 %.1fs (%zu calls), proc2 %.1fs; %zu faults, %zu "
+                   "undetected]\n",
+                   row.circuit.c_str(), row.ttype.c_str(), row_timer.seconds(),
+                   row.seconds_testgen, row.seconds_faultsim, row.seconds_proc1,
+                   row.proc1_calls, row.seconds_proc2, row.num_faults,
+                   row.num_undetected);
+    }
+  }
+  std::fprintf(stderr, "table 6 complete in %.1fs\n", total.seconds());
+  return 0;
+}

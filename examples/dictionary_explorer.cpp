@@ -1,0 +1,111 @@
+// Dictionary explorer: run the whole pipeline on any registered benchmark
+// or external .bench file, print the resulting dictionary statistics, and
+// optionally save the same/different dictionary to disk.
+//
+//   $ ./dictionary_explorer s344
+//   $ ./dictionary_explorer path/to/circuit.bench --ttype=10det --save=dict.txt
+//   $ ./dictionary_explorer s298 --ttype=diag --calls1=20 --hybrid=true
+#include <cstdio>
+#include <fstream>
+
+#include "bmcirc/registry.h"
+#include "core/baseline.h"
+#include "core/hybrid.h"
+#include "core/procedure2.h"
+#include "dict/full_dict.h"
+#include "dict/passfail_dict.h"
+#include "dict/samediff_dict.h"
+#include "dict/serialize.h"
+#include "fault/collapse.h"
+#include "netlist/bench_io.h"
+#include "netlist/stats.h"
+#include "netlist/transform.h"
+#include "tgen/diagset.h"
+#include "tgen/ndetect.h"
+#include "util/cli.h"
+
+using namespace sddict;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  if (args.positional().empty()) {
+    std::printf("usage: dictionary_explorer <benchmark-or-bench-file>\n"
+                "  [--ttype=diag|10det] [--calls1=N] [--lower=N] [--seed=N]\n"
+                "  [--hybrid=true] [--save=FILE]\n\nregistered benchmarks:");
+    for (const auto& n : benchmark_names()) std::printf(" %s", n.c_str());
+    std::printf("\n");
+    return 1;
+  }
+  const std::string target = args.positional()[0];
+  Netlist nl = is_known_benchmark(target) ? load_benchmark(target)
+                                          : parse_bench_file(target);
+  if (nl.has_dffs()) nl = full_scan(nl);
+  std::printf("%s\n", format_stats(nl).c_str());
+
+  const FaultList faults = collapsed_fault_list(nl).collapsed;
+  const std::string ttype = args.get("ttype", "diag");
+  const std::uint64_t seed = args.get_int("seed", 1);
+
+  TestSet tests(nl.num_inputs());
+  if (ttype == "diag") {
+    DiagSetOptions dopts;
+    dopts.seed = seed;
+    tests = generate_diagnostic(nl, faults, dopts).tests;
+  } else if (ttype == "10det") {
+    NDetectOptions nopts;
+    nopts.n = 10;
+    nopts.seed = seed;
+    tests = generate_ndetect(nl, faults, nopts).tests;
+  } else {
+    std::fprintf(stderr, "unknown --ttype=%s (use diag or 10det)\n",
+                 ttype.c_str());
+    return 1;
+  }
+
+  const ResponseMatrix rm = build_response_matrix(nl, faults, tests);
+  const FullDictionary full = FullDictionary::build(rm);
+  const PassFailDictionary pf = PassFailDictionary::build(rm);
+
+  BaselineSelectionConfig bcfg;
+  bcfg.lower = args.get_int("lower", 10);
+  bcfg.calls1 = args.get_int("calls1", 10);
+  bcfg.seed = seed;
+  bcfg.target_indistinguished = full.indistinguished_pairs();
+  const BaselineSelection p1 = run_procedure1(rm, bcfg);
+  Procedure2Config p2cfg;
+  p2cfg.target_indistinguished = full.indistinguished_pairs();
+  const Procedure2Result p2 = run_procedure2(rm, p1.baselines, p2cfg);
+  const SameDifferentDictionary sd =
+      SameDifferentDictionary::build(rm, p2.baselines);
+
+  std::printf("\n%zu faults, %zu tests (%s), %zu outputs\n", faults.size(),
+              tests.size(), ttype.c_str(), nl.num_outputs());
+  std::printf("%-16s %14s %22s\n", "dictionary", "size (bits)",
+              "indistinguished pairs");
+  std::printf("%-16s %14llu %22llu\n", "full",
+              (unsigned long long)full.size_bits(),
+              (unsigned long long)full.indistinguished_pairs());
+  std::printf("%-16s %14llu %22llu\n", "pass/fail",
+              (unsigned long long)pf.size_bits(),
+              (unsigned long long)pf.indistinguished_pairs());
+  std::printf("%-16s %14llu %22llu  (Procedure 1: %llu over %zu calls)\n",
+              "same/different", (unsigned long long)sd.size_bits(),
+              (unsigned long long)sd.indistinguished_pairs(),
+              (unsigned long long)p1.indistinguished_pairs, p1.calls_used);
+
+  if (args.get_bool("hybrid", false)) {
+    const HybridResult hyb = hybridize_baselines(rm, p2.baselines);
+    std::printf("%-16s %14llu %22llu  (%zu/%zu baselines stored)\n",
+                "s/d hybrid", (unsigned long long)hyb.size_bits,
+                (unsigned long long)hyb.indistinguished_pairs,
+                hyb.stored_baselines, tests.size());
+  }
+
+  const std::string save = args.get("save");
+  if (!save.empty()) {
+    std::ofstream out(save);
+    write_dictionary(sd, out);
+    std::printf("same/different dictionary written to %s\n", save.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Guided-probe diagnosis session: a chip fails with an *unmodeled* defect
+// (a two-net bridge). The same/different dictionary narrows the candidate
+// list from the tester response alone; guided probing of internal nets then
+// pins the defect down to the bridged region — the full classic flow of
+// dictionary lookup followed by physical probing.
+//
+//   $ ./probe_session [--circuit=s298] [--seed=1]
+#include <cstdio>
+
+#include "bmcirc/registry.h"
+#include "core/baseline.h"
+#include "core/procedure2.h"
+#include "diag/observe.h"
+#include "diag/probe.h"
+#include "dict/full_dict.h"
+#include "dict/samediff_dict.h"
+#include "fault/bridge.h"
+#include "fault/collapse.h"
+#include "netlist/stats.h"
+#include "netlist/transform.h"
+#include "tgen/diagset.h"
+#include "util/cli.h"
+
+using namespace sddict;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const std::string circuit = args.get("circuit", "s298");
+  const std::uint64_t seed = args.get_int("seed", 1);
+
+  Netlist nl = load_benchmark(circuit);
+  if (nl.has_dffs()) nl = full_scan(nl);
+  std::printf("chip: %s\n", format_stats(nl).c_str());
+
+  const FaultList faults = collapsed_fault_list(nl).collapsed;
+  DiagSetOptions dopts;
+  dopts.seed = seed;
+  const TestSet tests = generate_diagnostic(nl, faults, dopts).tests;
+  const ResponseMatrix rm = build_response_matrix(nl, faults, tests);
+
+  BaselineSelectionConfig cfg;
+  cfg.calls1 = 10;
+  cfg.seed = seed;
+  cfg.target_indistinguished =
+      FullDictionary::build(rm).indistinguished_pairs();
+  const auto p1 = run_procedure1(rm, cfg);
+  Procedure2Config p2cfg;
+  p2cfg.target_indistinguished = cfg.target_indistinguished;
+  const auto p2 = run_procedure2(rm, p1.baselines, p2cfg);
+  const auto sd = SameDifferentDictionary::build(rm, p2.baselines);
+
+  // The hidden defect: a sampled non-feedback bridge.
+  Rng rng(seed + 42);
+  const auto bridges = sample_bridges(nl, 10, rng);
+  BridgingFault defect{};
+  std::vector<ResponseId> observed;
+  bool excited = false;
+  for (const auto& br : bridges) {
+    const Netlist bad = inject_bridge(nl, br);
+    observed = observe_defective_netlist(nl, bad, tests, rm);
+    for (ResponseId id : observed) excited |= id != 0;
+    if (excited) {
+      defect = br;
+      break;
+    }
+  }
+  if (!excited) {
+    std::printf("no sampled bridge was excited by the test set; rerun with "
+                "another --seed\n");
+    return 1;
+  }
+  std::printf("hidden defect: %s\n\n", bridge_name(nl, defect).c_str());
+
+  // Stage 1: dictionary lookup.
+  const auto ranked = sd.diagnose(sd.encode(observed), faults.size());
+  std::vector<FaultId> candidates;
+  for (const auto& m : ranked)
+    if (m.mismatches == ranked.front().mismatches)
+      candidates.push_back(m.fault);
+  std::printf("stage 1 (same/different dictionary): %zu candidate(s) at %u "
+              "mismatching tests\n",
+              candidates.size(), ranked.front().mismatches);
+  for (std::size_t i = 0; i < candidates.size() && i < 6; ++i)
+    std::printf("    %s\n", fault_name(nl, faults[candidates[i]]).c_str());
+
+  // Stage 2: guided probing.
+  const auto oracle = bridge_probe_oracle(nl, tests, defect);
+  const ProbeResult probe =
+      guided_probe(nl, faults, tests, candidates, oracle);
+  std::printf("\nstage 2 (guided probe): %zu probe(s)\n", probe.steps.size());
+  for (const auto& step : probe.steps)
+    std::printf("    probed %s under test %zu -> %d  (%zu -> %zu candidates)\n",
+                nl.gate(step.net).name.c_str(), step.test, step.reading,
+                step.candidates_before, step.candidates_after);
+  std::printf("final candidates:\n");
+  for (FaultId f : probe.final_candidates)
+    std::printf("    %s\n", fault_name(nl, faults[f]).c_str());
+
+  // Score: did diagnosis end on the bridged nets?
+  bool on_bridge = false;
+  for (FaultId f : probe.final_candidates) {
+    const StuckFault& sf = faults[f];
+    if (sf.gate == defect.a || sf.gate == defect.b) on_bridge = true;
+    if (!sf.is_output_fault()) {
+      const GateId driver =
+          nl.gate(sf.gate).fanin[static_cast<std::size_t>(sf.pin)];
+      if (driver == defect.a || driver == defect.b) on_bridge = true;
+    }
+  }
+  std::printf("\ndefect region %s by the final candidate set\n",
+              on_bridge ? "LOCALIZED" : "not hit");
+  return 0;
+}

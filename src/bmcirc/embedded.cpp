@@ -1,0 +1,52 @@
+#include "bmcirc/embedded.h"
+
+#include "netlist/bench_io.h"
+
+namespace sddict {
+
+const char* c17_bench_text() {
+  return R"(# c17 (ISCAS-85)
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+)";
+}
+
+const char* s27_bench_text() {
+  return R"(# s27 (ISCAS-89)
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+G17 = NOT(G11)
+)";
+}
+
+Netlist make_c17() { return parse_bench_string(c17_bench_text(), "c17"); }
+
+Netlist make_s27() { return parse_bench_string(s27_bench_text(), "s27"); }
+
+}  // namespace sddict

@@ -1,0 +1,20 @@
+// Exact embedded benchmark circuits (small enough to transcribe reliably):
+// the ISCAS-85 c17 and the ISCAS-89 s27, in .bench source form. Used by
+// tests and examples; larger ISCAS circuits are substituted by the
+// deterministic generator in synth.h (see DESIGN.md, substitutions).
+#pragma once
+
+#include "netlist/netlist.h"
+
+namespace sddict {
+
+// 5 inputs, 2 outputs, 6 NAND gates, combinational.
+Netlist make_c17();
+
+// 4 inputs, 1 output, 3 DFFs, 10 logic gates, sequential.
+Netlist make_s27();
+
+const char* c17_bench_text();
+const char* s27_bench_text();
+
+}  // namespace sddict

@@ -1,0 +1,67 @@
+#include "bmcirc/registry.h"
+
+#include <stdexcept>
+
+#include "bmcirc/embedded.h"
+
+namespace sddict {
+namespace {
+
+// Interface/size profiles patterned on the published ISCAS-89
+// characteristics (PI, PO, DFF, gate counts). Seeds are fixed so every
+// build reproduces the same stand-in circuits.
+const SynthProfile kProfiles[] = {
+    {"s208", 10, 1, 8, 96, 0x5208},
+    {"s298", 3, 6, 14, 119, 0x5298},
+    {"s344", 9, 11, 15, 160, 0x5344},
+    {"s382", 3, 6, 21, 158, 0x5382},
+    {"s386", 7, 7, 6, 159, 0x5386},
+    {"s400", 3, 6, 21, 162, 0x5400},
+    {"s420", 18, 1, 16, 196, 0x5420},
+    {"s510", 19, 7, 6, 211, 0x5510},
+    {"s526", 3, 6, 21, 193, 0x5526},
+    {"s641", 35, 24, 19, 379, 0x5641},
+    {"s820", 18, 19, 5, 289, 0x5820},
+    {"s953", 16, 23, 29, 395, 0x5953},
+    {"s1196", 14, 14, 18, 529, 0x51196},
+    {"s1423", 17, 5, 74, 657, 0x51423},
+    {"s5378", 35, 49, 179, 2779, 0x55378},
+    {"s9234", 36, 39, 211, 5597, 0x59234},
+};
+
+}  // namespace
+
+std::vector<std::string> benchmark_names() {
+  std::vector<std::string> names = {"c17", "s27"};
+  for (const auto& p : kProfiles) names.push_back(p.name);
+  return names;
+}
+
+std::vector<std::string> table6_circuit_names() {
+  std::vector<std::string> names;
+  for (const auto& p : kProfiles) names.push_back(p.name);
+  return names;
+}
+
+bool is_known_benchmark(const std::string& name) {
+  if (name == "c17" || name == "s27") return true;
+  for (const auto& p : kProfiles)
+    if (p.name == name) return true;
+  return false;
+}
+
+Netlist load_benchmark(const std::string& name) {
+  if (name == "c17") return make_c17();
+  if (name == "s27") return make_s27();
+  for (const auto& p : kProfiles)
+    if (p.name == name) return generate_synthetic(p);
+  throw std::invalid_argument("unknown benchmark '" + name + "'");
+}
+
+SynthProfile benchmark_profile(const std::string& name) {
+  for (const auto& p : kProfiles)
+    if (p.name == name) return p;
+  throw std::invalid_argument("no synthetic profile for '" + name + "'");
+}
+
+}  // namespace sddict

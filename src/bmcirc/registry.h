@@ -1,0 +1,32 @@
+// Named benchmark registry: maps the circuit names of the paper's Table 6
+// (plus the exact embedded c17/s27) to netlists. The s-circuits are
+// synthetic stand-ins generated at the published ISCAS-89 interface/size
+// profiles (see DESIGN.md, substitutions); c17 and s27 are exact.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bmcirc/synth.h"
+#include "netlist/netlist.h"
+
+namespace sddict {
+
+// All registered names, in Table 6 order (c17 and s27 first).
+std::vector<std::string> benchmark_names();
+
+// The paper's Table 6 circuit list only.
+std::vector<std::string> table6_circuit_names();
+
+bool is_known_benchmark(const std::string& name);
+
+// Loads (or generates) the named benchmark; sequential circuits are
+// returned with their DFFs — apply full_scan() before fault work.
+// Throws std::invalid_argument for unknown names.
+Netlist load_benchmark(const std::string& name);
+
+// Profile used for a synthetic benchmark (for reporting); throws for the
+// exact embedded circuits.
+SynthProfile benchmark_profile(const std::string& name);
+
+}  // namespace sddict

@@ -1,0 +1,278 @@
+#include "bmcirc/synth.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "util/rng.h"
+
+namespace sddict {
+namespace {
+
+struct NodePlan {
+  GateType type = GateType::kBuf;
+  std::vector<std::uint32_t> fanin;  // global ids
+  std::uint32_t consumers = 0;       // gates, DFF data inputs, or PO marks
+};
+
+GateType roll_type(Rng& rng) {
+  const std::uint64_t r = rng.below(100);
+  if (r < 28) return GateType::kNand;
+  if (r < 42) return GateType::kNor;
+  if (r < 55) return GateType::kAnd;
+  if (r < 68) return GateType::kOr;
+  if (r < 82) return GateType::kNot;
+  if (r < 85) return GateType::kBuf;
+  if (r < 95) return GateType::kXor;
+  return GateType::kXnor;
+}
+
+std::size_t roll_arity(GateType t, Rng& rng) {
+  if (t == GateType::kNot || t == GateType::kBuf) return 1;
+  // Wide XOR cones are exponentially hard for ATPG (and rare in practice).
+  if (t == GateType::kXor || t == GateType::kXnor) return 2;
+  const std::uint64_t r = rng.below(100);
+  if (r < 70) return 2;
+  if (r < 92) return 3;
+  return 4;
+}
+
+// Estimated P(output = 1) under the independence assumption; used to steer
+// gate-type choice so signal probabilities stay away from 0/1 (unsteered
+// random logic collapses to near-constant nodes, making most faults
+// untestable — unlike any synthesized circuit).
+double estimate_p1(GateType t, const std::vector<double>& in) {
+  auto prod = [&](bool complement) {
+    double v = 1.0;
+    for (double p : in) v *= complement ? 1.0 - p : p;
+    return v;
+  };
+  switch (t) {
+    case GateType::kAnd: return prod(false);
+    case GateType::kNand: return 1.0 - prod(false);
+    case GateType::kOr: return 1.0 - prod(true);
+    case GateType::kNor: return prod(true);
+    case GateType::kNot: return 1.0 - in[0];
+    case GateType::kBuf: return in[0];
+    case GateType::kXor:
+    case GateType::kXnor: {
+      double p = in[0];
+      for (std::size_t i = 1; i < in.size(); ++i)
+        p = p * (1.0 - in[i]) + in[i] * (1.0 - p);
+      return t == GateType::kXor ? p : 1.0 - p;
+    }
+    default: return 0.5;
+  }
+}
+
+bool accepts_extra_fanin(GateType t) {
+  switch (t) {
+    case GateType::kAnd:
+    case GateType::kNand:
+    case GateType::kOr:
+    case GateType::kNor:
+    case GateType::kXor:
+    case GateType::kXnor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Netlist generate_synthetic(const SynthProfile& p) {
+  if (p.gates == 0) throw std::invalid_argument("generate_synthetic: no gates");
+  if (p.inputs == 0) throw std::invalid_argument("generate_synthetic: no inputs");
+  Rng rng(p.seed);
+
+  const std::size_t num_sources = p.inputs + p.dffs;  // global ids [0, S)
+  std::vector<NodePlan> logic(p.gates);               // global id S + i
+
+  // Layered wiring, like a synthesized circuit: gates are spread over
+  // logic levels; each gate draws mostly from the previous layer, with
+  // occasional longer back-edges for reconvergence. Layered structure keeps
+  // signal diversity high (random recency-window DAGs turn out massively
+  // redundant — most faults untestable — which no real circuit is).
+  const std::size_t num_layers =
+      std::clamp<std::size_t>(8 + p.gates / 48, 6, 48);
+  auto layer_of = [&](std::size_t i) { return i * num_layers / p.gates; };
+  // First global id of each layer.
+  std::vector<std::size_t> layer_begin(num_layers + 1, 0);
+  for (std::size_t i = 0; i < p.gates; ++i) ++layer_begin[layer_of(i) + 1];
+  for (std::size_t l = 0; l < num_layers; ++l)
+    layer_begin[l + 1] += layer_begin[l];
+
+  // Estimated signal probability per global id (sources at 0.5).
+  std::vector<double> p1(num_sources + p.gates, 0.5);
+
+  for (std::size_t i = 0; i < p.gates; ++i) {
+    NodePlan& n = logic[i];
+    n.type = roll_type(rng);
+    const std::size_t layer = layer_of(i);
+    const std::size_t pool = num_sources + layer_begin[layer];  // ids < layer
+    std::size_t arity = std::min(roll_arity(n.type, rng), pool);
+    std::unordered_set<std::uint32_t> used;
+    for (std::size_t a = 0; a < arity; ++a) {
+      std::uint32_t pick = 0;
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        const double roll = rng.uniform01();
+        if (layer == 0 || roll < 0.15) {
+          // Primary/pseudo input.
+          pick = static_cast<std::uint32_t>(rng.below(num_sources));
+        } else if (roll < 0.80) {
+          // Previous layer.
+          const std::size_t lo = layer_begin[layer - 1];
+          const std::size_t hi = layer_begin[layer];
+          pick = static_cast<std::uint32_t>(num_sources + lo +
+                                            rng.below(hi - lo));
+        } else {
+          // Any earlier node (long back-edge).
+          pick = static_cast<std::uint32_t>(rng.below(pool));
+        }
+        // Prefer balanced signals: re-roll once when the candidate is
+        // already badly skewed (correlated skew is what breeds redundancy).
+        if (!used.count(pick) &&
+            (attempt >= 4 || std::abs(p1[pick] - 0.5) < 0.45))
+          break;
+      }
+      if (used.count(pick)) continue;  // tolerate a short fanin on tiny pools
+      used.insert(pick);
+      n.fanin.push_back(pick);
+    }
+    if (n.fanin.empty()) n.fanin.push_back(static_cast<std::uint32_t>(rng.below(pool)));
+
+    // Probability-balancing tournament: between the rolled type and two
+    // more candidates (of the same arity class), keep the one whose output
+    // probability is closest to 1/2.
+    std::vector<double> fan_p;
+    for (std::uint32_t f : n.fanin) fan_p.push_back(p1[f]);
+    double best_score = std::abs(estimate_p1(n.type, fan_p) - 0.5);
+    for (int c = 0; c < 2; ++c) {
+      GateType cand = roll_type(rng);
+      if ((n.fanin.size() == 1) !=
+          (cand == GateType::kNot || cand == GateType::kBuf))
+        continue;  // arity class mismatch
+      const double score = std::abs(estimate_p1(cand, fan_p) - 0.5);
+      if (score < best_score) {
+        best_score = score;
+        n.type = cand;
+      }
+    }
+    p1[num_sources + i] = estimate_p1(n.type, fan_p);
+
+    for (std::uint32_t f : n.fanin)
+      if (f >= num_sources) ++logic[f - num_sources].consumers;
+  }
+
+  // Source consumption bookkeeping (to catch unused inputs/FF outputs).
+  std::vector<std::uint32_t> source_consumers(num_sources, 0);
+  for (const auto& n : logic)
+    for (std::uint32_t f : n.fanin)
+      if (f < num_sources) ++source_consumers[f];
+
+  // Dangling logic nodes, latest first (they make the best observation
+  // points / state inputs).
+  std::vector<std::uint32_t> danglers;
+  for (std::size_t i = p.gates; i-- > 0;)
+    if (logic[i].consumers == 0) danglers.push_back(static_cast<std::uint32_t>(i));
+
+  auto pop_dangler = [&]() -> std::int64_t {
+    while (!danglers.empty()) {
+      const std::uint32_t d = danglers.back();
+      danglers.pop_back();
+      if (logic[d].consumers == 0) return d;
+    }
+    return -1;
+  };
+
+  // DFF data sources.
+  std::vector<std::uint32_t> dff_data(p.dffs);
+  for (std::size_t d = 0; d < p.dffs; ++d) {
+    std::int64_t pick = pop_dangler();
+    if (pick < 0) pick = static_cast<std::int64_t>(rng.below(p.gates));
+    dff_data[d] = static_cast<std::uint32_t>(pick);
+    ++logic[dff_data[d]].consumers;
+  }
+
+  // Primary outputs (distinct logic nodes).
+  std::vector<std::uint32_t> pos;
+  std::unordered_set<std::uint32_t> po_set;
+  for (std::size_t o = 0; o < p.outputs && pos.size() < p.gates; ++o) {
+    std::int64_t pick = pop_dangler();
+    while (pick >= 0 && po_set.count(static_cast<std::uint32_t>(pick)))
+      pick = pop_dangler();
+    if (pick < 0) {
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        const auto r = static_cast<std::uint32_t>(rng.below(p.gates));
+        if (!po_set.count(r)) {
+          pick = r;
+          break;
+        }
+      }
+    }
+    if (pick < 0) break;
+    pos.push_back(static_cast<std::uint32_t>(pick));
+    po_set.insert(static_cast<std::uint32_t>(pick));
+    ++logic[static_cast<std::uint32_t>(pick)].consumers;
+  }
+
+  // Remaining danglers and unused sources: attach as extra fanin to a later
+  // gate, or promote to an extra PO when nothing later can absorb them.
+  auto absorb = [&](std::uint32_t global_id) {
+    const std::size_t first_logic =
+        global_id >= num_sources ? global_id - num_sources + 1 : 0;
+    for (std::size_t i = first_logic; i < p.gates; ++i) {
+      NodePlan& n = logic[i];
+      if (!accepts_extra_fanin(n.type) || n.fanin.size() >= 6) continue;
+      if (std::find(n.fanin.begin(), n.fanin.end(), global_id) != n.fanin.end())
+        continue;
+      n.fanin.push_back(global_id);
+      if (global_id >= num_sources) ++logic[global_id - num_sources].consumers;
+      return true;
+    }
+    return false;
+  };
+
+  for (std::size_t i = 0; i < p.gates; ++i) {
+    if (logic[i].consumers != 0) continue;
+    const auto gid = static_cast<std::uint32_t>(num_sources + i);
+    if (!absorb(gid) && !po_set.count(static_cast<std::uint32_t>(i))) {
+      pos.push_back(static_cast<std::uint32_t>(i));
+      po_set.insert(static_cast<std::uint32_t>(i));
+      ++logic[i].consumers;
+    }
+  }
+  for (std::uint32_t s = 0; s < num_sources; ++s)
+    if (source_consumers[s] == 0) absorb(s);
+
+  // Materialize.
+  Netlist nl(p.name);
+  std::vector<GateId> gid(num_sources + p.gates, kNoGate);
+  for (std::size_t i = 0; i < p.inputs; ++i)
+    gid[i] = nl.add_gate(GateType::kInput, "I" + std::to_string(i));
+  for (std::size_t d = 0; d < p.dffs; ++d)
+    gid[p.inputs + d] = nl.add_dff_placeholder("FF" + std::to_string(d));
+  for (std::size_t i = 0; i < p.gates; ++i) {
+    std::vector<GateId> fin;
+    fin.reserve(logic[i].fanin.size());
+    for (std::uint32_t f : logic[i].fanin) fin.push_back(gid[f]);
+    GateType t = logic[i].type;
+    // A 1-fanin multi-input gate degenerates cleanly.
+    if (fin.size() == 1 && (t == GateType::kAnd || t == GateType::kOr ||
+                            t == GateType::kXor))
+      t = GateType::kBuf;
+    if (fin.size() == 1 && (t == GateType::kNand || t == GateType::kNor ||
+                            t == GateType::kXnor))
+      t = GateType::kNot;
+    gid[num_sources + i] = nl.add_gate(t, "N" + std::to_string(i), fin);
+  }
+  for (std::size_t d = 0; d < p.dffs; ++d)
+    nl.connect_dff(gid[p.inputs + d], gid[num_sources + dff_data[d]]);
+  for (std::uint32_t o : pos) nl.mark_output(gid[num_sources + o]);
+  nl.validate();
+  return nl;
+}
+
+}  // namespace sddict

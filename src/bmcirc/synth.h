@@ -1,0 +1,34 @@
+// Deterministic synthetic benchmark generator.
+//
+// The paper evaluates on ISCAS-89 netlists, which cannot be bundled here;
+// this generator produces *stand-ins*: random gate-level circuits matching
+// a named profile (PI / PO / DFF / gate counts patterned on the published
+// ISCAS-89 characteristics) with ISCAS-like composition — mostly
+// NAND/NOR/AND/OR/NOT with a little XOR, fanin 1-4, a recency-biased wiring
+// rule that yields deep cones with reconvergent fanout, and no dangling
+// logic (every gate reaches a flip-flop or output). Generation is pure:
+// the same profile + seed always yields the same netlist.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace sddict {
+
+struct SynthProfile {
+  std::string name;
+  std::size_t inputs = 4;
+  std::size_t outputs = 2;
+  std::size_t dffs = 0;
+  std::size_t gates = 20;  // logic gates (excluding inputs and DFFs)
+  std::uint64_t seed = 1;
+};
+
+// The generated netlist is sequential when dffs > 0; run full_scan() before
+// fault work. PO count can exceed the profile by a few when the dangling-
+// logic fix-up needs extra observation points.
+Netlist generate_synthetic(const SynthProfile& profile);
+
+}  // namespace sddict

@@ -1,0 +1,119 @@
+#include "core/baseline.h"
+
+#include <numeric>
+
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace sddict {
+
+std::vector<std::uint64_t> candidate_dist(const ResponseMatrix& rm,
+                                          std::size_t test,
+                                          const Partition& partition) {
+  const std::size_t num_candidates = rm.num_distinct(test);
+  std::vector<std::uint64_t> dist(num_candidates, 0);
+  std::vector<std::uint32_t> cnt(num_candidates, 0);
+  std::vector<ResponseId> touched;
+  for (const auto& members : partition.classes()) {
+    if (members.size() < 2) continue;
+    touched.clear();
+    for (std::uint32_t f : members) {
+      const ResponseId r = rm.response(f, test);
+      if (cnt[r]++ == 0) touched.push_back(r);
+    }
+    for (ResponseId r : touched) {
+      dist[r] += static_cast<std::uint64_t>(cnt[r]) * (members.size() - cnt[r]);
+      cnt[r] = 0;
+    }
+  }
+  return dist;
+}
+
+ResponseId scan_with_lower(const std::vector<std::uint64_t>& dist,
+                           std::size_t lower) {
+  // Procedure 1, steps 3b/3c: best_dist starts below every real score;
+  // `lower` counts consecutive candidates scoring strictly below the best.
+  ResponseId best_id = 0;
+  bool have_best = false;
+  std::uint64_t best = 0;
+  std::size_t low_run = 0;
+  for (ResponseId z = 0; z < dist.size(); ++z) {
+    if (!have_best || dist[z] > best) {
+      best = dist[z];
+      best_id = z;
+      have_best = true;
+      low_run = 0;
+    } else if (dist[z] < best) {
+      if (++low_run == lower) break;
+    }
+  }
+  return best_id;
+}
+
+BaselineSelection procedure1_single(const ResponseMatrix& rm,
+                                    const std::vector<std::size_t>& order,
+                                    std::size_t lower) {
+  BaselineSelection sel;
+  sel.baselines.assign(rm.num_tests(), 0);
+  Partition part(rm.num_faults());
+  const std::uint64_t total_pairs = Partition::pairs(rm.num_faults());
+
+  for (std::size_t j : order) {
+    if (part.fully_refined()) break;
+    const auto dist = candidate_dist(rm, j, part);
+    const ResponseId chosen = scan_with_lower(dist, lower);
+    sel.baselines[j] = chosen;
+    part.refine_with([&](std::uint32_t f) {
+      return static_cast<std::uint32_t>(rm.response(f, j) == chosen);
+    });
+  }
+  sel.indistinguished_pairs = part.indistinguished_pairs();
+  sel.distinguished_pairs = total_pairs - sel.indistinguished_pairs;
+  sel.calls_used = 1;
+  return sel;
+}
+
+BaselineSelection run_procedure1(const ResponseMatrix& rm,
+                                 const BaselineSelectionConfig& config) {
+  std::vector<std::size_t> order(rm.num_tests());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  Rng rng(config.seed);
+
+  BaselineSelection best = procedure1_single(rm, order, config.lower);
+  // The all-fault-free assignment (a pass/fail dictionary) is itself a valid
+  // baseline choice; never return anything worse than it.
+  {
+    BaselineSelection passfail;
+    passfail.baselines.assign(rm.num_tests(), 0);
+    Partition part(rm.num_faults());
+    for (std::size_t j = 0; j < rm.num_tests() && !part.fully_refined(); ++j)
+      part.refine_with([&](std::uint32_t f) {
+        return static_cast<std::uint32_t>(rm.response(f, j) == 0);
+      });
+    passfail.indistinguished_pairs = part.indistinguished_pairs();
+    passfail.distinguished_pairs =
+        Partition::pairs(rm.num_faults()) - passfail.indistinguished_pairs;
+    if (passfail.distinguished_pairs > best.distinguished_pairs)
+      best = std::move(passfail);
+  }
+  std::size_t calls = 1;
+  std::size_t no_improve = 0;
+  while (no_improve < config.calls1 && calls < config.max_calls &&
+         best.indistinguished_pairs > config.target_indistinguished) {
+    rng.shuffle(order);
+    BaselineSelection cur = procedure1_single(rm, order, config.lower);
+    ++calls;
+    if (cur.distinguished_pairs > best.distinguished_pairs) {
+      best = std::move(cur);
+      no_improve = 0;
+    } else {
+      ++no_improve;
+    }
+  }
+  best.calls_used = calls;
+  LOG_DEBUG << "procedure1: " << calls << " calls, "
+            << best.indistinguished_pairs << " pairs indistinguished";
+  return best;
+}
+
+}  // namespace sddict

@@ -1,0 +1,68 @@
+// Baseline-vector selection for the same/different fault dictionary —
+// the paper's Procedure 1 (greedy selection with LOWER early stop and
+// CALLS1 random-order restarts).
+//
+// Key implementation idea: the set P of not-yet-distinguished fault pairs
+// is an equivalence relation, represented as a Partition of the fault set.
+// For test t_j and candidate baseline z, the paper's dist(z) equals
+//     sum over classes C of  c_z(C) * (|C| - c_z(C)),
+// where c_z(C) is the number of members of C whose response under t_j is z.
+// All candidate scores for one test are computed in a single O(n) pass and
+// the paper's LOWER scan is then replayed over them, reproducing Procedure 1
+// exactly at a fraction of the cost of explicit pair bookkeeping. (The
+// explicit-pair reference implementation lives in core/pairset.h and is
+// cross-checked in tests.)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dict/partition.h"
+#include "sim/response.h"
+
+namespace sddict {
+
+struct BaselineSelectionConfig {
+  std::size_t lower = 10;    // the paper's LOWER
+  std::size_t calls1 = 100;  // the paper's CALLS1 (consecutive no-improve restarts)
+  std::uint64_t seed = 1;
+  // Hard cap on total Procedure-1 invocations (safety net).
+  std::size_t max_calls = 100000;
+  // Stop restarting once this many indistinguished pairs is reached — pass
+  // the full-dictionary count, which lower-bounds every dictionary.
+  std::uint64_t target_indistinguished = 0;
+};
+
+struct BaselineSelection {
+  std::vector<ResponseId> baselines;  // one per test; 0 = fault-free
+  std::uint64_t distinguished_pairs = 0;
+  std::uint64_t indistinguished_pairs = 0;
+  std::size_t calls_used = 0;  // Procedure-1 passes executed
+};
+
+// dist(z) for every candidate response of one test, given the current
+// partition (the paper's Step 3a, all candidates at once).
+std::vector<std::uint64_t> candidate_dist(const ResponseMatrix& rm,
+                                          std::size_t test,
+                                          const Partition& partition);
+
+// The paper's LOWER early-stop scan over candidate scores in enumeration
+// order: returns the first candidate attaining the best score among those
+// the scan actually examines.
+ResponseId scan_with_lower(const std::vector<std::uint64_t>& dist,
+                           std::size_t lower);
+
+// One pass of Procedure 1 over the tests in `order` (a permutation of
+// 0..k-1). Baselines of tests processed after full refinement default to
+// the fault-free response.
+BaselineSelection procedure1_single(const ResponseMatrix& rm,
+                                    const std::vector<std::size_t>& order,
+                                    std::size_t lower);
+
+// Procedure 1 with restarts: the first pass uses the natural test order,
+// subsequent passes random permutations; stops after `calls1` consecutive
+// passes without improvement (or on reaching target_indistinguished).
+BaselineSelection run_procedure1(const ResponseMatrix& rm,
+                                 const BaselineSelectionConfig& config);
+
+}  // namespace sddict

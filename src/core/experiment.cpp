@@ -1,0 +1,112 @@
+#include "core/experiment.h"
+
+#include <sstream>
+
+#include "dict/full_dict.h"
+#include "dict/passfail_dict.h"
+#include "fault/collapse.h"
+#include "util/log.h"
+#include "util/timer.h"
+
+namespace sddict {
+
+const char* test_set_kind_name(TestSetKind k) {
+  switch (k) {
+    case TestSetKind::kDiagnostic: return "diag";
+    case TestSetKind::kTenDetect: return "10det";
+  }
+  return "?";
+}
+
+ExperimentRow run_experiment(const Netlist& nl, TestSetKind kind,
+                             const ExperimentConfig& config) {
+  ExperimentRow row;
+  row.circuit = nl.name();
+  row.ttype = test_set_kind_name(kind);
+
+  const CollapseResult collapse = collapsed_fault_list(nl);
+  const FaultList& faults = collapse.collapsed;
+
+  Timer timer;
+  TestSet tests(nl.num_inputs());
+  if (kind == TestSetKind::kDiagnostic) {
+    tests = generate_diagnostic(nl, faults, config.diag).tests;
+  } else {
+    tests = generate_ndetect(nl, faults, config.ndetect).tests;
+  }
+  row.seconds_testgen = timer.seconds();
+
+  row.num_tests = tests.size();
+  row.num_faults = faults.size();
+  row.num_outputs = nl.num_outputs();
+  row.sizes = dictionary_sizes(tests.size(), faults.size(), nl.num_outputs());
+
+  timer.reset();
+  const ResponseMatrix rm = build_response_matrix(nl, faults, tests);
+  row.seconds_faultsim = timer.seconds();
+
+  for (FaultId f = 0; f < faults.size(); ++f)
+    if (rm.detection_count(f) == 0) ++row.num_undetected;
+
+  row.indist_full = FullDictionary::build(rm).indistinguished_pairs();
+  row.indist_passfail = PassFailDictionary::build(rm).indistinguished_pairs();
+
+  timer.reset();
+  BaselineSelectionConfig bconfig = config.baseline;
+  bconfig.target_indistinguished = row.indist_full;
+  const BaselineSelection p1 = run_procedure1(rm, bconfig);
+  row.seconds_proc1 = timer.seconds();
+  row.indist_sd_rand = p1.indistinguished_pairs;
+  row.proc1_calls = p1.calls_used;
+
+  row.indist_sd_repl = row.indist_sd_rand;
+  if (config.run_proc2 && row.indist_sd_rand > row.indist_full) {
+    timer.reset();
+    Procedure2Config p2config = config.proc2;
+    p2config.target_indistinguished = row.indist_full;
+    const Procedure2Result p2 = run_procedure2(rm, p1.baselines, p2config);
+    row.seconds_proc2 = timer.seconds();
+    row.indist_sd_repl = p2.indistinguished_pairs;
+  }
+  row.proc2_improved = row.indist_sd_repl < row.indist_sd_rand;
+
+  LOG_INFO << "table6 " << row.circuit << " " << row.ttype << ": |T|="
+           << row.num_tests << " indist full/pf/sd-rand/sd-repl = "
+           << row.indist_full << "/" << row.indist_passfail << "/"
+           << row.indist_sd_rand << "/" << row.indist_sd_repl << " ("
+           << row.num_undetected << " undetected faults)";
+  return row;
+}
+
+std::string experiment_header() {
+  std::ostringstream out;
+  out << "                        size (bits)                     indistinguished\n";
+  out << "circuit  Ttype   |T|       full        p/f        s/d      full       "
+         "p/f   s/d-rand   s/d-repl\n";
+  out << "-------- ------ ----- ----------- ---------- ---------- --------- "
+         "--------- ---------- ----------";
+  return out.str();
+}
+
+std::string format_experiment_row(const ExperimentRow& row) {
+  char buf[256];
+  // The paper omits the s/d-repl entry when Procedure 2 does not improve.
+  char repl[24];
+  if (row.proc2_improved)
+    std::snprintf(repl, sizeof repl, "%10llu",
+                  static_cast<unsigned long long>(row.indist_sd_repl));
+  else
+    std::snprintf(repl, sizeof repl, "%10s", "-");
+  std::snprintf(buf, sizeof buf,
+                "%-8s %-6s %5zu %11llu %10llu %10llu %9llu %9llu %10llu %s",
+                row.circuit.c_str(), row.ttype.c_str(), row.num_tests,
+                static_cast<unsigned long long>(row.sizes.full_bits),
+                static_cast<unsigned long long>(row.sizes.pass_fail_bits),
+                static_cast<unsigned long long>(row.sizes.same_different_bits),
+                static_cast<unsigned long long>(row.indist_full),
+                static_cast<unsigned long long>(row.indist_passfail),
+                static_cast<unsigned long long>(row.indist_sd_rand), repl);
+  return buf;
+}
+
+}  // namespace sddict

@@ -1,0 +1,25 @@
+// Hybrid baseline reduction — the paper's Section 2 remark that "one may
+// not need to use a baseline vector for every test vector": after baseline
+// selection, revert every baseline to the fault-free response whenever the
+// reversion loses no diagnostic resolution, shrinking the storage the
+// dictionary needs for baseline vectors.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/response.h"
+
+namespace sddict {
+
+struct HybridResult {
+  std::vector<ResponseId> baselines;
+  std::size_t stored_baselines = 0;  // tests keeping a non-fault-free baseline
+  std::uint64_t indistinguished_pairs = 0;
+  std::uint64_t size_bits = 0;  // hybrid size model (see dict/dictionary.h)
+};
+
+HybridResult hybridize_baselines(const ResponseMatrix& rm,
+                                 std::vector<ResponseId> baselines);
+
+}  // namespace sddict

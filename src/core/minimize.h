@@ -1,0 +1,37 @@
+// Resolution-preserving test-set minimization (the dictionary-size-
+// reduction theme of the paper's references [2], [9], [13]): greedily drop
+// tests whose column adds no diagnostic resolution to a given dictionary
+// type. Every dictionary's size is linear in the number of tests, so each
+// dropped test shrinks full, pass/fail and same/different dictionaries
+// alike.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/response.h"
+
+namespace sddict {
+
+struct MinimizeResult {
+  // Indices of the kept tests, ascending.
+  std::vector<std::size_t> kept_tests;
+  std::uint64_t indistinguished_pairs = 0;  // unchanged by construction
+  std::size_t dropped = 0;
+};
+
+// Minimizes with respect to *full-response* resolution: after dropping, the
+// partition of faults by their (kept-column) response rows is unchanged.
+// Scans tests in reverse order (late tests tend to be the targeted,
+// irreplaceable ones in generated sets, so reverse scanning drops the
+// redundant early coverage first — the classic ordering).
+MinimizeResult minimize_tests_full(const ResponseMatrix& rm);
+
+// Minimizes with respect to a same/different dictionary's resolution under
+// the given baselines: drops test columns (and their baselines) while the
+// row-signature partition is unchanged. Returns kept test indices; the
+// caller subsets both the test set and the baseline vector with them.
+MinimizeResult minimize_tests_samediff(const ResponseMatrix& rm,
+                                       const std::vector<ResponseId>& baselines);
+
+}  // namespace sddict

@@ -1,0 +1,35 @@
+// Greedy selection of r baselines per test for the multi-baseline
+// same/different dictionary (the extension the paper leaves open).
+// Generalizes Procedure 1: per test, baselines are chosen one at a time,
+// each maximizing the *additional* fault pairs split given those already
+// chosen; test order is randomized across restarts like Procedure 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/baseline.h"
+#include "sim/response.h"
+
+namespace sddict {
+
+struct MultiBaselineSelection {
+  std::vector<std::vector<ResponseId>> baselines;  // [test][0..r-1]
+  std::uint64_t distinguished_pairs = 0;
+  std::uint64_t indistinguished_pairs = 0;
+  std::size_t calls_used = 0;
+};
+
+// One greedy pass over the tests in `order`, choosing `rank` baselines per
+// test with the LOWER scan applied to each choice.
+MultiBaselineSelection multi_baseline_single(
+    const ResponseMatrix& rm, std::size_t rank,
+    const std::vector<std::size_t>& order, std::size_t lower);
+
+// Full selection with Procedure-1-style restarts. `config.calls1` and
+// `config.lower` have their usual meanings.
+MultiBaselineSelection run_multi_baseline(const ResponseMatrix& rm,
+                                          std::size_t rank,
+                                          const BaselineSelectionConfig& config);
+
+}  // namespace sddict

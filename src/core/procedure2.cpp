@@ -1,0 +1,137 @@
+#include "core/procedure2.h"
+
+#include <stdexcept>
+
+#include "core/sigset.h"
+#include "dict/partition.h"
+#include "util/log.h"
+
+namespace sddict {
+
+std::uint64_t count_indistinguished(const ResponseMatrix& rm,
+                                    const std::vector<ResponseId>& baselines) {
+  SignatureMultiset ms;
+  for (FaultId f = 0; f < rm.num_faults(); ++f) {
+    Hash128 sig;
+    for (std::size_t j = 0; j < rm.num_tests(); ++j)
+      if (rm.response(f, j) != baselines[j]) sig ^= test_token(j);
+    ms.insert(sig);
+  }
+  return ms.duplicate_pairs();
+}
+
+Procedure2Result run_procedure2(const ResponseMatrix& rm,
+                                std::vector<ResponseId> initial_baselines,
+                                const Procedure2Config& config) {
+  const std::size_t n = rm.num_faults();
+  const std::size_t k = rm.num_tests();
+  if (initial_baselines.size() != k)
+    throw std::invalid_argument("run_procedure2: baseline count mismatch");
+
+  Procedure2Result res;
+  res.baselines = std::move(initial_baselines);
+
+  // Row signatures under the current baselines.
+  std::vector<Hash128> sig(n);
+  for (FaultId f = 0; f < n; ++f) {
+    Hash128 s;
+    for (std::size_t j = 0; j < k; ++j)
+      if (rm.response(f, j) != res.baselines[j]) s ^= test_token(j);
+    sig[f] = s;
+  }
+  std::uint64_t dup;
+  {
+    SignatureMultiset ms;
+    for (FaultId f = 0; f < n; ++f) ms.insert(sig[f]);
+    dup = ms.duplicate_pairs();
+  }
+
+  // Per-test scoring. Key identity: with every other column fixed, two
+  // faults are indistinguished exactly when they share a *rest* signature
+  // (row signature with column j's contribution removed) and agree on
+  // column j's bit. Grouping by rest signature once therefore scores every
+  // candidate baseline of test j in a single O(n) pass:
+  //
+  //   dup_j(z) = sum over rest-groups g of  C(c_zg, 2) + C(s_g - c_zg, 2)
+  //
+  // where s_g = |g| and c_zg = members of g whose response under t_j is z.
+  // Scanning Z_j with the paper's accept-if-better rule converges to the
+  // argmin of dup_j, which is what this computes directly.
+  std::vector<std::uint32_t> rest_gid(n);
+  std::unordered_map<Hash128, std::uint32_t, Hash128Hasher> intern;
+  std::unordered_map<std::uint64_t, std::uint32_t> pair_count;
+  std::vector<std::uint64_t> group_size;
+
+  auto pairs2 = [](std::uint64_t m) { return m * (m - 1) / 2; };
+
+  bool improved = true;
+  while (improved && res.sweeps < config.max_sweeps &&
+         dup > config.target_indistinguished) {
+    improved = false;
+    ++res.sweeps;
+    for (std::size_t j = 0; j < k && dup > config.target_indistinguished; ++j) {
+      const std::size_t num_candidates = rm.num_distinct(j);
+      if (num_candidates < 2) continue;
+      const Hash128 tok = test_token(j);
+      const ResponseId old_bl = res.baselines[j];
+
+      intern.clear();
+      group_size.clear();
+      for (FaultId f = 0; f < n; ++f) {
+        Hash128 rest = sig[f];
+        if (rm.response(f, j) != old_bl) rest ^= tok;
+        const auto [it, inserted] = intern.try_emplace(
+            rest, static_cast<std::uint32_t>(group_size.size()));
+        if (inserted) group_size.push_back(0);
+        rest_gid[f] = it->second;
+        ++group_size[it->second];
+      }
+      std::uint64_t dup_base = 0;
+      for (std::uint64_t s : group_size) dup_base += pairs2(s);
+
+      // c_zg counts for every (group, response) actually occurring.
+      pair_count.clear();
+      for (FaultId f = 0; f < n; ++f) {
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(rest_gid[f]) << 32) | rm.response(f, j);
+        ++pair_count[key];
+      }
+      // delta(z) = dup_j(z) - dup_base, accumulated sparsely.
+      std::vector<std::int64_t> delta(num_candidates, 0);
+      for (const auto& [key, c] : pair_count) {
+        const std::uint64_t s = group_size[key >> 32];
+        const auto z = static_cast<ResponseId>(key & 0xffffffffu);
+        delta[z] += static_cast<std::int64_t>(pairs2(c) + pairs2(s - c)) -
+                    static_cast<std::int64_t>(pairs2(s));
+      }
+
+      ResponseId best_z = old_bl;
+      std::int64_t best_delta = delta[old_bl];
+      for (ResponseId z = 0; z < num_candidates; ++z)
+        if (delta[z] < best_delta) {
+          best_delta = delta[z];
+          best_z = z;
+        }
+      if (best_z == old_bl) continue;
+
+      // Apply: flip the two groups' signatures and the running dup count.
+      dup = dup_base + static_cast<std::uint64_t>(
+                           static_cast<std::int64_t>(best_delta));
+      for (FaultId f = 0; f < n; ++f) {
+        const ResponseId r = rm.response(f, j);
+        if (r == old_bl || r == best_z) sig[f] ^= tok;
+      }
+      res.baselines[j] = best_z;
+      ++res.replacements;
+      improved = true;
+    }
+  }
+
+  res.indistinguished_pairs = dup;
+  res.distinguished_pairs = Partition::pairs(n) - dup;
+  LOG_DEBUG << "procedure2: " << res.replacements << " replacements over "
+            << res.sweeps << " sweeps, " << dup << " pairs indistinguished";
+  return res;
+}
+
+}  // namespace sddict

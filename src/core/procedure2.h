@@ -1,0 +1,47 @@
+// The paper's Procedure 2: baseline replacement. Starting from a selected
+// baseline assignment, every test's baseline is tentatively replaced by
+// every other candidate response; a replacement is kept when it strictly
+// increases the number of distinguished fault pairs. Sweeps repeat until a
+// whole sweep makes no replacement.
+//
+// Scoring uses incremental 128-bit row signatures: each fault's dictionary
+// row is summarized as the XOR of per-test tokens over its '1' bits, and
+// the number of *in*distinguished pairs equals the number of duplicate-
+// signature pairs, maintained by a running multiset. Swapping the baseline
+// of test j only flips the rows of faults whose response equals the old or
+// the new baseline, so each candidate is evaluated in time proportional to
+// those two groups instead of n*k.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/response.h"
+
+namespace sddict {
+
+struct Procedure2Result {
+  std::vector<ResponseId> baselines;
+  std::uint64_t distinguished_pairs = 0;
+  std::uint64_t indistinguished_pairs = 0;
+  std::size_t replacements = 0;
+  std::size_t sweeps = 0;
+};
+
+struct Procedure2Config {
+  // Stop once this many indistinguished pairs is reached (pass the
+  // full-dictionary count; nothing can do better).
+  std::uint64_t target_indistinguished = 0;
+  std::size_t max_sweeps = 100;
+};
+
+Procedure2Result run_procedure2(const ResponseMatrix& rm,
+                                std::vector<ResponseId> initial_baselines,
+                                const Procedure2Config& config = {});
+
+// Exact (non-incremental) count of indistinguished pairs under a baseline
+// assignment; used by Procedure 2 internally and handy for verification.
+std::uint64_t count_indistinguished(const ResponseMatrix& rm,
+                                    const std::vector<ResponseId>& baselines);
+
+}  // namespace sddict

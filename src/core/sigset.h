@@ -1,0 +1,43 @@
+// Multiset of dictionary-row signatures with a running duplicate-pair
+// count. Two faults are indistinguished by a bit dictionary exactly when
+// their rows are equal, so duplicate_pairs() is the number of
+// indistinguished pairs. Rows are summarized as 128-bit XOR signatures of
+// per-test tokens (collision probability ~2^-128), which makes single-bit
+// row flips O(1) — the operation Procedure 2 and hybridization live on.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/hash.h"
+
+namespace sddict {
+
+class SignatureMultiset {
+ public:
+  void insert(const Hash128& h) {
+    const std::uint32_t c = counts_[h]++;
+    dup_pairs_ += c;
+  }
+
+  void remove(const Hash128& h) {
+    const auto it = counts_.find(h);
+    if (it == counts_.end() || it->second == 0)
+      throw std::logic_error("SignatureMultiset: removing absent signature");
+    dup_pairs_ -= --it->second;
+    if (it->second == 0) counts_.erase(it);
+  }
+
+  std::uint64_t duplicate_pairs() const { return dup_pairs_; }
+  std::size_t distinct() const { return counts_.size(); }
+
+ private:
+  std::unordered_map<Hash128, std::uint32_t, Hash128Hasher> counts_;
+  std::uint64_t dup_pairs_ = 0;
+};
+
+// Token contributed to a fault's row signature by a '1' bit under `test`.
+inline Hash128 test_token(std::size_t test) { return slot_token(test, 1); }
+
+}  // namespace sddict

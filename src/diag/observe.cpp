@@ -1,0 +1,59 @@
+#include "diag/observe.h"
+
+#include <stdexcept>
+
+#include "dict/full_dict.h"
+#include "sim/logicsim.h"
+#include "util/hash.h"
+
+namespace sddict {
+
+std::vector<BitVec> defect_responses(const Netlist& nl, const TestSet& tests,
+                                     const std::vector<Injection>& defect) {
+  const Netlist bad = inject_faults(nl, defect);
+  return good_responses(bad, tests);
+}
+
+namespace {
+
+std::vector<ResponseId> match_responses(const std::vector<BitVec>& good,
+                                        const std::vector<BitVec>& bad,
+                                        const ResponseMatrix& rm) {
+  std::vector<ResponseId> observed(good.size());
+  for (std::size_t t = 0; t < good.size(); ++t) {
+    // Response signature: XOR of tokens of outputs that differ from good —
+    // the same encoding build_response_matrix interns.
+    Hash128 sig;
+    for (std::size_t o = 0; o < good[t].size(); ++o)
+      if (good[t].get(o) != bad[t].get(o)) sig ^= slot_token(o, 1);
+    observed[t] = rm.find_response(t, sig);
+  }
+  return observed;
+}
+
+}  // namespace
+
+std::vector<ResponseId> observe_defect(const Netlist& nl, const TestSet& tests,
+                                       const ResponseMatrix& rm,
+                                       const std::vector<Injection>& defect) {
+  if (rm.num_tests() != tests.size())
+    throw std::invalid_argument("observe_defect: test count mismatch");
+  return match_responses(good_responses(nl, tests),
+                         defect_responses(nl, tests, defect), rm);
+}
+
+std::vector<ResponseId> observe_defective_netlist(const Netlist& good_nl,
+                                                  const Netlist& bad_nl,
+                                                  const TestSet& tests,
+                                                  const ResponseMatrix& rm) {
+  if (rm.num_tests() != tests.size())
+    throw std::invalid_argument("observe_defective_netlist: test count");
+  if (bad_nl.num_inputs() != good_nl.num_inputs() ||
+      bad_nl.num_outputs() != good_nl.num_outputs())
+    throw std::invalid_argument(
+        "observe_defective_netlist: interface mismatch");
+  return match_responses(good_responses(good_nl, tests),
+                         good_responses(bad_nl, tests), rm);
+}
+
+}  // namespace sddict

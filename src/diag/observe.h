@@ -1,0 +1,33 @@
+// Tester-side observation: simulate a "defective chip" (the circuit with an
+// arbitrary set of injected stuck lines — possibly a multiple fault outside
+// the single-fault model) over a test set and express what the tester sees
+// as per-test response ids in the vocabulary of a ResponseMatrix.
+#pragma once
+
+#include <vector>
+
+#include "netlist/transform.h"
+#include "sim/response.h"
+#include "sim/testset.h"
+
+namespace sddict {
+
+// Per-test observed response ids. Responses produced by the defect that no
+// modeled single fault produces map to kUnknownResponse (see full_dict.h).
+std::vector<ResponseId> observe_defect(const Netlist& nl, const TestSet& tests,
+                                       const ResponseMatrix& rm,
+                                       const std::vector<Injection>& defect);
+
+// Raw observed output vectors of the defective chip, one per test.
+std::vector<BitVec> defect_responses(const Netlist& nl, const TestSet& tests,
+                                     const std::vector<Injection>& defect);
+
+// Same observation flow for an arbitrary defective netlist (e.g. a bridged
+// circuit from inject_bridge): the defective netlist must share the good
+// netlist's input count/order and output count/order.
+std::vector<ResponseId> observe_defective_netlist(const Netlist& good_nl,
+                                                  const Netlist& bad_nl,
+                                                  const TestSet& tests,
+                                                  const ResponseMatrix& rm);
+
+}  // namespace sddict

@@ -1,0 +1,152 @@
+#include "diag/probe.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "sim/faultsim.h"
+#include "sim/logicsim.h"
+
+namespace sddict {
+
+ProbeResult guided_probe(const Netlist& nl, const FaultList& faults,
+                         const TestSet& tests,
+                         std::vector<FaultId> candidates,
+                         const ProbeOracle& oracle,
+                         const ProbeOptions& options) {
+  ProbeResult res;
+  const std::size_t window = std::min<std::size_t>(
+      {options.test_window, tests.size(), std::size_t{64}});
+  if (window == 0 || candidates.size() <= 1) {
+    res.final_candidates = std::move(candidates);
+    return res;
+  }
+
+  // Predicted values of every candidate for every (gate, windowed test).
+  FaultSimulator fsim(nl);
+  std::vector<std::uint64_t> words;
+  tests.pack_batch(0, window, &words);
+  fsim.load_batch(words, window);
+  std::vector<std::vector<std::uint64_t>> predicted(candidates.size());
+  for (std::size_t c = 0; c < candidates.size(); ++c)
+    fsim.simulate_fault_full(faults[candidates[c]], &predicted[c]);
+
+  const std::uint64_t window_mask =
+      window == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << window) - 1;
+
+  for (std::size_t probe = 0;
+       probe < options.max_probes && candidates.size() > 1; ++probe) {
+    // Pick the (net, test) whose predicted split is most balanced.
+    GateId best_net = kNoGate;
+    std::size_t best_test = 0;
+    std::size_t best_minority = 0;  // larger minority = better split
+    for (GateId g = 0; g < nl.num_gates(); ++g) {
+      // Candidate predictions for net g over the window, one word each.
+      for (std::size_t t = 0; t < window; ++t) {
+        std::size_t ones = 0;
+        for (std::size_t c = 0; c < candidates.size(); ++c)
+          ones += (predicted[c][g] >> t) & 1;
+        const std::size_t minority = std::min(ones, candidates.size() - ones);
+        if (minority > best_minority) {
+          best_minority = minority;
+          best_net = g;
+          best_test = t;
+        }
+      }
+      if (best_minority * 2 >= candidates.size()) break;  // perfect split
+    }
+    if (best_net == kNoGate || best_minority == 0) break;  // nothing splits
+
+    ProbeStep step;
+    step.net = best_net;
+    step.test = best_test;
+    step.candidates_before = candidates.size();
+    step.reading = oracle(best_net, best_test);
+
+    std::vector<FaultId> kept;
+    std::vector<std::vector<std::uint64_t>> kept_predicted;
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      const bool pred = (predicted[c][best_net] >> best_test) & 1;
+      if (pred == step.reading) {
+        kept.push_back(candidates[c]);
+        kept_predicted.push_back(std::move(predicted[c]));
+      }
+    }
+    // A reading no candidate predicted: the defect is outside the model;
+    // stop with the current set rather than emptying it.
+    if (kept.empty()) {
+      res.steps.push_back(step);
+      break;
+    }
+    candidates = std::move(kept);
+    predicted = std::move(kept_predicted);
+    step.candidates_after = candidates.size();
+    res.steps.push_back(step);
+    (void)window_mask;
+  }
+
+  res.final_candidates = std::move(candidates);
+  return res;
+}
+
+ProbeOracle stuck_probe_oracle(const Netlist& nl, const TestSet& tests,
+                               const StuckFault& defect) {
+  // Precompute the defective chip's internal values per 64-test batch on
+  // demand; cache the last batch.
+  auto fsim = std::make_shared<FaultSimulator>(nl);
+  auto cache = std::make_shared<std::pair<std::size_t, std::vector<std::uint64_t>>>(
+      static_cast<std::size_t>(-1), std::vector<std::uint64_t>{});
+  auto tests_copy = std::make_shared<TestSet>(tests);
+  return [=, &nl](GateId net, std::size_t test) {
+    const std::size_t batch = test / 64;
+    if (cache->first != batch) {
+      const std::size_t first = batch * 64;
+      const std::size_t count =
+          std::min<std::size_t>(64, tests_copy->size() - first);
+      std::vector<std::uint64_t> words;
+      tests_copy->pack_batch(first, count, &words);
+      fsim->load_batch(words, count);
+      fsim->simulate_fault_full(defect, &cache->second);
+      cache->first = batch;
+    }
+    (void)nl;
+    return ((cache->second[net] >> (test % 64)) & 1) != 0;
+  };
+}
+
+ProbeOracle bridge_probe_oracle(const Netlist& nl, const TestSet& tests,
+                                const BridgingFault& defect) {
+  // Simulate the bridged netlist; reading either shorted net yields the
+  // wired value (the "bridge$" gate), other nets their same-named gate.
+  auto bad = std::make_shared<Netlist>(inject_bridge(nl, defect));
+  const GateId wired = bad->find("bridge$");
+  if (wired == kNoGate)
+    throw std::logic_error("bridge_probe_oracle: wired gate missing");
+  auto sim = std::make_shared<BatchSimulator>(*bad);
+  auto cache = std::make_shared<std::size_t>(static_cast<std::size_t>(-1));
+  auto tests_copy = std::make_shared<TestSet>(tests);
+  const BridgingFault f = defect;
+  return [=, &nl](GateId net, std::size_t test) {
+    const std::size_t batch = test / 64;
+    if (*cache != batch) {
+      const std::size_t first = batch * 64;
+      const std::size_t count =
+          std::min<std::size_t>(64, tests_copy->size() - first);
+      std::vector<std::uint64_t> words;
+      tests_copy->pack_batch(first, count, &words);
+      sim->simulate(words);
+      *cache = batch;
+    }
+    GateId target;
+    if (net == f.a || net == f.b) {
+      target = wired;
+    } else {
+      target = bad->find(nl.gate(net).name);
+      if (target == kNoGate)
+        throw std::invalid_argument("bridge_probe_oracle: unknown net");
+    }
+    return ((sim->value(target) >> (test % 64)) & 1) != 0;
+  };
+}
+
+}  // namespace sddict

@@ -1,0 +1,58 @@
+// Guided-probe diagnosis (paper references [5], [16], [21]): when the
+// dictionary leaves several candidates tied, physically probing internal
+// nets disambiguates them. Each candidate fault predicts a value for every
+// (net, test); the engine greedily picks the probe whose reading splits the
+// surviving candidate set most evenly, reads the "chip" through a caller-
+// supplied oracle, and keeps only the candidates consistent with the
+// reading.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "fault/bridge.h"
+#include "fault/faultlist.h"
+#include "netlist/netlist.h"
+#include "sim/testset.h"
+
+namespace sddict {
+
+// Physical access abstraction: the logic value observed at `net` while
+// test `test` is applied to the defective chip.
+using ProbeOracle = std::function<bool(GateId net, std::size_t test)>;
+
+struct ProbeStep {
+  GateId net = kNoGate;
+  std::size_t test = 0;
+  bool reading = false;
+  std::size_t candidates_before = 0;
+  std::size_t candidates_after = 0;
+};
+
+struct ProbeResult {
+  std::vector<ProbeStep> steps;
+  std::vector<FaultId> final_candidates;
+};
+
+struct ProbeOptions {
+  std::size_t max_probes = 16;
+  // Tests considered as probe stimuli (first `test_window` of the set).
+  std::size_t test_window = 64;
+};
+
+// Narrows `candidates` by probing; `oracle` answers physical readings.
+ProbeResult guided_probe(const Netlist& nl, const FaultList& faults,
+                         const TestSet& tests,
+                         std::vector<FaultId> candidates,
+                         const ProbeOracle& oracle,
+                         const ProbeOptions& options = {});
+
+// Oracles for simulated defects. Probing the faulted stem reads the stuck
+// value; probing a bridged net reads the wired value.
+ProbeOracle stuck_probe_oracle(const Netlist& nl, const TestSet& tests,
+                               const StuckFault& defect);
+ProbeOracle bridge_probe_oracle(const Netlist& nl, const TestSet& tests,
+                                const BridgingFault& defect);
+
+}  // namespace sddict

@@ -1,0 +1,69 @@
+#include "diag/report.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace sddict {
+namespace {
+
+DictionaryDiagnosis summarize(DictionaryKind kind,
+                              std::vector<DiagnosisMatch> ranked,
+                              FaultId true_fault, std::size_t top) {
+  DictionaryDiagnosis d;
+  d.kind = kind;
+  if (!ranked.empty()) {
+    d.best_mismatches = ranked.front().mismatches;
+    for (const auto& m : ranked)
+      if (m.mismatches == d.best_mismatches) ++d.tied_candidates;
+    if (true_fault != kNoFault) {
+      for (std::size_t i = 0; i < ranked.size(); ++i)
+        if (ranked[i].fault == true_fault) {
+          d.true_fault_rank = i + 1;
+          break;
+        }
+    }
+  }
+  if (ranked.size() > top) ranked.resize(top);
+  d.top = std::move(ranked);
+  return d;
+}
+
+}  // namespace
+
+DiagnosisComparison compare_dictionaries(const FullDictionary& full,
+                                         const PassFailDictionary& pf,
+                                         const SameDifferentDictionary& sd,
+                                         const std::vector<ResponseId>& observed,
+                                         FaultId true_fault, std::size_t top) {
+  const std::size_t all = full.num_faults();
+  DiagnosisComparison cmp;
+  cmp.full = summarize(DictionaryKind::kFull, full.diagnose(observed, all),
+                       true_fault, top);
+  cmp.pass_fail =
+      summarize(DictionaryKind::kPassFail,
+                pf.diagnose(pf.encode(observed), all), true_fault, top);
+  cmp.same_different =
+      summarize(DictionaryKind::kSameDifferent,
+                sd.diagnose(sd.encode(observed), all), true_fault, top);
+  return cmp;
+}
+
+std::string format_diagnosis(const Netlist& nl, const FaultList& faults,
+                             const DiagnosisComparison& cmp) {
+  std::ostringstream out;
+  for (const DictionaryDiagnosis* d :
+       {&cmp.full, &cmp.pass_fail, &cmp.same_different}) {
+    out << dictionary_kind_name(d->kind) << " dictionary: "
+        << d->tied_candidates << " candidate(s) at " << d->best_mismatches
+        << " mismatching test(s)";
+    if (d->true_fault_rank != 0)
+      out << ", true fault ranked #" << d->true_fault_rank;
+    out << "\n";
+    for (const auto& m : d->top)
+      out << "    " << fault_name(nl, faults[m.fault]) << "  (" << m.mismatches
+          << " mismatches)\n";
+  }
+  return out.str();
+}
+
+}  // namespace sddict

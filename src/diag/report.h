@@ -1,0 +1,43 @@
+// Side-by-side cause-effect diagnosis with all three dictionary types, plus
+// quality metrics: how many candidates tie at the best match, and where the
+// true fault ranks (when known).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dict/full_dict.h"
+#include "dict/passfail_dict.h"
+#include "dict/samediff_dict.h"
+#include "fault/faultlist.h"
+
+namespace sddict {
+
+struct DictionaryDiagnosis {
+  DictionaryKind kind{};
+  std::vector<DiagnosisMatch> top;    // best-first
+  std::size_t best_mismatches = 0;    // of the top match
+  std::size_t tied_candidates = 0;    // faults tying at best_mismatches
+  // Rank (1-based) of the true fault among all faults ordered by mismatch
+  // count; 0 when no true fault was supplied.
+  std::size_t true_fault_rank = 0;
+};
+
+struct DiagnosisComparison {
+  DictionaryDiagnosis full;
+  DictionaryDiagnosis pass_fail;
+  DictionaryDiagnosis same_different;
+};
+
+DiagnosisComparison compare_dictionaries(const FullDictionary& full,
+                                         const PassFailDictionary& pf,
+                                         const SameDifferentDictionary& sd,
+                                         const std::vector<ResponseId>& observed,
+                                         FaultId true_fault = kNoFault,
+                                         std::size_t top = 5);
+
+// Human-readable report; `nl`/`faults` provide fault names.
+std::string format_diagnosis(const Netlist& nl, const FaultList& faults,
+                             const DiagnosisComparison& cmp);
+
+}  // namespace sddict

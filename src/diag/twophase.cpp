@@ -1,0 +1,43 @@
+#include "diag/twophase.h"
+
+namespace sddict {
+namespace {
+
+TwoPhaseResult run_two_phase(const std::vector<FaultId>& phase1,
+                             const ResponseMatrix& rm,
+                             const std::vector<ResponseId>& observed) {
+  TwoPhaseResult res;
+  res.phase1_candidates = phase1;
+  res.simulations_run = phase1.size();
+  for (FaultId f : phase1) {
+    bool exact = true;
+    for (std::size_t t = 0; t < rm.num_tests() && exact; ++t)
+      exact = rm.response(f, t) == observed[t];
+    if (exact) res.phase2_candidates.push_back(f);
+  }
+  return res;
+}
+
+}  // namespace
+
+TwoPhaseResult two_phase_with_passfail(const PassFailDictionary& dict,
+                                       const ResponseMatrix& rm,
+                                       const std::vector<ResponseId>& observed) {
+  const BitVec bits = dict.encode(observed);
+  std::vector<FaultId> phase1;
+  for (FaultId f = 0; f < dict.num_faults(); ++f)
+    if (dict.row(f) == bits) phase1.push_back(f);
+  return run_two_phase(phase1, rm, observed);
+}
+
+TwoPhaseResult two_phase_with_samediff(const SameDifferentDictionary& dict,
+                                       const ResponseMatrix& rm,
+                                       const std::vector<ResponseId>& observed) {
+  const BitVec bits = dict.encode(observed);
+  std::vector<FaultId> phase1;
+  for (FaultId f = 0; f < dict.num_faults(); ++f)
+    if (dict.row(f) == bits) phase1.push_back(f);
+  return run_two_phase(phase1, rm, observed);
+}
+
+}  // namespace sddict

@@ -1,0 +1,37 @@
+// Two-phase diagnosis (the use case of refs [8], [12], [14] in the paper):
+// a small bit dictionary (pass/fail or same/different) first narrows the
+// candidate list; full-response fault simulation then checks only those
+// candidates against the complete observation. The figure of merit is how
+// many full-response simulations the bit dictionary saves — a higher-
+// resolution bit dictionary (same/different) narrows further than pass/fail
+// at essentially the same storage cost.
+#pragma once
+
+#include <vector>
+
+#include "dict/passfail_dict.h"
+#include "dict/samediff_dict.h"
+#include "sim/response.h"
+
+namespace sddict {
+
+struct TwoPhaseResult {
+  // Faults whose bit-dictionary row matches the observation exactly.
+  std::vector<FaultId> phase1_candidates;
+  // Of those, faults whose full response matches the observation on every
+  // test (final cause-effect verdict).
+  std::vector<FaultId> phase2_candidates;
+  // Full-response checks run (== phase1 size); a dictionary-free flow would
+  // run one per modeled fault.
+  std::size_t simulations_run = 0;
+};
+
+TwoPhaseResult two_phase_with_passfail(const PassFailDictionary& dict,
+                                       const ResponseMatrix& rm,
+                                       const std::vector<ResponseId>& observed);
+
+TwoPhaseResult two_phase_with_samediff(const SameDifferentDictionary& dict,
+                                       const ResponseMatrix& rm,
+                                       const std::vector<ResponseId>& observed);
+
+}  // namespace sddict

@@ -1,0 +1,54 @@
+// Detection-list representation of the pass/fail dictionary — the paper's
+// Section 1 note that dictionaries may also be stored as "lists of detected
+// faults" [1]. Information content (and therefore resolution) is identical
+// to the pass/fail bit matrix; only the encoding differs: per test, the
+// sorted list of detected fault ids, at ceil(log2 n) bits per entry. Lists
+// win over the k*n bit matrix exactly when detection density is below
+// 1/ceil(log2 n) — the trade the size model here exposes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dict/full_dict.h"
+#include "dict/partition.h"
+#include "sim/response.h"
+
+namespace sddict {
+
+class DetectionListDictionary {
+ public:
+  static DetectionListDictionary build(const ResponseMatrix& rm);
+
+  std::size_t num_faults() const { return num_faults_; }
+  std::size_t num_tests() const { return lists_.size(); }
+
+  // Sorted ids of the faults test t detects.
+  const std::vector<FaultId>& detected_by(std::size_t t) const {
+    return lists_[t];
+  }
+
+  // Total detections across the dictionary (list entries).
+  std::size_t total_entries() const;
+
+  // Entries * ceil(log2 n) + one per-test length field (ceil(log2(n+1))).
+  std::uint64_t size_bits() const;
+
+  // Identical to the pass/fail dictionary's by construction.
+  std::uint64_t indistinguished_pairs() const {
+    return partition_.indistinguished_pairs();
+  }
+  const Partition& partition() const { return partition_; }
+
+  // Density threshold: with this fault count, lists are smaller than the
+  // bit matrix iff the average detection density is below the returned
+  // value.
+  static double breakeven_density(std::size_t num_faults);
+
+ private:
+  std::size_t num_faults_ = 0;
+  std::vector<std::vector<FaultId>> lists_;
+  Partition partition_{0};
+};
+
+}  // namespace sddict

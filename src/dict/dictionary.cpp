@@ -1,0 +1,30 @@
+#include "dict/dictionary.h"
+
+namespace sddict {
+
+const char* dictionary_kind_name(DictionaryKind k) {
+  switch (k) {
+    case DictionaryKind::kFull: return "full";
+    case DictionaryKind::kPassFail: return "pass/fail";
+    case DictionaryKind::kSameDifferent: return "same/different";
+  }
+  return "?";
+}
+
+DictionarySizes dictionary_sizes(std::uint64_t num_tests, std::uint64_t num_faults,
+                                 std::uint64_t num_outputs) {
+  DictionarySizes s;
+  s.full_bits = num_tests * num_faults * num_outputs;
+  s.pass_fail_bits = num_tests * num_faults;
+  s.same_different_bits = num_tests * (num_faults + num_outputs);
+  return s;
+}
+
+std::uint64_t hybrid_same_different_bits(std::uint64_t num_tests,
+                                         std::uint64_t num_faults,
+                                         std::uint64_t num_outputs,
+                                         std::uint64_t stored_baselines) {
+  return num_tests * num_faults + stored_baselines * num_outputs + num_tests;
+}
+
+}  // namespace sddict

@@ -1,0 +1,36 @@
+// Common vocabulary for the three dictionary types the paper compares.
+//
+// Size model (Section 2 of the paper), for k tests, n faults, m outputs:
+//   full         k * n * m   bits
+//   pass/fail    k * n       bits
+//   same/diff    k * (n + m) bits   (bit matrix + one baseline vector/test)
+// The fault-free response (k*m bits) is needed by all flows and is not
+// charged to any dictionary.
+#pragma once
+
+#include <cstdint>
+
+namespace sddict {
+
+enum class DictionaryKind { kFull, kPassFail, kSameDifferent };
+
+const char* dictionary_kind_name(DictionaryKind k);
+
+struct DictionarySizes {
+  std::uint64_t full_bits = 0;
+  std::uint64_t pass_fail_bits = 0;
+  std::uint64_t same_different_bits = 0;
+};
+
+DictionarySizes dictionary_sizes(std::uint64_t num_tests, std::uint64_t num_faults,
+                                 std::uint64_t num_outputs);
+
+// Size of a hybrid same/different dictionary that stores explicit baselines
+// for only `stored_baselines` of the tests (the rest compare against the
+// fault-free response): bit matrix + stored vectors + a per-test flag bit.
+std::uint64_t hybrid_same_different_bits(std::uint64_t num_tests,
+                                         std::uint64_t num_faults,
+                                         std::uint64_t num_outputs,
+                                         std::uint64_t stored_baselines);
+
+}  // namespace sddict

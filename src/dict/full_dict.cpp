@@ -1,0 +1,55 @@
+#include "dict/full_dict.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sddict {
+
+FullDictionary FullDictionary::build(const ResponseMatrix& rm) {
+  std::vector<ResponseId> entries(rm.num_faults() * rm.num_tests());
+  for (FaultId f = 0; f < rm.num_faults(); ++f)
+    for (std::size_t t = 0; t < rm.num_tests(); ++t)
+      entries[static_cast<std::size_t>(f) * rm.num_tests() + t] =
+          rm.response(f, t);
+  return from_entries(std::move(entries), rm.num_faults(), rm.num_tests(),
+                      rm.num_outputs());
+}
+
+FullDictionary FullDictionary::from_entries(std::vector<ResponseId> entries,
+                                            std::size_t num_faults,
+                                            std::size_t num_tests,
+                                            std::size_t num_outputs) {
+  if (entries.size() != num_faults * num_tests)
+    throw std::invalid_argument("FullDictionary::from_entries: size mismatch");
+  FullDictionary d;
+  d.num_faults_ = num_faults;
+  d.num_tests_ = num_tests;
+  d.num_outputs_ = num_outputs;
+  d.entries_ = std::move(entries);
+
+  d.partition_ = Partition(d.num_faults_);
+  for (std::size_t t = 0; t < d.num_tests_; ++t) {
+    d.partition_.refine_with([&](std::uint32_t f) { return d.entry(f, t); });
+    if (d.partition_.fully_refined()) break;
+  }
+  return d;
+}
+
+std::vector<DiagnosisMatch> FullDictionary::diagnose(
+    const std::vector<ResponseId>& observed, std::size_t max_results) const {
+  std::vector<DiagnosisMatch> all(num_faults_);
+  for (FaultId f = 0; f < num_faults_; ++f) {
+    std::uint32_t mism = 0;
+    for (std::size_t t = 0; t < num_tests_; ++t)
+      if (observed[t] == kUnknownResponse || entry(f, t) != observed[t]) ++mism;
+    all[f] = {f, mism};
+  }
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    return a.mismatches != b.mismatches ? a.mismatches < b.mismatches
+                                        : a.fault < b.fault;
+  });
+  if (all.size() > max_results) all.resize(max_results);
+  return all;
+}
+
+}  // namespace sddict

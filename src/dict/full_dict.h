@@ -1,0 +1,69 @@
+// Full fault dictionary: conceptually stores the complete output vector of
+// every fault under every test (k*n*m bits). This implementation keeps the
+// interned response id per (fault, test) — equality-equivalent to the full
+// vectors and sufficient for both resolution accounting and cause-effect
+// matching; the size model still charges the paper's k*n*m bits.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dict/dictionary.h"
+#include "dict/partition.h"
+#include "sim/response.h"
+
+namespace sddict {
+
+// Sentinel for "observed response matches no modeled fault's response".
+inline constexpr ResponseId kUnknownResponse = static_cast<ResponseId>(-1);
+
+struct DiagnosisMatch {
+  FaultId fault = kNoFault;
+  // Number of tests whose dictionary entry disagrees with the observation.
+  std::uint32_t mismatches = 0;
+};
+
+class FullDictionary {
+ public:
+  static FullDictionary build(const ResponseMatrix& rm);
+
+  // Reconstructs a dictionary from raw entries (fault-major, n*k ids), e.g.
+  // when loading from disk. The partition is recomputed.
+  static FullDictionary from_entries(std::vector<ResponseId> entries,
+                                     std::size_t num_faults,
+                                     std::size_t num_tests,
+                                     std::size_t num_outputs);
+
+  std::size_t num_faults() const { return num_faults_; }
+  std::size_t num_tests() const { return num_tests_; }
+  std::size_t num_outputs() const { return num_outputs_; }
+
+  ResponseId entry(FaultId f, std::size_t t) const {
+    return entries_[static_cast<std::size_t>(f) * num_tests_ + t];
+  }
+
+  std::uint64_t size_bits() const {
+    return dictionary_sizes(num_tests_, num_faults_, num_outputs_).full_bits;
+  }
+
+  const Partition& partition() const { return partition_; }
+  std::uint64_t indistinguished_pairs() const {
+    return partition_.indistinguished_pairs();
+  }
+
+  // Cause-effect lookup: faults ranked by how many tests disagree with the
+  // observed per-test response ids (kUnknownResponse disagrees with every
+  // modeled response). At most max_results matches, best first; ties broken
+  // by fault id.
+  std::vector<DiagnosisMatch> diagnose(const std::vector<ResponseId>& observed,
+                                       std::size_t max_results = 10) const;
+
+ private:
+  std::size_t num_faults_ = 0;
+  std::size_t num_tests_ = 0;
+  std::size_t num_outputs_ = 0;
+  std::vector<ResponseId> entries_;
+  Partition partition_{0};
+};
+
+}  // namespace sddict

@@ -1,0 +1,93 @@
+#include "dict/multibaseline_dict.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sddict {
+
+MultiBaselineDictionary MultiBaselineDictionary::build(
+    const ResponseMatrix& rm, std::vector<std::vector<ResponseId>> baselines) {
+  if (baselines.size() != rm.num_tests())
+    throw std::invalid_argument("MultiBaselineDictionary: baseline count");
+  std::size_t rank = 0;
+  std::size_t stored = 0;
+  for (std::size_t t = 0; t < baselines.size(); ++t) {
+    auto& bs = baselines[t];
+    rank = std::max(rank, bs.size());
+    stored += bs.size();
+    for (std::size_t l = 0; l < bs.size(); ++l) {
+      if (bs[l] >= rm.num_distinct(t))
+        throw std::invalid_argument(
+            "MultiBaselineDictionary: baseline id out of range");
+      for (std::size_t k = l + 1; k < bs.size(); ++k)
+        if (bs[l] == bs[k])
+          throw std::invalid_argument(
+              "MultiBaselineDictionary: duplicate baseline in one test");
+    }
+  }
+  if (rank == 0)
+    throw std::invalid_argument("MultiBaselineDictionary: no baselines at all");
+
+  MultiBaselineDictionary d;
+  d.num_faults_ = rm.num_faults();
+  d.num_tests_ = rm.num_tests();
+  d.num_outputs_ = rm.num_outputs();
+  d.rank_ = rank;
+  d.stored_baselines_ = stored;
+  d.baselines_ = std::move(baselines);
+  d.rows_.assign(rm.num_faults(), BitVec(rm.num_tests() * rank));
+  for (FaultId f = 0; f < rm.num_faults(); ++f)
+    for (std::size_t t = 0; t < rm.num_tests(); ++t) {
+      const ResponseId r = rm.response(f, t);
+      const auto& bs = d.baselines_[t];
+      for (std::size_t l = 0; l < rank; ++l)
+        if (l >= bs.size() || r != bs[l]) d.rows_[f].set(t * rank + l, true);
+    }
+
+  d.partition_ = Partition(rm.num_faults());
+  for (std::size_t t = 0; t < rm.num_tests(); ++t) {
+    // Label = index of the matched baseline, or rank for "none".
+    d.partition_.refine_with([&](std::uint32_t f) {
+      const ResponseId r = rm.response(f, t);
+      const auto& bs = d.baselines_[t];
+      for (std::size_t l = 0; l < bs.size(); ++l)
+        if (r == bs[l]) return static_cast<std::uint32_t>(l);
+      return static_cast<std::uint32_t>(d.rank_);
+    });
+    if (d.partition_.fully_refined()) break;
+  }
+  return d;
+}
+
+BitVec MultiBaselineDictionary::encode(
+    const std::vector<ResponseId>& observed) const {
+  if (observed.size() != num_tests_)
+    throw std::invalid_argument("MultiBaselineDictionary::encode: length");
+  BitVec bits(num_tests_ * rank_);
+  for (std::size_t t = 0; t < num_tests_; ++t) {
+    const auto& bs = baselines_[t];
+    for (std::size_t l = 0; l < rank_; ++l)
+      if (l >= bs.size() || observed[t] != bs[l]) bits.set(t * rank_ + l, true);
+  }
+  return bits;
+}
+
+std::vector<DiagnosisMatch> MultiBaselineDictionary::diagnose(
+    const BitVec& observed_bits, std::size_t max_results) const {
+  if (observed_bits.size() != num_tests_ * rank_)
+    throw std::invalid_argument("MultiBaselineDictionary::diagnose: length");
+  std::vector<DiagnosisMatch> all(rows_.size());
+  for (FaultId f = 0; f < rows_.size(); ++f) {
+    BitVec diff = rows_[f];
+    diff ^= observed_bits;
+    all[f] = {f, static_cast<std::uint32_t>(diff.count_ones())};
+  }
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    return a.mismatches != b.mismatches ? a.mismatches < b.mismatches
+                                        : a.fault < b.fault;
+  });
+  if (all.size() > max_results) all.resize(max_results);
+  return all;
+}
+
+}  // namespace sddict

@@ -1,0 +1,80 @@
+// Multi-baseline same/different dictionary — the extension the paper
+// explicitly leaves open ("One can select more than one baseline vector for
+// a test vector. In this work we select only one per test vector."). Each
+// test stores r baseline responses and contributes r bits per fault: bit l
+// is 0 exactly when the faulty response equals baseline l. Since baselines
+// are distinct, a response matches at most one of them, so test j splits
+// the faults into up to r+2 groups (one per matched baseline, plus
+// "matches none"; the fault-free group coincides with a baseline group when
+// z_ff,j is among the baselines).
+//
+// Size: k*n*r bits of matrix + r*k*m bits of baselines. r = 1 reduces to
+// the ordinary same/different dictionary.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dict/dictionary.h"
+#include "dict/full_dict.h"
+#include "dict/partition.h"
+#include "sim/response.h"
+#include "util/bitvec.h"
+
+namespace sddict {
+
+class MultiBaselineDictionary {
+ public:
+  // baselines[t] holds the (distinct) baseline response ids of test t.
+  // Sets may be ragged (a test with few distinct responses cannot supply
+  // many distinct baselines); the dictionary rank r is the largest set
+  // size, and missing slots behave as baselines nothing matches (their bit
+  // is constant 1). At least one test must have a baseline.
+  static MultiBaselineDictionary build(
+      const ResponseMatrix& rm,
+      std::vector<std::vector<ResponseId>> baselines);
+
+  std::size_t num_faults() const { return num_faults_; }
+  std::size_t num_tests() const { return num_tests_; }
+  std::size_t baselines_per_test() const { return rank_; }
+
+  // Bit l of test t for fault f (1 = response differs from baseline l).
+  bool bit(FaultId f, std::size_t t, std::size_t l) const {
+    return rows_[f].get(t * rank_ + l);
+  }
+  // The whole r-bit-per-test row of a fault.
+  const BitVec& row(FaultId f) const { return rows_[f]; }
+
+  const std::vector<std::vector<ResponseId>>& baselines() const {
+    return baselines_;
+  }
+
+  // Matrix bits (k*n*r) plus one stored output vector per actual baseline.
+  std::uint64_t size_bits() const {
+    return num_tests_ * num_faults_ * rank_ + stored_baselines_ * num_outputs_;
+  }
+
+  const Partition& partition() const { return partition_; }
+  std::uint64_t indistinguished_pairs() const {
+    return partition_.indistinguished_pairs();
+  }
+
+  // Observed response ids -> bit signature (kUnknownResponse differs from
+  // every baseline).
+  BitVec encode(const std::vector<ResponseId>& observed) const;
+
+  std::vector<DiagnosisMatch> diagnose(const BitVec& observed_bits,
+                                       std::size_t max_results = 10) const;
+
+ private:
+  std::size_t num_faults_ = 0;
+  std::size_t num_tests_ = 0;
+  std::size_t num_outputs_ = 0;
+  std::size_t rank_ = 1;
+  std::size_t stored_baselines_ = 0;
+  std::vector<std::vector<ResponseId>> baselines_;
+  std::vector<BitVec> rows_;
+  Partition partition_{0};
+};
+
+}  // namespace sddict

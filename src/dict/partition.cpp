@@ -1,0 +1,30 @@
+#include "dict/partition.h"
+
+#include <numeric>
+
+namespace sddict {
+
+Partition::Partition(std::size_t n) : class_of_(n, 0) {
+  if (n > 0) {
+    classes_.emplace_back(n);
+    std::iota(classes_[0].begin(), classes_[0].end(), std::uint32_t{0});
+  }
+}
+
+std::uint64_t Partition::indistinguished_pairs() const {
+  std::uint64_t total = 0;
+  for (const auto& c : classes_) total += pairs(c.size());
+  return total;
+}
+
+std::uint64_t Partition::refine(const std::vector<std::uint32_t>& labels) {
+  return refine_with([&](std::uint32_t e) { return labels[e]; });
+}
+
+bool Partition::fully_refined() const {
+  for (const auto& c : classes_)
+    if (c.size() > 1) return false;
+  return true;
+}
+
+}  // namespace sddict

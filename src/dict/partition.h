@@ -1,0 +1,80 @@
+// Partition refinement over the fault set.
+//
+// At any point during dictionary construction, the pairs of faults that are
+// *not yet distinguished* form an equivalence relation (two faults are
+// related iff their dictionary rows so far are identical), so the paper's
+// target pair set P is represented as a partition of F. Refining by one
+// more dictionary column splits classes; the number of pairs separated by a
+// split is exactly the paper's dist(z).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace sddict {
+
+class Partition {
+ public:
+  // Starts as a single class containing all n elements.
+  explicit Partition(std::size_t n);
+
+  std::size_t num_elements() const { return class_of_.size(); }
+  std::size_t num_classes() const { return classes_.size(); }
+
+  // Pairs still together: sum over classes of |C| choose 2.
+  std::uint64_t indistinguished_pairs() const;
+
+  std::uint32_t class_of(std::size_t e) const { return class_of_[e]; }
+  const std::vector<std::vector<std::uint32_t>>& classes() const {
+    return classes_;
+  }
+
+  // Splits every class by the given labeling; elements stay together iff
+  // they share a label. Returns the number of pairs separated.
+  std::uint64_t refine(const std::vector<std::uint32_t>& labels);
+
+  // Same, with a callable element -> label.
+  template <typename F>
+  std::uint64_t refine_with(F&& label_of) {
+    std::uint64_t separated = 0;
+    const std::size_t orig_classes = classes_.size();
+    for (std::size_t c = 0; c < orig_classes; ++c) {
+      auto& members = classes_[c];
+      if (members.size() < 2) continue;
+      groups_.clear();
+      for (std::uint32_t e : members) groups_[label_of(e)].push_back(e);
+      if (groups_.size() < 2) continue;
+      separated += pairs(members.size());
+      bool first = true;
+      for (auto& [label, group] : groups_) {
+        (void)label;
+        separated -= pairs(group.size());
+        if (first) {
+          members = std::move(group);
+          first = false;
+        } else {
+          const auto id = static_cast<std::uint32_t>(classes_.size());
+          for (std::uint32_t e : group) class_of_[e] = id;
+          classes_.push_back(std::move(group));
+        }
+      }
+    }
+    return separated;
+  }
+
+  // True when every class is a singleton (nothing left to distinguish).
+  bool fully_refined() const;
+
+  static std::uint64_t pairs(std::size_t n) {
+    return static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  }
+
+ private:
+  std::vector<std::uint32_t> class_of_;
+  std::vector<std::vector<std::uint32_t>> classes_;
+  // Scratch reused across refine calls.
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> groups_;
+};
+
+}  // namespace sddict

@@ -1,0 +1,63 @@
+#include "dict/passfail_dict.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sddict {
+
+PassFailDictionary PassFailDictionary::build(const ResponseMatrix& rm) {
+  std::vector<BitVec> rows(rm.num_faults(), BitVec(rm.num_tests()));
+  for (FaultId f = 0; f < rm.num_faults(); ++f)
+    for (std::size_t t = 0; t < rm.num_tests(); ++t)
+      if (rm.detected(f, t)) rows[f].set(t, true);
+  return from_rows(std::move(rows), rm.num_tests(), rm.num_outputs());
+}
+
+PassFailDictionary PassFailDictionary::from_rows(std::vector<BitVec> rows,
+                                                 std::size_t num_tests,
+                                                 std::size_t num_outputs) {
+  for (const auto& r : rows)
+    if (r.size() != num_tests)
+      throw std::invalid_argument("PassFailDictionary::from_rows: row width");
+  PassFailDictionary d;
+  d.num_tests_ = num_tests;
+  d.num_outputs_ = num_outputs;
+  d.rows_ = std::move(rows);
+
+  d.partition_ = Partition(d.rows_.size());
+  for (std::size_t t = 0; t < num_tests; ++t) {
+    d.partition_.refine_with(
+        [&](std::uint32_t f) { return static_cast<std::uint32_t>(d.bit(f, t)); });
+    if (d.partition_.fully_refined()) break;
+  }
+  return d;
+}
+
+BitVec PassFailDictionary::encode(const std::vector<ResponseId>& observed) const {
+  if (observed.size() != num_tests_)
+    throw std::invalid_argument("PassFailDictionary::encode: wrong length");
+  BitVec bits(num_tests_);
+  for (std::size_t t = 0; t < num_tests_; ++t)
+    bits.set(t, observed[t] != 0);  // id 0 == fault-free == pass
+  return bits;
+}
+
+std::vector<DiagnosisMatch> PassFailDictionary::diagnose(
+    const BitVec& observed_bits, std::size_t max_results) const {
+  if (observed_bits.size() != num_tests_)
+    throw std::invalid_argument("PassFailDictionary::diagnose: wrong length");
+  std::vector<DiagnosisMatch> all(rows_.size());
+  for (FaultId f = 0; f < rows_.size(); ++f) {
+    BitVec diff = rows_[f];
+    diff ^= observed_bits;
+    all[f] = {f, static_cast<std::uint32_t>(diff.count_ones())};
+  }
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    return a.mismatches != b.mismatches ? a.mismatches < b.mismatches
+                                        : a.fault < b.fault;
+  });
+  if (all.size() > max_results) all.resize(max_results);
+  return all;
+}
+
+}  // namespace sddict

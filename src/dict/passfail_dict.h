@@ -1,0 +1,57 @@
+// Pass/fail fault dictionary: one bit per (fault, test), set when the test
+// detects the fault, i.e. the faulty response differs from the fault-free
+// response (the baseline is implicitly z_ff,j for every test).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dict/dictionary.h"
+#include "dict/full_dict.h"
+#include "dict/partition.h"
+#include "sim/response.h"
+#include "util/bitvec.h"
+
+namespace sddict {
+
+class PassFailDictionary {
+ public:
+  static PassFailDictionary build(const ResponseMatrix& rm);
+
+  // Reconstructs a dictionary from raw rows (one BitVec of num_tests bits
+  // per fault), e.g. when loading from disk. The partition is recomputed.
+  static PassFailDictionary from_rows(std::vector<BitVec> rows,
+                                      std::size_t num_tests,
+                                      std::size_t num_outputs);
+
+  std::size_t num_faults() const { return rows_.size(); }
+  std::size_t num_tests() const { return num_tests_; }
+  std::size_t num_outputs() const { return num_outputs_; }
+
+  bool bit(FaultId f, std::size_t t) const { return rows_[f].get(t); }
+  const BitVec& row(FaultId f) const { return rows_[f]; }
+
+  std::uint64_t size_bits() const {
+    return dictionary_sizes(num_tests_, rows_.size(), num_outputs_).pass_fail_bits;
+  }
+
+  const Partition& partition() const { return partition_; }
+  std::uint64_t indistinguished_pairs() const {
+    return partition_.indistinguished_pairs();
+  }
+
+  // Encodes an observed per-test response-id sequence into the pass/fail
+  // signature the tester would report.
+  BitVec encode(const std::vector<ResponseId>& observed) const;
+
+  std::vector<DiagnosisMatch> diagnose(const BitVec& observed_bits,
+                                       std::size_t max_results = 10) const;
+
+ private:
+  std::size_t num_tests_ = 0;
+  std::size_t num_outputs_ = 0;
+  std::vector<BitVec> rows_;
+  Partition partition_{0};
+};
+
+}  // namespace sddict

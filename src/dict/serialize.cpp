@@ -1,0 +1,129 @@
+#include "dict/serialize.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sddict {
+namespace {
+
+struct Header {
+  std::size_t tests = 0;
+  std::size_t faults = 0;
+  std::size_t outputs = 0;
+};
+
+void write_header(std::ostream& out, const char* magic, std::size_t tests,
+                  std::size_t faults, std::size_t outputs) {
+  out << magic << " v1\n";
+  out << "tests " << tests << " faults " << faults << " outputs " << outputs
+      << "\n";
+}
+
+Header read_header(std::istream& in, const char* magic) {
+  std::string line;
+  if (!std::getline(in, line) || line != std::string(magic) + " v1")
+    throw std::runtime_error(std::string("dictionary read: expected '") + magic +
+                             " v1' header");
+  Header h;
+  std::string kw1, kw2, kw3;
+  if (!std::getline(in, line))
+    throw std::runtime_error("dictionary read: truncated header");
+  std::istringstream hs(line);
+  if (!(hs >> kw1 >> h.tests >> kw2 >> h.faults >> kw3 >> h.outputs) ||
+      kw1 != "tests" || kw2 != "faults" || kw3 != "outputs")
+    throw std::runtime_error("dictionary read: malformed dimensions line");
+  return h;
+}
+
+std::vector<BitVec> read_bit_rows(std::istream& in, const Header& h) {
+  std::vector<BitVec> rows;
+  rows.reserve(h.faults);
+  std::string line;
+  for (std::size_t f = 0; f < h.faults; ++f) {
+    if (!std::getline(in, line))
+      throw std::runtime_error("dictionary read: truncated rows");
+    if (line.size() != h.tests)
+      throw std::runtime_error("dictionary read: row width mismatch");
+    rows.push_back(BitVec::from_string(line));
+  }
+  return rows;
+}
+
+void write_bit_rows(std::ostream& out, std::size_t num_faults,
+                    const auto& row_of) {
+  for (std::size_t f = 0; f < num_faults; ++f) out << row_of(f).to_string() << "\n";
+}
+
+}  // namespace
+
+void write_dictionary(const PassFailDictionary& d, std::ostream& out) {
+  write_header(out, "sddict-passfail", d.num_tests(), d.num_faults(),
+               d.num_outputs());
+  write_bit_rows(out, d.num_faults(), [&](std::size_t f) { return d.row(f); });
+}
+
+void write_dictionary(const SameDifferentDictionary& d, std::ostream& out) {
+  write_header(out, "sddict-samediff", d.num_tests(), d.num_faults(),
+               d.num_outputs());
+  out << "baselines";
+  for (ResponseId b : d.baselines()) out << ' ' << b;
+  out << "\n";
+  write_bit_rows(out, d.num_faults(), [&](std::size_t f) { return d.row(f); });
+}
+
+void write_dictionary(const FullDictionary& d, std::ostream& out) {
+  write_header(out, "sddict-full", d.num_tests(), d.num_faults(),
+               d.num_outputs());
+  for (std::size_t f = 0; f < d.num_faults(); ++f) {
+    for (std::size_t t = 0; t < d.num_tests(); ++t) {
+      if (t) out << ' ';
+      out << d.entry(static_cast<FaultId>(f), t);
+    }
+    out << "\n";
+  }
+}
+
+PassFailDictionary read_passfail_dictionary(std::istream& in) {
+  const Header h = read_header(in, "sddict-passfail");
+  return PassFailDictionary::from_rows(read_bit_rows(in, h), h.tests, h.outputs);
+}
+
+SameDifferentDictionary read_samediff_dictionary(std::istream& in) {
+  const Header h = read_header(in, "sddict-samediff");
+  std::string line;
+  if (!std::getline(in, line))
+    throw std::runtime_error("dictionary read: missing baselines");
+  std::istringstream bs(line);
+  std::string kw;
+  bs >> kw;
+  if (kw != "baselines")
+    throw std::runtime_error("dictionary read: missing 'baselines' line");
+  std::vector<ResponseId> baselines(h.tests);
+  for (auto& b : baselines)
+    if (!(bs >> b)) throw std::runtime_error("dictionary read: short baselines");
+  return SameDifferentDictionary::from_parts(read_bit_rows(in, h),
+                                             std::move(baselines), h.outputs);
+}
+
+FullDictionary read_full_dictionary(std::istream& in) {
+  const Header h = read_header(in, "sddict-full");
+  std::vector<ResponseId> entries;
+  entries.reserve(h.faults * h.tests);
+  std::string line;
+  for (std::size_t f = 0; f < h.faults; ++f) {
+    if (!std::getline(in, line))
+      throw std::runtime_error("dictionary read: truncated rows");
+    std::istringstream rs(line);
+    ResponseId id;
+    for (std::size_t t = 0; t < h.tests; ++t) {
+      if (!(rs >> id)) throw std::runtime_error("dictionary read: short row");
+      entries.push_back(id);
+    }
+  }
+  return FullDictionary::from_entries(std::move(entries), h.faults, h.tests,
+                                      h.outputs);
+}
+
+}  // namespace sddict

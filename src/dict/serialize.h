@@ -1,0 +1,34 @@
+// Text serialization of fault dictionaries. The formats are line-oriented
+// and self-describing:
+//
+//   sddict-passfail v1
+//   tests <k> faults <n> outputs <m>
+//   <n rows of k '0'/'1' characters>
+//
+//   sddict-samediff v1
+//   tests <k> faults <n> outputs <m>
+//   baselines <k response ids>
+//   <n rows of k '0'/'1' characters>
+//
+//   sddict-full v1
+//   tests <k> faults <n> outputs <m>
+//   <n rows of k response ids>
+#pragma once
+
+#include <iosfwd>
+
+#include "dict/full_dict.h"
+#include "dict/passfail_dict.h"
+#include "dict/samediff_dict.h"
+
+namespace sddict {
+
+void write_dictionary(const PassFailDictionary& d, std::ostream& out);
+void write_dictionary(const SameDifferentDictionary& d, std::ostream& out);
+void write_dictionary(const FullDictionary& d, std::ostream& out);
+
+PassFailDictionary read_passfail_dictionary(std::istream& in);
+SameDifferentDictionary read_samediff_dictionary(std::istream& in);
+FullDictionary read_full_dictionary(std::istream& in);
+
+}  // namespace sddict

@@ -1,0 +1,122 @@
+#include "dict/signature_dict.h"
+
+#include <bit>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "sim/faultsim.h"
+#include "sim/misr.h"
+
+namespace sddict {
+namespace {
+
+struct MisrParams {
+  std::uint64_t taps;
+  std::uint64_t mask;
+};
+
+MisrParams params_for(unsigned width) {
+  // Mirrors Misr::standard so the incremental build below produces exactly
+  // the signatures Misr::absorb would (asserted by tests).
+  std::uint64_t taps;
+  switch (width) {
+    case 8: taps = 0xB8; break;
+    case 16: taps = 0xB400; break;
+    case 24: taps = 0xE10000; break;
+    case 32: taps = 0x80200003; break;
+    default:
+      throw std::invalid_argument("SignatureDictionary: unsupported width");
+  }
+  const std::uint64_t mask =
+      width == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width) - 1;
+  return {taps & mask, mask};
+}
+
+std::uint64_t misr_step(std::uint64_t state, std::uint64_t in,
+                        const MisrParams& p) {
+  const std::uint64_t fb =
+      static_cast<std::uint64_t>(std::popcount(state & p.taps) & 1);
+  return (((state << 1) | fb) ^ in) & p.mask;
+}
+
+}  // namespace
+
+SignatureDictionary SignatureDictionary::build(const Netlist& nl,
+                                               const FaultList& faults,
+                                               const TestSet& tests,
+                                               unsigned width) {
+  const MisrParams p = params_for(width);
+  SignatureDictionary d;
+  d.width_ = width;
+  d.signatures_.assign(faults.size(), 0);
+
+  FaultSimulator fsim(nl);
+  std::vector<std::uint64_t> words;
+  std::uint64_t gin[64];   // folded good response per batch slot
+  std::uint64_t din[64];   // folded response *difference* per slot
+
+  for (std::size_t first = 0; first < tests.size(); first += 64) {
+    const std::size_t count = std::min<std::size_t>(64, tests.size() - first);
+    tests.pack_batch(first, count, &words);
+    fsim.load_batch(words, count);
+
+    for (std::size_t t = 0; t < count; ++t) gin[t] = 0;
+    for (std::size_t o = 0; o < nl.num_outputs(); ++o) {
+      const std::uint64_t w = fsim.good_value(nl.outputs()[o]);
+      const std::uint64_t fold = std::uint64_t{1} << (o % width);
+      for (std::size_t t = 0; t < count; ++t)
+        if ((w >> t) & 1) gin[t] ^= fold;
+    }
+    for (std::size_t t = 0; t < count; ++t)
+      d.fault_free_ = misr_step(d.fault_free_, gin[t], p);
+
+    for (FaultId i = 0; i < faults.size(); ++i) {
+      std::uint64_t dirty = 0;
+      const std::uint64_t any =
+          fsim.simulate_fault(faults[i], [&](std::size_t o, std::uint64_t w) {
+            const std::uint64_t fold = std::uint64_t{1} << (o % width);
+            std::uint64_t bits = w;
+            while (bits != 0) {
+              const int t = std::countr_zero(bits);
+              bits &= bits - 1;
+              if (((dirty >> t) & 1) == 0) din[t] = 0;
+              dirty |= std::uint64_t{1} << t;
+              din[t] ^= fold;
+            }
+          });
+      std::uint64_t s = d.signatures_[i];
+      for (std::size_t t = 0; t < count; ++t) {
+        const bool has_diff = (any >> t) & 1 && (dirty >> t) & 1;
+        s = misr_step(s, has_diff ? gin[t] ^ din[t] : gin[t], p);
+      }
+      d.signatures_[i] = s;
+    }
+  }
+
+  // Partition by signature value.
+  std::unordered_map<std::uint64_t, std::uint32_t> intern;
+  d.partition_ = Partition(faults.size());
+  d.partition_.refine_with([&](std::uint32_t f) {
+    return intern.try_emplace(d.signatures_[f],
+                              static_cast<std::uint32_t>(intern.size()))
+        .first->second;
+  });
+  return d;
+}
+
+std::vector<FaultId> SignatureDictionary::diagnose(
+    std::uint64_t observed_signature) const {
+  std::vector<FaultId> out;
+  for (FaultId f = 0; f < signatures_.size(); ++f)
+    if (signatures_[f] == observed_signature) out.push_back(f);
+  return out;
+}
+
+std::uint64_t SignatureDictionary::signature_of(
+    const std::vector<BitVec>& responses, unsigned width) {
+  Misr m = Misr::standard(width);
+  for (const auto& r : responses) m.absorb(r);
+  return m.signature();
+}
+
+}  // namespace sddict

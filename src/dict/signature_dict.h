@@ -1,0 +1,57 @@
+// Signature dictionary for BIST-style diagnosis (paper references [6],
+// [19]): the entire per-fault response stream is time-compacted through a
+// MISR into one w-bit signature, so the dictionary stores just n*w bits —
+// far below even pass/fail for long test sets — at the price of aliasing
+// (distinct response streams can share a signature) and of losing per-test
+// match granularity (diagnosis is exact-match only).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "dict/partition.h"
+#include "fault/faultlist.h"
+#include "netlist/netlist.h"
+#include "sim/testset.h"
+
+namespace sddict {
+
+class SignatureDictionary {
+ public:
+  // Simulates every fault over the test set, absorbing each test's output
+  // vector into a width-bit MISR.
+  static SignatureDictionary build(const Netlist& nl, const FaultList& faults,
+                                   const TestSet& tests, unsigned width = 32);
+
+  std::size_t num_faults() const { return signatures_.size(); }
+  unsigned width() const { return width_; }
+
+  std::uint64_t signature(FaultId f) const { return signatures_[f]; }
+  std::uint64_t fault_free_signature() const { return fault_free_; }
+
+  std::uint64_t size_bits() const {
+    return static_cast<std::uint64_t>(signatures_.size()) * width_;
+  }
+
+  const Partition& partition() const { return partition_; }
+  std::uint64_t indistinguished_pairs() const {
+    return partition_.indistinguished_pairs();
+  }
+
+  // Faults whose signature equals the observed one (exact-match semantics —
+  // a single corrupted bit changes the whole signature).
+  std::vector<FaultId> diagnose(std::uint64_t observed_signature) const;
+
+  // Signature of an arbitrary observed response stream.
+  static std::uint64_t signature_of(const std::vector<BitVec>& responses,
+                                    unsigned width = 32);
+
+ private:
+  unsigned width_ = 32;
+  std::uint64_t fault_free_ = 0;
+  std::vector<std::uint64_t> signatures_;
+  Partition partition_{0};
+};
+
+}  // namespace sddict

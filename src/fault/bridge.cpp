@@ -1,0 +1,137 @@
+#include "fault/bridge.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace sddict {
+
+const char* bridge_type_name(BridgeType t) {
+  return t == BridgeType::kWiredAnd ? "wired-AND" : "wired-OR";
+}
+
+std::string bridge_name(const Netlist& nl, const BridgingFault& f) {
+  return std::string(bridge_type_name(f.type)) + "(" + nl.gate(f.a).name +
+         ", " + nl.gate(f.b).name + ")";
+}
+
+bool is_non_feedback_bridge(const Netlist& nl, GateId a, GateId b) {
+  if (a == b) return false;
+  // Forward reachability from each net.
+  auto reaches = [&](GateId from, GateId to) {
+    std::vector<GateId> queue{from};
+    std::unordered_set<GateId> seen{from};
+    while (!queue.empty()) {
+      const GateId g = queue.back();
+      queue.pop_back();
+      for (GateId s : nl.gate(g).fanout) {
+        if (s == to) return true;
+        if (seen.insert(s).second) queue.push_back(s);
+      }
+    }
+    return false;
+  };
+  return !reaches(a, b) && !reaches(b, a);
+}
+
+std::vector<BridgingFault> sample_bridges(const Netlist& nl, std::size_t count,
+                                          Rng& rng) {
+  // Observable nets only: a bridge on a dangling net cannot be seen.
+  std::vector<GateId> nets;
+  for (GateId g = 0; g < nl.num_gates(); ++g)
+    if (!nl.gate(g).fanout.empty() || nl.is_output(g)) nets.push_back(g);
+  if (nets.size() < 2)
+    throw std::runtime_error("sample_bridges: not enough nets");
+
+  std::vector<BridgingFault> out;
+  std::unordered_set<std::uint64_t> seen;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = count * 200 + 1000;
+  while (out.size() < count && ++attempts < max_attempts) {
+    GateId a = nets[rng.below(nets.size())];
+    GateId b = nets[rng.below(nets.size())];
+    if (a == b) continue;
+    if (a > b) std::swap(a, b);
+    const std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) | b;
+    if (seen.count(key)) continue;
+    if (!is_non_feedback_bridge(nl, a, b)) continue;
+    seen.insert(key);
+    out.push_back({a, b,
+                   rng.coin() ? BridgeType::kWiredAnd : BridgeType::kWiredOr});
+  }
+  return out;
+}
+
+Netlist inject_bridge(const Netlist& nl, const BridgingFault& f) {
+  if (nl.has_dffs())
+    throw std::runtime_error("inject_bridge: run full_scan first");
+  if (!is_non_feedback_bridge(nl, f.a, f.b))
+    throw std::runtime_error("inject_bridge: feedback bridge " +
+                             bridge_name(nl, f));
+
+  Netlist out(nl.name() + "_bridge");
+  std::vector<GateId> gmap(nl.num_gates(), kNoGate);
+
+  // Ancestors (transitive fanin, inclusive) of the two bridged nets. Since
+  // the bridge is non-feedback, no ancestor consumes either net, so the
+  // ancestor cones can be copied unmodified, the wired gate created, and
+  // every remaining gate redirected to it.
+  std::vector<std::uint8_t> anc(nl.num_gates(), 0);
+  std::vector<GateId> queue{f.a, f.b};
+  anc[f.a] = anc[f.b] = 1;
+  while (!queue.empty()) {
+    const GateId g = queue.back();
+    queue.pop_back();
+    for (GateId fi : nl.gate(g).fanin)
+      if (!anc[fi]) {
+        anc[fi] = 1;
+        queue.push_back(fi);
+      }
+  }
+
+  auto copy_gate = [&](GateId g, auto&& driver_of) {
+    const Gate& gate = nl.gate(g);
+    if (gate.type == GateType::kInput) {
+      gmap[g] = out.add_gate(GateType::kInput, gate.name);
+      return;
+    }
+    if (gate.type == GateType::kConst0 || gate.type == GateType::kConst1) {
+      gmap[g] = out.add_gate(gate.type, gate.name);
+      return;
+    }
+    std::vector<GateId> fin;
+    fin.reserve(gate.fanin.size());
+    for (GateId fi : gate.fanin) fin.push_back(driver_of(fi));
+    gmap[g] = out.add_gate(gate.type, gate.name, fin);
+  };
+
+  // Inputs first (an input outside the cones may still feed later gates).
+  for (GateId g : nl.inputs()) gmap[g] = out.add_gate(GateType::kInput, nl.gate(g).name);
+  // Pass 1: ancestor cones, unmodified.
+  for (GateId g : nl.topo_order())
+    if (anc[g] && gmap[g] == kNoGate)
+      copy_gate(g, [&](GateId src) { return gmap[src]; });
+
+  const GateType t =
+      f.type == BridgeType::kWiredAnd ? GateType::kAnd : GateType::kOr;
+  const GateId bridged = out.add_gate(t, "bridge$", {gmap[f.a], gmap[f.b]});
+
+  // Pass 2: everything else, reading the wired value for either net.
+  auto driver_of = [&](GateId src) {
+    return src == f.a || src == f.b ? bridged : gmap[src];
+  };
+  for (GateId g : nl.topo_order())
+    if (gmap[g] == kNoGate) copy_gate(g, driver_of);
+
+  std::size_t po_serial = 0;
+  for (GateId g : nl.outputs()) {
+    GateId o = driver_of(g);
+    if (out.is_output(o))
+      o = out.add_gate(GateType::kBuf, "po_dup" + std::to_string(po_serial), {o});
+    ++po_serial;
+    out.mark_output(o);
+  }
+  out.validate();
+  return out;
+}
+
+}  // namespace sddict

@@ -1,0 +1,45 @@
+// Two-net bridging defects (wired-AND / wired-OR), the classic unmodeled
+// defect type that stuck-at dictionaries are expected to diagnose anyway
+// (paper reference [7]: Millman, McCluskey & Acken, "Diagnosing CMOS
+// Bridging Faults with Stuck-at Fault Dictionaries"). The library models
+// non-feedback bridges: the shorted nets must be topologically incomparable
+// so the bridged circuit stays combinational.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "util/rng.h"
+
+namespace sddict {
+
+enum class BridgeType { kWiredAnd, kWiredOr };
+
+const char* bridge_type_name(BridgeType t);
+
+struct BridgingFault {
+  GateId a = kNoGate;
+  GateId b = kNoGate;
+  BridgeType type = BridgeType::kWiredAnd;
+};
+
+std::string bridge_name(const Netlist& nl, const BridgingFault& f);
+
+// True when neither net lies in the other's fanout cone (the bridge is
+// non-feedback and injecting it cannot create a combinational cycle).
+bool is_non_feedback_bridge(const Netlist& nl, GateId a, GateId b);
+
+// Samples `count` distinct non-feedback bridges between observable nets,
+// with random wired-AND/OR polarity. Physical adjacency data is not
+// available for synthetic circuits, so candidates are drawn uniformly —
+// documented as part of the substitution (DESIGN.md).
+std::vector<BridgingFault> sample_bridges(const Netlist& nl, std::size_t count,
+                                          Rng& rng);
+
+// Structural injection: both nets' consumers (and output marks) read the
+// wired function of the two nets instead. The source netlist must be
+// combinational and the bridge non-feedback.
+Netlist inject_bridge(const Netlist& nl, const BridgingFault& f);
+
+}  // namespace sddict

@@ -1,0 +1,183 @@
+#include "fault/collapse.h"
+
+#include <numeric>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace sddict {
+namespace {
+
+struct FaultKey {
+  GateId gate;
+  std::int16_t pin;
+  std::uint8_t value;
+  bool operator==(const FaultKey&) const = default;
+};
+
+struct FaultKeyHasher {
+  std::size_t operator()(const FaultKey& k) const {
+    return (static_cast<std::size_t>(k.gate) << 18) ^
+           (static_cast<std::size_t>(k.pin + 1) << 1) ^ k.value;
+  }
+};
+
+using FaultIndex = std::unordered_map<FaultKey, FaultId, FaultKeyHasher>;
+
+// The enumerated fault representing "fanin pin p of gate g stuck at v":
+// the branch fault when the driver has fanout > 1, otherwise the driver's
+// stem fault (same physical line).
+FaultId input_line_fault(const Netlist& nl, const FaultIndex& index, GateId g,
+                         std::size_t p, std::uint8_t v) {
+  const GateId driver = nl.gate(g).fanin[p];
+  FaultKey key;
+  if (nl.gate(driver).fanout.size() > 1)
+    key = {g, static_cast<std::int16_t>(p), v};
+  else
+    key = {driver, -1, v};
+  const auto it = index.find(key);
+  return it == index.end() ? kNoFault : it->second;
+}
+
+FaultId output_line_fault(const FaultIndex& index, GateId g, std::uint8_t v) {
+  const auto it = index.find({g, -1, v});
+  return it == index.end() ? kNoFault : it->second;
+}
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), FaultId{0});
+  }
+  FaultId find(FaultId x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(FaultId a, FaultId b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    // Smaller index wins so representatives are deterministic.
+    if (b < a) std::swap(a, b);
+    parent_[b] = a;
+  }
+
+ private:
+  std::vector<FaultId> parent_;
+};
+
+}  // namespace
+
+CollapseResult collapse_equivalent(const Netlist& nl, const FaultList& all) {
+  FaultIndex index;
+  for (FaultId i = 0; i < all.size(); ++i) {
+    const StuckFault& f = all[i];
+    index[{f.gate, f.pin, f.value}] = i;
+  }
+
+  UnionFind uf(all.size());
+  auto unite_if_present = [&](FaultId a, FaultId b) {
+    if (a != kNoFault && b != kNoFault) uf.unite(a, b);
+  };
+
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    const Gate& gate = nl.gate(g);
+    const std::size_t arity = gate.fanin.size();
+    if (arity == 0) continue;
+
+    GateType t = gate.type;
+    // Degenerate single-input gates behave as BUF / NOT.
+    if (arity == 1) {
+      switch (t) {
+        case GateType::kAnd:
+        case GateType::kOr:
+        case GateType::kXor:
+          t = GateType::kBuf;
+          break;
+        case GateType::kNand:
+        case GateType::kNor:
+        case GateType::kXnor:
+          t = GateType::kNot;
+          break;
+        default:
+          break;
+      }
+    }
+
+    switch (t) {
+      case GateType::kBuf:
+        for (std::uint8_t v : {0, 1})
+          unite_if_present(input_line_fault(nl, index, g, 0, v),
+                           output_line_fault(index, g, v));
+        break;
+      case GateType::kNot:
+        for (std::uint8_t v : {0, 1})
+          unite_if_present(input_line_fault(nl, index, g, 0, v),
+                           output_line_fault(index, g, 1 - v));
+        break;
+      case GateType::kAnd:
+      case GateType::kNand:
+      case GateType::kOr:
+      case GateType::kNor: {
+        const std::uint8_t c = controlling_value(t) ? 1 : 0;
+        const std::uint8_t resp = controlled_response(t) ? 1 : 0;
+        const FaultId out_f = output_line_fault(index, g, resp);
+        for (std::size_t p = 0; p < arity; ++p)
+          unite_if_present(input_line_fault(nl, index, g, p, c), out_f);
+        break;
+      }
+      default:
+        break;  // XOR/XNOR (arity >= 2) have no local equivalences
+    }
+  }
+
+  CollapseResult res;
+  res.uncollapsed_count = all.size();
+  res.representative_of.assign(all.size(), kNoFault);
+
+  std::unordered_map<FaultId, FaultId> root_to_class;
+  std::vector<StuckFault> reps;
+  for (FaultId i = 0; i < all.size(); ++i) {
+    const FaultId root = uf.find(i);
+    auto [it, inserted] = root_to_class.try_emplace(
+        root, static_cast<FaultId>(reps.size()));
+    if (inserted) {
+      reps.push_back(all[root]);
+      res.class_members.emplace_back();
+    }
+    res.representative_of[i] = it->second;
+    res.class_members[it->second].push_back(i);
+  }
+  res.collapsed = FaultList(std::move(reps));
+  return res;
+}
+
+CollapseResult collapsed_fault_list(const Netlist& nl) {
+  return collapse_equivalent(nl, enumerate_all_faults(nl));
+}
+
+std::size_t count_dominated_faults(const Netlist& nl, const FaultList& collapsed) {
+  FaultIndex index;
+  for (FaultId i = 0; i < collapsed.size(); ++i) {
+    const StuckFault& f = collapsed[i];
+    index[{f.gate, f.pin, f.value}] = i;
+  }
+  std::vector<bool> dominated(collapsed.size(), false);
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    const Gate& gate = nl.gate(g);
+    if (gate.fanin.size() < 2 || !has_controlling_value(gate.type)) continue;
+    // Output stuck at the *non*-controlled response is dominated by every
+    // input stuck at the non-controlling value (e.g. AND output sa1 is
+    // dominated by each input sa1).
+    const std::uint8_t v = controlled_response(gate.type) ? 0 : 1;
+    const FaultId out_f = output_line_fault(index, g, v);
+    if (out_f != kNoFault) dominated[out_f] = true;
+  }
+  std::size_t n = 0;
+  for (bool d : dominated) n += d ? 1 : 0;
+  return n;
+}
+
+}  // namespace sddict

@@ -1,0 +1,45 @@
+// Structural equivalence collapsing of stuck-at faults. Two faults are
+// structurally equivalent when every input vector produces identical outputs
+// under both; the classic local rules are applied transitively:
+//
+//   AND : any input sa0 == output sa0      NAND: any input sa0 == output sa1
+//   OR  : any input sa1 == output sa1      NOR : any input sa1 == output sa0
+//   BUF : input sa-v == output sa-v        NOT : input sa-v == output sa-!v
+//
+// (Single-input XOR behaves as BUF, single-input XNOR as NOT.)
+//
+// Equivalence collapsing is resolution-preserving: no diagnostic information
+// is lost by keeping one representative per class, which is why dictionaries
+// are built over the collapsed set (as in the paper).
+#pragma once
+
+#include <vector>
+
+#include "fault/faultlist.h"
+
+namespace sddict {
+
+struct CollapseResult {
+  // One representative fault per structural equivalence class.
+  FaultList collapsed;
+  // Size of the uncollapsed universe the classes partition.
+  std::size_t uncollapsed_count = 0;
+  // For each uncollapsed fault index, the index of its representative in
+  // `collapsed`.
+  std::vector<FaultId> representative_of;
+  // Members of each class, as indices into the uncollapsed list.
+  std::vector<std::vector<FaultId>> class_members;
+};
+
+CollapseResult collapse_equivalent(const Netlist& nl, const FaultList& all);
+
+// Convenience: enumerate + collapse.
+CollapseResult collapsed_fault_list(const Netlist& nl);
+
+// Dominance relation report (informational; dominance collapsing is *not*
+// resolution-preserving and is never used for dictionary construction).
+// Returns the number of collapsed-representative faults that are dominated
+// by some other fault under the classic gate-local dominance rules.
+std::size_t count_dominated_faults(const Netlist& nl, const FaultList& collapsed);
+
+}  // namespace sddict

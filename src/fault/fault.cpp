@@ -1,0 +1,19 @@
+#include "fault/fault.h"
+
+namespace sddict {
+
+std::string fault_name(const Netlist& nl, const StuckFault& f) {
+  std::string s = nl.gate(f.gate).name;
+  if (!f.is_output_fault()) {
+    const GateId driver = nl.gate(f.gate).fanin[static_cast<std::size_t>(f.pin)];
+    s += ".in" + std::to_string(f.pin) + "(" + nl.gate(driver).name + ")";
+  }
+  s += f.value ? " sa1" : " sa0";
+  return s;
+}
+
+Injection to_injection(const StuckFault& f) {
+  return Injection{f.gate, f.pin, f.value != 0};
+}
+
+}  // namespace sddict

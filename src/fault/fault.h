@@ -1,0 +1,35 @@
+// Single stuck-at fault model on the lines of a combinational (full-scan)
+// netlist. A line is either a gate's output (the stem) or, when the driving
+// gate has fanout greater than one, an individual fanin connection of a
+// consumer gate (a branch). With fanout of one the branch *is* the stem, so
+// only the stem fault is enumerated.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netlist/netlist.h"
+#include "netlist/transform.h"
+
+namespace sddict {
+
+using FaultId = std::uint32_t;
+inline constexpr FaultId kNoFault = static_cast<FaultId>(-1);
+
+struct StuckFault {
+  GateId gate = kNoGate;   // site gate
+  std::int16_t pin = -1;   // -1: output line of `gate`; >=0: fanin pin index
+  std::uint8_t value = 0;  // stuck value
+
+  bool is_output_fault() const { return pin < 0; }
+
+  bool operator==(const StuckFault&) const = default;
+};
+
+// Human-readable site, e.g. "G10 sa1" or "G22.in0(G10) sa0".
+std::string fault_name(const Netlist& nl, const StuckFault& f);
+
+// Structural injection descriptor for miter construction.
+Injection to_injection(const StuckFault& f);
+
+}  // namespace sddict

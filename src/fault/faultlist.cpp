@@ -1,0 +1,28 @@
+#include "fault/faultlist.h"
+
+#include <stdexcept>
+
+namespace sddict {
+
+FaultList enumerate_all_faults(const Netlist& nl) {
+  if (nl.has_dffs())
+    throw std::runtime_error("enumerate_all_faults: run full_scan first");
+  std::vector<StuckFault> out;
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    const Gate& gate = nl.gate(g);
+    const bool observable_stem = !gate.fanout.empty() || nl.is_output(g);
+    if (observable_stem) {
+      out.push_back({g, -1, 0});
+      out.push_back({g, -1, 1});
+    }
+    for (std::size_t p = 0; p < gate.fanin.size(); ++p) {
+      if (nl.gate(gate.fanin[p]).fanout.size() > 1) {
+        out.push_back({g, static_cast<std::int16_t>(p), 0});
+        out.push_back({g, static_cast<std::int16_t>(p), 1});
+      }
+    }
+  }
+  return FaultList(std::move(out));
+}
+
+}  // namespace sddict

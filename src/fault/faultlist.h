@@ -1,0 +1,34 @@
+// Enumeration of the uncollapsed single stuck-at fault universe of a
+// combinational netlist, and the FaultList container used by the simulator,
+// ATPG and dictionary layers.
+#pragma once
+
+#include <vector>
+
+#include "fault/fault.h"
+
+namespace sddict {
+
+class FaultList {
+ public:
+  FaultList() = default;
+  explicit FaultList(std::vector<StuckFault> faults) : faults_(std::move(faults)) {}
+
+  std::size_t size() const { return faults_.size(); }
+  bool empty() const { return faults_.empty(); }
+  const StuckFault& operator[](FaultId i) const { return faults_[i]; }
+  const std::vector<StuckFault>& faults() const { return faults_; }
+
+  auto begin() const { return faults_.begin(); }
+  auto end() const { return faults_.end(); }
+
+ private:
+  std::vector<StuckFault> faults_;
+};
+
+// All stuck-at faults on all lines: two per gate output (gates that drive
+// something or are primary outputs) and two per fanout branch (fanin pins
+// whose driver has fanout > 1). The netlist must be combinational.
+FaultList enumerate_all_faults(const Netlist& nl);
+
+}  // namespace sddict

@@ -1,0 +1,213 @@
+#include "netlist/bench_io.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace sddict {
+namespace {
+
+struct PendingGate {
+  GateType type;
+  std::vector<std::string> fanin_names;
+};
+
+[[noreturn]] void parse_error(std::size_t line_no, const std::string& msg) {
+  throw std::runtime_error("bench parse error at line " + std::to_string(line_no) +
+                           ": " + msg);
+}
+
+}  // namespace
+
+Netlist parse_bench(std::istream& in, const std::string& name) {
+  std::vector<std::string> input_names;
+  std::vector<std::string> output_names;
+  std::vector<std::string> def_order;  // ids stay stable across runs
+  std::map<std::string, PendingGate> defs;
+
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string line = trim(raw);
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line = trim(line.substr(0, hash));
+    if (line.empty()) continue;
+
+    const std::string lower = to_lower(line);
+    if (starts_with(lower, "input(") || starts_with(lower, "output(")) {
+      const std::size_t open = line.find('(');
+      const std::size_t close = line.rfind(')');
+      if (close == std::string::npos || close < open)
+        parse_error(line_no, "malformed INPUT/OUTPUT");
+      const std::string net = trim(line.substr(open + 1, close - open - 1));
+      if (net.empty()) parse_error(line_no, "empty net name");
+      if (lower[0] == 'i')
+        input_names.push_back(net);
+      else
+        output_names.push_back(net);
+      continue;
+    }
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) parse_error(line_no, "expected '='");
+    const std::string lhs = trim(line.substr(0, eq));
+    const std::string rhs = trim(line.substr(eq + 1));
+    const std::size_t open = rhs.find('(');
+    const std::size_t close = rhs.rfind(')');
+    if (lhs.empty() || open == std::string::npos || close == std::string::npos ||
+        close < open)
+      parse_error(line_no, "malformed gate definition");
+    const std::string func = trim(rhs.substr(0, open));
+    GateType type;
+    if (!parse_gate_type(func, &type))
+      parse_error(line_no, "unknown gate function '" + func + "'");
+    PendingGate pg;
+    pg.type = type;
+    const std::string arg_text = rhs.substr(open + 1, close - open - 1);
+    if (!trim(arg_text).empty()) {
+      for (const auto& a : split(arg_text, ',')) {
+        const std::string an = trim(a);
+        if (an.empty()) parse_error(line_no, "empty fanin name");
+        pg.fanin_names.push_back(an);
+      }
+    }
+    if (defs.count(lhs)) parse_error(line_no, "redefinition of '" + lhs + "'");
+    defs[lhs] = std::move(pg);
+    def_order.push_back(lhs);
+  }
+
+  Netlist nl(name);
+  std::map<std::string, GateId> ids;
+  for (const auto& in_name : input_names) {
+    if (ids.count(in_name))
+      throw std::runtime_error("bench: duplicate INPUT(" + in_name + ")");
+    ids[in_name] = nl.add_gate(GateType::kInput, in_name);
+  }
+
+  // Phase 1: DFF outputs act as sources, so create every DFF up front as a
+  // placeholder. This is what allows sequential loops (DFF -> logic -> DFF).
+  for (const auto& def_name : def_order) {
+    const PendingGate& pg = defs.at(def_name);
+    if (pg.type != GateType::kDff) continue;
+    if (pg.fanin_names.size() != 1)
+      throw std::runtime_error("bench: DFF '" + def_name + "' needs 1 fanin");
+    if (ids.count(def_name))
+      throw std::runtime_error("bench: '" + def_name + "' already defined");
+    ids[def_name] = nl.add_dff_placeholder(def_name);
+  }
+
+  // Phase 2: create combinational gates in dependency order. Iterative DFS
+  // so deep ISCAS cones cannot overflow the call stack; any cycle found here
+  // is purely combinational and therefore an error.
+  enum class Mark : std::uint8_t { kWhite, kGrey, kBlack };
+  std::map<std::string, Mark> marks;
+  struct Frame {
+    std::string name;
+    std::size_t next_child = 0;
+  };
+  auto resolve = [&](const std::string& root) {
+    if (ids.count(root)) return;
+    std::vector<Frame> stack;
+    stack.push_back({root, 0});
+    while (!stack.empty()) {
+      Frame& fr = stack.back();
+      const auto dit = defs.find(fr.name);
+      if (dit == defs.end())
+        throw std::runtime_error("bench: undefined net '" + fr.name + "'");
+      const PendingGate& pg = dit->second;
+      if (fr.next_child == 0) {
+        auto& m = marks[fr.name];
+        if (m == Mark::kGrey)
+          throw std::runtime_error("bench: combinational cycle through '" +
+                                   fr.name + "'");
+        m = Mark::kGrey;
+      }
+      bool descended = false;
+      while (fr.next_child < pg.fanin_names.size()) {
+        const std::string child = pg.fanin_names[fr.next_child];
+        ++fr.next_child;
+        if (!ids.count(child)) {
+          stack.push_back({child, 0});
+          descended = true;
+          break;
+        }
+      }
+      if (descended) continue;
+      std::vector<GateId> fin;
+      fin.reserve(pg.fanin_names.size());
+      for (const auto& f : pg.fanin_names) fin.push_back(ids.at(f));
+      ids[fr.name] = nl.add_gate(pg.type, fr.name, fin);
+      marks[fr.name] = Mark::kBlack;
+      stack.pop_back();
+    }
+  };
+  for (const auto& def_name : def_order)
+    if (defs.at(def_name).type != GateType::kDff) resolve(def_name);
+
+  // Phase 3: wire DFF data inputs (resolving any cone reachable only
+  // through a DFF).
+  for (const auto& def_name : def_order) {
+    const PendingGate& pg = defs.at(def_name);
+    if (pg.type != GateType::kDff) continue;
+    resolve(pg.fanin_names[0]);
+    nl.connect_dff(ids.at(def_name), ids.at(pg.fanin_names[0]));
+  }
+
+  for (const auto& out_name : output_names) {
+    const auto it = ids.find(out_name);
+    if (it == ids.end())
+      throw std::runtime_error("bench: OUTPUT(" + out_name + ") is undefined");
+    nl.mark_output(it->second);
+  }
+  nl.validate();
+  return nl;
+}
+
+Netlist parse_bench_string(const std::string& text, const std::string& name) {
+  std::istringstream in(text);
+  return parse_bench(in, name);
+}
+
+Netlist parse_bench_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open bench file: " + path);
+  std::string base = path;
+  const std::size_t slash = base.find_last_of('/');
+  if (slash != std::string::npos) base = base.substr(slash + 1);
+  const std::size_t dot = base.find_last_of('.');
+  if (dot != std::string::npos) base = base.substr(0, dot);
+  return parse_bench(in, base);
+}
+
+void write_bench(const Netlist& nl, std::ostream& out) {
+  out << "# " << nl.name() << "\n";
+  out << "# " << nl.num_inputs() << " inputs, " << nl.num_outputs()
+      << " outputs, " << nl.dffs().size() << " flip-flops\n";
+  for (GateId g : nl.inputs()) out << "INPUT(" << nl.gate(g).name << ")\n";
+  for (GateId g : nl.outputs()) out << "OUTPUT(" << nl.gate(g).name << ")\n";
+  for (GateId g : nl.dffs())
+    out << nl.gate(g).name << " = DFF(" << nl.gate(nl.gate(g).fanin[0]).name
+        << ")\n";
+  for (GateId g : nl.topo_order()) {
+    const Gate& gate = nl.gate(g);
+    if (gate.type == GateType::kInput || gate.type == GateType::kDff) continue;
+    out << gate.name << " = " << gate_type_name(gate.type) << "(";
+    for (std::size_t i = 0; i < gate.fanin.size(); ++i) {
+      if (i) out << ", ";
+      out << nl.gate(gate.fanin[i]).name;
+    }
+    out << ")\n";
+  }
+}
+
+std::string write_bench_string(const Netlist& nl) {
+  std::ostringstream out;
+  write_bench(nl, out);
+  return out.str();
+}
+
+}  // namespace sddict

@@ -1,0 +1,27 @@
+// Reader and writer for the ISCAS .bench netlist format:
+//
+//   # comment
+//   INPUT(G0)
+//   OUTPUT(G17)
+//   G10 = NAND(G0, G1)
+//   G7 = DFF(G10)
+//
+// The reader accepts forward references (a gate may be used before it is
+// defined) and is case-insensitive in function names.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace sddict {
+
+Netlist parse_bench(std::istream& in, const std::string& name = "bench");
+Netlist parse_bench_string(const std::string& text, const std::string& name = "bench");
+Netlist parse_bench_file(const std::string& path);
+
+void write_bench(const Netlist& nl, std::ostream& out);
+std::string write_bench_string(const Netlist& nl);
+
+}  // namespace sddict

@@ -1,0 +1,39 @@
+#include "netlist/stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace sddict {
+
+NetlistStats compute_stats(const Netlist& nl) {
+  NetlistStats s;
+  s.gates = nl.num_gates();
+  s.inputs = nl.num_inputs();
+  s.outputs = nl.num_outputs();
+  s.dffs = nl.dffs().size();
+  s.lines = nl.num_lines();
+  s.depth = nl.depth();
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    const Gate& gate = nl.gate(g);
+    const bool logic = gate.type != GateType::kInput &&
+                       gate.type != GateType::kDff &&
+                       gate.type != GateType::kConst0 &&
+                       gate.type != GateType::kConst1;
+    if (logic) ++s.logic_gates;
+    if (gate.fanout.size() > 1) ++s.fanout_stems;
+    s.max_fanin = std::max(s.max_fanin, gate.fanin.size());
+    s.max_fanout = std::max(s.max_fanout, gate.fanout.size());
+  }
+  return s;
+}
+
+std::string format_stats(const Netlist& nl) {
+  const NetlistStats s = compute_stats(nl);
+  std::ostringstream out;
+  out << nl.name() << ": " << s.inputs << " PI, " << s.outputs << " PO, "
+      << s.dffs << " DFF, " << s.logic_gates << " gates, " << s.lines
+      << " lines, depth " << s.depth << ", " << s.fanout_stems << " stems";
+  return out.str();
+}
+
+}  // namespace sddict

@@ -1,0 +1,29 @@
+// Structural statistics for reporting and for sanity-checking generated
+// benchmark circuits against their published profiles.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace sddict {
+
+struct NetlistStats {
+  std::size_t gates = 0;        // all gates incl. inputs
+  std::size_t logic_gates = 0;  // excluding inputs/DFFs/constants
+  std::size_t inputs = 0;
+  std::size_t outputs = 0;
+  std::size_t dffs = 0;
+  std::size_t lines = 0;  // fanin connections
+  std::size_t fanout_stems = 0;  // gates with fanout > 1
+  std::size_t max_fanin = 0;
+  std::size_t max_fanout = 0;
+  std::size_t depth = 0;
+};
+
+NetlistStats compute_stats(const Netlist& nl);
+
+std::string format_stats(const Netlist& nl);
+
+}  // namespace sddict

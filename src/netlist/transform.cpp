@@ -1,0 +1,263 @@
+#include "netlist/transform.h"
+
+#include <stdexcept>
+
+namespace sddict {
+
+Netlist full_scan(const Netlist& nl) {
+  Netlist out(nl.name() + "_scan");
+  std::vector<GateId> gmap(nl.num_gates(), kNoGate);
+
+  for (GateId g : nl.inputs()) gmap[g] = out.add_gate(GateType::kInput, nl.gate(g).name);
+  // Pseudo inputs, one per DFF, keeping the DFF's net name so cones are
+  // unchanged textually.
+  for (GateId d : nl.dffs()) gmap[d] = out.add_gate(GateType::kInput, nl.gate(d).name);
+
+  for (GateId g : nl.topo_order()) {
+    const Gate& gate = nl.gate(g);
+    if (gate.type == GateType::kInput || gate.type == GateType::kDff) continue;
+    std::vector<GateId> fin;
+    fin.reserve(gate.fanin.size());
+    for (GateId f : gate.fanin) {
+      if (gmap[f] == kNoGate)
+        throw std::runtime_error("full_scan: fanin not yet copied (bad topo)");
+      fin.push_back(gmap[f]);
+    }
+    gmap[g] = out.add_gate(gate.type, gate.name, fin);
+  }
+
+  for (GateId g : nl.outputs()) out.mark_output(gmap[g]);
+  for (GateId d : nl.dffs()) {
+    const GateId data = nl.gate(d).fanin[0];
+    const GateId buf =
+        out.add_gate(GateType::kBuf, nl.gate(d).name + "_si", {gmap[data]});
+    out.mark_output(buf);
+  }
+  out.validate();
+  return out;
+}
+
+std::vector<GateId> copy_into(Netlist& dst, const Netlist& src,
+                              const std::string& prefix,
+                              const std::vector<GateId>& input_map,
+                              const std::vector<Injection>& faults) {
+  if (src.has_dffs())
+    throw std::runtime_error("copy_into: run full_scan first (netlist has DFFs)");
+  if (input_map.size() != src.num_inputs())
+    throw std::runtime_error("copy_into: input_map size mismatch");
+
+  // One constant gate per injection; output faults also index a redirect
+  // table consulted whenever the faulted gate is read.
+  std::vector<GateId> out_fault_redirect(src.num_gates(), kNoGate);
+  // (gate, pin) -> const dst gate, for pin faults.
+  std::vector<std::pair<std::pair<GateId, int>, GateId>> pin_faults;
+  for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+    const Injection& f = faults[fi];
+    if (f.gate >= src.num_gates())
+      throw std::runtime_error("copy_into: fault gate out of range");
+    if (f.pin >= 0 &&
+        static_cast<std::size_t>(f.pin) >= src.gate(f.gate).fanin.size())
+      throw std::runtime_error("copy_into: fault pin out of range");
+    const GateType ctype = f.stuck_value ? GateType::kConst1 : GateType::kConst0;
+    const GateId cg =
+        dst.add_gate(ctype, prefix + "fault_const" + std::to_string(fi));
+    if (f.pin < 0)
+      out_fault_redirect[f.gate] = cg;
+    else
+      pin_faults.push_back({{f.gate, f.pin}, cg});
+  }
+
+  std::vector<GateId> gmap(src.num_gates(), kNoGate);
+  for (std::size_t i = 0; i < src.num_inputs(); ++i)
+    gmap[src.inputs()[i]] = input_map[i];
+
+  auto driver_of = [&](GateId g) {
+    return out_fault_redirect[g] != kNoGate ? out_fault_redirect[g] : gmap[g];
+  };
+  auto pin_const = [&](GateId g, std::size_t p) -> GateId {
+    for (const auto& [key, cg] : pin_faults)
+      if (key.first == g && key.second == static_cast<int>(p)) return cg;
+    return kNoGate;
+  };
+
+  for (GateId g : src.topo_order()) {
+    const Gate& gate = src.gate(g);
+    if (gate.type == GateType::kInput) continue;
+    std::vector<GateId> fin;
+    fin.reserve(gate.fanin.size());
+    for (std::size_t p = 0; p < gate.fanin.size(); ++p) {
+      const GateId cg = pin_const(g, p);
+      fin.push_back(cg != kNoGate ? cg : driver_of(gate.fanin[p]));
+    }
+    if (gate.type == GateType::kConst0 || gate.type == GateType::kConst1)
+      gmap[g] = dst.add_gate(gate.type, prefix + gate.name);
+    else
+      gmap[g] = dst.add_gate(gate.type, prefix + gate.name, fin);
+  }
+
+  std::vector<GateId> outs;
+  outs.reserve(src.num_outputs());
+  for (GateId g : src.outputs()) outs.push_back(driver_of(g));
+  return outs;
+}
+
+Netlist inject_faults(const Netlist& nl, const std::vector<Injection>& faults) {
+  Netlist out(nl.name() + "_defective");
+  std::vector<GateId> shared;
+  shared.reserve(nl.num_inputs());
+  for (GateId g : nl.inputs())
+    shared.push_back(out.add_gate(GateType::kInput, nl.gate(g).name));
+  const std::vector<GateId> outs = copy_into(out, nl, "", shared, faults);
+  // A faulted output may map to a constant also marked for another output;
+  // mark_output rejects duplicates, so interpose BUFs where needed.
+  for (std::size_t i = 0; i < outs.size(); ++i) {
+    GateId g = outs[i];
+    if (out.is_output(g))
+      g = out.add_gate(GateType::kBuf, "po_dup" + std::to_string(i), {g});
+    out.mark_output(g);
+  }
+  out.validate();
+  return out;
+}
+
+namespace {
+
+Netlist build_miter_impl(const Netlist& nl, const std::vector<Injection>& fa,
+                         const std::vector<Injection>& fb,
+                         const std::string& name) {
+  if (nl.has_dffs())
+    throw std::runtime_error("build miter: run full_scan first");
+  Netlist m(name);
+  std::vector<GateId> shared;
+  shared.reserve(nl.num_inputs());
+  for (GateId g : nl.inputs())
+    shared.push_back(m.add_gate(GateType::kInput, nl.gate(g).name));
+
+  const std::vector<GateId> oa = copy_into(m, nl, "A$", shared, fa);
+  const std::vector<GateId> ob = copy_into(m, nl, "B$", shared, fb);
+
+  std::vector<GateId> diffs;
+  diffs.reserve(oa.size());
+  for (std::size_t i = 0; i < oa.size(); ++i)
+    diffs.push_back(m.add_gate(GateType::kXor, "diff$" + std::to_string(i),
+                               {oa[i], ob[i]}));
+  GateId out;
+  if (diffs.size() == 1)
+    out = m.add_gate(GateType::kBuf, "miter_out", diffs);
+  else
+    out = m.add_gate(GateType::kOr, "miter_out", diffs);
+  m.mark_output(out);
+  m.validate();
+  return m;
+}
+
+}  // namespace
+
+Netlist build_pair_miter(const Netlist& nl, const Injection& fa,
+                         const Injection& fb) {
+  return build_miter_impl(nl, {fa}, {fb}, nl.name() + "_pair_miter");
+}
+
+Netlist build_detection_miter(const Netlist& nl, const Injection& f) {
+  return build_miter_impl(nl, {}, {f}, nl.name() + "_det_miter");
+}
+
+Netlist unroll(const Netlist& nl, std::size_t frames) {
+  if (frames == 0) throw std::runtime_error("unroll: need at least one frame");
+  Netlist out(nl.name() + "_u" + std::to_string(frames));
+
+  // Initial state inputs.
+  std::vector<GateId> state;
+  state.reserve(nl.dffs().size());
+  for (GateId d : nl.dffs())
+    state.push_back(out.add_gate(GateType::kInput, nl.gate(d).name + "@0"));
+
+  std::vector<std::vector<GateId>> frame_outputs;
+  for (std::size_t f = 0; f < frames; ++f) {
+    const std::string suffix = "@" + std::to_string(f);
+    std::vector<GateId> gmap(nl.num_gates(), kNoGate);
+    for (GateId g : nl.inputs())
+      gmap[g] = out.add_gate(GateType::kInput, nl.gate(g).name + suffix);
+    for (std::size_t i = 0; i < nl.dffs().size(); ++i)
+      gmap[nl.dffs()[i]] = state[i];
+
+    for (GateId g : nl.topo_order()) {
+      const Gate& gate = nl.gate(g);
+      if (gate.type == GateType::kInput || gate.type == GateType::kDff)
+        continue;
+      std::vector<GateId> fin;
+      fin.reserve(gate.fanin.size());
+      for (GateId fi : gate.fanin) fin.push_back(gmap[fi]);
+      gmap[g] = out.add_gate(gate.type, gate.name + suffix, fin);
+    }
+
+    frame_outputs.emplace_back();
+    for (GateId g : nl.outputs()) frame_outputs.back().push_back(gmap[g]);
+
+    // Next state = this frame's DFF data inputs, exposed through BUFs so
+    // they have stable names and unique output drivers.
+    std::vector<GateId> next_state;
+    next_state.reserve(nl.dffs().size());
+    for (GateId d : nl.dffs()) {
+      const GateId data = gmap[nl.gate(d).fanin[0]];
+      next_state.push_back(out.add_gate(
+          GateType::kBuf, nl.gate(d).name + "@" + std::to_string(f + 1),
+          {data}));
+    }
+    state = std::move(next_state);
+  }
+
+  // Per-frame primary outputs, then the final state. A gate can drive
+  // outputs in several frames only via the shared-state path, which the
+  // BUFs above already disambiguate; primary outputs can still collide when
+  // a PO is driven directly by a state input reused across frames, so
+  // interpose BUFs on demand.
+  std::size_t po_serial = 0;
+  for (std::size_t f = 0; f < frames; ++f)
+    for (GateId g : frame_outputs[f]) {
+      GateId o = g;
+      if (out.is_output(o))
+        o = out.add_gate(GateType::kBuf, "po@" + std::to_string(po_serial), {o});
+      ++po_serial;
+      out.mark_output(o);
+    }
+  for (GateId s : state) {
+    GateId o = s;
+    if (out.is_output(o))
+      o = out.add_gate(GateType::kBuf, "po@" + std::to_string(po_serial), {o});
+    ++po_serial;
+    out.mark_output(o);
+  }
+  out.validate();
+  return out;
+}
+
+Netlist xor_compact_outputs(const Netlist& nl, std::size_t num_signatures) {
+  if (nl.has_dffs())
+    throw std::runtime_error("xor_compact_outputs: run full_scan first");
+  if (num_signatures == 0 || num_signatures > nl.num_outputs())
+    throw std::runtime_error(
+        "xor_compact_outputs: need 1 <= signatures <= outputs");
+  Netlist out(nl.name() + "_x" + std::to_string(num_signatures));
+  std::vector<GateId> shared;
+  shared.reserve(nl.num_inputs());
+  for (GateId g : nl.inputs())
+    shared.push_back(out.add_gate(GateType::kInput, nl.gate(g).name));
+  const std::vector<GateId> pos = copy_into(out, nl, "", shared, {});
+
+  std::vector<std::vector<GateId>> groups(num_signatures);
+  for (std::size_t o = 0; o < pos.size(); ++o)
+    groups[o % num_signatures].push_back(pos[o]);
+  for (std::size_t s = 0; s < num_signatures; ++s) {
+    GateId sig;
+    if (groups[s].size() == 1)
+      sig = out.add_gate(GateType::kBuf, "sig" + std::to_string(s), groups[s]);
+    else
+      sig = out.add_gate(GateType::kXor, "sig" + std::to_string(s), groups[s]);
+    out.mark_output(sig);
+  }
+  out.validate();
+  return out;
+}
+
+}  // namespace sddict

@@ -1,0 +1,76 @@
+// Structural netlist transformations:
+//  * full_scan      — removes DFFs (scan cell -> pseudo-PI + pseudo-PO),
+//                     turning a sequential circuit into the combinational
+//                     test-view the rest of the library operates on.
+//  * copy_into      — appends a (optionally fault-injected) copy of a
+//                     combinational netlist into another netlist.
+//  * build_pair_miter — two fault-injected copies with shared inputs and a
+//                     single output that is 1 iff their responses differ;
+//                     the core construct for distinguishing-test generation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace sddict {
+
+// A stuck-at fault site expressed structurally: pin < 0 addresses the gate's
+// output line, pin >= 0 addresses that fanin connection of the gate.
+struct Injection {
+  GateId gate = kNoGate;
+  int pin = -1;
+  bool stuck_value = false;
+};
+
+// Converts a sequential netlist into its full-scan combinational view.
+// Every DFF becomes a pseudo input (same name); its data source is exposed
+// through a fresh BUF pseudo output named "<dff>_si". Output order is the
+// original POs followed by the pseudo POs in DFF declaration order.
+// Combinational netlists pass through unchanged (a fresh copy).
+Netlist full_scan(const Netlist& nl);
+
+// Appends a copy of `src` (combinational only) into `dst`, prefixing every
+// non-input gate name with `prefix`. `input_map[i]` supplies the dst gate to
+// use for src's i-th primary input. Every fault in `faults` is injected
+// structurally inside the copy (the faulted line is rerouted to a constant).
+// Returns the dst gate ids corresponding to src's outputs.
+std::vector<GateId> copy_into(Netlist& dst, const Netlist& src,
+                              const std::string& prefix,
+                              const std::vector<GateId>& input_map,
+                              const std::vector<Injection>& faults);
+
+// A standalone copy of `nl` with the given faults permanently injected —
+// the "defective chip" used by diagnosis examples and tests.
+Netlist inject_faults(const Netlist& nl, const std::vector<Injection>& faults);
+
+// Builds the distinguishing miter of faults fa and fb on combinational
+// netlist nl: shared primary inputs, copy A with fa injected, copy B with fb
+// injected, outputs pairwise XOR-ed and OR-reduced into the single output
+// "miter_out". An input vector is a distinguishing test for (fa, fb) exactly
+// when it sets miter_out to 1.
+Netlist build_pair_miter(const Netlist& nl, const Injection& fa,
+                         const Injection& fb);
+
+// Builds a detection miter: copy A fault-free, copy B with `f` injected.
+// miter_out = 1 exactly on tests that detect f.
+Netlist build_detection_miter(const Netlist& nl, const Injection& f);
+
+// Time-frame expansion: unrolls a sequential netlist into a purely
+// combinational netlist spanning `frames` clock cycles. Inputs are the
+// initial state (one pseudo input per DFF, named "<dff>@0") followed by the
+// per-frame primary inputs ("<pi>@f"); outputs are the per-frame primary
+// outputs ("<po>@f" in frame-major order) followed by the final next-state
+// ("<dff>@<frames>"). Enables combinational ATPG and dictionary analysis of
+// non-scan sequential behaviour.
+Netlist unroll(const Netlist& nl, std::size_t frames);
+
+// Appends an XOR space compactor: the m outputs of `nl` are distributed
+// round-robin over `num_signatures` XOR trees, which become the only
+// outputs of the result. Models the test-response compaction the paper
+// notes shrinks m (and with it baseline storage) at the cost of aliasing.
+// Requires a combinational netlist and 1 <= num_signatures <= m.
+Netlist xor_compact_outputs(const Netlist& nl, std::size_t num_signatures);
+
+}  // namespace sddict

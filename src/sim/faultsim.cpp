@@ -1,0 +1,160 @@
+#include "sim/faultsim.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace sddict {
+
+FaultSimulator::FaultSimulator(const Netlist& nl) : good_(nl) {
+  fval_.assign(nl.num_gates(), 0);
+  touched_.assign(nl.num_gates(), false);
+  queued_.assign(nl.num_gates(), false);
+  level_queue_.resize(nl.depth() + 1);
+}
+
+void FaultSimulator::load_batch(const std::vector<std::uint64_t>& input_words,
+                                std::size_t num_patterns) {
+  if (num_patterns == 0 || num_patterns > 64)
+    throw std::invalid_argument("load_batch: num_patterns must be in [1,64]");
+  pattern_mask_ = num_patterns == 64 ? ~std::uint64_t{0}
+                                     : (std::uint64_t{1} << num_patterns) - 1;
+  good_.simulate(input_words);
+}
+
+bool FaultSimulator::inject(const StuckFault& f) {
+  const Netlist& nl = netlist();
+  const std::uint64_t cval = f.value ? ~std::uint64_t{0} : 0;
+  if (f.is_output_fault()) {
+    if (good_.value(f.gate) == cval) return false;
+    fval_[f.gate] = cval;
+    touched_[f.gate] = true;
+    touched_list_.push_back(f.gate);
+    return true;
+  }
+  // Pin fault: re-evaluate the site gate with one fanin forced.
+  const Gate& gate = nl.gate(f.gate);
+  const std::size_t arity = gate.fanin.size();
+  std::uint64_t buf[64];
+  std::vector<std::uint64_t> big;
+  const std::uint64_t* in = buf;
+  if (arity <= 64) {
+    for (std::size_t p = 0; p < arity; ++p) buf[p] = good_.value(gate.fanin[p]);
+    buf[static_cast<std::size_t>(f.pin)] = cval;
+  } else {
+    big.resize(arity);
+    for (std::size_t p = 0; p < arity; ++p) big[p] = good_.value(gate.fanin[p]);
+    big[static_cast<std::size_t>(f.pin)] = cval;
+    in = big.data();
+  }
+  const std::uint64_t v = eval_gate_words(gate.type, in, arity);
+  if (v == good_.value(f.gate)) return false;
+  fval_[f.gate] = v;
+  touched_[f.gate] = true;
+  touched_list_.push_back(f.gate);
+  return true;
+}
+
+void FaultSimulator::schedule_fanouts(GateId g) {
+  const Netlist& nl = netlist();
+  for (GateId s : nl.gate(g).fanout) {
+    if (queued_[s]) continue;
+    queued_[s] = true;
+    level_queue_[nl.levels()[s]].push_back(s);
+  }
+}
+
+std::uint64_t FaultSimulator::propagate(const DiffSink* sink) {
+  const Netlist& nl = netlist();
+  const GateId site = touched_list_.front();
+  schedule_fanouts(site);
+
+  std::uint64_t buf[64];
+  std::vector<std::uint64_t> big;
+  const std::size_t site_level = nl.levels()[site];
+  for (std::size_t lvl = site_level; lvl < level_queue_.size(); ++lvl) {
+    auto& bucket = level_queue_[lvl];
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      const GateId g = bucket[i];
+      queued_[g] = false;
+      const Gate& gate = nl.gate(g);
+      const std::size_t arity = gate.fanin.size();
+      const std::uint64_t* in = buf;
+      if (arity <= 64) {
+        for (std::size_t p = 0; p < arity; ++p) buf[p] = faulty_value(gate.fanin[p]);
+      } else {
+        big.resize(arity);
+        for (std::size_t p = 0; p < arity; ++p) big[p] = faulty_value(gate.fanin[p]);
+        in = big.data();
+      }
+      const std::uint64_t v = eval_gate_words(gate.type, in, arity);
+      if (v == faulty_value(g)) continue;
+      if (!touched_[g]) {
+        touched_[g] = true;
+        touched_list_.push_back(g);
+      }
+      fval_[g] = v;
+      schedule_fanouts(g);
+    }
+    bucket.clear();
+  }
+
+  // Collect output differences over the touched set.
+  std::uint64_t any_diff = 0;
+  for (GateId g : touched_list_) {
+    if (!nl.is_output(g)) continue;
+    const std::uint64_t diff = (fval_[g] ^ good_.value(g)) & pattern_mask_;
+    if (diff == 0) continue;
+    any_diff |= diff;
+    if (sink != nullptr) (*sink)(static_cast<std::size_t>(nl.output_index(g)), diff);
+  }
+  return any_diff;
+}
+
+void FaultSimulator::reset_touched() {
+  for (GateId g : touched_list_) touched_[g] = false;
+  touched_list_.clear();
+}
+
+std::uint64_t FaultSimulator::simulate_fault(const StuckFault& f,
+                                             const DiffSink& sink) {
+  if (!inject(f)) return 0;
+  const std::uint64_t d = propagate(&sink);
+  reset_touched();
+  return d;
+}
+
+std::uint64_t FaultSimulator::detect_word(const StuckFault& f) {
+  if (!inject(f)) return 0;
+  const std::uint64_t d = propagate(nullptr);
+  reset_touched();
+  return d;
+}
+
+void FaultSimulator::simulate_fault_full(
+    const StuckFault& f, std::vector<std::uint64_t>* faulty_values) {
+  *faulty_values = good_.values();
+  if (!inject(f)) return;
+  propagate(nullptr);
+  for (GateId g : touched_list_) (*faulty_values)[g] = fval_[g];
+  reset_touched();
+}
+
+std::vector<std::uint32_t> count_detections(const Netlist& nl,
+                                            const FaultList& faults,
+                                            const TestSet& tests) {
+  std::vector<std::uint32_t> counts(faults.size(), 0);
+  FaultSimulator fsim(nl);
+  std::vector<std::uint64_t> input_words;
+  for (std::size_t first = 0; first < tests.size(); first += 64) {
+    const std::size_t count = std::min<std::size_t>(64, tests.size() - first);
+    tests.pack_batch(first, count, &input_words);
+    fsim.load_batch(input_words, count);
+    for (FaultId i = 0; i < faults.size(); ++i) {
+      const std::uint64_t w = fsim.detect_word(faults[i]);
+      counts[i] += static_cast<std::uint32_t>(std::popcount(w));
+    }
+  }
+  return counts;
+}
+
+}  // namespace sddict

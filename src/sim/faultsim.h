@@ -1,0 +1,78 @@
+// Parallel-pattern single-fault-propagation (PPSFP) fault simulation.
+// A batch of up to 64 patterns is good-simulated once; each fault is then
+// injected and only its fanout cone is event-driven re-simulated, producing
+// for every primary output the 64-bit word of patterns on which the faulty
+// value differs from the good value.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "fault/faultlist.h"
+#include "netlist/netlist.h"
+#include "sim/logicsim.h"
+
+namespace sddict {
+
+class FaultSimulator {
+ public:
+  explicit FaultSimulator(const Netlist& nl);
+
+  const Netlist& netlist() const { return good_.netlist(); }
+
+  // Good-simulates a batch (words as in BatchSimulator::simulate).
+  // `num_patterns` is how many of the 64 slots carry real tests; difference
+  // words are masked so unused slots never report detections.
+  void load_batch(const std::vector<std::uint64_t>& input_words,
+                  std::size_t num_patterns = 64);
+
+  // Output difference callback: (output_index, diff_word). Called only for
+  // outputs with a nonzero difference word under the currently loaded batch.
+  using DiffSink = std::function<void(std::size_t, std::uint64_t)>;
+
+  // Simulates one fault against the loaded batch. Returns the OR of all
+  // output difference words (nonzero iff the fault is detected by some
+  // pattern in the batch).
+  std::uint64_t simulate_fault(const StuckFault& f, const DiffSink& sink);
+
+  // Detection word only (no per-output callback).
+  std::uint64_t detect_word(const StuckFault& f);
+
+  // Full faulty value of every gate under the loaded batch (word per gate,
+  // bit t = pattern t), e.g. for internal-net probing. Costs one O(gates)
+  // copy on top of the event-driven simulation.
+  void simulate_fault_full(const StuckFault& f,
+                           std::vector<std::uint64_t>* faulty_values);
+
+  // Good value of a gate under the loaded batch.
+  std::uint64_t good_value(GateId g) const { return good_.value(g); }
+
+ private:
+  std::uint64_t faulty_value(GateId g) const {
+    return touched_[g] ? fval_[g] : good_.value(g);
+  }
+  // Sets the faulty value of the fault site and seeds propagation. Returns
+  // false when the fault has no effect under this batch.
+  bool inject(const StuckFault& f);
+  void schedule_fanouts(GateId g);
+  std::uint64_t propagate(const DiffSink* sink);
+  void reset_touched();
+
+  BatchSimulator good_;
+  std::uint64_t pattern_mask_ = ~std::uint64_t{0};
+  std::vector<std::uint64_t> fval_;
+  std::vector<bool> touched_;
+  std::vector<GateId> touched_list_;
+  // Event queue bucketed by logic level.
+  std::vector<std::vector<GateId>> level_queue_;
+  std::vector<bool> queued_;
+};
+
+// Detection counts per fault over a whole test set (how many tests detect
+// each fault) — the accounting n-detection test generation needs.
+std::vector<std::uint32_t> count_detections(const Netlist& nl,
+                                            const FaultList& faults,
+                                            const TestSet& tests);
+
+}  // namespace sddict

@@ -1,0 +1,68 @@
+#include "sim/misr.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace sddict {
+namespace {
+
+std::uint64_t standard_taps(unsigned width) {
+  // Primitive polynomials (tap masks) for a few practical widths.
+  switch (width) {
+    case 8: return 0xB8;                 // x^8+x^6+x^5+x^4+1
+    case 16: return 0xB400;              // x^16+x^14+x^13+x^11+1
+    case 24: return 0xE10000;            // x^24+x^23+x^22+x^17+1
+    case 32: return 0x80200003;          // x^32+x^22+x^2+x+1
+    default:
+      throw std::invalid_argument("no standard polynomial for this width");
+  }
+}
+
+}  // namespace
+
+Lfsr::Lfsr(unsigned width, std::uint64_t taps, std::uint64_t seed)
+    : width_(width), taps_(taps) {
+  if (width == 0 || width > 64)
+    throw std::invalid_argument("Lfsr: width must be in [1,64]");
+  mask_ = width == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width) - 1;
+  taps_ &= mask_;
+  if (taps_ == 0) throw std::invalid_argument("Lfsr: empty tap mask");
+  state_ = seed & mask_;
+  if (state_ == 0) state_ = 1;  // all-zero is the LFSR's fixed point
+}
+
+Lfsr Lfsr::standard(unsigned width, std::uint64_t seed) {
+  return Lfsr(width, standard_taps(width), seed);
+}
+
+std::uint64_t Lfsr::step() {
+  const std::uint64_t fb =
+      static_cast<std::uint64_t>(std::popcount(state_ & taps_) & 1);
+  state_ = ((state_ << 1) | fb) & mask_;
+  return state_;
+}
+
+Misr::Misr(unsigned width, std::uint64_t taps) : width_(width), taps_(taps) {
+  if (width == 0 || width > 64)
+    throw std::invalid_argument("Misr: width must be in [1,64]");
+  mask_ = width == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width) - 1;
+  taps_ &= mask_;
+  if (taps_ == 0) throw std::invalid_argument("Misr: empty tap mask");
+  state_ = 0;
+}
+
+Misr Misr::standard(unsigned width) { return Misr(width, standard_taps(width)); }
+
+void Misr::reset() { state_ = 0; }
+
+void Misr::absorb(const BitVec& response) {
+  // Fold the response round-robin onto the register inputs.
+  std::uint64_t in = 0;
+  for (std::size_t o = 0; o < response.size(); ++o)
+    if (response.get(o)) in ^= std::uint64_t{1} << (o % width_);
+  const std::uint64_t fb =
+      static_cast<std::uint64_t>(std::popcount(state_ & taps_) & 1);
+  state_ = (((state_ << 1) | fb) ^ in) & mask_;
+}
+
+}  // namespace sddict

@@ -1,0 +1,57 @@
+// Linear-feedback signature machinery for BIST-style diagnosis (the
+// setting of the paper's references [6] and [19]): an LFSR-based MISR
+// (multiple-input signature register) compacts a circuit's whole output
+// stream across a test set into one short signature per fault.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitvec.h"
+
+namespace sddict {
+
+// Fibonacci LFSR over GF(2) with a caller-supplied tap mask (bit i of
+// `taps` = feedback from stage i). Used both as a pattern source and as the
+// base of the MISR.
+class Lfsr {
+ public:
+  // width in [1, 64]; taps must be nonzero within the width.
+  Lfsr(unsigned width, std::uint64_t taps, std::uint64_t seed = 1);
+
+  // A maximal-length default polynomial for common widths (16/24/32).
+  static Lfsr standard(unsigned width, std::uint64_t seed = 1);
+
+  std::uint64_t state() const { return state_; }
+  unsigned width() const { return width_; }
+
+  // Advances one clock; returns the new state.
+  std::uint64_t step();
+
+ private:
+  unsigned width_;
+  std::uint64_t taps_;
+  std::uint64_t mask_;
+  std::uint64_t state_;
+};
+
+// MISR: each clock XORs a parallel input word into the shifted state.
+// Output vectors wider than the register fold round-robin onto its inputs.
+class Misr {
+ public:
+  Misr(unsigned width, std::uint64_t taps);
+  static Misr standard(unsigned width = 32);
+
+  void reset();
+  // Absorbs one output vector (one test's response).
+  void absorb(const BitVec& response);
+  std::uint64_t signature() const { return state_; }
+
+ private:
+  unsigned width_;
+  std::uint64_t taps_;
+  std::uint64_t mask_;
+  std::uint64_t state_;
+};
+
+}  // namespace sddict

@@ -1,0 +1,165 @@
+#include "sim/response.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "sim/faultsim.h"
+
+namespace sddict {
+
+std::vector<std::uint32_t> ResponseMatrix::response_counts(std::size_t test) const {
+  std::vector<std::uint32_t> counts(num_distinct(test), 0);
+  for (FaultId f = 0; f < num_faults_; ++f) ++counts[response(f, test)];
+  return counts;
+}
+
+std::uint32_t ResponseMatrix::detection_count(FaultId fault) const {
+  std::uint32_t n = 0;
+  for (std::size_t j = 0; j < num_tests_; ++j)
+    if (detected(fault, j)) ++n;
+  return n;
+}
+
+ResponseId ResponseMatrix::find_response(std::size_t test,
+                                         const Hash128& sig) const {
+  const auto& sigs = signatures_[test];
+  for (ResponseId id = 0; id < sigs.size(); ++id)
+    if (sigs[id] == sig) return id;
+  return static_cast<ResponseId>(-1);
+}
+
+const std::vector<std::uint32_t>& ResponseMatrix::diff_outputs(
+    std::size_t test, ResponseId id) const {
+  if (!has_diffs_)
+    throw std::logic_error(
+        "ResponseMatrix: built without store_diff_outputs");
+  return diffs_[test][id];
+}
+
+ResponseMatrix build_response_matrix(const Netlist& nl, const FaultList& faults,
+                                     const TestSet& tests,
+                                     const ResponseMatrixOptions& options) {
+  ResponseMatrix rm;
+  rm.num_faults_ = faults.size();
+  rm.num_tests_ = tests.size();
+  rm.num_outputs_ = nl.num_outputs();
+  rm.has_diffs_ = options.store_diff_outputs;
+  rm.resp_.assign(faults.size() * tests.size(), 0);
+  rm.signatures_.assign(tests.size(), {Hash128{}});  // id 0 = fault-free
+  if (options.store_diff_outputs)
+    rm.diffs_.assign(tests.size(), {{}});
+
+  // Per-test interning tables.
+  std::vector<std::unordered_map<Hash128, ResponseId, Hash128Hasher>> intern(
+      tests.size());
+
+  FaultSimulator fsim(nl);
+  std::vector<std::uint64_t> input_words;
+
+  // Scratch reused across faults: per-pattern signature accumulators and the
+  // raw (output, diff word) pairs of the current fault.
+  Hash128 sig[64];
+  std::vector<std::pair<std::size_t, std::uint64_t>> fault_diffs;
+
+  for (std::size_t first = 0; first < tests.size(); first += 64) {
+    const std::size_t count = std::min<std::size_t>(64, tests.size() - first);
+    tests.pack_batch(first, count, &input_words);
+    fsim.load_batch(input_words, count);
+
+    for (FaultId i = 0; i < faults.size(); ++i) {
+      fault_diffs.clear();
+      const std::uint64_t any =
+          fsim.simulate_fault(faults[i], [&](std::size_t o, std::uint64_t w) {
+            fault_diffs.push_back({o, w});
+          });
+      if (any == 0) continue;  // all slots keep response id 0
+
+      for (const auto& [o, w] : fault_diffs) {
+        const Hash128 tok = slot_token(o, 1);
+        std::uint64_t bits = w;
+        while (bits != 0) {
+          const int t = std::countr_zero(bits);
+          bits &= bits - 1;
+          sig[t] ^= tok;
+        }
+      }
+
+      std::uint64_t dirty = any;
+      while (dirty != 0) {
+        const int t = std::countr_zero(dirty);
+        dirty &= dirty - 1;
+        const std::size_t test = first + static_cast<std::size_t>(t);
+        auto& table = intern[test];
+        auto [it, inserted] = table.try_emplace(
+            sig[t], static_cast<ResponseId>(rm.signatures_[test].size()));
+        if (inserted) {
+          rm.signatures_[test].push_back(sig[t]);
+          if (options.store_diff_outputs) {
+            std::vector<std::uint32_t> outs;
+            for (const auto& [o, w] : fault_diffs)
+              if ((w >> t) & 1) outs.push_back(static_cast<std::uint32_t>(o));
+            std::sort(outs.begin(), outs.end());
+            rm.diffs_[test].push_back(std::move(outs));
+          }
+        }
+        rm.resp_[static_cast<std::size_t>(i) * tests.size() + test] = it->second;
+        sig[t] = Hash128{};  // reset for the next fault
+      }
+    }
+  }
+  return rm;
+}
+
+ResponseMatrix response_matrix_from_table(
+    const std::vector<BitVec>& fault_free,
+    const std::vector<std::vector<BitVec>>& faulty) {
+  const std::size_t k = fault_free.size();
+  const std::size_t n = faulty.size();
+  const std::size_t m = k > 0 ? fault_free[0].size() : 0;
+  for (const auto& v : fault_free)
+    if (v.size() != m)
+      throw std::invalid_argument("response_matrix_from_table: ragged fault-free");
+  for (const auto& row : faulty) {
+    if (row.size() != k)
+      throw std::invalid_argument("response_matrix_from_table: ragged fault row");
+    for (const auto& v : row)
+      if (v.size() != m)
+        throw std::invalid_argument("response_matrix_from_table: vector width");
+  }
+
+  ResponseMatrix rm;
+  rm.num_faults_ = n;
+  rm.num_tests_ = k;
+  rm.num_outputs_ = m;
+  rm.has_diffs_ = true;
+  rm.resp_.assign(n * k, 0);
+  rm.signatures_.assign(k, {Hash128{}});
+  rm.diffs_.assign(k, {{}});
+
+  std::vector<std::unordered_map<Hash128, ResponseId, Hash128Hasher>> intern(k);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      Hash128 sig;
+      std::vector<std::uint32_t> outs;
+      for (std::size_t o = 0; o < m; ++o) {
+        if (faulty[i][j].get(o) != fault_free[j].get(o)) {
+          sig ^= slot_token(o, 1);
+          outs.push_back(static_cast<std::uint32_t>(o));
+        }
+      }
+      if (outs.empty()) continue;  // fault-free response, id 0
+      auto [it, inserted] = intern[j].try_emplace(
+          sig, static_cast<ResponseId>(rm.signatures_[j].size()));
+      if (inserted) {
+        rm.signatures_[j].push_back(sig);
+        rm.diffs_[j].push_back(std::move(outs));
+      }
+      rm.resp_[i * k + j] = it->second;
+    }
+  }
+  return rm;
+}
+
+}  // namespace sddict

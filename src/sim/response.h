@@ -1,0 +1,105 @@
+// The response matrix is the central artifact the dictionary layer is built
+// from: for every fault f_i and test t_j it records *which* output vector
+// the faulty circuit produced, as a small per-test integer id.
+//
+//   id 0          == the fault-free response z_ff,j
+//   id r (r > 0)  == the r-th distinct faulty response observed under t_j
+//
+// Equality of output vectors is decided through 128-bit signatures: the
+// signature of a response is the XOR of per-output tokens over the outputs
+// that differ from the fault-free value. Distinct difference sets collide
+// with probability ~2^-128, negligible at any realistic circuit size.
+// Optionally the sparse difference lists themselves are retained, which
+// lets callers reconstruct full output vectors (used by diagnosis examples).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/faultlist.h"
+#include "netlist/netlist.h"
+#include "sim/testset.h"
+#include "util/hash.h"
+
+namespace sddict {
+
+using ResponseId = std::uint32_t;
+
+struct ResponseMatrixOptions {
+  // Keep, for every (test, response id), the sorted list of outputs whose
+  // value differs from fault-free. Costs memory; off for large sweeps.
+  bool store_diff_outputs = false;
+};
+
+class ResponseMatrix {
+ public:
+  std::size_t num_faults() const { return num_faults_; }
+  std::size_t num_tests() const { return num_tests_; }
+  std::size_t num_outputs() const { return num_outputs_; }
+
+  ResponseId response(FaultId fault, std::size_t test) const {
+    return resp_[static_cast<std::size_t>(fault) * num_tests_ + test];
+  }
+
+  bool detected(FaultId fault, std::size_t test) const {
+    return response(fault, test) != 0;
+  }
+
+  // Number of distinct responses under this test, fault-free included
+  // (|Z_j| in the paper, except that responses no fault produces are not
+  // enumerated — they can never distinguish anything).
+  std::size_t num_distinct(std::size_t test) const {
+    return signatures_[test].size();
+  }
+
+  const Hash128& signature(std::size_t test, ResponseId id) const {
+    return signatures_[test][id];
+  }
+
+  // Id of the response with the given signature under `test`, or
+  // static_cast<ResponseId>(-1) when no modeled fault produces it.
+  ResponseId find_response(std::size_t test, const Hash128& sig) const;
+
+  // How many faults produce each response id under `test`; index 0 counts
+  // faults the test does not detect.
+  std::vector<std::uint32_t> response_counts(std::size_t test) const;
+
+  // Tests that detect the fault.
+  std::uint32_t detection_count(FaultId fault) const;
+
+  // Sorted outputs differing from fault-free for (test, id); requires
+  // store_diff_outputs. id 0 yields an empty list.
+  const std::vector<std::uint32_t>& diff_outputs(std::size_t test,
+                                                 ResponseId id) const;
+
+  bool has_diff_outputs() const { return has_diffs_; }
+
+ private:
+  friend ResponseMatrix build_response_matrix(const Netlist&, const FaultList&,
+                                              const TestSet&,
+                                              const ResponseMatrixOptions&);
+  friend ResponseMatrix response_matrix_from_table(
+      const std::vector<BitVec>&, const std::vector<std::vector<BitVec>>&);
+
+  std::size_t num_faults_ = 0;
+  std::size_t num_tests_ = 0;
+  std::size_t num_outputs_ = 0;
+  bool has_diffs_ = false;
+  std::vector<ResponseId> resp_;                   // fault-major [n][k]
+  std::vector<std::vector<Hash128>> signatures_;   // [test][id]
+  std::vector<std::vector<std::vector<std::uint32_t>>> diffs_;  // [test][id]
+};
+
+ResponseMatrix build_response_matrix(const Netlist& nl, const FaultList& faults,
+                                     const TestSet& tests,
+                                     const ResponseMatrixOptions& options = {});
+
+// Builds a matrix directly from explicit output vectors: fault_free[j] is
+// z_ff,j and faulty[i][j] is z_i,j. Used when responses come from an
+// external source (e.g. the paper's worked example) rather than from fault
+// simulation. Difference lists are always stored.
+ResponseMatrix response_matrix_from_table(
+    const std::vector<BitVec>& fault_free,
+    const std::vector<std::vector<BitVec>>& faulty);
+
+}  // namespace sddict

@@ -1,0 +1,75 @@
+#include "sim/seqsim.h"
+
+#include <stdexcept>
+
+namespace sddict {
+
+SequentialSimulator::SequentialSimulator(const Netlist& nl) : nl_(&nl) {
+  value_.assign(nl.num_gates(), 0);
+  nl.topo_order();  // raises on combinational cycles
+}
+
+BitVec SequentialSimulator::state() const {
+  BitVec s(nl_->dffs().size());
+  for (std::size_t i = 0; i < nl_->dffs().size(); ++i)
+    s.set(i, value_[nl_->dffs()[i]] != 0);
+  return s;
+}
+
+void SequentialSimulator::set_state(const BitVec& state) {
+  if (state.size() != nl_->dffs().size())
+    throw std::invalid_argument("SequentialSimulator: state width");
+  for (std::size_t i = 0; i < nl_->dffs().size(); ++i)
+    value_[nl_->dffs()[i]] = state.get(i) ? 1 : 0;
+}
+
+void SequentialSimulator::reset() {
+  for (GateId d : nl_->dffs()) value_[d] = 0;
+}
+
+BitVec SequentialSimulator::step(const BitVec& inputs) {
+  if (inputs.size() != nl_->num_inputs())
+    throw std::invalid_argument("SequentialSimulator: input width");
+  for (std::size_t i = 0; i < nl_->num_inputs(); ++i)
+    value_[nl_->inputs()[i]] = inputs.get(i) ? 1 : 0;
+
+  bool buf[64];
+  std::vector<bool> big;
+  for (GateId g : nl_->topo_order()) {
+    const Gate& gate = nl_->gate(g);
+    if (gate.type == GateType::kInput || gate.type == GateType::kDff)
+      continue;  // DFF outputs hold the current state during the cycle
+    const std::size_t arity = gate.fanin.size();
+    if (arity <= 64) {
+      for (std::size_t p = 0; p < arity; ++p) buf[p] = value_[gate.fanin[p]] != 0;
+      value_[g] = eval_gate_bool(gate.type, buf, arity) ? 1 : 0;
+    } else {
+      big.assign(arity, false);
+      bool wide[256];
+      for (std::size_t p = 0; p < arity && p < 256; ++p)
+        wide[p] = value_[gate.fanin[p]] != 0;
+      value_[g] = eval_gate_bool(gate.type, wide, arity) ? 1 : 0;
+    }
+  }
+
+  BitVec out(nl_->num_outputs());
+  for (std::size_t o = 0; o < nl_->num_outputs(); ++o)
+    out.set(o, value_[nl_->outputs()[o]] != 0);
+
+  // Advance state: each DFF captures its data input.
+  std::vector<std::uint8_t> next(nl_->dffs().size());
+  for (std::size_t i = 0; i < nl_->dffs().size(); ++i)
+    next[i] = value_[nl_->gate(nl_->dffs()[i]).fanin[0]];
+  for (std::size_t i = 0; i < nl_->dffs().size(); ++i)
+    value_[nl_->dffs()[i]] = next[i];
+  return out;
+}
+
+std::vector<BitVec> SequentialSimulator::run(const std::vector<BitVec>& inputs) {
+  std::vector<BitVec> out;
+  out.reserve(inputs.size());
+  for (const auto& in : inputs) out.push_back(step(in));
+  return out;
+}
+
+}  // namespace sddict

@@ -1,0 +1,40 @@
+// Cycle-accurate simulation of sequential (DFF) netlists. Used to validate
+// the full-scan and time-frame-expansion transforms against the circuit's
+// native behaviour, and by examples that model a non-scan tester.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "util/bitvec.h"
+
+namespace sddict {
+
+class SequentialSimulator {
+ public:
+  // The netlist may contain DFFs (a combinational netlist simply has no
+  // state). State starts all-zero; use set_state to override.
+  explicit SequentialSimulator(const Netlist& nl);
+
+  const Netlist& netlist() const { return *nl_; }
+
+  std::size_t num_state_bits() const { return nl_->dffs().size(); }
+
+  // Current state, one bit per DFF in declaration order.
+  BitVec state() const;
+  void set_state(const BitVec& state);
+  void reset();  // all-zero state
+
+  // Applies one input vector (primary inputs only): computes outputs for
+  // the current cycle and advances the state. Returns the output vector.
+  BitVec step(const BitVec& inputs);
+
+  // Runs a whole sequence from the current state.
+  std::vector<BitVec> run(const std::vector<BitVec>& inputs);
+
+ private:
+  const Netlist* nl_;
+  std::vector<std::uint8_t> value_;  // per gate, current cycle
+};
+
+}  // namespace sddict

@@ -1,0 +1,97 @@
+#include "tgen/compact.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "sim/faultsim.h"
+
+namespace sddict {
+
+namespace {
+
+// detections[f] bit t = test t detects fault f.
+std::vector<BitVec> detection_matrix(const Netlist& nl, const FaultList& faults,
+                                     const TestSet& tests) {
+  std::vector<BitVec> detections(faults.size(), BitVec(tests.size()));
+  FaultSimulator fsim(nl);
+  std::vector<std::uint64_t> words;
+  for (std::size_t first = 0; first < tests.size(); first += 64) {
+    const std::size_t count = std::min<std::size_t>(64, tests.size() - first);
+    tests.pack_batch(first, count, &words);
+    fsim.load_batch(words, count);
+    for (FaultId i = 0; i < faults.size(); ++i) {
+      std::uint64_t w = fsim.detect_word(faults[i]);
+      while (w != 0) {
+        const int t = std::countr_zero(w);
+        w &= w - 1;
+        detections[i].set(first + static_cast<std::size_t>(t), true);
+      }
+    }
+  }
+  return detections;
+}
+
+// Tests listed per fault is wasteful at scale; invert to faults per test.
+std::vector<std::vector<FaultId>> faults_by_test(
+    const std::vector<BitVec>& detections, std::size_t num_tests) {
+  std::vector<std::vector<FaultId>> by_test(num_tests);
+  for (FaultId f = 0; f < detections.size(); ++f)
+    for (std::size_t t = 0; t < num_tests; ++t)
+      if (detections[f].get(t)) by_test[t].push_back(f);
+  return by_test;
+}
+
+}  // namespace
+
+TestSet compact_reverse(const Netlist& nl, const FaultList& faults,
+                        const TestSet& tests) {
+  const std::vector<BitVec> detections = detection_matrix(nl, faults, tests);
+
+  // Faults not yet covered by a kept test, as a worklist per test.
+  std::vector<bool> covered(faults.size(), false);
+  std::vector<std::size_t> keep;
+  for (std::size_t t = tests.size(); t-- > 0;) {
+    bool useful = false;
+    for (FaultId i = 0; i < faults.size(); ++i) {
+      if (!covered[i] && detections[i].get(t)) {
+        covered[i] = true;
+        useful = true;
+      }
+    }
+    if (useful) keep.push_back(t);
+  }
+  std::reverse(keep.begin(), keep.end());
+  return tests.subset(keep);
+}
+
+TestSet compact_reverse_ndetect(const Netlist& nl, const FaultList& faults,
+                                const TestSet& tests, std::uint32_t n) {
+  const std::vector<BitVec> detections = detection_matrix(nl, faults, tests);
+  const auto by_test = faults_by_test(detections, tests.size());
+
+  std::vector<std::uint32_t> count(faults.size(), 0);
+  for (FaultId f = 0; f < faults.size(); ++f)
+    count[f] = static_cast<std::uint32_t>(detections[f].count_ones());
+  std::vector<std::uint32_t> need(faults.size());
+  for (FaultId f = 0; f < faults.size(); ++f)
+    need[f] = std::min(n, count[f]);
+
+  std::vector<std::size_t> keep;
+  for (std::size_t t = tests.size(); t-- > 0;) {
+    bool droppable = true;
+    for (FaultId f : by_test[t])
+      if (count[f] <= need[f]) {
+        droppable = false;
+        break;
+      }
+    if (droppable) {
+      for (FaultId f : by_test[t]) --count[f];
+    } else {
+      keep.push_back(t);
+    }
+  }
+  std::reverse(keep.begin(), keep.end());
+  return tests.subset(keep);
+}
+
+}  // namespace sddict

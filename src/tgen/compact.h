@@ -1,0 +1,23 @@
+// Reverse-order test-set compaction: walk the test set from the last test
+// to the first, keeping a test only if it detects some fault not detected
+// by the tests already kept. Classic static compaction for detection test
+// sets (later ATPG tests tend to be more specific, hence reverse order).
+#pragma once
+
+#include "fault/faultlist.h"
+#include "netlist/netlist.h"
+#include "sim/testset.h"
+
+namespace sddict {
+
+TestSet compact_reverse(const Netlist& nl, const FaultList& faults,
+                        const TestSet& tests);
+
+// n-detect-aware variant: a test is dropped only if every fault it detects
+// still has at least min(n, achievable) detections without it, where
+// `achievable` is the fault's detection count under the full set. The
+// result therefore preserves each fault's n-detect coverage exactly.
+TestSet compact_reverse_ndetect(const Netlist& nl, const FaultList& faults,
+                                const TestSet& tests, std::uint32_t n);
+
+}  // namespace sddict

@@ -1,0 +1,125 @@
+#include "tgen/ndetect.h"
+
+#include <bit>
+
+#include "sim/faultsim.h"
+#include "tgen/compact.h"
+#include "util/log.h"
+#include "util/timer.h"
+
+namespace sddict {
+namespace {
+
+// Fault-simulates a single test and credits detection counts (capped at
+// `cap` so saturated faults stop accumulating).
+void credit_test(FaultSimulator& fsim, const FaultList& faults,
+                 const TestSet& tests, std::size_t test_index,
+                 std::vector<std::uint32_t>* det, std::uint32_t cap) {
+  std::vector<std::uint64_t> words;
+  tests.pack_batch(test_index, 1, &words);
+  fsim.load_batch(words, 1);
+  for (FaultId i = 0; i < faults.size(); ++i) {
+    if ((*det)[i] >= cap) continue;
+    if (fsim.detect_word(faults[i]) != 0) ++(*det)[i];
+  }
+}
+
+}  // namespace
+
+NDetectResult generate_ndetect(const Netlist& nl, const FaultList& faults,
+                               const NDetectOptions& options) {
+  NDetectResult res;
+  res.tests = TestSet(nl.num_inputs());
+  res.detections.assign(faults.size(), 0);
+  Rng rng(options.seed);
+
+  res.random_patterns = random_phase(nl, faults, options.n, &res.tests,
+                                     &res.detections, rng, options.random);
+
+  Podem podem(nl, options.podem);
+  FaultSimulator fsim(nl);
+  std::vector<bool> untestable(faults.size(), false);
+  std::vector<bool> aborted(faults.size(), false);
+
+  Timer budget;
+  for (FaultId i = 0; i < faults.size(); ++i) {
+    if (options.max_seconds > 0 && budget.seconds() > options.max_seconds)
+      break;
+    std::size_t attempts =
+        options.attempts_per_slot * options.n;  // overall budget per fault
+    while (res.detections[i] < options.n && attempts-- > 0 && !untestable[i]) {
+      BitVec test;
+      const PodemStatus st = podem.generate(faults[i], &test, rng);
+      if (st == PodemStatus::kUntestable) {
+        untestable[i] = true;
+        break;
+      }
+      if (st == PodemStatus::kAborted) {
+        aborted[i] = true;
+        break;
+      }
+      res.tests.add(std::move(test));
+      ++res.atpg_patterns;
+      credit_test(fsim, faults, res.tests, res.tests.size() - 1,
+                  &res.detections, static_cast<std::uint32_t>(options.n));
+    }
+  }
+
+  for (FaultId i = 0; i < faults.size(); ++i) {
+    res.untestable_faults += untestable[i] ? 1 : 0;
+    res.aborted_faults += aborted[i] ? 1 : 0;
+  }
+
+  // The greedy random phase over-collects; drop every test whose removal
+  // keeps all faults at min(n, achievable) detections.
+  res.tests = compact_reverse_ndetect(nl, faults, res.tests,
+                                      static_cast<std::uint32_t>(options.n));
+  res.detections = count_detections(nl, faults, res.tests);
+
+  LOG_DEBUG << "ndetect(" << nl.name() << "): " << res.tests.size() << " tests ("
+            << res.random_patterns << " random + " << res.atpg_patterns
+            << " atpg), " << res.untestable_faults << " untestable, "
+            << res.aborted_faults << " aborted";
+  return res;
+}
+
+DetectResult generate_detect(const Netlist& nl, const FaultList& faults,
+                             std::uint64_t seed, const PodemOptions& podem_opts,
+                             const RandomPhaseOptions& random_opts,
+                             double max_seconds) {
+  DetectResult res;
+  res.untestable.assign(faults.size(), 0);
+  Rng rng(seed);
+  TestSet tests(nl.num_inputs());
+  std::vector<std::uint32_t> det(faults.size(), 0);
+  random_phase(nl, faults, 1, &tests, &det, rng, random_opts);
+
+  Podem podem(nl, podem_opts);
+  FaultSimulator fsim(nl);
+  Timer budget;
+  for (FaultId i = 0; i < faults.size(); ++i) {
+    if (det[i] > 0) continue;
+    if (max_seconds > 0 && budget.seconds() > max_seconds) break;
+    BitVec test;
+    const PodemStatus st = podem.generate(faults[i], &test, rng);
+    if (st == PodemStatus::kUntestable) {
+      ++res.untestable_faults;
+      res.untestable[i] = 1;
+      continue;
+    }
+    if (st == PodemStatus::kAborted) {
+      ++res.aborted_faults;
+      continue;
+    }
+    tests.add(std::move(test));
+    credit_test(fsim, faults, tests, tests.size() - 1, &det, 1);
+  }
+  for (std::uint32_t d : det) res.detected_faults += d > 0 ? 1 : 0;
+  res.tests = compact_reverse(nl, faults, tests);
+  LOG_DEBUG << "detect(" << nl.name() << "): " << res.tests.size()
+            << " tests after compaction, " << res.detected_faults << "/"
+            << faults.size() << " detected";
+  return res;
+}
+
+}  // namespace sddict

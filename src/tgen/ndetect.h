@@ -1,0 +1,62 @@
+// n-detection test set generation: every testable fault is detected by at
+// least n distinct tests (as many as possible for hard faults). A random
+// phase covers the bulk cheaply; PODEM with randomized X-fill then tops up
+// every fault whose detection count is still short.
+#pragma once
+
+#include <cstdint>
+
+#include "fault/faultlist.h"
+#include "netlist/netlist.h"
+#include "sim/testset.h"
+#include "tgen/podem.h"
+#include "tgen/randgen.h"
+
+namespace sddict {
+
+struct NDetectOptions {
+  std::size_t n = 10;
+  std::uint64_t seed = 1;
+  RandomPhaseOptions random;
+  PodemOptions podem;
+  // Deterministic top-up attempts per missing detection (PODEM may emit the
+  // same test twice under unlucky fills; extra attempts compensate).
+  std::size_t attempts_per_slot = 2;
+  // Wall-clock budget for the deterministic top-up phase (0 = unlimited);
+  // faults not topped up in time keep whatever detections they have.
+  double max_seconds = 300.0;
+};
+
+struct NDetectResult {
+  TestSet tests;
+  std::vector<std::uint32_t> detections;  // per fault, over the final set
+  std::size_t untestable_faults = 0;
+  std::size_t aborted_faults = 0;  // hit the backtrack limit at least once
+  std::size_t random_patterns = 0;
+  std::size_t atpg_patterns = 0;
+};
+
+NDetectResult generate_ndetect(const Netlist& nl, const FaultList& faults,
+                               const NDetectOptions& options = {});
+
+// Convenience: a plain detection (1-detect) test set, reverse-compacted.
+struct DetectResult {
+  TestSet tests;
+  std::size_t detected_faults = 0;
+  std::size_t untestable_faults = 0;
+  std::size_t aborted_faults = 0;
+  // Per-fault flag: PODEM *proved* the fault untestable. An untestable
+  // fault's response is always the fault-free response, so two proven-
+  // untestable faults are provably indistinguishable by any test.
+  std::vector<std::uint8_t> untestable;
+};
+
+// `max_seconds` bounds the deterministic phase (0 = unlimited); faults not
+// reached in time simply stay untargeted.
+DetectResult generate_detect(const Netlist& nl, const FaultList& faults,
+                             std::uint64_t seed = 1,
+                             const PodemOptions& podem = {},
+                             const RandomPhaseOptions& random = {},
+                             double max_seconds = 300.0);
+
+}  // namespace sddict

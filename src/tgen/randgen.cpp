@@ -1,0 +1,66 @@
+#include "tgen/randgen.h"
+
+#include <bit>
+#include <stdexcept>
+
+#include "sim/faultsim.h"
+
+namespace sddict {
+
+std::size_t random_phase(const Netlist& nl, const FaultList& faults,
+                         std::size_t target_detections, TestSet* tests,
+                         std::vector<std::uint32_t>* det_counts, Rng& rng,
+                         const RandomPhaseOptions& options) {
+  if (det_counts->size() != faults.size())
+    throw std::invalid_argument("random_phase: det_counts size mismatch");
+
+  FaultSimulator fsim(nl);
+  std::size_t kept_total = 0;
+  std::size_t stale = 0;
+
+  // (pattern slot -> faults it detects) for the current batch.
+  std::vector<std::vector<FaultId>> by_pattern(64);
+
+  for (std::size_t batch = 0;
+       batch < options.max_batches && stale < options.stale_batches; ++batch) {
+    TestSet candidates(nl.num_inputs());
+    candidates.add_random(64, rng);
+    std::vector<std::uint64_t> words;
+    candidates.pack_batch(0, 64, &words);
+    fsim.load_batch(words, 64);
+
+    for (auto& v : by_pattern) v.clear();
+    bool anyone_needs = false;
+    for (FaultId i = 0; i < faults.size(); ++i) {
+      if ((*det_counts)[i] >= target_detections) continue;
+      anyone_needs = true;
+      std::uint64_t w = fsim.detect_word(faults[i]);
+      while (w != 0) {
+        const int t = std::countr_zero(w);
+        w &= w - 1;
+        by_pattern[static_cast<std::size_t>(t)].push_back(i);
+      }
+    }
+    if (!anyone_needs) break;
+
+    std::size_t kept_this_batch = 0;
+    for (std::size_t t = 0; t < 64; ++t) {
+      bool useful = false;
+      for (FaultId i : by_pattern[t]) {
+        if ((*det_counts)[i] < target_detections) {
+          ++(*det_counts)[i];
+          useful = true;
+        }
+      }
+      if (useful) {
+        tests->add(candidates[t]);
+        ++kept_this_batch;
+      }
+    }
+    kept_total += kept_this_batch;
+    stale = kept_this_batch == 0 ? stale + 1 : 0;
+  }
+  return kept_total;
+}
+
+}  // namespace sddict

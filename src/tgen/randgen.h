@@ -1,0 +1,32 @@
+// Random-pattern test generation phase: simulate 64-pattern random batches
+// and keep the patterns that raise some fault's detection count toward a
+// target. Used to cheaply cover the easy faults before deterministic ATPG
+// targets the stragglers, both for 1-detect and n-detect flows.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/faultlist.h"
+#include "netlist/netlist.h"
+#include "sim/testset.h"
+#include "util/rng.h"
+
+namespace sddict {
+
+struct RandomPhaseOptions {
+  // Stop after this many batches total.
+  std::size_t max_batches = 200;
+  // ... or after this many consecutive batches kept no pattern.
+  std::size_t stale_batches = 5;
+};
+
+// Appends useful random patterns to `tests`, crediting `det_counts` (one
+// entry per fault, updated in place) up to `target_detections` per fault.
+// Returns the number of patterns kept.
+std::size_t random_phase(const Netlist& nl, const FaultList& faults,
+                         std::size_t target_detections, TestSet* tests,
+                         std::vector<std::uint32_t>* det_counts, Rng& rng,
+                         const RandomPhaseOptions& options = {});
+
+}  // namespace sddict

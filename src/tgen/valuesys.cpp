@@ -1,0 +1,57 @@
+#include "tgen/valuesys.h"
+
+#include <stdexcept>
+
+namespace sddict {
+
+V3 eval_gate_v3(GateType t, const V3* in, std::size_t n) {
+  switch (t) {
+    case GateType::kInput:
+      throw std::logic_error("eval_gate_v3: INPUT has no function");
+    case GateType::kDff:
+      throw std::logic_error("eval_gate_v3: DFF must be removed by full-scan");
+    case GateType::kConst0:
+      return kV0;
+    case GateType::kConst1:
+      return kV1;
+    case GateType::kBuf:
+      return in[0];
+    case GateType::kNot:
+      return v3_not(in[0]);
+    case GateType::kAnd:
+    case GateType::kNand: {
+      // Output can be 1 iff all inputs can be 1; can be 0 iff some input can
+      // be 0.
+      std::uint8_t can1 = 1, can0 = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        can1 &= (in[i] >> 1) & 1;
+        can0 |= in[i] & 1;
+      }
+      const V3 v = static_cast<V3>((can1 << 1) | can0);
+      return t == GateType::kNand ? v3_not(v) : v;
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      std::uint8_t can0 = 1, can1 = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        can0 &= in[i] & 1;
+        can1 |= (in[i] >> 1) & 1;
+      }
+      const V3 v = static_cast<V3>((can1 << 1) | can0);
+      return t == GateType::kNor ? v3_not(v) : v;
+    }
+    case GateType::kXor:
+    case GateType::kXnor: {
+      // Any X input makes the output X (every input always affects XOR).
+      bool parity = t == GateType::kXnor;  // XNOR = NOT(XOR)
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!is_definite(in[i])) return kVX;
+        parity ^= v3_to_bool(in[i]);
+      }
+      return v3_from_bool(parity);
+    }
+  }
+  throw std::logic_error("eval_gate_v3: bad gate type");
+}
+
+}  // namespace sddict

@@ -1,0 +1,29 @@
+// Three-valued logic (0, 1, X) used by the PODEM test generator. Values are
+// encoded as "possibility masks": bit 0 = can be 0, bit 1 = can be 1. The
+// mask form makes gate evaluation branch-free for the monotone gates and
+// keeps X-contamination exact for XOR/XNOR.
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/gate.h"
+
+namespace sddict {
+
+enum V3 : std::uint8_t {
+  kV0 = 0b01,  // definitely 0
+  kV1 = 0b10,  // definitely 1
+  kVX = 0b11,  // unknown
+};
+
+inline bool is_definite(V3 v) { return v != kVX; }
+inline V3 v3_from_bool(bool b) { return b ? kV1 : kV0; }
+inline bool v3_to_bool(V3 v) { return v == kV1; }
+inline V3 v3_not(V3 v) {
+  return static_cast<V3>(((v & 1) << 1) | ((v >> 1) & 1));
+}
+
+// Evaluates a gate over three-valued fanins.
+V3 eval_gate_v3(GateType t, const V3* in, std::size_t n);
+
+}  // namespace sddict

@@ -1,0 +1,70 @@
+#include "util/cli.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace sddict {
+
+CliArgs::CliArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (starts_with(arg, "--")) {
+      const std::size_t eq = arg.find('=');
+      if (eq == std::string::npos)
+        flags_[arg.substr(2)] = "true";
+      else
+        flags_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+    } else {
+      positional_.push_back(std::move(arg));
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& name) const { return flags_.count(name) > 0; }
+
+std::string CliArgs::get(const std::string& name, const std::string& def) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? def : it->second;
+}
+
+std::int64_t CliArgs::get_int(const std::string& name, std::int64_t def) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  return std::stoll(it->second);
+}
+
+double CliArgs::get_double(const std::string& name, double def) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  return std::stod(it->second);
+}
+
+bool CliArgs::get_bool(const std::string& name, bool def) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  const std::string v = to_lower(it->second);
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw std::invalid_argument("bad boolean flag --" + name + "=" + it->second);
+}
+
+std::vector<std::string> CliArgs::get_list(const std::string& name) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end() || it->second.empty()) return {};
+  return split(it->second, ',');
+}
+
+std::vector<std::string> CliArgs::unknown_flags(
+    const std::vector<std::string>& known) const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : flags_) {
+    (void)value;
+    if (std::find(known.begin(), known.end(), name) == known.end())
+      out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace sddict

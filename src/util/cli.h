@@ -1,0 +1,35 @@
+// Tiny --flag=value command-line parser for the benches and examples.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sddict {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, char** argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& def = "") const;
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+  // Comma-separated list flag.
+  std::vector<std::string> get_list(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // Flags seen on the command line that were never queried; used by benches
+  // to reject typos.
+  std::vector<std::string> unknown_flags(const std::vector<std::string>& known) const;
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace sddict

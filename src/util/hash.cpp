@@ -1,0 +1,35 @@
+#include "util/hash.h"
+
+namespace sddict {
+
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+Hash128 hash_words(const std::uint64_t* words, std::size_t n, std::uint64_t seed) {
+  std::uint64_t a = seed ^ 0x2545f4914f6cdd1dULL;
+  std::uint64_t b = ~seed ^ 0x6c8e9cf570932bd5ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    a = mix64(a ^ words[i]);
+    b = mix64(b + words[i] + 0x9e3779b97f4a7c15ULL * (i + 1));
+  }
+  a = mix64(a ^ n);
+  b = mix64(b ^ (n << 32));
+  return {a, b};
+}
+
+Hash128 hash_bitvec(const BitVec& v, std::uint64_t seed) {
+  return hash_words(v.words().data(), v.words().size(), seed ^ v.size());
+}
+
+Hash128 slot_token(std::uint64_t slot, std::uint64_t value) {
+  const std::uint64_t k = mix64(slot * 0x9e3779b97f4a7c15ULL + value + 1);
+  return {mix64(k ^ 0xa0761d6478bd642fULL), mix64(k + 0xe7037ed1a0b428dbULL)};
+}
+
+}  // namespace sddict

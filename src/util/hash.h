@@ -1,0 +1,44 @@
+// 128-bit non-cryptographic hashing for output-vector interning and
+// incremental dictionary-signature maintenance. 128 bits keep the collision
+// probability negligible even across billions of distinct vectors.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "util/bitvec.h"
+
+namespace sddict {
+
+struct Hash128 {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  bool operator==(const Hash128&) const = default;
+  Hash128 operator^(const Hash128& o) const { return {lo ^ o.lo, hi ^ o.hi}; }
+  Hash128& operator^=(const Hash128& o) {
+    lo ^= o.lo;
+    hi ^= o.hi;
+    return *this;
+  }
+};
+
+// Mixes a 64-bit value into a well-distributed 64-bit value (murmur3 final).
+std::uint64_t mix64(std::uint64_t x);
+
+// Hash of an arbitrary word sequence with a seed (used for output vectors).
+Hash128 hash_words(const std::uint64_t* words, std::size_t n, std::uint64_t seed = 0);
+
+Hash128 hash_bitvec(const BitVec& v, std::uint64_t seed = 0);
+
+// Deterministic per-(slot, value) token, e.g. the contribution of dictionary
+// column `slot` holding bit/value `value` to a fault's rolling signature.
+Hash128 slot_token(std::uint64_t slot, std::uint64_t value);
+
+struct Hash128Hasher {
+  std::size_t operator()(const Hash128& h) const {
+    return static_cast<std::size_t>(h.lo ^ (h.hi * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+}  // namespace sddict

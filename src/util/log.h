@@ -1,0 +1,50 @@
+// Minimal leveled logging to stderr. Benches and examples use it for
+// progress reporting; the library itself logs only at debug level.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sddict {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Process-wide threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, out_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    out_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream out_;
+};
+
+}  // namespace detail
+
+#define SDDICT_LOG(level_enum)                                 \
+  if (::sddict::log_level() > ::sddict::LogLevel::level_enum) { \
+  } else                                                       \
+    ::sddict::detail::LogLine(::sddict::LogLevel::level_enum)
+
+#define LOG_DEBUG SDDICT_LOG(kDebug)
+#define LOG_INFO SDDICT_LOG(kInfo)
+#define LOG_WARN SDDICT_LOG(kWarn)
+#define LOG_ERROR SDDICT_LOG(kError)
+
+}  // namespace sddict

@@ -1,0 +1,48 @@
+// Deterministic, seedable pseudo-random number generator (xoshiro256**).
+// Used everywhere randomness is needed so that every experiment in the repo
+// is reproducible from a seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sddict {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  std::uint64_t next();
+
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi);
+
+  bool coin() { return next() & 1; }
+
+  // Bernoulli with probability p in [0,1].
+  bool chance(double p);
+
+  double uniform01();
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  // A fresh generator whose stream is independent of subsequent draws from
+  // this one (split by drawing a seed).
+  Rng split() { return Rng(next() ^ 0xd1b54a32d192ed03ULL); }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace sddict

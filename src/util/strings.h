@@ -1,0 +1,20 @@
+// Small string helpers shared by the .bench parser and the CLI tools.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sddict {
+
+std::string trim(std::string_view s);
+std::vector<std::string> split(std::string_view s, char sep);
+// Splits on any whitespace run; no empty tokens.
+std::vector<std::string> split_ws(std::string_view s);
+std::string to_lower(std::string_view s);
+bool starts_with(std::string_view s, std::string_view prefix);
+
+// "12,345,678" style grouping for table output.
+std::string with_commas(unsigned long long v);
+
+}  // namespace sddict

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "bmcirc/embedded.h"
+#include "bmcirc/registry.h"
+#include "bmcirc/synth.h"
+#include "netlist/bench_io.h"
+#include "netlist/stats.h"
+#include "netlist/transform.h"
+#include "sim/logicsim.h"
+
+namespace sddict {
+namespace {
+
+TEST(Embedded, C17Shape) {
+  const Netlist nl = make_c17();
+  EXPECT_EQ(nl.num_inputs(), 5u);
+  EXPECT_EQ(nl.num_outputs(), 2u);
+  EXPECT_FALSE(nl.has_dffs());
+  const NetlistStats s = compute_stats(nl);
+  EXPECT_EQ(s.logic_gates, 6u);
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    if (nl.gate(g).type != GateType::kInput) {
+      EXPECT_EQ(nl.gate(g).type, GateType::kNand);
+    }
+  }
+}
+
+TEST(Embedded, C17KnownResponses) {
+  const Netlist nl = make_c17();
+  // Inputs in declaration order: 1, 2, 3, 6, 7.
+  // All zero: 10=NAND(0,0)=1, 11=NAND(0,0)=1, 16=NAND(0,1)=1,
+  // 19=NAND(1,0)=1, 22=NAND(1,1)=0, 23=NAND(1,1)=0.
+  EXPECT_EQ(simulate_pattern(nl, BitVec::from_string("00000")).to_string(),
+            "00");
+  // All ones: 10=NAND(1,1)=0, 11=0, 16=NAND(1,0)=1, 19=NAND(0,1)=1,
+  // 22=NAND(0,1)=1, 23=NAND(1,1)=0.
+  EXPECT_EQ(simulate_pattern(nl, BitVec::from_string("11111")).to_string(),
+            "10");
+}
+
+TEST(Embedded, S27Shape) {
+  const Netlist nl = make_s27();
+  EXPECT_EQ(nl.num_inputs(), 4u);
+  EXPECT_EQ(nl.num_outputs(), 1u);
+  EXPECT_EQ(nl.dffs().size(), 3u);
+  const NetlistStats s = compute_stats(nl);
+  EXPECT_EQ(s.logic_gates, 10u);
+}
+
+TEST(Embedded, BenchTextRoundTrips) {
+  const Netlist c17 = parse_bench_string(c17_bench_text(), "c17");
+  EXPECT_EQ(c17.num_gates(), make_c17().num_gates());
+  const Netlist s27 = parse_bench_string(s27_bench_text(), "s27");
+  EXPECT_EQ(s27.dffs().size(), 3u);
+}
+
+// ---------------------------------------------------------------- synth --
+
+TEST(Synth, DeterministicForSameProfile) {
+  SynthProfile p;
+  p.name = "d";
+  p.inputs = 6;
+  p.outputs = 4;
+  p.dffs = 5;
+  p.gates = 80;
+  p.seed = 123;
+  const std::string a = write_bench_string(generate_synthetic(p));
+  const std::string b = write_bench_string(generate_synthetic(p));
+  EXPECT_EQ(a, b);
+}
+
+TEST(Synth, DifferentSeedsDiffer) {
+  SynthProfile p;
+  p.name = "d";
+  p.inputs = 6;
+  p.outputs = 4;
+  p.gates = 80;
+  p.seed = 1;
+  const std::string a = write_bench_string(generate_synthetic(p));
+  p.seed = 2;
+  const std::string b = write_bench_string(generate_synthetic(p));
+  EXPECT_NE(a, b);
+}
+
+TEST(Synth, HonorsProfileCounts) {
+  SynthProfile p;
+  p.name = "prof";
+  p.inputs = 12;
+  p.outputs = 7;
+  p.dffs = 9;
+  p.gates = 150;
+  p.seed = 55;
+  const Netlist nl = generate_synthetic(p);
+  EXPECT_EQ(nl.num_inputs(), 12u);
+  EXPECT_EQ(nl.dffs().size(), 9u);
+  const NetlistStats s = compute_stats(nl);
+  EXPECT_EQ(s.logic_gates, 150u);
+  // The dangler fix-up may add a few extra observation points.
+  EXPECT_GE(nl.num_outputs(), 7u);
+  EXPECT_LE(nl.num_outputs(), 7u + 10u);
+}
+
+TEST(Synth, NoDanglingLogic) {
+  for (std::uint64_t seed : {1u, 9u, 33u}) {
+    SynthProfile p;
+    p.name = "nd";
+    p.inputs = 8;
+    p.outputs = 4;
+    p.dffs = 6;
+    p.gates = 100;
+    p.seed = seed;
+    const Netlist nl = generate_synthetic(p);
+    for (GateId g = 0; g < nl.num_gates(); ++g) {
+      const Gate& gate = nl.gate(g);
+      if (gate.type == GateType::kInput || gate.type == GateType::kDff)
+        continue;
+      EXPECT_TRUE(!gate.fanout.empty() || nl.is_output(g))
+          << gate.name << " dangles (seed " << seed << ")";
+    }
+  }
+}
+
+TEST(Synth, FullScanWorks) {
+  SynthProfile p;
+  p.name = "fs";
+  p.inputs = 5;
+  p.outputs = 3;
+  p.dffs = 4;
+  p.gates = 60;
+  p.seed = 77;
+  const Netlist scan = full_scan(generate_synthetic(p));
+  EXPECT_EQ(scan.num_inputs(), 9u);
+  EXPECT_FALSE(scan.has_dffs());
+  scan.validate();
+}
+
+TEST(Synth, ValidatesArguments) {
+  SynthProfile p;
+  p.gates = 0;
+  EXPECT_THROW(generate_synthetic(p), std::invalid_argument);
+  p.gates = 10;
+  p.inputs = 0;
+  EXPECT_THROW(generate_synthetic(p), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- registry --
+
+TEST(Registry, NamesIncludePaperCircuits) {
+  const auto names = benchmark_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "c17"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "s9234"), names.end());
+  const auto t6 = table6_circuit_names();
+  EXPECT_EQ(t6.size(), 16u);
+  EXPECT_EQ(t6.front(), "s208");
+  EXPECT_EQ(t6.back(), "s9234");
+}
+
+TEST(Registry, LoadsEveryName) {
+  for (const auto& name : benchmark_names()) {
+    EXPECT_TRUE(is_known_benchmark(name));
+    const Netlist nl = load_benchmark(name);
+    EXPECT_EQ(nl.name(), name);
+    nl.validate();
+  }
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_FALSE(is_known_benchmark("s99999"));
+  EXPECT_THROW(load_benchmark("s99999"), std::invalid_argument);
+  EXPECT_THROW(benchmark_profile("c17"), std::invalid_argument);
+}
+
+TEST(Registry, ProfilesMatchGeneratedCircuits) {
+  for (const auto& name : {"s208", "s386", "s1423"}) {
+    const SynthProfile p = benchmark_profile(name);
+    const Netlist nl = load_benchmark(name);
+    EXPECT_EQ(nl.num_inputs(), p.inputs);
+    EXPECT_EQ(nl.dffs().size(), p.dffs);
+    EXPECT_EQ(compute_stats(nl).logic_gates, p.gates);
+  }
+}
+
+TEST(Registry, GenerationIsStableAcrossCalls) {
+  const std::string a = write_bench_string(load_benchmark("s298"));
+  const std::string b = write_bench_string(load_benchmark("s298"));
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace sddict

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "bmcirc/embedded.h"
+#include "bmcirc/synth.h"
+#include "diag/observe.h"
+#include "fault/bridge.h"
+#include "fault/collapse.h"
+#include "netlist/bench_io.h"
+#include "netlist/transform.h"
+#include "sim/logicsim.h"
+
+namespace sddict {
+namespace {
+
+std::vector<BitVec> truth_table(const Netlist& nl) {
+  std::vector<BitVec> rows;
+  for (std::size_t v = 0; v < (1u << nl.num_inputs()); ++v) {
+    BitVec in(nl.num_inputs());
+    for (std::size_t i = 0; i < nl.num_inputs(); ++i) in.set(i, (v >> i) & 1);
+    rows.push_back(simulate_pattern(nl, in));
+  }
+  return rows;
+}
+
+TEST(Bridge, NonFeedbackPredicate) {
+  const Netlist nl = make_c17();
+  const GateId n10 = nl.find("10");
+  const GateId n11 = nl.find("11");
+  const GateId n16 = nl.find("16");
+  // 10 and 11 are parallel NANDs: incomparable.
+  EXPECT_TRUE(is_non_feedback_bridge(nl, n10, n11));
+  // 11 feeds 16: feedback bridge.
+  EXPECT_FALSE(is_non_feedback_bridge(nl, n11, n16));
+  EXPECT_FALSE(is_non_feedback_bridge(nl, n16, n11));
+  EXPECT_FALSE(is_non_feedback_bridge(nl, n10, n10));
+}
+
+TEST(Bridge, WiredAndSemantics) {
+  // y0 = BUF(a), y1 = BUF(b), bridge(a, b) wired-AND: both outputs = a & b.
+  Netlist nl("t");
+  const GateId a = nl.add_gate(GateType::kInput, "a");
+  const GateId b = nl.add_gate(GateType::kInput, "b");
+  const GateId y0 = nl.add_gate(GateType::kBuf, "y0", {a});
+  const GateId y1 = nl.add_gate(GateType::kBuf, "y1", {b});
+  nl.mark_output(y0);
+  nl.mark_output(y1);
+  const Netlist bad = inject_bridge(nl, {a, b, BridgeType::kWiredAnd});
+  const auto rows = truth_table(bad);
+  for (std::size_t v = 0; v < 4; ++v) {
+    const bool expect = (v & 1) && ((v >> 1) & 1);
+    EXPECT_EQ(rows[v].get(0), expect) << v;
+    EXPECT_EQ(rows[v].get(1), expect) << v;
+  }
+}
+
+TEST(Bridge, WiredOrSemantics) {
+  Netlist nl("t");
+  const GateId a = nl.add_gate(GateType::kInput, "a");
+  const GateId b = nl.add_gate(GateType::kInput, "b");
+  const GateId y = nl.add_gate(GateType::kXor, "y", {a, b});
+  nl.mark_output(y);
+  const Netlist bad = inject_bridge(nl, {a, b, BridgeType::kWiredOr});
+  // Both XOR pins read a|b: y = (a|b) XOR (a|b) = 0 always.
+  for (const auto& row : truth_table(bad)) EXPECT_FALSE(row.get(0));
+}
+
+TEST(Bridge, AllConsumersOfBothNetsRedirected) {
+  // Deep asymmetric cones: a at level 0 with an early consumer, b deep.
+  Netlist nl = parse_bench_string(R"(
+INPUT(a)
+INPUT(x)
+OUTPUT(p)
+OUTPUT(q)
+p = NOT(a)
+b1 = NOT(x)
+b2 = NOT(b1)
+q = AND(a, b2)
+)");
+  const GateId a = nl.find("a");
+  const GateId b2 = nl.find("b2");
+  ASSERT_TRUE(is_non_feedback_bridge(nl, a, b2));
+  const Netlist bad = inject_bridge(nl, {a, b2, BridgeType::kWiredAnd});
+  // p = NOT(a & b2) where b2 = x; q = (a&b2) & (a&b2) = a & x.
+  const auto rows = truth_table(bad);
+  for (std::size_t v = 0; v < 4; ++v) {
+    const bool av = v & 1, xv = (v >> 1) & 1;
+    EXPECT_EQ(rows[v].get(0), !(av && xv)) << v;  // p
+    EXPECT_EQ(rows[v].get(1), av && xv) << v;     // q
+  }
+}
+
+TEST(Bridge, FeedbackBridgeRejected) {
+  const Netlist nl = make_c17();
+  EXPECT_THROW(
+      inject_bridge(nl, {nl.find("11"), nl.find("16"), BridgeType::kWiredAnd}),
+      std::runtime_error);
+}
+
+TEST(Bridge, SamplerProducesValidDistinctBridges) {
+  SynthProfile p;
+  p.name = "b";
+  p.inputs = 8;
+  p.outputs = 4;
+  p.gates = 80;
+  p.seed = 3;
+  const Netlist nl = full_scan(generate_synthetic(p));
+  Rng rng(4);
+  const auto bridges = sample_bridges(nl, 25, rng);
+  EXPECT_EQ(bridges.size(), 25u);
+  for (const auto& br : bridges) {
+    EXPECT_TRUE(is_non_feedback_bridge(nl, br.a, br.b))
+        << bridge_name(nl, br);
+    // Injection must produce a valid combinational netlist.
+    const Netlist bad = inject_bridge(nl, br);
+    EXPECT_EQ(bad.num_inputs(), nl.num_inputs());
+    EXPECT_EQ(bad.num_outputs(), nl.num_outputs());
+  }
+}
+
+TEST(Bridge, ObservationThroughDictionaryMachinery) {
+  const Netlist nl = make_c17();
+  const FaultList faults = collapsed_fault_list(nl).collapsed;
+  TestSet tests(5);
+  for (std::size_t v = 0; v < 32; ++v) {
+    BitVec in(5);
+    for (std::size_t i = 0; i < 5; ++i) in.set(i, (v >> i) & 1);
+    tests.add(in);
+  }
+  const ResponseMatrix rm = build_response_matrix(nl, faults, tests);
+  const BridgingFault br{nl.find("10"), nl.find("11"), BridgeType::kWiredAnd};
+  const Netlist bad = inject_bridge(nl, br);
+  const auto observed = observe_defective_netlist(nl, bad, tests, rm);
+  EXPECT_EQ(observed.size(), tests.size());
+  // A wired-AND between two NAND outputs must fail somewhere on the
+  // exhaustive test set.
+  bool any_fail = false;
+  for (ResponseId id : observed) any_fail |= id != 0;
+  EXPECT_TRUE(any_fail);
+}
+
+TEST(Bridge, Names) {
+  const Netlist nl = make_c17();
+  const BridgingFault br{nl.find("10"), nl.find("11"), BridgeType::kWiredOr};
+  EXPECT_EQ(bridge_name(nl, br), "wired-OR(10, 11)");
+}
+
+}  // namespace
+}  // namespace sddict

@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include "bmcirc/embedded.h"
+#include "fault/collapse.h"
+#include "sim/faultsim.h"
+#include "tgen/compact.h"
+
+namespace sddict {
+namespace {
+
+TEST(CompactNDetect, PreservesNDetectCoverageExactly) {
+  const Netlist nl = make_c17();
+  const FaultList faults = collapsed_fault_list(nl).collapsed;
+  TestSet tests(5);
+  Rng rng(3);
+  tests.add_random(200, rng);
+  const auto before = count_detections(nl, faults, tests);
+  for (std::uint32_t n : {1u, 3u, 10u}) {
+    const TestSet small = compact_reverse_ndetect(nl, faults, tests, n);
+    EXPECT_LE(small.size(), tests.size());
+    const auto after = count_detections(nl, faults, small);
+    for (FaultId f = 0; f < faults.size(); ++f)
+      EXPECT_GE(after[f], std::min(n, before[f]))
+          << fault_name(nl, faults[f]) << " n=" << n;
+  }
+}
+
+TEST(CompactNDetect, SmallerNCompactsHarder) {
+  const Netlist nl = make_c17();
+  const FaultList faults = collapsed_fault_list(nl).collapsed;
+  TestSet tests(5);
+  Rng rng(7);
+  tests.add_random(300, rng);
+  const TestSet n1 = compact_reverse_ndetect(nl, faults, tests, 1);
+  const TestSet n10 = compact_reverse_ndetect(nl, faults, tests, 10);
+  EXPECT_LE(n1.size(), n10.size());
+  // n=1 compaction should agree with the plain 1-detect compactor's
+  // coverage guarantee.
+  const auto c1 = count_detections(nl, faults, n1);
+  const auto full = count_detections(nl, faults, tests);
+  for (FaultId f = 0; f < faults.size(); ++f)
+    EXPECT_EQ(c1[f] > 0, full[f] > 0);
+}
+
+TEST(CompactNDetect, NoopOnAlreadyMinimalSet) {
+  const Netlist nl = make_c17();
+  const FaultList faults = collapsed_fault_list(nl).collapsed;
+  TestSet tests(5);
+  Rng rng(9);
+  tests.add_random(120, rng);
+  const TestSet once = compact_reverse_ndetect(nl, faults, tests, 5);
+  const TestSet twice = compact_reverse_ndetect(nl, faults, once, 5);
+  EXPECT_EQ(twice.size(), once.size());
+}
+
+}  // namespace
+}  // namespace sddict

@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "bmcirc/embedded.h"
+#include "bmcirc/synth.h"
+#include "core/baseline.h"
+#include "core/hybrid.h"
+#include "core/pairset.h"
+#include "core/procedure2.h"
+#include "dict/passfail_dict.h"
+#include "dict/samediff_dict.h"
+#include "fault/collapse.h"
+#include "netlist/transform.h"
+#include "sim/logicsim.h"
+
+namespace sddict {
+namespace {
+
+// The paper's worked example (Tables 1-5).
+ResponseMatrix paper_example() {
+  const std::vector<BitVec> ff = {BitVec::from_string("00"),
+                                  BitVec::from_string("00")};
+  const std::vector<std::vector<BitVec>> faulty = {
+      {BitVec::from_string("10"), BitVec::from_string("11")},
+      {BitVec::from_string("00"), BitVec::from_string("10")},
+      {BitVec::from_string("01"), BitVec::from_string("10")},
+      {BitVec::from_string("01"), BitVec::from_string("00")},
+  };
+  return response_matrix_from_table(ff, faulty);
+}
+
+ResponseMatrix c17_matrix(std::size_t num_tests, std::uint64_t seed,
+                          FaultList* out_faults = nullptr) {
+  static const Netlist nl = make_c17();
+  const FaultList faults = collapsed_fault_list(nl).collapsed;
+  if (out_faults != nullptr) *out_faults = faults;
+  TestSet tests(nl.num_inputs());
+  Rng rng(seed);
+  tests.add_random(num_tests, rng);
+  return build_response_matrix(nl, faults, tests);
+}
+
+// ------------------------------------------------------ candidate_dist  --
+
+TEST(CandidateDist, ReproducesPaperTable4) {
+  const ResponseMatrix rm = paper_example();
+  Partition part(4);
+  const auto dist = candidate_dist(rm, 0, part);
+  // Z_0 = {00 (id0), 10, 01}. Table 4: dist(00)=3, dist(10)=3, dist(01)=4.
+  ASSERT_EQ(dist.size(), 3u);
+  EXPECT_EQ(dist[rm.response(1, 0)], 3u);  // 00 = fault-free id
+  EXPECT_EQ(dist[rm.response(0, 0)], 3u);  // 10
+  EXPECT_EQ(dist[rm.response(2, 0)], 4u);  // 01
+}
+
+TEST(CandidateDist, ReproducesPaperTable5AfterFirstSelection) {
+  const ResponseMatrix rm = paper_example();
+  Partition part(4);
+  const ResponseId bl0 = rm.response(2, 0);  // 01, selected in Table 4
+  part.refine_with([&](std::uint32_t f) {
+    return static_cast<std::uint32_t>(rm.response(f, 0) == bl0);
+  });
+  const auto dist = candidate_dist(rm, 1, part);
+  // Table 5: dist(11)=1, dist(10)=2, dist(00)=1.
+  EXPECT_EQ(dist[rm.response(0, 1)], 1u);  // 11
+  EXPECT_EQ(dist[rm.response(1, 1)], 2u);  // 10
+  EXPECT_EQ(dist[0], 1u);                  // 00 = fault-free
+}
+
+TEST(CandidateDist, SingletonClassesContributeNothing) {
+  const ResponseMatrix rm = paper_example();
+  Partition part(4);
+  part.refine({0, 1, 2, 3});  // fully refined
+  const auto dist = candidate_dist(rm, 0, part);
+  for (auto d : dist) EXPECT_EQ(d, 0u);
+}
+
+// ------------------------------------------------------ scan_with_lower --
+
+TEST(ScanWithLower, PicksFirstArgmax) {
+  EXPECT_EQ(scan_with_lower({5, 9, 9, 3}, 10), 1u);
+}
+
+TEST(ScanWithLower, EarlyStopHidesLateMaximum) {
+  // LOWER=2: candidates 0,1 score below best at index 0; scan stops before
+  // seeing the 100 at the end. This is the paper's Step 3c semantics.
+  EXPECT_EQ(scan_with_lower({50, 10, 10, 100}, 2), 0u);
+  // With a generous LOWER the late maximum is found.
+  EXPECT_EQ(scan_with_lower({50, 10, 10, 100}, 3), 3u);
+}
+
+TEST(ScanWithLower, EqualScoresDoNotCountTowardStop) {
+  // Scores equal to the best neither reset nor advance the counter.
+  EXPECT_EQ(scan_with_lower({7, 7, 7, 7, 8}, 1), 4u);
+}
+
+TEST(ScanWithLower, EmptyAndSingle) {
+  EXPECT_EQ(scan_with_lower({}, 3), 0u);
+  EXPECT_EQ(scan_with_lower({4}, 3), 0u);
+}
+
+// --------------------------------------------------------- procedure 1  --
+
+TEST(Procedure1, SolvesPaperExampleExactly) {
+  const ResponseMatrix rm = paper_example();
+  const BaselineSelection sel = procedure1_single(rm, {0, 1}, 10);
+  // Expect the Table 3 solution: baselines 01 and 10, all pairs split.
+  EXPECT_EQ(sel.baselines[0], rm.response(2, 0));
+  EXPECT_EQ(sel.baselines[1], rm.response(1, 1));
+  EXPECT_EQ(sel.indistinguished_pairs, 0u);
+  EXPECT_EQ(sel.distinguished_pairs, 6u);
+}
+
+TEST(Procedure1, MatchesExplicitPairReferenceOnC17) {
+  FaultList faults;
+  const ResponseMatrix rm = c17_matrix(10, 31, &faults);
+  std::vector<std::size_t> order(rm.num_tests());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  Rng rng(5);
+  for (int trial = 0; trial < 5; ++trial) {
+    for (std::size_t lower : {1u, 3u, 10u}) {
+      const auto fast = procedure1_single(rm, order, lower);
+      const auto slow = procedure1_single_pairs(rm, order, lower);
+      EXPECT_EQ(fast.baselines, slow.baselines) << "lower=" << lower;
+      EXPECT_EQ(fast.indistinguished_pairs, slow.indistinguished_pairs);
+      EXPECT_EQ(fast.distinguished_pairs, slow.distinguished_pairs);
+    }
+    rng.shuffle(order);
+  }
+}
+
+TEST(Procedure1, SelectionConsistentWithBuiltDictionary) {
+  const ResponseMatrix rm = c17_matrix(8, 17);
+  std::vector<std::size_t> order(rm.num_tests());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  const auto sel = procedure1_single(rm, order, 10);
+  const auto sd = SameDifferentDictionary::build(rm, sel.baselines);
+  EXPECT_EQ(sd.indistinguished_pairs(), sel.indistinguished_pairs);
+}
+
+TEST(Procedure1, RestartsNeverWorseThanPassFail) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const ResponseMatrix rm = c17_matrix(9, seed);
+    BaselineSelectionConfig cfg;
+    cfg.calls1 = 5;
+    cfg.seed = seed;
+    const auto sel = run_procedure1(rm, cfg);
+    const auto pf = PassFailDictionary::build(rm);
+    EXPECT_LE(sel.indistinguished_pairs, pf.indistinguished_pairs());
+  }
+}
+
+TEST(Procedure1, TargetStopsEarly) {
+  const ResponseMatrix rm = c17_matrix(16, 4);
+  BaselineSelectionConfig cfg;
+  cfg.calls1 = 100;
+  cfg.target_indistinguished = Partition::pairs(rm.num_faults());  // trivial
+  const auto sel = run_procedure1(rm, cfg);
+  EXPECT_EQ(sel.calls_used, 1u);
+}
+
+TEST(Procedure1, OrderAffectsSelection) {
+  // At least the machinery accepts arbitrary permutations; results must be
+  // valid baseline ids in each test's candidate set.
+  const ResponseMatrix rm = c17_matrix(12, 8);
+  std::vector<std::size_t> order(rm.num_tests());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::reverse(order.begin(), order.end());
+  const auto sel = procedure1_single(rm, order, 10);
+  for (std::size_t t = 0; t < rm.num_tests(); ++t)
+    EXPECT_LT(sel.baselines[t], rm.num_distinct(t));
+}
+
+// --------------------------------------------------------- procedure 2  --
+
+TEST(Procedure2, CountMatchesDictionaryBuild) {
+  const ResponseMatrix rm = c17_matrix(10, 12);
+  std::vector<ResponseId> baselines(rm.num_tests());
+  for (std::size_t t = 0; t < rm.num_tests(); ++t)
+    baselines[t] = rm.num_distinct(t) - 1;
+  EXPECT_EQ(count_indistinguished(rm, baselines),
+            SameDifferentDictionary::build(rm, baselines)
+                .indistinguished_pairs());
+}
+
+TEST(Procedure2, PassFailStartOnPaperExampleIsALocalOptimum) {
+  // From the pass/fail assignment (indistinguished = 1), every single
+  // baseline replacement still leaves one duplicate row pair, so
+  // Procedure 2 — a strict-improvement local search — makes no move. This
+  // is exactly why the paper runs it after Procedure 1, not instead of it.
+  const ResponseMatrix rm = paper_example();
+  const Procedure2Result res = run_procedure2(rm, {0, 0});
+  EXPECT_EQ(res.indistinguished_pairs, 1u);
+  EXPECT_EQ(res.replacements, 0u);
+  // Whereas from the Table-3/4/5 greedy starting point the assignment is
+  // already perfect and Procedure 2 confirms it.
+  const Procedure2Result from_p1 =
+      run_procedure2(rm, {rm.response(2, 0), rm.response(1, 1)});
+  EXPECT_EQ(from_p1.indistinguished_pairs, 0u);
+}
+
+TEST(Procedure2, NeverWorsens) {
+  for (std::uint64_t seed : {3u, 14u, 15u}) {
+    const ResponseMatrix rm = c17_matrix(10, seed);
+    BaselineSelectionConfig cfg;
+    cfg.calls1 = 2;
+    cfg.seed = seed;
+    const auto p1 = run_procedure1(rm, cfg);
+    const auto p2 = run_procedure2(rm, p1.baselines);
+    EXPECT_LE(p2.indistinguished_pairs, p1.indistinguished_pairs);
+    EXPECT_EQ(count_indistinguished(rm, p2.baselines),
+              p2.indistinguished_pairs);
+  }
+}
+
+TEST(Procedure2, FixpointIsStable) {
+  const ResponseMatrix rm = c17_matrix(10, 16);
+  const auto first = run_procedure2(rm, std::vector<ResponseId>(10, 0));
+  const auto second = run_procedure2(rm, first.baselines);
+  EXPECT_EQ(second.indistinguished_pairs, first.indistinguished_pairs);
+  EXPECT_EQ(second.replacements, 0u);
+}
+
+TEST(Procedure2, FixpointIsSingleSwapOptimal) {
+  // After Procedure 2 terminates, *no* single baseline replacement can
+  // strictly improve the count — verified by exhaustive enumeration.
+  for (std::uint64_t seed : {21u, 22u}) {
+    const ResponseMatrix rm = c17_matrix(8, seed);
+    const auto p2 = run_procedure2(rm, std::vector<ResponseId>(8, 0));
+    for (std::size_t j = 0; j < rm.num_tests(); ++j) {
+      for (ResponseId z = 0; z < rm.num_distinct(j); ++z) {
+        auto trial = p2.baselines;
+        trial[j] = z;
+        EXPECT_GE(count_indistinguished(rm, trial), p2.indistinguished_pairs)
+            << "j=" << j << " z=" << z << " seed=" << seed;
+      }
+    }
+  }
+}
+
+TEST(Procedure2, BaselineCountMismatchRejected) {
+  const ResponseMatrix rm = paper_example();
+  EXPECT_THROW(run_procedure2(rm, {0}), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- hybrid  --
+
+TEST(Hybrid, PreservesResolution) {
+  const ResponseMatrix rm = c17_matrix(12, 19);
+  BaselineSelectionConfig cfg;
+  cfg.calls1 = 3;
+  const auto p1 = run_procedure1(rm, cfg);
+  const auto before = count_indistinguished(rm, p1.baselines);
+  const auto hyb = hybridize_baselines(rm, p1.baselines);
+  EXPECT_LE(hyb.indistinguished_pairs, before);
+  EXPECT_EQ(count_indistinguished(rm, hyb.baselines),
+            hyb.indistinguished_pairs);
+  // Only reverted-to-fault-free baselines may differ.
+  for (std::size_t t = 0; t < rm.num_tests(); ++t) {
+    if (hyb.baselines[t] != p1.baselines[t]) {
+      EXPECT_EQ(hyb.baselines[t], 0u);
+    }
+  }
+}
+
+TEST(Hybrid, StoredBaselinesCounted) {
+  const ResponseMatrix rm = paper_example();
+  const auto hyb = hybridize_baselines(
+      rm, {rm.response(2, 0), rm.response(1, 1)});
+  std::size_t nonzero = 0;
+  for (auto b : hyb.baselines) nonzero += b != 0 ? 1 : 0;
+  EXPECT_EQ(hyb.stored_baselines, nonzero);
+  // Size model: never more than the plain same/different size + flags.
+  EXPECT_LE(hyb.size_bits,
+            dictionary_sizes(2, 4, 2).same_different_bits + 2);
+}
+
+TEST(Hybrid, AllFaultFreeWhenPassFailIsOptimal) {
+  // If every test's baseline is already fault-free, nothing changes.
+  const ResponseMatrix rm = paper_example();
+  const auto hyb = hybridize_baselines(rm, {0, 0});
+  EXPECT_EQ(hyb.stored_baselines, 0u);
+}
+
+}  // namespace
+}  // namespace sddict

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "bmcirc/embedded.h"
+#include "dict/detlist_dict.h"
+#include "dict/passfail_dict.h"
+#include "fault/collapse.h"
+#include "sim/logicsim.h"
+
+namespace sddict {
+namespace {
+
+struct Fixture {
+  Netlist nl = make_c17();
+  FaultList faults = collapsed_fault_list(nl).collapsed;
+  TestSet tests;
+  ResponseMatrix rm;
+  Fixture() : tests(5) {
+    Rng rng(41);
+    tests.add_random(20, rng);
+    rm = build_response_matrix(nl, faults, tests);
+  }
+};
+
+TEST(DetectionList, ListsMatchPassFailBits) {
+  Fixture fx;
+  const auto dl = DetectionListDictionary::build(fx.rm);
+  const auto pf = PassFailDictionary::build(fx.rm);
+  ASSERT_EQ(dl.num_tests(), fx.tests.size());
+  for (std::size_t t = 0; t < fx.tests.size(); ++t) {
+    const auto& list = dl.detected_by(t);
+    // Sorted, duplicate-free, and exactly the pass/fail 1-bits.
+    for (std::size_t i = 1; i < list.size(); ++i)
+      EXPECT_LT(list[i - 1], list[i]);
+    std::size_t expected = 0;
+    for (FaultId f = 0; f < fx.faults.size(); ++f) expected += pf.bit(f, t);
+    EXPECT_EQ(list.size(), expected);
+    for (FaultId f : list) EXPECT_TRUE(pf.bit(f, t));
+  }
+}
+
+TEST(DetectionList, ResolutionIdenticalToPassFail) {
+  Fixture fx;
+  const auto dl = DetectionListDictionary::build(fx.rm);
+  const auto pf = PassFailDictionary::build(fx.rm);
+  EXPECT_EQ(dl.indistinguished_pairs(), pf.indistinguished_pairs());
+}
+
+TEST(DetectionList, SizeModel) {
+  Fixture fx;
+  const auto dl = DetectionListDictionary::build(fx.rm);
+  // 22 faults -> 5 id bits, 5 length bits.
+  EXPECT_EQ(dl.size_bits(),
+            dl.total_entries() * 5 + fx.tests.size() * 5);
+}
+
+TEST(DetectionList, BreakevenDensity) {
+  // With 22 faults, lists beat the bit matrix below 1/5 density.
+  EXPECT_DOUBLE_EQ(DetectionListDictionary::breakeven_density(22), 1.0 / 5.0);
+  EXPECT_DOUBLE_EQ(DetectionListDictionary::breakeven_density(1024), 1.0 / 10.0);
+  // Sanity of the claim itself on this fixture.
+  Fixture fx;
+  const auto dl = DetectionListDictionary::build(fx.rm);
+  const auto pf = PassFailDictionary::build(fx.rm);
+  const double density =
+      static_cast<double>(dl.total_entries()) /
+      static_cast<double>(fx.faults.size() * fx.tests.size());
+  if (density < 0.15) {  // clearly below breakeven (margin for length fields)
+    EXPECT_LT(dl.size_bits(), pf.size_bits());
+  }
+}
+
+}  // namespace
+}  // namespace sddict

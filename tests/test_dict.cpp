@@ -1,0 +1,334 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bmcirc/embedded.h"
+#include "dict/full_dict.h"
+#include "dict/partition.h"
+#include "dict/passfail_dict.h"
+#include "dict/samediff_dict.h"
+#include "dict/serialize.h"
+#include "fault/collapse.h"
+#include "sim/logicsim.h"
+
+namespace sddict {
+namespace {
+
+// The paper's worked example (Tables 1-5): four faults, two tests, two
+// outputs. Row ff = 00 00; f0 = 10 11; f1 = 00 10; f2 = 01 10; f3 = 01 00.
+ResponseMatrix paper_example() {
+  const std::vector<BitVec> ff = {BitVec::from_string("00"),
+                                  BitVec::from_string("00")};
+  const std::vector<std::vector<BitVec>> faulty = {
+      {BitVec::from_string("10"), BitVec::from_string("11")},
+      {BitVec::from_string("00"), BitVec::from_string("10")},
+      {BitVec::from_string("01"), BitVec::from_string("10")},
+      {BitVec::from_string("01"), BitVec::from_string("00")},
+  };
+  return response_matrix_from_table(ff, faulty);
+}
+
+// Baseline ids for the paper's Table 3 choice: z_bl,0 = 01, z_bl,1 = 10.
+std::vector<ResponseId> table3_baselines(const ResponseMatrix& rm) {
+  return {rm.response(2, 0), rm.response(1, 1)};
+}
+
+// ------------------------------------------------------------- partition --
+
+TEST(Partition, StartsAsOneClass) {
+  Partition p(5);
+  EXPECT_EQ(p.num_classes(), 1u);
+  EXPECT_EQ(p.indistinguished_pairs(), 10u);
+  EXPECT_FALSE(p.fully_refined());
+}
+
+TEST(Partition, RefineSplitsAndCountsPairs) {
+  Partition p(4);
+  // Labels {0,0,1,1}: separates 2*2 = 4 pairs.
+  EXPECT_EQ(p.refine({0, 0, 1, 1}), 4u);
+  EXPECT_EQ(p.num_classes(), 2u);
+  EXPECT_EQ(p.indistinguished_pairs(), 2u);
+  // Further split one class.
+  EXPECT_EQ(p.refine({0, 1, 2, 2}), 1u);
+  EXPECT_EQ(p.indistinguished_pairs(), 1u);
+  EXPECT_EQ(p.refine({7, 7, 7, 8}), 1u);
+  EXPECT_TRUE(p.fully_refined());
+  EXPECT_EQ(p.refine({0, 0, 0, 0}), 0u);
+}
+
+TEST(Partition, RefineNoopWhenLabelsEqual) {
+  Partition p(4);
+  EXPECT_EQ(p.refine({3, 3, 3, 3}), 0u);
+  EXPECT_EQ(p.num_classes(), 1u);
+}
+
+TEST(Partition, ClassOfConsistentWithClasses) {
+  Partition p(6);
+  p.refine({0, 1, 0, 1, 2, 2});
+  for (std::size_t c = 0; c < p.num_classes(); ++c)
+    for (std::uint32_t e : p.classes()[c]) EXPECT_EQ(p.class_of(e), c);
+}
+
+TEST(Partition, PairsHelper) {
+  EXPECT_EQ(Partition::pairs(0), 0u);
+  EXPECT_EQ(Partition::pairs(1), 0u);
+  EXPECT_EQ(Partition::pairs(2), 1u);
+  EXPECT_EQ(Partition::pairs(100), 4950u);
+}
+
+TEST(Partition, EmptyPartition) {
+  Partition p(0);
+  EXPECT_EQ(p.num_classes(), 0u);
+  EXPECT_TRUE(p.fully_refined());
+  EXPECT_EQ(p.indistinguished_pairs(), 0u);
+}
+
+// ----------------------------------------------------------------- sizes --
+
+TEST(Sizes, PaperFormulas) {
+  const DictionarySizes s = dictionary_sizes(10, 100, 7);
+  EXPECT_EQ(s.full_bits, 7000u);
+  EXPECT_EQ(s.pass_fail_bits, 1000u);
+  EXPECT_EQ(s.same_different_bits, 1070u);
+}
+
+TEST(Sizes, HybridBetweenPassFailAndSameDifferent) {
+  const std::uint64_t k = 10, n = 100, m = 7;
+  const auto s = dictionary_sizes(k, n, m);
+  const auto h_none = hybrid_same_different_bits(k, n, m, 0);
+  const auto h_all = hybrid_same_different_bits(k, n, m, k);
+  EXPECT_EQ(h_none, s.pass_fail_bits + k);
+  EXPECT_EQ(h_all, s.same_different_bits + k);
+}
+
+TEST(Sizes, KindNames) {
+  EXPECT_STREQ(dictionary_kind_name(DictionaryKind::kFull), "full");
+  EXPECT_STREQ(dictionary_kind_name(DictionaryKind::kPassFail), "pass/fail");
+  EXPECT_STREQ(dictionary_kind_name(DictionaryKind::kSameDifferent),
+               "same/different");
+}
+
+// ------------------------------------------------------- paper example  --
+
+TEST(PaperExample, Table1FullDictionaryDistinguishesAll) {
+  const ResponseMatrix rm = paper_example();
+  const FullDictionary full = FullDictionary::build(rm);
+  EXPECT_EQ(full.indistinguished_pairs(), 0u);
+  EXPECT_EQ(full.size_bits(), 2u * 4u * 2u);
+}
+
+TEST(PaperExample, Table2PassFailLeavesF2F3) {
+  const ResponseMatrix rm = paper_example();
+  const PassFailDictionary pf = PassFailDictionary::build(rm);
+  // Bits from Table 2: f0=11, f1=01, f2=11, f3=10... mapping: b=1 iff
+  // detected. f0: t0 yes, t1 yes. f1: t0 no, t1 yes. f2: yes/yes. f3:
+  // yes/no.
+  EXPECT_EQ(pf.row(0).to_string(), "11");
+  EXPECT_EQ(pf.row(1).to_string(), "01");
+  EXPECT_EQ(pf.row(2).to_string(), "11");
+  EXPECT_EQ(pf.row(3).to_string(), "10");
+  // Exactly one indistinguished pair: (f0, f2).
+  EXPECT_EQ(pf.indistinguished_pairs(), 1u);
+  EXPECT_EQ(pf.size_bits(), 8u);
+}
+
+TEST(PaperExample, Table3SameDifferentDistinguishesAll) {
+  const ResponseMatrix rm = paper_example();
+  const SameDifferentDictionary sd =
+      SameDifferentDictionary::build(rm, table3_baselines(rm));
+  // Table 3 rows: f0=11, f1=10, f2=00, f3=01.
+  EXPECT_EQ(sd.row(0).to_string(), "11");
+  EXPECT_EQ(sd.row(1).to_string(), "10");
+  EXPECT_EQ(sd.row(2).to_string(), "00");
+  EXPECT_EQ(sd.row(3).to_string(), "01");
+  EXPECT_EQ(sd.indistinguished_pairs(), 0u);
+  EXPECT_EQ(sd.size_bits(), 2u * (4u + 2u));
+}
+
+TEST(PaperExample, SameDifferentWithFaultFreeBaselinesEqualsPassFail) {
+  const ResponseMatrix rm = paper_example();
+  const PassFailDictionary pf = PassFailDictionary::build(rm);
+  const SameDifferentDictionary sd = SameDifferentDictionary::build(rm, {0, 0});
+  for (FaultId f = 0; f < 4; ++f) EXPECT_EQ(sd.row(f), pf.row(f));
+  EXPECT_EQ(sd.indistinguished_pairs(), pf.indistinguished_pairs());
+  EXPECT_EQ(sd.num_nontrivial_baselines(), 0u);
+}
+
+TEST(PaperExample, BadBaselineDistinguishesNothing) {
+  // A baseline no fault produces would set every bit to 1; our builder only
+  // accepts ids in Z_j, which is exactly the paper's point that candidates
+  // outside Z_j are useless.
+  const ResponseMatrix rm = paper_example();
+  EXPECT_THROW(SameDifferentDictionary::build(rm, {99, 0}),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------- dictionaries on c17  --
+
+struct C17Fixture {
+  Netlist nl = make_c17();
+  FaultList faults = collapsed_fault_list(nl).collapsed;
+  TestSet tests;
+  ResponseMatrix rm;
+  C17Fixture() : tests(5) {
+    Rng rng(21);
+    tests.add_random(12, rng);
+    rm = build_response_matrix(nl, faults, tests);
+  }
+};
+
+TEST(Dictionaries, ResolutionOrderingOnC17) {
+  C17Fixture fx;
+  const auto full = FullDictionary::build(fx.rm);
+  const auto pf = PassFailDictionary::build(fx.rm);
+  // Any baseline assignment is at least as coarse as the full dictionary.
+  std::vector<ResponseId> some_baselines(fx.tests.size(), 0);
+  for (std::size_t t = 0; t < fx.tests.size(); ++t)
+    some_baselines[t] = fx.rm.num_distinct(t) > 1 ? 1 : 0;
+  const auto sd = SameDifferentDictionary::build(fx.rm, some_baselines);
+  EXPECT_LE(full.indistinguished_pairs(), sd.indistinguished_pairs());
+  EXPECT_LE(full.indistinguished_pairs(), pf.indistinguished_pairs());
+}
+
+TEST(Dictionaries, DiagnoseExactMatchRanksFirst) {
+  C17Fixture fx;
+  const auto full = FullDictionary::build(fx.rm);
+  // Use fault 3's own row as the observation.
+  std::vector<ResponseId> observed(fx.tests.size());
+  for (std::size_t t = 0; t < fx.tests.size(); ++t)
+    observed[t] = fx.rm.response(3, t);
+  const auto matches = full.diagnose(observed, 5);
+  ASSERT_FALSE(matches.empty());
+  EXPECT_EQ(matches[0].mismatches, 0u);
+  // Fault 3 must be among the zero-mismatch candidates.
+  bool found = false;
+  for (const auto& m : matches)
+    if (m.fault == 3 && m.mismatches == 0) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Dictionaries, UnknownResponseMismatchesEveryone) {
+  C17Fixture fx;
+  const auto full = FullDictionary::build(fx.rm);
+  std::vector<ResponseId> observed(fx.tests.size(), kUnknownResponse);
+  const auto matches = full.diagnose(observed, 3);
+  for (const auto& m : matches) EXPECT_EQ(m.mismatches, fx.tests.size());
+}
+
+TEST(Dictionaries, PassFailEncodeMatchesRows) {
+  C17Fixture fx;
+  const auto pf = PassFailDictionary::build(fx.rm);
+  for (FaultId f = 0; f < fx.faults.size(); ++f) {
+    std::vector<ResponseId> observed(fx.tests.size());
+    for (std::size_t t = 0; t < fx.tests.size(); ++t)
+      observed[t] = fx.rm.response(f, t);
+    EXPECT_EQ(pf.encode(observed), pf.row(f));
+  }
+}
+
+TEST(Dictionaries, SameDiffEncodeMatchesRows) {
+  C17Fixture fx;
+  std::vector<ResponseId> baselines(fx.tests.size(), 0);
+  for (std::size_t t = 0; t < fx.tests.size(); ++t)
+    baselines[t] = fx.rm.num_distinct(t) - 1;
+  const auto sd = SameDifferentDictionary::build(fx.rm, baselines);
+  for (FaultId f = 0; f < fx.faults.size(); ++f) {
+    std::vector<ResponseId> observed(fx.tests.size());
+    for (std::size_t t = 0; t < fx.tests.size(); ++t)
+      observed[t] = fx.rm.response(f, t);
+    EXPECT_EQ(sd.encode(observed), sd.row(f));
+  }
+}
+
+TEST(Dictionaries, DiagnoseHammingRanking) {
+  C17Fixture fx;
+  const auto pf = PassFailDictionary::build(fx.rm);
+  // Flip one bit of fault 0's signature: fault 0 should rank with exactly
+  // one mismatch.
+  BitVec obs = pf.row(0);
+  obs.flip(0);
+  const auto matches = pf.diagnose(obs, fx.faults.size());
+  bool seen_f0 = false;
+  for (const auto& m : matches)
+    if (m.fault == 0) {
+      EXPECT_EQ(m.mismatches, 1u);
+      seen_f0 = true;
+    }
+  EXPECT_TRUE(seen_f0);
+  // Ranking is non-decreasing.
+  for (std::size_t i = 1; i < matches.size(); ++i)
+    EXPECT_LE(matches[i - 1].mismatches, matches[i].mismatches);
+}
+
+TEST(Dictionaries, PartitionMatchesBruteForceRowComparison) {
+  C17Fixture fx;
+  const auto pf = PassFailDictionary::build(fx.rm);
+  std::uint64_t brute = 0;
+  for (FaultId a = 0; a < fx.faults.size(); ++a)
+    for (FaultId b = a + 1; b < fx.faults.size(); ++b)
+      if (pf.row(a) == pf.row(b)) ++brute;
+  EXPECT_EQ(pf.indistinguished_pairs(), brute);
+}
+
+// ------------------------------------------------------------ serialize --
+
+TEST(Serialize, PassFailRoundTrip) {
+  C17Fixture fx;
+  const auto pf = PassFailDictionary::build(fx.rm);
+  std::stringstream ss;
+  write_dictionary(pf, ss);
+  const auto again = read_passfail_dictionary(ss);
+  EXPECT_EQ(again.num_faults(), pf.num_faults());
+  EXPECT_EQ(again.num_tests(), pf.num_tests());
+  EXPECT_EQ(again.size_bits(), pf.size_bits());
+  EXPECT_EQ(again.indistinguished_pairs(), pf.indistinguished_pairs());
+  for (FaultId f = 0; f < pf.num_faults(); ++f)
+    EXPECT_EQ(again.row(f), pf.row(f));
+}
+
+TEST(Serialize, SameDiffRoundTrip) {
+  C17Fixture fx;
+  std::vector<ResponseId> baselines(fx.tests.size());
+  for (std::size_t t = 0; t < fx.tests.size(); ++t)
+    baselines[t] = fx.rm.num_distinct(t) - 1;
+  const auto sd = SameDifferentDictionary::build(fx.rm, baselines);
+  std::stringstream ss;
+  write_dictionary(sd, ss);
+  const auto again = read_samediff_dictionary(ss);
+  EXPECT_EQ(again.baselines(), sd.baselines());
+  EXPECT_EQ(again.indistinguished_pairs(), sd.indistinguished_pairs());
+  for (FaultId f = 0; f < sd.num_faults(); ++f)
+    EXPECT_EQ(again.row(f), sd.row(f));
+}
+
+TEST(Serialize, FullRoundTrip) {
+  C17Fixture fx;
+  const auto full = FullDictionary::build(fx.rm);
+  std::stringstream ss;
+  write_dictionary(full, ss);
+  const auto again = read_full_dictionary(ss);
+  EXPECT_EQ(again.num_outputs(), full.num_outputs());
+  EXPECT_EQ(again.indistinguished_pairs(), full.indistinguished_pairs());
+  for (FaultId f = 0; f < full.num_faults(); ++f)
+    for (std::size_t t = 0; t < full.num_tests(); ++t)
+      EXPECT_EQ(again.entry(f, t), full.entry(f, t));
+}
+
+TEST(Serialize, RejectsCorruptHeader) {
+  std::stringstream ss("bogus v1\n");
+  EXPECT_THROW(read_passfail_dictionary(ss), std::runtime_error);
+}
+
+TEST(Serialize, RejectsTruncatedRows) {
+  std::stringstream ss("sddict-passfail v1\ntests 3 faults 2 outputs 1\n010\n");
+  EXPECT_THROW(read_passfail_dictionary(ss), std::runtime_error);
+}
+
+TEST(FromRows, WidthValidated) {
+  EXPECT_THROW(
+      PassFailDictionary::from_rows({BitVec::from_string("01")}, 3, 1),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sddict

@@ -1,0 +1,178 @@
+// Edge cases across layers: very wide gates, constant gates, degenerate
+// circuit and dictionary shapes.
+#include <gtest/gtest.h>
+
+#include "core/baseline.h"
+#include "core/procedure2.h"
+#include "dict/full_dict.h"
+#include "dict/passfail_dict.h"
+#include "fault/collapse.h"
+#include "netlist/bench_io.h"
+#include "netlist/transform.h"
+#include "sim/faultsim.h"
+#include "sim/logicsim.h"
+#include "tgen/podem.h"
+
+namespace sddict {
+namespace {
+
+// ------------------------------------------------------- wide fanin (>64) --
+
+Netlist wide_and(std::size_t width) {
+  Netlist nl("wide");
+  std::vector<GateId> ins;
+  for (std::size_t i = 0; i < width; ++i)
+    ins.push_back(nl.add_gate(GateType::kInput, "i" + std::to_string(i)));
+  const GateId g = nl.add_gate(GateType::kAnd, "g", ins);
+  nl.mark_output(g);
+  return nl;
+}
+
+TEST(WideGates, SimulationBeyond64Fanin) {
+  const Netlist nl = wide_and(100);
+  BitVec all1(100, true);
+  EXPECT_TRUE(simulate_pattern(nl, all1).get(0));
+  BitVec one0 = all1;
+  one0.set(87, false);
+  EXPECT_FALSE(simulate_pattern(nl, one0).get(0));
+}
+
+TEST(WideGates, FaultSimulationBeyond64Fanin) {
+  const Netlist nl = wide_and(100);
+  TestSet tests(100);
+  tests.add(BitVec(100, true));
+  FaultSimulator fsim(nl);
+  std::vector<std::uint64_t> words;
+  tests.pack_batch(0, 1, &words);
+  fsim.load_batch(words, 1);
+  // Pin 87 stuck at 0 forces the output low under the all-ones test.
+  EXPECT_EQ(fsim.detect_word({nl.find("g"), 87, 0}), 1u);
+  EXPECT_EQ(fsim.detect_word({nl.find("g"), 87, 1}), 0u);
+}
+
+TEST(WideGates, PodemBeyond64Fanin) {
+  const Netlist nl = wide_and(80);
+  Podem podem(nl);
+  Rng rng(1);
+  BitVec test;
+  // Output sa0 needs all 80 inputs at 1.
+  ASSERT_EQ(podem.generate({nl.find("g"), -1, 0}, &test, rng),
+            PodemStatus::kTestFound);
+  EXPECT_EQ(test.count_ones(), 80u);
+}
+
+// ------------------------------------------------------------- constants --
+
+Netlist const_circuit() {
+  return parse_bench_string(R"(
+INPUT(a)
+OUTPUT(y)
+OUTPUT(z)
+one = CONST1()
+y = AND(a, one)
+z = XOR(a, one)
+)",
+                            "consts");
+}
+
+TEST(Constants, ParseSimulateWriteRoundTrip) {
+  const Netlist nl = const_circuit();
+  BitVec in(1);
+  in.set(0, true);
+  const BitVec out = simulate_pattern(nl, in);
+  EXPECT_TRUE(out.get(0));   // y = a AND 1 = 1
+  EXPECT_FALSE(out.get(1));  // z = a XOR 1 = 0
+  const Netlist again = parse_bench_string(write_bench_string(nl), "consts");
+  EXPECT_EQ(again.num_gates(), nl.num_gates());
+}
+
+TEST(Constants, FaultsOnConstCone) {
+  const Netlist nl = const_circuit();
+  const CollapseResult cr = collapsed_fault_list(nl);
+  // The const gate drives two branches; its sa-faults are enumerable and
+  // the sa1 case (stuck at its own value) is untestable.
+  Podem podem(nl);
+  Rng rng(2);
+  BitVec test;
+  const GateId one = nl.find("one");
+  EXPECT_EQ(podem.generate({one, -1, 1}, &test, rng), PodemStatus::kUntestable);
+  // Stuck-at-0 on the const flips both outputs for a=1.
+  ASSERT_EQ(podem.generate({one, -1, 0}, &test, rng), PodemStatus::kTestFound);
+  (void)cr;
+}
+
+// ------------------------------------------------------------ degenerate --
+
+TEST(Degenerate, SingleTestDictionary) {
+  const Netlist nl = const_circuit();
+  const FaultList faults = collapsed_fault_list(nl).collapsed;
+  TestSet tests(1);
+  tests.add_string("1");
+  const ResponseMatrix rm = build_response_matrix(nl, faults, tests);
+  const auto pf = PassFailDictionary::build(rm);
+  const auto full = FullDictionary::build(rm);
+  EXPECT_LE(full.indistinguished_pairs(), pf.indistinguished_pairs());
+  BaselineSelectionConfig cfg;
+  cfg.calls1 = 2;
+  const auto p1 = run_procedure1(rm, cfg);
+  EXPECT_LE(p1.indistinguished_pairs, pf.indistinguished_pairs());
+}
+
+TEST(Degenerate, SingleFaultUniverse) {
+  const Netlist nl = const_circuit();
+  FaultList one(std::vector<StuckFault>{{nl.find("y"), -1, 0}});
+  TestSet tests(1);
+  tests.add_string("1");
+  const ResponseMatrix rm = build_response_matrix(nl, one, tests);
+  EXPECT_EQ(FullDictionary::build(rm).indistinguished_pairs(), 0u);
+  EXPECT_EQ(run_procedure2(rm, {0}).indistinguished_pairs, 0u);
+}
+
+TEST(Degenerate, EmptyTestSetResponseMatrix) {
+  const Netlist nl = const_circuit();
+  const FaultList faults = collapsed_fault_list(nl).collapsed;
+  const TestSet none(1);
+  const ResponseMatrix rm = build_response_matrix(nl, faults, none);
+  EXPECT_EQ(rm.num_tests(), 0u);
+  const auto pf = PassFailDictionary::build(rm);
+  // Nothing distinguishes anything.
+  EXPECT_EQ(pf.indistinguished_pairs(),
+            Partition::pairs(faults.size()));
+}
+
+TEST(Degenerate, InverterChainPipelineEndToEnd) {
+  // The smallest interesting circuit: a NOT chain has 2 collapsed faults.
+  Netlist nl("chain");
+  GateId g = nl.add_gate(GateType::kInput, "a");
+  for (int i = 0; i < 5; ++i)
+    g = nl.add_gate(GateType::kNot, "n" + std::to_string(i), {g});
+  nl.mark_output(g);
+  const FaultList faults = collapsed_fault_list(nl).collapsed;
+  ASSERT_EQ(faults.size(), 2u);
+  TestSet tests(1);
+  tests.add_string("0");
+  tests.add_string("1");
+  const ResponseMatrix rm = build_response_matrix(nl, faults, tests);
+  // One output: the two faults (sa0/sa1 of the line) fail on complementary
+  // tests, so even pass/fail distinguishes them.
+  EXPECT_EQ(PassFailDictionary::build(rm).indistinguished_pairs(), 0u);
+}
+
+TEST(Degenerate, ProcedureOneOnFullyEquivalentFaults) {
+  // Two copies of the same fault line: never distinguishable; Procedure 1
+  // must terminate with the pair intact.
+  const Netlist nl = const_circuit();
+  const GateId y = nl.find("y");
+  FaultList dup(std::vector<StuckFault>{{y, -1, 0}, {y, -1, 0}});
+  TestSet tests(1);
+  tests.add_string("1");
+  tests.add_string("0");
+  const ResponseMatrix rm = build_response_matrix(nl, dup, tests);
+  BaselineSelectionConfig cfg;
+  cfg.calls1 = 2;
+  const auto p1 = run_procedure1(rm, cfg);
+  EXPECT_EQ(p1.indistinguished_pairs, 1u);
+}
+
+}  // namespace
+}  // namespace sddict

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bmcirc/embedded.h"
+#include "fault/collapse.h"
+#include "fault/faultlist.h"
+#include "netlist/bench_io.h"
+#include "netlist/transform.h"
+#include "sim/logicsim.h"
+
+namespace sddict {
+namespace {
+
+std::vector<BitVec> truth_table(const Netlist& nl) {
+  const std::size_t n = nl.num_inputs();
+  std::vector<BitVec> rows;
+  for (std::size_t v = 0; v < (1u << n); ++v) {
+    BitVec in(n);
+    for (std::size_t i = 0; i < n; ++i) in.set(i, (v >> i) & 1);
+    rows.push_back(simulate_pattern(nl, in));
+  }
+  return rows;
+}
+
+TEST(FaultList, SingleGateNoFanoutBranches) {
+  // y = AND(a, b): lines are a, b, y (fanout 1 everywhere): 6 faults.
+  Netlist nl("t");
+  const GateId a = nl.add_gate(GateType::kInput, "a");
+  const GateId b = nl.add_gate(GateType::kInput, "b");
+  const GateId y = nl.add_gate(GateType::kAnd, "y", {a, b});
+  nl.mark_output(y);
+  const FaultList fl = enumerate_all_faults(nl);
+  EXPECT_EQ(fl.size(), 6u);
+  for (const auto& f : fl) EXPECT_TRUE(f.is_output_fault());
+}
+
+TEST(FaultList, FanoutStemCreatesBranchFaults) {
+  // a feeds two gates: stem a plus two branches -> 2 + 2*2 extra faults.
+  Netlist nl("t");
+  const GateId a = nl.add_gate(GateType::kInput, "a");
+  const GateId x = nl.add_gate(GateType::kNot, "x", {a});
+  const GateId y = nl.add_gate(GateType::kBuf, "y", {a});
+  nl.mark_output(x);
+  nl.mark_output(y);
+  const FaultList fl = enumerate_all_faults(nl);
+  // Stems: a, x, y (6) + branches a->x, a->y (4).
+  EXPECT_EQ(fl.size(), 10u);
+  std::size_t branches = 0;
+  for (const auto& f : fl) branches += f.is_output_fault() ? 0 : 1;
+  EXPECT_EQ(branches, 4u);
+}
+
+TEST(FaultList, C17Universe) {
+  // c17 has 11 lines plus fanout branches; the classic uncollapsed count.
+  Netlist nl = make_c17();
+  const FaultList fl = enumerate_all_faults(nl);
+  // 11 gates/stems... c17: 5 PI + 6 NAND = 11 stems, of which stems with
+  // fanout>1: net 3, 11, 16 => 3 stems * 2 branches = 6 branch sites.
+  // Faults = 2*(11 + 6) = 34.
+  EXPECT_EQ(fl.size(), 34u);
+}
+
+TEST(FaultList, RejectsSequential) {
+  EXPECT_THROW(enumerate_all_faults(make_s27()), std::runtime_error);
+}
+
+TEST(FaultList, DanglingGateStemExcluded) {
+  // A gate driving nothing has no observable output line, so its stem
+  // faults are not enumerated (branch faults on its *inputs* still are —
+  // they sit on the driver's fanout lines).
+  Netlist nl("t");
+  const GateId a = nl.add_gate(GateType::kInput, "a");
+  nl.add_gate(GateType::kNot, "dead", {a});
+  const GateId y = nl.add_gate(GateType::kBuf, "y", {a});
+  nl.mark_output(y);
+  const FaultList fl = enumerate_all_faults(nl);
+  for (const auto& f : fl) {
+    if (f.is_output_fault()) {
+      EXPECT_NE(nl.gate(f.gate).name, "dead");
+    }
+  }
+}
+
+TEST(FaultNames, Readable) {
+  Netlist nl("t");
+  const GateId a = nl.add_gate(GateType::kInput, "a");
+  const GateId b = nl.add_gate(GateType::kInput, "b");
+  const GateId x = nl.add_gate(GateType::kNot, "x", {a});
+  const GateId y = nl.add_gate(GateType::kAnd, "y", {a, b});
+  nl.mark_output(x);
+  nl.mark_output(y);
+  EXPECT_EQ(fault_name(nl, {y, -1, 1}), "y sa1");
+  EXPECT_EQ(fault_name(nl, {y, 0, 0}), "y.in0(a) sa0");
+}
+
+// ------------------------------------------------------------- collapse --
+
+TEST(Collapse, BufferChainCollapsesToOneClassPerValue) {
+  Netlist nl("chain");
+  GateId g = nl.add_gate(GateType::kInput, "a");
+  for (int i = 0; i < 4; ++i)
+    g = nl.add_gate(GateType::kBuf, "b" + std::to_string(i), {g});
+  nl.mark_output(g);
+  const CollapseResult cr = collapsed_fault_list(nl);
+  // 5 stems * 2 values, all equivalent along the chain -> 2 classes.
+  EXPECT_EQ(cr.uncollapsed_count, 10u);
+  EXPECT_EQ(cr.collapsed.size(), 2u);
+}
+
+TEST(Collapse, InverterSwapsValues) {
+  Netlist nl("inv");
+  const GateId a = nl.add_gate(GateType::kInput, "a");
+  const GateId x = nl.add_gate(GateType::kNot, "x", {a});
+  nl.mark_output(x);
+  const CollapseResult cr = collapsed_fault_list(nl);
+  // a sa0 == x sa1, a sa1 == x sa0 -> 2 classes of size 2.
+  EXPECT_EQ(cr.collapsed.size(), 2u);
+  for (const auto& members : cr.class_members) EXPECT_EQ(members.size(), 2u);
+}
+
+TEST(Collapse, AndGateInputsCollapseWithOutputSa0) {
+  Netlist nl("and");
+  const GateId a = nl.add_gate(GateType::kInput, "a");
+  const GateId b = nl.add_gate(GateType::kInput, "b");
+  const GateId y = nl.add_gate(GateType::kAnd, "y", {a, b});
+  nl.mark_output(y);
+  const CollapseResult cr = collapsed_fault_list(nl);
+  // {a sa0, b sa0, y sa0} merge: 6 - 2 = 4 classes.
+  EXPECT_EQ(cr.collapsed.size(), 4u);
+}
+
+TEST(Collapse, C17ClassicCount) {
+  // The standard equivalence-collapsed count for c17 is 22.
+  const CollapseResult cr = collapsed_fault_list(make_c17());
+  EXPECT_EQ(cr.collapsed.size(), 22u);
+}
+
+TEST(Collapse, RepresentativeMappingIsConsistent) {
+  const Netlist nl = make_c17();
+  const FaultList all = enumerate_all_faults(nl);
+  const CollapseResult cr = collapse_equivalent(nl, all);
+  ASSERT_EQ(cr.representative_of.size(), all.size());
+  // Class members must map back to their class.
+  for (std::size_t c = 0; c < cr.class_members.size(); ++c)
+    for (FaultId m : cr.class_members[c])
+      EXPECT_EQ(cr.representative_of[m], c);
+  // Classes partition the universe.
+  std::size_t total = 0;
+  for (const auto& members : cr.class_members) total += members.size();
+  EXPECT_EQ(total, all.size());
+}
+
+// Functional check: every fault in a class produces identical output
+// behaviour over all input vectors.
+TEST(Collapse, ClassesAreFunctionallyEquivalentOnC17) {
+  const Netlist nl = make_c17();
+  const FaultList all = enumerate_all_faults(nl);
+  const CollapseResult cr = collapse_equivalent(nl, all);
+  for (const auto& members : cr.class_members) {
+    if (members.size() < 2) continue;
+    const auto ref =
+        truth_table(inject_faults(nl, {to_injection(all[members[0]])}));
+    for (std::size_t i = 1; i < members.size(); ++i) {
+      const auto other =
+          truth_table(inject_faults(nl, {to_injection(all[members[i]])}));
+      EXPECT_EQ(ref, other) << fault_name(nl, all[members[0]]) << " vs "
+                            << fault_name(nl, all[members[i]]);
+    }
+  }
+}
+
+TEST(Collapse, XorGateHasNoLocalEquivalences) {
+  Netlist nl("x");
+  const GateId a = nl.add_gate(GateType::kInput, "a");
+  const GateId b = nl.add_gate(GateType::kInput, "b");
+  const GateId y = nl.add_gate(GateType::kXor, "y", {a, b});
+  nl.mark_output(y);
+  const CollapseResult cr = collapsed_fault_list(nl);
+  EXPECT_EQ(cr.collapsed.size(), 6u);
+}
+
+TEST(Collapse, SingleInputAndBehavesAsBuf) {
+  Netlist nl("deg");
+  const GateId a = nl.add_gate(GateType::kInput, "a");
+  const GateId y = nl.add_gate(GateType::kAnd, "y", {a});
+  nl.mark_output(y);
+  const CollapseResult cr = collapsed_fault_list(nl);
+  EXPECT_EQ(cr.collapsed.size(), 2u);
+}
+
+TEST(Dominance, AndOutputSa1Dominated) {
+  Netlist nl("and");
+  const GateId a = nl.add_gate(GateType::kInput, "a");
+  const GateId b = nl.add_gate(GateType::kInput, "b");
+  const GateId y = nl.add_gate(GateType::kAnd, "y", {a, b});
+  nl.mark_output(y);
+  const CollapseResult cr = collapsed_fault_list(nl);
+  EXPECT_EQ(count_dominated_faults(nl, cr.collapsed), 1u);
+}
+
+TEST(Dominance, PresentOnC17) {
+  const CollapseResult cr = collapsed_fault_list(make_c17());
+  const std::size_t d = count_dominated_faults(make_c17(), cr.collapsed);
+  EXPECT_GT(d, 0u);
+  EXPECT_LT(d, cr.collapsed.size());
+}
+
+}  // namespace
+}  // namespace sddict

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "bmcirc/embedded.h"
+#include "dict/firstfail_dict.h"
+#include "dict/full_dict.h"
+#include "dict/passfail_dict.h"
+#include "fault/collapse.h"
+#include "netlist/transform.h"
+#include "sim/logicsim.h"
+
+namespace sddict {
+namespace {
+
+struct Fixture {
+  Netlist nl = make_c17();
+  FaultList faults = collapsed_fault_list(nl).collapsed;
+  TestSet tests;
+  ResponseMatrix rm;
+  Fixture() : tests(5) {
+    Rng rng(23);
+    tests.add_random(16, rng);
+    rm = build_response_matrix(nl, faults, tests, {.store_diff_outputs = true});
+  }
+};
+
+TEST(FirstFail, RequiresDiffOutputs) {
+  Fixture fx;
+  const ResponseMatrix bare = build_response_matrix(fx.nl, fx.faults, fx.tests);
+  EXPECT_THROW(FirstFailDictionary::build(bare), std::invalid_argument);
+}
+
+TEST(FirstFail, EntriesMatchStructuralSimulation) {
+  Fixture fx;
+  const auto d = FirstFailDictionary::build(fx.rm);
+  const auto good = good_responses(fx.nl, fx.tests);
+  for (FaultId f = 0; f < fx.faults.size(); ++f) {
+    const Netlist bad = inject_faults(fx.nl, {to_injection(fx.faults[f])});
+    const auto resp = good_responses(bad, fx.tests);
+    for (std::size_t t = 0; t < fx.tests.size(); ++t) {
+      const std::size_t first = good[t].first_difference(resp[t]);
+      const std::uint32_t expect =
+          first == BitVec::npos ? 0 : static_cast<std::uint32_t>(1 + first);
+      EXPECT_EQ(d.entry(f, t), expect) << f << " " << t;
+    }
+  }
+}
+
+TEST(FirstFail, ResolutionBetweenPassFailAndFull) {
+  Fixture fx;
+  const auto d = FirstFailDictionary::build(fx.rm);
+  const auto pf = PassFailDictionary::build(fx.rm);
+  const auto full = FullDictionary::build(fx.rm);
+  EXPECT_LE(full.indistinguished_pairs(), d.indistinguished_pairs());
+  EXPECT_LE(d.indistinguished_pairs(), pf.indistinguished_pairs());
+}
+
+TEST(FirstFail, SizeFormula) {
+  Fixture fx;
+  const auto d = FirstFailDictionary::build(fx.rm);
+  // c17: m = 2 outputs -> 3 values -> 2 bits per entry.
+  EXPECT_EQ(d.size_bits(), fx.tests.size() * fx.faults.size() * 2);
+  const auto pf = PassFailDictionary::build(fx.rm);
+  const auto full = FullDictionary::build(fx.rm);
+  EXPECT_GE(d.size_bits(), pf.size_bits());
+  EXPECT_LE(d.size_bits(), full.size_bits());
+}
+
+TEST(FirstFail, EncodeAndDiagnose) {
+  Fixture fx;
+  const auto d = FirstFailDictionary::build(fx.rm);
+  std::vector<ResponseId> observed(fx.tests.size());
+  for (std::size_t t = 0; t < fx.tests.size(); ++t)
+    observed[t] = fx.rm.response(6, t);
+  const auto enc = d.encode(fx.rm, observed);
+  for (std::size_t t = 0; t < fx.tests.size(); ++t)
+    EXPECT_EQ(enc[t], d.entry(6, t));
+  const auto matches = d.diagnose(enc, 3);
+  ASSERT_FALSE(matches.empty());
+  EXPECT_EQ(matches[0].mismatches, 0u);
+}
+
+TEST(FirstFail, UnknownResponseEncodesAsMismatch) {
+  Fixture fx;
+  const auto d = FirstFailDictionary::build(fx.rm);
+  std::vector<ResponseId> observed(fx.tests.size(), kUnknownResponse);
+  const auto enc = d.encode(fx.rm, observed);
+  for (auto e : enc) EXPECT_EQ(e, fx.nl.num_outputs() + 1);
+}
+
+// ------------------------------------------------------------- compactor --
+
+TEST(XorCompactor, StructureAndFunction) {
+  const Netlist nl = make_c17();
+  const Netlist x1 = xor_compact_outputs(nl, 1);
+  EXPECT_EQ(x1.num_outputs(), 1u);
+  EXPECT_EQ(x1.num_inputs(), nl.num_inputs());
+  // Signature = XOR of the original outputs, for every input vector.
+  for (std::size_t v = 0; v < 32; ++v) {
+    BitVec in(5);
+    for (std::size_t i = 0; i < 5; ++i) in.set(i, (v >> i) & 1);
+    const BitVec orig = simulate_pattern(nl, in);
+    const BitVec sig = simulate_pattern(x1, in);
+    EXPECT_EQ(sig.get(0), orig.get(0) ^ orig.get(1)) << v;
+  }
+}
+
+TEST(XorCompactor, IdentityWidthKeepsResponses) {
+  const Netlist nl = make_c17();
+  const Netlist x2 = xor_compact_outputs(nl, 2);
+  EXPECT_EQ(x2.num_outputs(), 2u);
+  // Round-robin with m == signatures: group s holds exactly output s.
+  for (std::size_t v = 0; v < 32; ++v) {
+    BitVec in(5);
+    for (std::size_t i = 0; i < 5; ++i) in.set(i, (v >> i) & 1);
+    EXPECT_EQ(simulate_pattern(x2, in), simulate_pattern(nl, in)) << v;
+  }
+}
+
+TEST(XorCompactor, AliasingOnlyCoarsens) {
+  const Netlist nl = make_c17();
+  const FaultList faults = collapsed_fault_list(nl).collapsed;
+  TestSet tests(5);
+  Rng rng(9);
+  tests.add_random(20, rng);
+  const ResponseMatrix rm_orig = build_response_matrix(nl, faults, tests);
+
+  const Netlist x1 = xor_compact_outputs(nl, 1);
+  // Same fault sites exist in the compacted netlist under the same names.
+  std::vector<StuckFault> mapped;
+  for (const auto& f : faults) {
+    const GateId g = x1.find(nl.gate(f.gate).name);
+    ASSERT_NE(g, kNoGate);
+    mapped.push_back({g, f.pin, f.value});
+  }
+  const ResponseMatrix rm_x =
+      build_response_matrix(x1, FaultList(mapped), tests);
+  EXPECT_LE(FullDictionary::build(rm_orig).indistinguished_pairs(),
+            FullDictionary::build(rm_x).indistinguished_pairs());
+}
+
+TEST(XorCompactor, ValidatesArguments) {
+  const Netlist nl = make_c17();
+  EXPECT_THROW(xor_compact_outputs(nl, 0), std::runtime_error);
+  EXPECT_THROW(xor_compact_outputs(nl, 3), std::runtime_error);
+  EXPECT_THROW(xor_compact_outputs(make_s27(), 1), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sddict

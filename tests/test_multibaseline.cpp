@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "bmcirc/embedded.h"
+#include "core/multibaseline.h"
+#include "dict/full_dict.h"
+#include "dict/multibaseline_dict.h"
+#include "dict/passfail_dict.h"
+#include "dict/samediff_dict.h"
+#include "fault/collapse.h"
+#include "sim/logicsim.h"
+
+namespace sddict {
+namespace {
+
+ResponseMatrix paper_example() {
+  const std::vector<BitVec> ff = {BitVec::from_string("00"),
+                                  BitVec::from_string("00")};
+  const std::vector<std::vector<BitVec>> faulty = {
+      {BitVec::from_string("10"), BitVec::from_string("11")},
+      {BitVec::from_string("00"), BitVec::from_string("10")},
+      {BitVec::from_string("01"), BitVec::from_string("10")},
+      {BitVec::from_string("01"), BitVec::from_string("00")},
+  };
+  return response_matrix_from_table(ff, faulty);
+}
+
+ResponseMatrix c17_matrix(std::size_t num_tests, std::uint64_t seed,
+                          FaultList* out_faults = nullptr) {
+  static const Netlist nl = make_c17();
+  const FaultList faults = collapsed_fault_list(nl).collapsed;
+  if (out_faults != nullptr) *out_faults = faults;
+  TestSet tests(nl.num_inputs());
+  Rng rng(seed);
+  tests.add_random(num_tests, rng);
+  return build_response_matrix(nl, faults, tests);
+}
+
+TEST(MultiBaselineDict, RankOneMatchesSameDifferent) {
+  const ResponseMatrix rm = c17_matrix(10, 3);
+  std::vector<ResponseId> single(rm.num_tests());
+  std::vector<std::vector<ResponseId>> multi(rm.num_tests());
+  for (std::size_t t = 0; t < rm.num_tests(); ++t) {
+    single[t] = rm.num_distinct(t) - 1;
+    multi[t] = {single[t]};
+  }
+  const auto sd = SameDifferentDictionary::build(rm, single);
+  const auto mb = MultiBaselineDictionary::build(rm, multi);
+  EXPECT_EQ(mb.baselines_per_test(), 1u);
+  EXPECT_EQ(mb.indistinguished_pairs(), sd.indistinguished_pairs());
+  EXPECT_EQ(mb.size_bits(), sd.size_bits());
+  for (FaultId f = 0; f < rm.num_faults(); ++f)
+    EXPECT_EQ(mb.row(f), sd.row(f));
+}
+
+TEST(MultiBaselineDict, SecondBaselineOnlyRefines) {
+  const ResponseMatrix rm = c17_matrix(12, 5);
+  std::vector<std::vector<ResponseId>> one(rm.num_tests()), two(rm.num_tests());
+  for (std::size_t t = 0; t < rm.num_tests(); ++t) {
+    one[t] = {0};
+    two[t] = rm.num_distinct(t) > 1 ? std::vector<ResponseId>{0, 1}
+                                    : std::vector<ResponseId>{0};
+  }
+  const auto d1 = MultiBaselineDictionary::build(rm, one);
+  const auto d2 = MultiBaselineDictionary::build(rm, two);
+  EXPECT_LE(d2.indistinguished_pairs(), d1.indistinguished_pairs());
+}
+
+TEST(MultiBaselineDict, PartitionMatchesBruteForceRows) {
+  const ResponseMatrix rm = c17_matrix(9, 7);
+  std::vector<std::vector<ResponseId>> baselines(rm.num_tests());
+  for (std::size_t t = 0; t < rm.num_tests(); ++t) {
+    baselines[t] = {0};
+    if (rm.num_distinct(t) > 2) baselines[t].push_back(2);
+  }
+  const auto d = MultiBaselineDictionary::build(rm, baselines);
+  std::uint64_t brute = 0;
+  for (FaultId a = 0; a < rm.num_faults(); ++a)
+    for (FaultId b = a + 1; b < rm.num_faults(); ++b)
+      if (d.row(a) == d.row(b)) ++brute;
+  EXPECT_EQ(d.indistinguished_pairs(), brute);
+}
+
+TEST(MultiBaselineDict, ValidatesInput) {
+  const ResponseMatrix rm = paper_example();
+  EXPECT_THROW(MultiBaselineDictionary::build(rm, {{0}}),
+               std::invalid_argument);  // wrong test count
+  EXPECT_THROW(MultiBaselineDictionary::build(rm, {{0, 0}, {0}}),
+               std::invalid_argument);  // duplicate in one test
+  EXPECT_THROW(MultiBaselineDictionary::build(rm, {{9}, {0}}),
+               std::invalid_argument);  // id out of range
+  EXPECT_THROW(MultiBaselineDictionary::build(rm, {{}, {}}),
+               std::invalid_argument);  // no baselines at all
+}
+
+TEST(MultiBaselineDict, RaggedSetsSupported) {
+  const ResponseMatrix rm = paper_example();
+  const auto d = MultiBaselineDictionary::build(rm, {{0, 1}, {0}});
+  EXPECT_EQ(d.baselines_per_test(), 2u);
+  // Test 1's missing second slot is a constant-1 column.
+  for (FaultId f = 0; f < rm.num_faults(); ++f)
+    EXPECT_TRUE(d.bit(f, 1, 1));
+}
+
+TEST(MultiBaselineDict, EncodeMatchesRows) {
+  const ResponseMatrix rm = c17_matrix(8, 11);
+  std::vector<std::vector<ResponseId>> baselines(rm.num_tests());
+  for (std::size_t t = 0; t < rm.num_tests(); ++t) {
+    baselines[t] = {static_cast<ResponseId>(rm.num_distinct(t) - 1)};
+    if (rm.num_distinct(t) > 1) baselines[t].push_back(0);
+  }
+  const auto d = MultiBaselineDictionary::build(rm, baselines);
+  for (FaultId f = 0; f < rm.num_faults(); ++f) {
+    std::vector<ResponseId> observed(rm.num_tests());
+    for (std::size_t t = 0; t < rm.num_tests(); ++t)
+      observed[t] = rm.response(f, t);
+    EXPECT_EQ(d.encode(observed), d.row(f));
+  }
+  // Diagnosis finds the encoded fault at zero mismatches.
+  std::vector<ResponseId> observed(rm.num_tests());
+  for (std::size_t t = 0; t < rm.num_tests(); ++t)
+    observed[t] = rm.response(2, t);
+  const auto matches = d.diagnose(d.encode(observed), 3);
+  ASSERT_FALSE(matches.empty());
+  EXPECT_EQ(matches[0].mismatches, 0u);
+}
+
+TEST(MultiBaselineSelect, PaperExampleRankTwoIsPerfect) {
+  const ResponseMatrix rm = paper_example();
+  const auto sel = multi_baseline_single(rm, 2, {0, 1}, 10);
+  EXPECT_EQ(sel.indistinguished_pairs, 0u);
+  const auto d = MultiBaselineDictionary::build(rm, sel.baselines);
+  EXPECT_EQ(d.indistinguished_pairs(), 0u);
+}
+
+TEST(MultiBaselineSelect, SelectionConsistentWithDictionary) {
+  const ResponseMatrix rm = c17_matrix(10, 13);
+  for (std::size_t rank : {1u, 2u, 3u}) {
+    std::vector<std::size_t> order(rm.num_tests());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    const auto sel = multi_baseline_single(rm, rank, order, 10);
+    const auto d = MultiBaselineDictionary::build(rm, sel.baselines);
+    EXPECT_EQ(d.indistinguished_pairs(), sel.indistinguished_pairs)
+        << "rank " << rank;
+  }
+}
+
+TEST(MultiBaselineSelect, HigherRankNeverHurtsWithRestarts) {
+  FaultList faults;
+  const ResponseMatrix rm = c17_matrix(10, 17, &faults);
+  BaselineSelectionConfig cfg;
+  cfg.calls1 = 5;
+  cfg.target_indistinguished =
+      FullDictionary::build(rm).indistinguished_pairs();
+  const auto r1 = run_multi_baseline(rm, 1, cfg);
+  const auto r2 = run_multi_baseline(rm, 2, cfg);
+  const auto r3 = run_multi_baseline(rm, 3, cfg);
+  EXPECT_LE(r2.indistinguished_pairs, r1.indistinguished_pairs);
+  EXPECT_LE(r3.indistinguished_pairs, r2.indistinguished_pairs);
+  // Floor: never below the full dictionary.
+  EXPECT_GE(r3.indistinguished_pairs, cfg.target_indistinguished);
+}
+
+TEST(MultiBaselineSelect, RankOneMatchesProcedure1Structure) {
+  // With rank 1 the greedy per-test choice coincides with Procedure 1's
+  // (same dist computation, same LOWER scan).
+  const ResponseMatrix rm = c17_matrix(12, 19);
+  std::vector<std::size_t> order(rm.num_tests());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  const auto multi = multi_baseline_single(rm, 1, order, 10);
+  const auto single = procedure1_single(rm, order, 10);
+  EXPECT_EQ(multi.indistinguished_pairs, single.indistinguished_pairs);
+  for (std::size_t t = 0; t < rm.num_tests(); ++t) {
+    ASSERT_EQ(multi.baselines[t].size(), 1u);
+    EXPECT_EQ(multi.baselines[t][0], single.baselines[t]);
+  }
+}
+
+}  // namespace
+}  // namespace sddict

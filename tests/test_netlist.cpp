@@ -1,0 +1,293 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "netlist/bench_io.h"
+#include "netlist/netlist.h"
+#include "netlist/stats.h"
+
+namespace sddict {
+namespace {
+
+// ------------------------------------------------------------- gate eval --
+
+TEST(GateEval, BasicFunctionsOverWords) {
+  const std::uint64_t a = 0b1100;
+  const std::uint64_t b = 0b1010;
+  const std::uint64_t in[] = {a, b};
+  EXPECT_EQ(eval_gate_words(GateType::kAnd, in, 2), 0b1000u);
+  EXPECT_EQ(eval_gate_words(GateType::kOr, in, 2), 0b1110u);
+  EXPECT_EQ(eval_gate_words(GateType::kXor, in, 2), 0b0110u);
+  EXPECT_EQ(eval_gate_words(GateType::kNand, in, 2) & 0xF, 0b0111u);
+  EXPECT_EQ(eval_gate_words(GateType::kNor, in, 2) & 0xF, 0b0001u);
+  EXPECT_EQ(eval_gate_words(GateType::kXnor, in, 2) & 0xF, 0b1001u);
+  EXPECT_EQ(eval_gate_words(GateType::kBuf, in, 1), a);
+  EXPECT_EQ(eval_gate_words(GateType::kNot, in, 1) & 0xF, 0b0011u);
+}
+
+TEST(GateEval, MultiInput) {
+  const std::uint64_t in[] = {0b1111, 0b1110, 0b1100};
+  EXPECT_EQ(eval_gate_words(GateType::kAnd, in, 3), 0b1100u);
+  EXPECT_EQ(eval_gate_words(GateType::kXor, in, 3) & 0xF, 0b1101u & 0xF);
+}
+
+TEST(GateEval, Constants) {
+  EXPECT_EQ(eval_gate_words(GateType::kConst0, nullptr, 0), 0u);
+  EXPECT_EQ(eval_gate_words(GateType::kConst1, nullptr, 0), ~std::uint64_t{0});
+}
+
+TEST(GateEval, InputAndDffThrow) {
+  EXPECT_THROW(eval_gate_words(GateType::kInput, nullptr, 0), std::logic_error);
+  const std::uint64_t in[] = {0};
+  EXPECT_THROW(eval_gate_words(GateType::kDff, in, 1), std::logic_error);
+}
+
+TEST(GateEval, BoolWrapper) {
+  const bool in[] = {true, false};
+  EXPECT_FALSE(eval_gate_bool(GateType::kAnd, in, 2));
+  EXPECT_TRUE(eval_gate_bool(GateType::kNand, in, 2));
+  EXPECT_TRUE(eval_gate_bool(GateType::kXor, in, 2));
+}
+
+TEST(GateTypes, ControllingValues) {
+  EXPECT_FALSE(controlling_value(GateType::kAnd));
+  EXPECT_FALSE(controlling_value(GateType::kNand));
+  EXPECT_TRUE(controlling_value(GateType::kOr));
+  EXPECT_TRUE(controlling_value(GateType::kNor));
+  EXPECT_FALSE(controlled_response(GateType::kAnd));
+  EXPECT_TRUE(controlled_response(GateType::kNand));
+  EXPECT_FALSE(has_controlling_value(GateType::kXor));
+  EXPECT_THROW(controlling_value(GateType::kXor), std::logic_error);
+}
+
+TEST(GateTypes, ParseNames) {
+  GateType t;
+  EXPECT_TRUE(parse_gate_type("NAND", &t));
+  EXPECT_EQ(t, GateType::kNand);
+  EXPECT_TRUE(parse_gate_type("buff", &t));
+  EXPECT_EQ(t, GateType::kBuf);
+  EXPECT_TRUE(parse_gate_type("inv", &t));
+  EXPECT_EQ(t, GateType::kNot);
+  EXPECT_FALSE(parse_gate_type("mux", &t));
+}
+
+// --------------------------------------------------------------- Netlist --
+
+Netlist tiny_and() {
+  Netlist nl("tiny");
+  const GateId a = nl.add_gate(GateType::kInput, "a");
+  const GateId b = nl.add_gate(GateType::kInput, "b");
+  const GateId g = nl.add_gate(GateType::kAnd, "g", {a, b});
+  nl.mark_output(g);
+  return nl;
+}
+
+TEST(Netlist, ConstructionBasics) {
+  Netlist nl = tiny_and();
+  nl.validate();
+  EXPECT_EQ(nl.num_gates(), 3u);
+  EXPECT_EQ(nl.num_inputs(), 2u);
+  EXPECT_EQ(nl.num_outputs(), 1u);
+  EXPECT_EQ(nl.find("g"), 2u);
+  EXPECT_EQ(nl.find("zz"), kNoGate);
+  EXPECT_TRUE(nl.is_output(2));
+  EXPECT_EQ(nl.output_index(2), 0);
+  EXPECT_EQ(nl.output_index(0), -1);
+}
+
+TEST(Netlist, FanoutTracked) {
+  Netlist nl("f");
+  const GateId a = nl.add_gate(GateType::kInput, "a");
+  const GateId x = nl.add_gate(GateType::kNot, "x", {a});
+  const GateId y = nl.add_gate(GateType::kNot, "y", {a});
+  nl.mark_output(x);
+  nl.mark_output(y);
+  EXPECT_EQ(nl.gate(a).fanout.size(), 2u);
+}
+
+TEST(Netlist, DuplicateNameRejected) {
+  Netlist nl("d");
+  nl.add_gate(GateType::kInput, "a");
+  EXPECT_THROW(nl.add_gate(GateType::kInput, "a"), std::runtime_error);
+}
+
+TEST(Netlist, ArityChecks) {
+  Netlist nl("a");
+  const GateId a = nl.add_gate(GateType::kInput, "a");
+  EXPECT_THROW(nl.add_gate(GateType::kNot, "n", {a, a}), std::runtime_error);
+  EXPECT_THROW(nl.add_gate(GateType::kAnd, "g", {}), std::runtime_error);
+  EXPECT_THROW(nl.add_gate(GateType::kInput, "i", {a}), std::runtime_error);
+}
+
+TEST(Netlist, DoubleOutputMarkRejected) {
+  Netlist nl = tiny_and();
+  EXPECT_THROW(nl.mark_output(2), std::runtime_error);
+}
+
+TEST(Netlist, TopoOrderRespectsDependencies) {
+  Netlist nl("t");
+  const GateId a = nl.add_gate(GateType::kInput, "a");
+  const GateId b = nl.add_gate(GateType::kNot, "b", {a});
+  const GateId c = nl.add_gate(GateType::kNot, "c", {b});
+  const GateId d = nl.add_gate(GateType::kAnd, "d", {a, c});
+  nl.mark_output(d);
+  const auto& topo = nl.topo_order();
+  std::vector<std::size_t> pos(nl.num_gates());
+  for (std::size_t i = 0; i < topo.size(); ++i) pos[topo[i]] = i;
+  EXPECT_LT(pos[a], pos[b]);
+  EXPECT_LT(pos[b], pos[c]);
+  EXPECT_LT(pos[c], pos[d]);
+  EXPECT_EQ(nl.levels()[d], 3u);
+  EXPECT_EQ(nl.depth(), 3u);
+}
+
+TEST(Netlist, DffPlaceholderAndSequentialLoop) {
+  // FF feeding logic feeding the same FF.
+  Netlist nl("loop");
+  const GateId in = nl.add_gate(GateType::kInput, "in");
+  const GateId ff = nl.add_dff_placeholder("ff");
+  const GateId g = nl.add_gate(GateType::kXor, "g", {in, ff});
+  nl.connect_dff(ff, g);
+  nl.mark_output(g);
+  nl.validate();
+  EXPECT_TRUE(nl.has_dffs());
+  EXPECT_EQ(nl.dffs().size(), 1u);
+}
+
+TEST(Netlist, UnconnectedDffFailsValidation) {
+  Netlist nl("u");
+  const GateId in = nl.add_gate(GateType::kInput, "in");
+  nl.add_dff_placeholder("ff");
+  nl.mark_output(in);
+  EXPECT_THROW(nl.validate(), std::runtime_error);
+}
+
+TEST(Netlist, ConnectDffTwiceRejected) {
+  Netlist nl("c");
+  const GateId in = nl.add_gate(GateType::kInput, "in");
+  const GateId ff = nl.add_dff_placeholder("ff");
+  nl.connect_dff(ff, in);
+  EXPECT_THROW(nl.connect_dff(ff, in), std::runtime_error);
+}
+
+TEST(Netlist, NumLines) {
+  Netlist nl = tiny_and();
+  EXPECT_EQ(nl.num_lines(), 2u);
+}
+
+// ---------------------------------------------------------------- bench --
+
+constexpr const char* kSmallBench = R"(
+# example
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+n1 = NAND(a, b)
+y = NOT(n1)
+)";
+
+TEST(BenchIo, ParsesSmallCircuit) {
+  Netlist nl = parse_bench_string(kSmallBench, "small");
+  EXPECT_EQ(nl.num_inputs(), 2u);
+  EXPECT_EQ(nl.num_outputs(), 1u);
+  EXPECT_EQ(nl.num_gates(), 4u);
+  EXPECT_EQ(nl.gate(nl.find("n1")).type, GateType::kNand);
+}
+
+TEST(BenchIo, ForwardReferences) {
+  Netlist nl = parse_bench_string(R"(
+INPUT(a)
+OUTPUT(y)
+y = NOT(x)
+x = BUF(a)
+)");
+  EXPECT_EQ(nl.num_gates(), 3u);
+}
+
+TEST(BenchIo, SequentialLoopThroughDff) {
+  Netlist nl = parse_bench_string(R"(
+INPUT(a)
+OUTPUT(q)
+q = DFF(d)
+d = XOR(a, q)
+)");
+  EXPECT_EQ(nl.dffs().size(), 1u);
+  nl.validate();
+}
+
+TEST(BenchIo, CombinationalCycleRejected) {
+  EXPECT_THROW(parse_bench_string(R"(
+INPUT(a)
+OUTPUT(x)
+x = AND(a, y)
+y = BUF(x)
+)"),
+               std::runtime_error);
+}
+
+TEST(BenchIo, UndefinedNetRejected) {
+  EXPECT_THROW(parse_bench_string("INPUT(a)\nOUTPUT(y)\ny = NOT(zzz)\n"),
+               std::runtime_error);
+}
+
+TEST(BenchIo, UndefinedOutputRejected) {
+  EXPECT_THROW(parse_bench_string("INPUT(a)\nOUTPUT(nope)\nx = NOT(a)\n"),
+               std::runtime_error);
+}
+
+TEST(BenchIo, RedefinitionRejected) {
+  EXPECT_THROW(
+      parse_bench_string("INPUT(a)\nOUTPUT(x)\nx = NOT(a)\nx = BUF(a)\n"),
+      std::runtime_error);
+}
+
+TEST(BenchIo, UnknownFunctionRejected) {
+  EXPECT_THROW(parse_bench_string("INPUT(a)\nOUTPUT(x)\nx = MAJ(a, a, a)\n"),
+               std::runtime_error);
+}
+
+TEST(BenchIo, CommentsAndBlankLinesIgnored) {
+  Netlist nl = parse_bench_string(
+      "# header\n\nINPUT(a)  # trailing\n  \nOUTPUT(y)\ny = NOT(a) # c\n");
+  EXPECT_EQ(nl.num_gates(), 2u);
+}
+
+TEST(BenchIo, WriteParseRoundTrip) {
+  Netlist orig = parse_bench_string(kSmallBench, "rt");
+  const std::string text = write_bench_string(orig);
+  Netlist again = parse_bench_string(text, "rt");
+  EXPECT_EQ(again.num_gates(), orig.num_gates());
+  EXPECT_EQ(again.num_inputs(), orig.num_inputs());
+  EXPECT_EQ(again.num_outputs(), orig.num_outputs());
+  EXPECT_EQ(write_bench_string(again), text);
+}
+
+TEST(BenchIo, SequentialRoundTrip) {
+  Netlist orig = parse_bench_string(R"(
+INPUT(a)
+OUTPUT(q)
+q = DFF(d)
+d = XOR(a, q)
+)",
+                                    "seq");
+  Netlist again = parse_bench_string(write_bench_string(orig), "seq");
+  EXPECT_EQ(again.dffs().size(), 1u);
+  EXPECT_EQ(again.num_gates(), orig.num_gates());
+}
+
+// ---------------------------------------------------------------- stats --
+
+TEST(Stats, CountsSmallCircuit) {
+  Netlist nl = parse_bench_string(kSmallBench, "s");
+  const NetlistStats s = compute_stats(nl);
+  EXPECT_EQ(s.inputs, 2u);
+  EXPECT_EQ(s.outputs, 1u);
+  EXPECT_EQ(s.logic_gates, 2u);
+  EXPECT_EQ(s.lines, 3u);
+  EXPECT_EQ(s.depth, 2u);
+  EXPECT_EQ(s.max_fanin, 2u);
+  EXPECT_FALSE(format_stats(nl).empty());
+}
+
+}  // namespace
+}  // namespace sddict

@@ -1,0 +1,183 @@
+// Property-based tests: invariants that must hold on *any* circuit, swept
+// over a parameterized family of synthetic circuits and seeds.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "bmcirc/synth.h"
+#include "core/baseline.h"
+#include "core/hybrid.h"
+#include "core/procedure2.h"
+#include "dict/full_dict.h"
+#include "dict/passfail_dict.h"
+#include "dict/samediff_dict.h"
+#include "fault/collapse.h"
+#include "netlist/transform.h"
+#include "sim/faultsim.h"
+#include "sim/logicsim.h"
+#include "tgen/podem.h"
+
+namespace sddict {
+namespace {
+
+struct Params {
+  std::size_t inputs;
+  std::size_t outputs;
+  std::size_t dffs;
+  std::size_t gates;
+  std::uint64_t seed;
+};
+
+std::string param_name(const testing::TestParamInfo<Params>& info) {
+  const Params& p = info.param;
+  return "i" + std::to_string(p.inputs) + "o" + std::to_string(p.outputs) +
+         "d" + std::to_string(p.dffs) + "g" + std::to_string(p.gates) + "s" +
+         std::to_string(p.seed);
+}
+
+class CircuitProperty : public testing::TestWithParam<Params> {
+ protected:
+  void SetUp() override {
+    const Params& p = GetParam();
+    SynthProfile prof;
+    prof.name = "prop";
+    prof.inputs = p.inputs;
+    prof.outputs = p.outputs;
+    prof.dffs = p.dffs;
+    prof.gates = p.gates;
+    prof.seed = p.seed;
+    nl_ = full_scan(generate_synthetic(prof));
+    faults_ = collapsed_fault_list(nl_).collapsed;
+    tests_ = TestSet(nl_.num_inputs());
+    Rng rng(p.seed ^ 0xabcdef);
+    tests_.add_random(40, rng);
+    rm_ = build_response_matrix(nl_, faults_, tests_);
+  }
+
+  Netlist nl_;
+  FaultList faults_;
+  TestSet tests_{0};
+  ResponseMatrix rm_;
+};
+
+TEST_P(CircuitProperty, ResolutionHierarchy) {
+  const auto full = FullDictionary::build(rm_);
+  const auto pf = PassFailDictionary::build(rm_);
+  BaselineSelectionConfig cfg;
+  cfg.calls1 = 2;
+  cfg.seed = GetParam().seed;
+  const auto p1 = run_procedure1(rm_, cfg);
+  const auto p2 = run_procedure2(rm_, p1.baselines);
+
+  // full <= s/d(P2) <= s/d(P1) <= pass/fail.
+  EXPECT_LE(full.indistinguished_pairs(), p2.indistinguished_pairs);
+  EXPECT_LE(p2.indistinguished_pairs, p1.indistinguished_pairs);
+  EXPECT_LE(p1.indistinguished_pairs, pf.indistinguished_pairs());
+}
+
+TEST_P(CircuitProperty, SignatureCountingAgreesWithPartition) {
+  // The incremental (hash multiset) and partition-refinement accountings of
+  // indistinguished pairs must agree for arbitrary baselines.
+  Rng rng(GetParam().seed + 1);
+  for (int trial = 0; trial < 3; ++trial) {
+    std::vector<ResponseId> baselines(rm_.num_tests());
+    for (std::size_t t = 0; t < rm_.num_tests(); ++t)
+      baselines[t] =
+          static_cast<ResponseId>(rng.below(rm_.num_distinct(t)));
+    const auto sd = SameDifferentDictionary::build(rm_, baselines);
+    EXPECT_EQ(sd.indistinguished_pairs(),
+              count_indistinguished(rm_, baselines));
+  }
+}
+
+TEST_P(CircuitProperty, PassFailEqualsAllFaultFreeBaselines) {
+  const auto pf = PassFailDictionary::build(rm_);
+  const auto sd = SameDifferentDictionary::build(
+      rm_, std::vector<ResponseId>(rm_.num_tests(), 0));
+  EXPECT_EQ(sd.indistinguished_pairs(), pf.indistinguished_pairs());
+  for (FaultId f = 0; f < faults_.size(); ++f)
+    EXPECT_EQ(sd.row(f), pf.row(f));
+}
+
+TEST_P(CircuitProperty, HybridPreservesResolution) {
+  BaselineSelectionConfig cfg;
+  cfg.calls1 = 2;
+  cfg.seed = GetParam().seed;
+  const auto p1 = run_procedure1(rm_, cfg);
+  const auto hyb = hybridize_baselines(rm_, p1.baselines);
+  EXPECT_LE(hyb.indistinguished_pairs, p1.indistinguished_pairs);
+  EXPECT_LE(hyb.stored_baselines, rm_.num_tests());
+}
+
+TEST_P(CircuitProperty, DetectionConsistency) {
+  // ResponseMatrix detection flags match direct fault simulation.
+  FaultSimulator fsim(nl_);
+  std::vector<std::uint64_t> words;
+  const std::size_t count = std::min<std::size_t>(64, tests_.size());
+  tests_.pack_batch(0, count, &words);
+  fsim.load_batch(words, count);
+  for (FaultId i = 0; i < faults_.size(); i += 7) {
+    const std::uint64_t w = fsim.detect_word(faults_[i]);
+    for (std::size_t t = 0; t < count; ++t)
+      EXPECT_EQ(rm_.detected(i, t), ((w >> t) & 1) != 0) << i << " " << t;
+  }
+}
+
+TEST_P(CircuitProperty, PodemTestsDetectTheirTargets) {
+  Podem podem(nl_);
+  Rng rng(GetParam().seed + 2);
+  FaultSimulator fsim(nl_);
+  for (FaultId i = 0; i < faults_.size(); i += 11) {
+    BitVec test;
+    if (podem.generate(faults_[i], &test, rng) != PodemStatus::kTestFound)
+      continue;
+    TestSet one(nl_.num_inputs());
+    one.add(test);
+    std::vector<std::uint64_t> words;
+    one.pack_batch(0, 1, &words);
+    fsim.load_batch(words, 1);
+    EXPECT_NE(fsim.detect_word(faults_[i]), 0u)
+        << fault_name(nl_, faults_[i]);
+  }
+}
+
+TEST_P(CircuitProperty, EquivalenceClassesShareResponses) {
+  // Structural equivalence implies identical response ids on every test.
+  const CollapseResult cr = collapsed_fault_list(nl_);
+  const FaultList all = enumerate_all_faults(nl_);
+  const ResponseMatrix rm_all = build_response_matrix(nl_, all, tests_);
+  for (std::size_t c = 0; c < cr.class_members.size(); ++c) {
+    const auto& members = cr.class_members[c];
+    for (std::size_t i = 1; i < members.size(); ++i)
+      for (std::size_t t = 0; t < tests_.size(); ++t)
+        EXPECT_EQ(rm_all.response(members[0], t),
+                  rm_all.response(members[i], t))
+            << fault_name(nl_, all[members[0]]) << " vs "
+            << fault_name(nl_, all[members[i]]);
+  }
+}
+
+TEST_P(CircuitProperty, MoreTestsNeverReduceResolution) {
+  // Dictionaries over a superset of tests distinguish at least as much.
+  const std::size_t half = tests_.size() / 2;
+  std::vector<std::size_t> idx(half);
+  for (std::size_t i = 0; i < half; ++i) idx[i] = i;
+  const TestSet first_half = tests_.subset(idx);
+  const ResponseMatrix rm_half =
+      build_response_matrix(nl_, faults_, first_half);
+  EXPECT_GE(FullDictionary::build(rm_half).indistinguished_pairs(),
+            FullDictionary::build(rm_).indistinguished_pairs());
+  EXPECT_GE(PassFailDictionary::build(rm_half).indistinguished_pairs(),
+            PassFailDictionary::build(rm_).indistinguished_pairs());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SyntheticSweep, CircuitProperty,
+    testing::Values(Params{6, 3, 0, 40, 1}, Params{6, 3, 0, 40, 2},
+                    Params{8, 4, 5, 80, 3}, Params{8, 4, 5, 80, 4},
+                    Params{4, 2, 8, 60, 5}, Params{12, 6, 10, 150, 6},
+                    Params{10, 2, 3, 120, 7}, Params{5, 5, 5, 50, 8}),
+    param_name);
+
+}  // namespace
+}  // namespace sddict

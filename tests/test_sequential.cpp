@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "bmcirc/embedded.h"
+#include "bmcirc/synth.h"
+#include "netlist/bench_io.h"
+#include "netlist/transform.h"
+#include "sim/logicsim.h"
+#include "sim/seqsim.h"
+
+namespace sddict {
+namespace {
+
+// A 2-bit counter-ish circuit with known behaviour:
+//   q0' = NOT(q0); q1' = XOR(q1, q0); out = AND(q1, q0).
+Netlist counter2() {
+  return parse_bench_string(R"(
+INPUT(en)
+OUTPUT(out)
+q0 = DFF(d0)
+q1 = DFF(d1)
+d0 = XOR(q0, en)
+d1 = XOR(q1, c)
+c  = AND(q0, en)
+out = AND(q1, q0)
+)",
+                            "counter2");
+}
+
+TEST(SequentialSim, CounterCountsWhenEnabled) {
+  const Netlist nl = counter2();
+  SequentialSimulator sim(nl);
+  // With en=1 the state follows 00 -> 01 -> 10 -> 11 -> 00; out = q1&q0.
+  const bool expected_out[] = {false, false, false, true, false, false};
+  BitVec en(1);
+  en.set(0, true);
+  for (bool exp : expected_out) {
+    const BitVec out = sim.step(en);
+    EXPECT_EQ(out.get(0), exp);
+  }
+}
+
+TEST(SequentialSim, DisabledCounterHoldsState) {
+  const Netlist nl = counter2();
+  SequentialSimulator sim(nl);
+  BitVec s(2);
+  s.set(0, true);
+  s.set(1, true);
+  sim.set_state(s);
+  BitVec en(1);  // en = 0
+  for (int i = 0; i < 4; ++i) {
+    const BitVec out = sim.step(en);
+    EXPECT_TRUE(out.get(0));  // state 11 held, out = 1
+  }
+  EXPECT_EQ(sim.state(), s);
+}
+
+TEST(SequentialSim, ResetAndStateAccessors) {
+  const Netlist nl = make_s27();
+  SequentialSimulator sim(nl);
+  EXPECT_EQ(sim.num_state_bits(), 3u);
+  EXPECT_EQ(sim.state().count_ones(), 0u);
+  BitVec s(3);
+  s.set(1, true);
+  sim.set_state(s);
+  EXPECT_EQ(sim.state(), s);
+  sim.reset();
+  EXPECT_EQ(sim.state().count_ones(), 0u);
+}
+
+TEST(SequentialSim, WidthValidation) {
+  SequentialSimulator sim(make_s27());
+  EXPECT_THROW(sim.step(BitVec(3)), std::invalid_argument);
+  EXPECT_THROW(sim.set_state(BitVec(2)), std::invalid_argument);
+}
+
+// Cross-validate: full-scan view, driven cycle by cycle with explicit state
+// feedback, must equal native sequential simulation.
+TEST(SequentialSim, AgreesWithFullScanFeedbackLoop) {
+  for (std::uint64_t seed : {1u, 2u}) {
+    SynthProfile p;
+    p.name = "seq";
+    p.inputs = 5;
+    p.outputs = 3;
+    p.dffs = 6;
+    p.gates = 70;
+    p.seed = seed;
+    const Netlist nl = generate_synthetic(p);
+    const Netlist scan = full_scan(nl);
+
+    SequentialSimulator seq(nl);
+    Rng rng(seed + 10);
+    BitVec state(nl.dffs().size());  // zero initial state
+    for (int cycle = 0; cycle < 20; ++cycle) {
+      BitVec in(nl.num_inputs());
+      for (std::size_t i = 0; i < in.size(); ++i) in.set(i, rng.coin());
+      // Scan view: inputs = PIs then state; outputs = POs then next state.
+      BitVec scan_in(scan.num_inputs());
+      for (std::size_t i = 0; i < in.size(); ++i) scan_in.set(i, in.get(i));
+      for (std::size_t i = 0; i < state.size(); ++i)
+        scan_in.set(nl.num_inputs() + i, state.get(i));
+      const BitVec scan_out = simulate_pattern(scan, scan_in);
+
+      const BitVec seq_out = seq.step(in);
+      for (std::size_t o = 0; o < nl.num_outputs(); ++o)
+        EXPECT_EQ(seq_out.get(o), scan_out.get(o)) << "cycle " << cycle;
+      for (std::size_t i = 0; i < state.size(); ++i)
+        state.set(i, scan_out.get(nl.num_outputs() + i));
+      EXPECT_EQ(seq.state(), state) << "cycle " << cycle;
+    }
+  }
+}
+
+// ----------------------------------------------------------------- unroll --
+
+TEST(Unroll, StructureOfS27) {
+  const Netlist nl = make_s27();
+  const Netlist u3 = unroll(nl, 3);
+  // Inputs: 3 initial-state + 3 frames x 4 PIs = 15.
+  EXPECT_EQ(u3.num_inputs(), 15u);
+  // Outputs: 3 frames x 1 PO + 3 final-state = 6.
+  EXPECT_EQ(u3.num_outputs(), 6u);
+  EXPECT_FALSE(u3.has_dffs());
+}
+
+TEST(Unroll, RejectsZeroFrames) {
+  EXPECT_THROW(unroll(make_s27(), 0), std::runtime_error);
+}
+
+TEST(Unroll, MatchesSequentialSimulation) {
+  for (std::uint64_t seed : {3u, 4u}) {
+    SynthProfile p;
+    p.name = "unr";
+    p.inputs = 4;
+    p.outputs = 2;
+    p.dffs = 5;
+    p.gates = 50;
+    p.seed = seed;
+    const Netlist nl = generate_synthetic(p);
+    const std::size_t frames = 4;
+    const Netlist u = unroll(nl, frames);
+
+    Rng rng(seed + 20);
+    // Random initial state and input sequence.
+    BitVec init(nl.dffs().size());
+    for (std::size_t i = 0; i < init.size(); ++i) init.set(i, rng.coin());
+    std::vector<BitVec> inputs(frames, BitVec(nl.num_inputs()));
+    for (auto& in : inputs)
+      for (std::size_t i = 0; i < in.size(); ++i) in.set(i, rng.coin());
+
+    SequentialSimulator seq(nl);
+    seq.set_state(init);
+    const std::vector<BitVec> seq_out = seq.run(inputs);
+
+    // Pack the unrolled input vector: initial state first, then per-frame
+    // PIs (input declaration order of the unrolled netlist).
+    BitVec uin(u.num_inputs());
+    std::size_t pos = 0;
+    for (std::size_t i = 0; i < init.size(); ++i) uin.set(pos++, init.get(i));
+    for (std::size_t f = 0; f < frames; ++f)
+      for (std::size_t i = 0; i < nl.num_inputs(); ++i)
+        uin.set(pos++, inputs[f].get(i));
+    const BitVec uout = simulate_pattern(u, uin);
+
+    pos = 0;
+    for (std::size_t f = 0; f < frames; ++f)
+      for (std::size_t o = 0; o < nl.num_outputs(); ++o)
+        EXPECT_EQ(uout.get(pos++), seq_out[f].get(o))
+            << "frame " << f << " output " << o;
+    // Final state.
+    for (std::size_t i = 0; i < init.size(); ++i)
+      EXPECT_EQ(uout.get(pos++), seq.state().get(i)) << "state bit " << i;
+  }
+}
+
+TEST(Unroll, InputOrderIsInitialStateThenFrames) {
+  const Netlist u = unroll(make_s27(), 2);
+  EXPECT_EQ(u.gate(u.inputs()[0]).name, "G5@0");
+  EXPECT_EQ(u.gate(u.inputs()[3]).name, "G0@0");
+  EXPECT_EQ(u.gate(u.inputs()[7]).name, "G0@1");
+}
+
+}  // namespace
+}  // namespace sddict

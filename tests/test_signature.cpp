@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bmcirc/embedded.h"
+#include "dict/full_dict.h"
+#include "dict/signature_dict.h"
+#include "fault/collapse.h"
+#include "netlist/transform.h"
+#include "sim/logicsim.h"
+#include "sim/misr.h"
+
+namespace sddict {
+namespace {
+
+TEST(Lfsr, MaximalLengthForStandard16) {
+  Lfsr lfsr = Lfsr::standard(16);
+  const std::uint64_t start = lfsr.state();
+  std::size_t period = 0;
+  do {
+    lfsr.step();
+    ++period;
+  } while (lfsr.state() != start && period <= (1u << 16));
+  EXPECT_EQ(period, (1u << 16) - 1);  // primitive polynomial: full cycle
+}
+
+TEST(Lfsr, RejectsBadConfig) {
+  EXPECT_THROW(Lfsr(0, 1), std::invalid_argument);
+  EXPECT_THROW(Lfsr(8, 0), std::invalid_argument);
+  EXPECT_THROW(Lfsr::standard(13), std::invalid_argument);
+}
+
+TEST(Lfsr, ZeroSeedEscapesFixedPoint) {
+  Lfsr lfsr(8, 0xB8, 0);
+  EXPECT_NE(lfsr.state(), 0u);
+}
+
+TEST(Misr, OrderSensitive) {
+  Misr a = Misr::standard(16);
+  Misr b = Misr::standard(16);
+  const BitVec r1 = BitVec::from_string("1010");
+  const BitVec r2 = BitVec::from_string("0110");
+  a.absorb(r1);
+  a.absorb(r2);
+  b.absorb(r2);
+  b.absorb(r1);
+  EXPECT_NE(a.signature(), b.signature());
+}
+
+TEST(Misr, DeterministicAndResettable) {
+  Misr a = Misr::standard(32);
+  a.absorb(BitVec::from_string("110"));
+  const std::uint64_t s = a.signature();
+  a.reset();
+  a.absorb(BitVec::from_string("110"));
+  EXPECT_EQ(a.signature(), s);
+}
+
+TEST(Misr, WideResponsesFold) {
+  Misr a = Misr::standard(8);
+  BitVec wide(20);
+  wide.set(0, true);
+  wide.set(8, true);  // folds onto the same register input as bit 0
+  a.absorb(wide);
+  Misr b = Misr::standard(8);
+  b.absorb(BitVec(20));  // all-zero
+  // Two set bits folding to the same position cancel.
+  EXPECT_EQ(a.signature(), b.signature());
+}
+
+// ------------------------------------------------------------ dictionary --
+
+struct Fixture {
+  Netlist nl = make_c17();
+  FaultList faults = collapsed_fault_list(nl).collapsed;
+  TestSet tests;
+  Fixture() : tests(5) {
+    Rng rng(31);
+    tests.add_random(24, rng);
+  }
+};
+
+TEST(SignatureDict, MatchesReferenceMisrAbsorption) {
+  Fixture fx;
+  const auto d = SignatureDictionary::build(fx.nl, fx.faults, fx.tests, 32);
+  // Fault-free signature equals absorbing the good responses directly.
+  EXPECT_EQ(d.fault_free_signature(),
+            SignatureDictionary::signature_of(good_responses(fx.nl, fx.tests)));
+  // Per-fault signatures equal absorbing the structurally-injected faulty
+  // responses.
+  for (FaultId f = 0; f < fx.faults.size(); f += 3) {
+    const Netlist bad = inject_faults(fx.nl, {to_injection(fx.faults[f])});
+    EXPECT_EQ(d.signature(f),
+              SignatureDictionary::signature_of(good_responses(bad, fx.tests)))
+        << fault_name(fx.nl, fx.faults[f]);
+  }
+}
+
+TEST(SignatureDict, SizeIsTiny) {
+  Fixture fx;
+  const auto d = SignatureDictionary::build(fx.nl, fx.faults, fx.tests, 32);
+  EXPECT_EQ(d.size_bits(), fx.faults.size() * 32);
+  // Far below even pass/fail once tests outnumber the register width.
+  TestSet many(5);
+  Rng rng(5);
+  many.add_random(100, rng);
+  const auto d2 = SignatureDictionary::build(fx.nl, fx.faults, many, 32);
+  EXPECT_LT(d2.size_bits(), fx.faults.size() * many.size());
+}
+
+TEST(SignatureDict, ResolutionNeverBeatsFullDictionary) {
+  Fixture fx;
+  const auto d = SignatureDictionary::build(fx.nl, fx.faults, fx.tests, 32);
+  const ResponseMatrix rm = build_response_matrix(fx.nl, fx.faults, fx.tests);
+  const auto full = FullDictionary::build(rm);
+  EXPECT_GE(d.indistinguished_pairs(), full.indistinguished_pairs());
+}
+
+TEST(SignatureDict, DiagnoseExactMatch) {
+  Fixture fx;
+  const auto d = SignatureDictionary::build(fx.nl, fx.faults, fx.tests, 32);
+  const FaultId truth = 4;
+  const auto candidates = d.diagnose(d.signature(truth));
+  EXPECT_NE(std::find(candidates.begin(), candidates.end(), truth),
+            candidates.end());
+  // Candidate set == faults sharing the signature.
+  for (FaultId f : candidates) EXPECT_EQ(d.signature(f), d.signature(truth));
+}
+
+TEST(SignatureDict, UndetectedFaultsKeepFaultFreeSignature) {
+  // A fault the test set never detects produces the good stream.
+  Fixture fx;
+  TestSet one(5);
+  one.add_string("00000");
+  const auto d = SignatureDictionary::build(fx.nl, fx.faults, one, 32);
+  const ResponseMatrix rm = build_response_matrix(fx.nl, fx.faults, one);
+  for (FaultId f = 0; f < fx.faults.size(); ++f) {
+    if (!rm.detected(f, 0)) {
+      EXPECT_EQ(d.signature(f), d.fault_free_signature());
+    }
+  }
+}
+
+TEST(SignatureDict, WidthsSupported) {
+  Fixture fx;
+  for (unsigned w : {8u, 16u, 24u, 32u}) {
+    const auto d = SignatureDictionary::build(fx.nl, fx.faults, fx.tests, w);
+    EXPECT_EQ(d.width(), w);
+  }
+  EXPECT_THROW(SignatureDictionary::build(fx.nl, fx.faults, fx.tests, 17),
+               std::invalid_argument);
+}
+
+TEST(SignatureDict, NarrowRegisterAliasesMore) {
+  // Statistically, 8-bit signatures must collapse more fault pairs than
+  // 32-bit ones on the same responses.
+  Fixture fx;
+  const auto d8 = SignatureDictionary::build(fx.nl, fx.faults, fx.tests, 8);
+  const auto d32 = SignatureDictionary::build(fx.nl, fx.faults, fx.tests, 32);
+  EXPECT_GE(d8.indistinguished_pairs(), d32.indistinguished_pairs());
+}
+
+}  // namespace
+}  // namespace sddict

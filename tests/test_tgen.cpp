@@ -1,0 +1,411 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bmcirc/embedded.h"
+#include "bmcirc/synth.h"
+#include "fault/collapse.h"
+#include "netlist/bench_io.h"
+#include "netlist/transform.h"
+#include "sim/faultsim.h"
+#include "sim/logicsim.h"
+#include "sim/response.h"
+#include "tgen/compact.h"
+#include "tgen/diagset.h"
+#include "tgen/distinguish.h"
+#include "tgen/ndetect.h"
+#include "tgen/podem.h"
+#include "tgen/randgen.h"
+#include "tgen/valuesys.h"
+
+namespace sddict {
+namespace {
+
+bool detects(const Netlist& nl, const StuckFault& f, const BitVec& test) {
+  const Netlist bad = inject_faults(nl, {to_injection(f)});
+  return simulate_pattern(nl, test) != simulate_pattern(bad, test);
+}
+
+// Exhaustive testability check for small circuits.
+bool exhaustively_testable(const Netlist& nl, const StuckFault& f) {
+  for (std::size_t v = 0; v < (1u << nl.num_inputs()); ++v) {
+    BitVec in(nl.num_inputs());
+    for (std::size_t i = 0; i < nl.num_inputs(); ++i) in.set(i, (v >> i) & 1);
+    if (detects(nl, f, in)) return true;
+  }
+  return false;
+}
+
+// ------------------------------------------------------------------- V3 --
+
+TEST(ValueSys, NotAndDefiniteness) {
+  EXPECT_EQ(v3_not(kV0), kV1);
+  EXPECT_EQ(v3_not(kV1), kV0);
+  EXPECT_EQ(v3_not(kVX), kVX);
+  EXPECT_TRUE(is_definite(kV0));
+  EXPECT_FALSE(is_definite(kVX));
+}
+
+TEST(ValueSys, AndWithX) {
+  {
+    const V3 in[] = {kV0, kVX};
+    EXPECT_EQ(eval_gate_v3(GateType::kAnd, in, 2), kV0);  // controlled
+    EXPECT_EQ(eval_gate_v3(GateType::kNand, in, 2), kV1);
+  }
+  {
+    const V3 in[] = {kV1, kVX};
+    EXPECT_EQ(eval_gate_v3(GateType::kAnd, in, 2), kVX);
+    EXPECT_EQ(eval_gate_v3(GateType::kOr, in, 2), kV1);
+    EXPECT_EQ(eval_gate_v3(GateType::kNor, in, 2), kV0);
+  }
+}
+
+TEST(ValueSys, XorContaminatedByX) {
+  const V3 in[] = {kV1, kVX};
+  EXPECT_EQ(eval_gate_v3(GateType::kXor, in, 2), kVX);
+  const V3 in2[] = {kV1, kV1, kV1};
+  EXPECT_EQ(eval_gate_v3(GateType::kXor, in2, 3), kV1);
+  EXPECT_EQ(eval_gate_v3(GateType::kXnor, in2, 3), kV0);
+}
+
+TEST(ValueSys, MatchesBooleanEvalOnDefiniteInputs) {
+  for (GateType t : {GateType::kAnd, GateType::kNand, GateType::kOr,
+                     GateType::kNor, GateType::kXor, GateType::kXnor}) {
+    for (unsigned v = 0; v < 8; ++v) {
+      V3 in3[3];
+      bool inb[3];
+      for (int i = 0; i < 3; ++i) {
+        inb[i] = (v >> i) & 1;
+        in3[i] = v3_from_bool(inb[i]);
+      }
+      EXPECT_EQ(v3_to_bool(eval_gate_v3(t, in3, 3)), eval_gate_bool(t, inb, 3))
+          << gate_type_name(t) << " " << v;
+    }
+  }
+}
+
+// ---------------------------------------------------------------- PODEM --
+
+TEST(Podem, FindsTestsForAllC17Faults) {
+  const Netlist nl = make_c17();
+  const FaultList faults = collapsed_fault_list(nl).collapsed;
+  Podem podem(nl);
+  Rng rng(1);
+  for (const auto& f : faults) {
+    BitVec test;
+    ASSERT_EQ(podem.generate(f, &test, rng), PodemStatus::kTestFound)
+        << fault_name(nl, f);
+    EXPECT_TRUE(detects(nl, f, test)) << fault_name(nl, f);
+  }
+}
+
+TEST(Podem, ProvesRedundantFaultUntestable) {
+  // y = OR(a, AND(a, b)) == a; the AND gate is redundant logic.
+  Netlist nl("red");
+  const GateId a = nl.add_gate(GateType::kInput, "a");
+  const GateId b = nl.add_gate(GateType::kInput, "b");
+  const GateId g = nl.add_gate(GateType::kAnd, "g", {a, b});
+  const GateId y = nl.add_gate(GateType::kOr, "y", {a, g});
+  nl.mark_output(y);
+
+  Podem podem(nl);
+  Rng rng(1);
+  BitVec test;
+  const StuckFault g_sa0{g, -1, 0};
+  ASSERT_FALSE(exhaustively_testable(nl, g_sa0));
+  EXPECT_EQ(podem.generate(g_sa0, &test, rng), PodemStatus::kUntestable);
+  // The same gate's sa1 is testable (a=1,b=0 gives y good 1... fault g sa1:
+  // y = a OR 1 = 1 vs good y = a; a=0 -> diff).
+  const StuckFault g_sa1{g, -1, 1};
+  ASSERT_TRUE(exhaustively_testable(nl, g_sa1));
+  ASSERT_EQ(podem.generate(g_sa1, &test, rng), PodemStatus::kTestFound);
+  EXPECT_TRUE(detects(nl, g_sa1, test));
+}
+
+TEST(Podem, AgreesWithExhaustiveCheckOnSyntheticFaults) {
+  SynthProfile p;
+  p.name = "pod";
+  p.inputs = 8;
+  p.outputs = 3;
+  p.gates = 50;
+  p.seed = 42;
+  const Netlist nl = full_scan(generate_synthetic(p));
+  const FaultList faults = collapsed_fault_list(nl).collapsed;
+  Podem podem(nl);
+  Rng rng(2);
+  std::size_t untestable = 0;
+  for (const auto& f : faults) {
+    BitVec test;
+    const PodemStatus st = podem.generate(f, &test, rng);
+    ASSERT_NE(st, PodemStatus::kAborted) << fault_name(nl, f);
+    if (st == PodemStatus::kTestFound) {
+      EXPECT_TRUE(detects(nl, f, test)) << fault_name(nl, f);
+    } else {
+      EXPECT_FALSE(exhaustively_testable(nl, f)) << fault_name(nl, f);
+      ++untestable;
+    }
+  }
+  // Sanity: most faults of a random circuit are testable.
+  EXPECT_LT(untestable, faults.size() / 2);
+}
+
+TEST(Podem, PinFaultsHandled) {
+  const Netlist nl = make_c17();
+  const FaultList all = enumerate_all_faults(nl);
+  Podem podem(nl);
+  Rng rng(3);
+  for (const auto& f : all) {
+    if (f.is_output_fault()) continue;
+    BitVec test;
+    ASSERT_EQ(podem.generate(f, &test, rng), PodemStatus::kTestFound)
+        << fault_name(nl, f);
+    EXPECT_TRUE(detects(nl, f, test)) << fault_name(nl, f);
+  }
+}
+
+TEST(Podem, JustifyBothValues) {
+  const Netlist nl = make_c17();
+  Podem podem(nl);
+  Rng rng(4);
+  for (GateId out : nl.outputs()) {
+    for (bool v : {false, true}) {
+      BitVec test;
+      ASSERT_EQ(podem.justify(out, v, &test, rng), PodemStatus::kTestFound);
+      const BitVec resp = simulate_pattern(nl, test);
+      EXPECT_EQ(resp.get(static_cast<std::size_t>(nl.output_index(out))), v);
+    }
+  }
+}
+
+TEST(Podem, JustifyContradictionUntestable) {
+  // y = AND(a, NOT(a)) is constant 0.
+  Netlist nl("c");
+  const GateId a = nl.add_gate(GateType::kInput, "a");
+  const GateId na = nl.add_gate(GateType::kNot, "na", {a});
+  const GateId y = nl.add_gate(GateType::kAnd, "y", {a, na});
+  nl.mark_output(y);
+  Podem podem(nl);
+  Rng rng(5);
+  BitVec test;
+  EXPECT_EQ(podem.justify(y, true, &test, rng), PodemStatus::kUntestable);
+  EXPECT_EQ(podem.justify(y, false, &test, rng), PodemStatus::kTestFound);
+}
+
+TEST(Podem, FaultOnUnobservableGateUntestable) {
+  Netlist nl("dang");
+  const GateId a = nl.add_gate(GateType::kInput, "a");
+  const GateId dead = nl.add_gate(GateType::kNot, "dead", {a});
+  const GateId dead2 = nl.add_gate(GateType::kNot, "dead2", {dead});
+  (void)dead2;
+  const GateId y = nl.add_gate(GateType::kBuf, "y", {a});
+  nl.mark_output(y);
+  Podem podem(nl);
+  Rng rng(6);
+  BitVec test;
+  EXPECT_EQ(podem.generate({dead, -1, 0}, &test, rng),
+            PodemStatus::kUntestable);
+}
+
+TEST(Podem, DeterministicCoreAssignments) {
+  // With the same rng seed the produced tests are identical.
+  const Netlist nl = make_c17();
+  const FaultList faults = collapsed_fault_list(nl).collapsed;
+  Podem podem(nl);
+  Rng r1(9), r2(9);
+  BitVec t1, t2;
+  ASSERT_EQ(podem.generate(faults[0], &t1, r1), PodemStatus::kTestFound);
+  ASSERT_EQ(podem.generate(faults[0], &t2, r2), PodemStatus::kTestFound);
+  EXPECT_EQ(t1, t2);
+}
+
+// ----------------------------------------------------------- random gen --
+
+TEST(RandomPhase, RespectsTargetAndCredits) {
+  const Netlist nl = make_c17();
+  const FaultList faults = collapsed_fault_list(nl).collapsed;
+  TestSet tests(nl.num_inputs());
+  std::vector<std::uint32_t> det(faults.size(), 0);
+  Rng rng(1);
+  const std::size_t kept = random_phase(nl, faults, 3, &tests, &det, rng);
+  EXPECT_EQ(kept, tests.size());
+  for (auto d : det) EXPECT_LE(d, 3u);
+  // c17 is easy: random patterns should saturate every fault.
+  for (std::size_t i = 0; i < det.size(); ++i)
+    EXPECT_EQ(det[i], 3u) << fault_name(nl, faults[i]);
+  // Reported counts are genuine: re-simulate.
+  const auto recount = count_detections(nl, faults, tests);
+  for (std::size_t i = 0; i < det.size(); ++i) EXPECT_GE(recount[i], det[i]);
+}
+
+TEST(RandomPhase, SizeMismatchRejected) {
+  const Netlist nl = make_c17();
+  const FaultList faults = collapsed_fault_list(nl).collapsed;
+  TestSet tests(nl.num_inputs());
+  std::vector<std::uint32_t> det(3, 0);
+  Rng rng(1);
+  EXPECT_THROW(random_phase(nl, faults, 1, &tests, &det, rng),
+               std::invalid_argument);
+}
+
+// -------------------------------------------------------------- compact --
+
+TEST(Compact, PreservesCoverage) {
+  const Netlist nl = make_c17();
+  const FaultList faults = collapsed_fault_list(nl).collapsed;
+  TestSet tests(nl.num_inputs());
+  Rng rng(2);
+  tests.add_random(120, rng);
+  const auto before = count_detections(nl, faults, tests);
+  const TestSet small = compact_reverse(nl, faults, tests);
+  EXPECT_LT(small.size(), tests.size());
+  const auto after = count_detections(nl, faults, small);
+  for (std::size_t i = 0; i < faults.size(); ++i)
+    EXPECT_EQ(after[i] > 0, before[i] > 0) << fault_name(nl, faults[i]);
+}
+
+TEST(Compact, EmptySetStaysEmpty) {
+  const Netlist nl = make_c17();
+  const FaultList faults = collapsed_fault_list(nl).collapsed;
+  const TestSet none(nl.num_inputs());
+  EXPECT_EQ(compact_reverse(nl, faults, none).size(), 0u);
+}
+
+// -------------------------------------------------------------- ndetect --
+
+TEST(NDetect, ReachesTargetOnC17) {
+  const Netlist nl = make_c17();
+  const FaultList faults = collapsed_fault_list(nl).collapsed;
+  NDetectOptions opts;
+  opts.n = 3;
+  opts.seed = 7;
+  const NDetectResult res = generate_ndetect(nl, faults, opts);
+  EXPECT_EQ(res.untestable_faults, 0u);
+  const auto counts = count_detections(nl, faults, res.tests);
+  for (std::size_t i = 0; i < faults.size(); ++i)
+    EXPECT_GE(counts[i], 3u) << fault_name(nl, faults[i]);
+}
+
+TEST(NDetect, TenDetectLargerThanOneDetect) {
+  const Netlist nl = make_c17();
+  const FaultList faults = collapsed_fault_list(nl).collapsed;
+  const DetectResult d1 = generate_detect(nl, faults, 7);
+  NDetectOptions opts;
+  opts.n = 10;
+  opts.seed = 7;
+  const NDetectResult d10 = generate_ndetect(nl, faults, opts);
+  EXPECT_GT(d10.tests.size(), d1.tests.size());
+}
+
+TEST(Detect, FullCoverageAndCompaction) {
+  const Netlist nl = make_c17();
+  const FaultList faults = collapsed_fault_list(nl).collapsed;
+  const DetectResult res = generate_detect(nl, faults, 3);
+  EXPECT_EQ(res.detected_faults, faults.size());
+  EXPECT_EQ(res.untestable_faults, 0u);
+  const auto counts = count_detections(nl, faults, res.tests);
+  for (std::size_t i = 0; i < faults.size(); ++i) EXPECT_GT(counts[i], 0u);
+}
+
+// ---------------------------------------------------------- distinguish --
+
+TEST(Distinguish, FindsTestForDistinguishablePair) {
+  const Netlist nl = make_c17();
+  const FaultList faults = collapsed_fault_list(nl).collapsed;
+  Rng rng(8);
+  BitVec test;
+  const auto st = distinguish_pair(nl, faults[0], faults[1], &test, rng);
+  ASSERT_EQ(st, DistinguishStatus::kFound);
+  const Netlist bad_a = inject_faults(nl, {to_injection(faults[0])});
+  const Netlist bad_b = inject_faults(nl, {to_injection(faults[1])});
+  EXPECT_NE(simulate_pattern(bad_a, test), simulate_pattern(bad_b, test));
+}
+
+TEST(Distinguish, ProvesEquivalentPairIndistinguishable) {
+  // Use two faults from the same structural equivalence class.
+  const Netlist nl = make_c17();
+  const FaultList all = enumerate_all_faults(nl);
+  const CollapseResult cr = collapse_equivalent(nl, all);
+  const auto big_class =
+      std::find_if(cr.class_members.begin(), cr.class_members.end(),
+                   [](const auto& m) { return m.size() >= 2; });
+  ASSERT_NE(big_class, cr.class_members.end());
+  Rng rng(9);
+  BitVec test;
+  EXPECT_EQ(distinguish_pair(nl, all[(*big_class)[0]], all[(*big_class)[1]],
+                             &test, rng),
+            DistinguishStatus::kIndistinguishable);
+}
+
+TEST(Distinguish, SameFaultIndistinguishableFromItself) {
+  const Netlist nl = make_c17();
+  const FaultList faults = collapsed_fault_list(nl).collapsed;
+  Rng rng(10);
+  BitVec test;
+  EXPECT_EQ(distinguish_pair(nl, faults[3], faults[3], &test, rng),
+            DistinguishStatus::kIndistinguishable);
+}
+
+// -------------------------------------------------------------- diagset --
+
+// Reference: minimum achievable indistinguished pairs = those equivalent
+// under the exhaustive test set.
+std::uint64_t exhaustive_indistinguished(const Netlist& nl,
+                                         const FaultList& faults) {
+  TestSet all(nl.num_inputs());
+  for (std::size_t v = 0; v < (1u << nl.num_inputs()); ++v) {
+    BitVec in(nl.num_inputs());
+    for (std::size_t i = 0; i < nl.num_inputs(); ++i) in.set(i, (v >> i) & 1);
+    all.add(in);
+  }
+  const ResponseMatrix rm = build_response_matrix(nl, faults, all);
+  std::vector<std::vector<ResponseId>> rows(faults.size());
+  for (FaultId f = 0; f < faults.size(); ++f) {
+    rows[f].resize(all.size());
+    for (std::size_t t = 0; t < all.size(); ++t) rows[f][t] = rm.response(f, t);
+  }
+  std::uint64_t pairs = 0;
+  for (FaultId a = 0; a < faults.size(); ++a)
+    for (FaultId b = a + 1; b < faults.size(); ++b)
+      if (rows[a] == rows[b]) ++pairs;
+  return pairs;
+}
+
+TEST(DiagSet, ReachesFullResolutionOnC17) {
+  const Netlist nl = make_c17();
+  const FaultList faults = collapsed_fault_list(nl).collapsed;
+  DiagSetOptions opts;
+  opts.seed = 11;
+  const DiagSetResult res = generate_diagnostic(nl, faults, opts);
+  EXPECT_EQ(res.indistinguished_pairs, exhaustive_indistinguished(nl, faults));
+  EXPECT_GT(res.tests.size(), 0u);
+  EXPECT_GE(res.tests.size(), res.detect_tests);
+}
+
+TEST(DiagSet, ReportedResolutionMatchesRecomputation) {
+  SynthProfile p;
+  p.name = "ds";
+  p.inputs = 7;
+  p.outputs = 3;
+  p.gates = 45;
+  p.seed = 77;
+  const Netlist nl = full_scan(generate_synthetic(p));
+  const FaultList faults = collapsed_fault_list(nl).collapsed;
+  DiagSetOptions opts;
+  opts.seed = 13;
+  const DiagSetResult res = generate_diagnostic(nl, faults, opts);
+
+  // Recompute the claimed resolution from scratch.
+  const ResponseMatrix rm = build_response_matrix(nl, faults, res.tests);
+  std::uint64_t pairs = 0;
+  for (FaultId a = 0; a < faults.size(); ++a)
+    for (FaultId b = a + 1; b < faults.size(); ++b) {
+      bool same = true;
+      for (std::size_t t = 0; t < res.tests.size() && same; ++t)
+        same = rm.response(a, t) == rm.response(b, t);
+      pairs += same ? 1 : 0;
+    }
+  EXPECT_EQ(res.indistinguished_pairs, pairs);
+}
+
+}  // namespace
+}  // namespace sddict

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "bmcirc/embedded.h"
+#include "netlist/bench_io.h"
+#include "netlist/transform.h"
+#include "sim/logicsim.h"
+
+namespace sddict {
+namespace {
+
+// Exhaustive output table of a small combinational netlist.
+std::vector<BitVec> truth_table(const Netlist& nl) {
+  const std::size_t n = nl.num_inputs();
+  std::vector<BitVec> rows;
+  for (std::size_t v = 0; v < (1u << n); ++v) {
+    BitVec in(n);
+    for (std::size_t i = 0; i < n; ++i) in.set(i, (v >> i) & 1);
+    rows.push_back(simulate_pattern(nl, in));
+  }
+  return rows;
+}
+
+TEST(FullScan, S27Structure) {
+  Netlist scan = full_scan(make_s27());
+  EXPECT_FALSE(scan.has_dffs());
+  // 4 PIs + 3 PPIs; 1 PO + 3 PPOs.
+  EXPECT_EQ(scan.num_inputs(), 7u);
+  EXPECT_EQ(scan.num_outputs(), 4u);
+  scan.validate();
+}
+
+TEST(FullScan, CombinationalPassThrough) {
+  Netlist scan = full_scan(make_c17());
+  EXPECT_EQ(scan.num_inputs(), 5u);
+  EXPECT_EQ(scan.num_outputs(), 2u);
+  // Function preserved.
+  EXPECT_EQ(truth_table(scan), truth_table(make_c17()));
+}
+
+TEST(FullScan, PseudoOutputObservesDffData) {
+  Netlist nl = parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+q = DFF(d)
+d = AND(a, b)
+y = NOT(q)
+)");
+  Netlist scan = full_scan(nl);
+  // Inputs: a, b, q ; outputs: y, q_si (= d = a AND b).
+  ASSERT_EQ(scan.num_inputs(), 3u);
+  ASSERT_EQ(scan.num_outputs(), 2u);
+  BitVec in(3);
+  in.set(0, true);  // a=1
+  in.set(1, true);  // b=1
+  in.set(2, false); // scan state q=0
+  const BitVec out = simulate_pattern(scan, in);
+  EXPECT_TRUE(out.get(0));   // y = !q = 1
+  EXPECT_TRUE(out.get(1));   // q_si = a&b = 1
+}
+
+TEST(CopyInto, PlainCopyPreservesFunction) {
+  Netlist src = make_c17();
+  Netlist dst("copy");
+  std::vector<GateId> ins;
+  for (GateId g : src.inputs())
+    ins.push_back(dst.add_gate(GateType::kInput, src.gate(g).name));
+  const auto outs = copy_into(dst, src, "cp$", ins, {});
+  for (GateId o : outs) dst.mark_output(o);
+  dst.validate();
+  EXPECT_EQ(truth_table(dst), truth_table(src));
+}
+
+TEST(CopyInto, OutputFaultForcesConstant) {
+  // y = AND(a,b); fault: AND output stuck-at-1 -> y always 1.
+  Netlist src("s");
+  const GateId a = src.add_gate(GateType::kInput, "a");
+  const GateId b = src.add_gate(GateType::kInput, "b");
+  const GateId g = src.add_gate(GateType::kAnd, "g", {a, b});
+  src.mark_output(g);
+
+  const Netlist bad = inject_faults(src, {{g, -1, true}});
+  for (const auto& row : truth_table(bad)) EXPECT_TRUE(row.get(0));
+}
+
+TEST(CopyInto, PinFaultOnlyAffectsOnePin) {
+  // y0 = AND(a,b), y1 = BUF(a); fault a->AND pin stuck-at-1: y0 = b, y1 = a.
+  Netlist src("s");
+  const GateId a = src.add_gate(GateType::kInput, "a");
+  const GateId b = src.add_gate(GateType::kInput, "b");
+  const GateId g = src.add_gate(GateType::kAnd, "g", {a, b});
+  const GateId h = src.add_gate(GateType::kBuf, "h", {a});
+  src.mark_output(g);
+  src.mark_output(h);
+
+  const Netlist bad = inject_faults(src, {{g, 0, true}});
+  const auto rows = truth_table(bad);
+  for (std::size_t v = 0; v < 4; ++v) {
+    const bool av = v & 1, bv = (v >> 1) & 1;
+    EXPECT_EQ(rows[v].get(0), bv);  // AND sees pin0 = 1
+    EXPECT_EQ(rows[v].get(1), av);  // branch to BUF unaffected
+  }
+}
+
+TEST(CopyInto, MultipleFaults) {
+  // Two independent outputs, each stuck.
+  Netlist src("s");
+  const GateId a = src.add_gate(GateType::kInput, "a");
+  const GateId x = src.add_gate(GateType::kNot, "x", {a});
+  const GateId y = src.add_gate(GateType::kBuf, "y", {a});
+  src.mark_output(x);
+  src.mark_output(y);
+  const Netlist bad = inject_faults(src, {{x, -1, false}, {y, -1, true}});
+  for (const auto& row : truth_table(bad)) {
+    EXPECT_FALSE(row.get(0));
+    EXPECT_TRUE(row.get(1));
+  }
+}
+
+TEST(CopyInto, RejectsSequentialAndBadSites) {
+  Netlist seq = make_s27();
+  Netlist dst("d");
+  EXPECT_THROW(copy_into(dst, seq, "p$", {}, {}), std::runtime_error);
+
+  Netlist comb = make_c17();
+  Netlist dst2("d2");
+  std::vector<GateId> ins;
+  for (GateId g : comb.inputs())
+    ins.push_back(dst2.add_gate(GateType::kInput, comb.gate(g).name));
+  EXPECT_THROW(
+      copy_into(dst2, comb, "p$", ins,
+                {{static_cast<GateId>(comb.num_gates()), -1, false}}),
+      std::runtime_error);
+  EXPECT_THROW(copy_into(dst2, comb, "q$", ins, {{comb.outputs()[0], 9, false}}),
+               std::runtime_error);
+}
+
+TEST(Miter, DetectionMiterMatchesFaultBehaviour) {
+  // Detection miter output = 1 exactly on vectors where the fault changes
+  // some output.
+  Netlist nl = make_c17();
+  const GateId g = nl.find("10");
+  ASSERT_NE(g, kNoGate);
+  const Injection f{g, -1, true};
+  const Netlist miter = build_detection_miter(nl, f);
+  ASSERT_EQ(miter.num_outputs(), 1u);
+
+  const Netlist bad = inject_faults(nl, {f});
+  const auto good_rows = truth_table(nl);
+  const auto bad_rows = truth_table(bad);
+  const auto miter_rows = truth_table(miter);
+  for (std::size_t v = 0; v < good_rows.size(); ++v)
+    EXPECT_EQ(miter_rows[v].get(0), good_rows[v] != bad_rows[v]) << v;
+}
+
+TEST(Miter, PairMiterMatchesResponseDifference) {
+  Netlist nl = make_c17();
+  const Injection fa{nl.find("10"), -1, true};
+  const Injection fb{nl.find("16"), -1, false};
+  const Netlist miter = build_pair_miter(nl, fa, fb);
+
+  const auto rows_a = truth_table(inject_faults(nl, {fa}));
+  const auto rows_b = truth_table(inject_faults(nl, {fb}));
+  const auto rows_m = truth_table(miter);
+  for (std::size_t v = 0; v < rows_a.size(); ++v)
+    EXPECT_EQ(rows_m[v].get(0), rows_a[v] != rows_b[v]) << v;
+}
+
+TEST(Miter, SharedInputOrderMatchesSource) {
+  Netlist nl = make_c17();
+  const Netlist miter =
+      build_pair_miter(nl, {nl.find("10"), -1, true}, {nl.find("11"), -1, true});
+  ASSERT_EQ(miter.num_inputs(), nl.num_inputs());
+  for (std::size_t i = 0; i < nl.num_inputs(); ++i)
+    EXPECT_EQ(miter.gate(miter.inputs()[i]).name,
+              nl.gate(nl.inputs()[i]).name);
+}
+
+}  // namespace
+}  // namespace sddict

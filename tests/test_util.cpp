@@ -1,0 +1,300 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "util/bitvec.h"
+#include "util/cli.h"
+#include "util/hash.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace sddict {
+namespace {
+
+// ---------------------------------------------------------------- BitVec --
+
+TEST(BitVec, StartsZeroed) {
+  BitVec v(130);
+  EXPECT_EQ(v.size(), 130u);
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_FALSE(v.get(i));
+  EXPECT_EQ(v.count_ones(), 0u);
+}
+
+TEST(BitVec, SetGetFlipAcrossWordBoundary) {
+  BitVec v(130);
+  for (std::size_t i : {0u, 63u, 64u, 65u, 127u, 128u, 129u}) {
+    v.set(i, true);
+    EXPECT_TRUE(v.get(i)) << i;
+    v.flip(i);
+    EXPECT_FALSE(v.get(i)) << i;
+  }
+}
+
+TEST(BitVec, FillConstructorAndSetAllKeepTailClean) {
+  BitVec v(70, true);
+  EXPECT_EQ(v.count_ones(), 70u);
+  // Tail bits beyond size must stay zero for word-level equality.
+  EXPECT_EQ(v.words()[1] >> 6, 0u);
+}
+
+TEST(BitVec, FromStringRoundTrip) {
+  const std::string s = "0110010111010001";
+  BitVec v = BitVec::from_string(s);
+  EXPECT_EQ(v.to_string(), s);
+  EXPECT_EQ(v.count_ones(), 8u);
+}
+
+TEST(BitVec, FromStringRejectsBadCharacters) {
+  EXPECT_THROW(BitVec::from_string("01x"), std::invalid_argument);
+}
+
+TEST(BitVec, PushBackGrows) {
+  BitVec v;
+  for (int i = 0; i < 100; ++i) v.push_back(i % 3 == 0);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_EQ(v.count_ones(), 34u);
+}
+
+TEST(BitVec, EqualityIsValueBased) {
+  BitVec a = BitVec::from_string("0101");
+  BitVec b = BitVec::from_string("0101");
+  BitVec c = BitVec::from_string("0100");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, BitVec(5));
+}
+
+TEST(BitVec, FirstDifference) {
+  BitVec a = BitVec::from_string("00001000");
+  BitVec b = BitVec::from_string("00001010");
+  EXPECT_EQ(a.first_difference(b), 6u);
+  EXPECT_EQ(a.first_difference(a), BitVec::npos);
+  BitVec wide_a(100);
+  BitVec wide_b(100);
+  wide_b.set(99, true);
+  EXPECT_EQ(wide_a.first_difference(wide_b), 99u);
+}
+
+TEST(BitVec, FirstDifferenceSizeMismatchThrows) {
+  BitVec a(4), b(5);
+  EXPECT_THROW(a.first_difference(b), std::invalid_argument);
+}
+
+TEST(BitVec, XorAndOr) {
+  BitVec a = BitVec::from_string("0110");
+  BitVec b = BitVec::from_string("0011");
+  BitVec x = a;
+  x ^= b;
+  EXPECT_EQ(x.to_string(), "0101");
+  BitVec n = a;
+  n &= b;
+  EXPECT_EQ(n.to_string(), "0010");
+  BitVec o = a;
+  o |= b;
+  EXPECT_EQ(o.to_string(), "0111");
+}
+
+TEST(BitVec, LexicographicOrder) {
+  EXPECT_LT(BitVec::from_string("0011"), BitVec::from_string("0100"));
+  EXPECT_LT(BitVec::from_string("000"), BitVec::from_string("0000"));
+  EXPECT_FALSE(BitVec::from_string("0100") < BitVec::from_string("0011"));
+}
+
+TEST(BitVec, NormalizeTailAfterRawWordWrite) {
+  BitVec v(10);
+  v.mutable_words()[0] = ~std::uint64_t{0};
+  v.normalize_tail();
+  EXPECT_EQ(v.count_ones(), 10u);
+}
+
+// ------------------------------------------------------------------- Rng --
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.below(13), 13u);
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.range(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Rng, Uniform01InUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(1);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng(5);
+  std::vector<int> v(64);
+  for (int i = 0; i < 64; ++i) v[i] = i;
+  const auto orig = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, orig);
+}
+
+TEST(Rng, SplitIndependentStreams) {
+  Rng a(77);
+  Rng b = a.split();
+  EXPECT_NE(a.next(), b.next());
+}
+
+// ------------------------------------------------------------------ hash --
+
+TEST(Hash, Mix64IsInjectiveOnSample) {
+  std::unordered_set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 10000; ++i) seen.insert(mix64(i));
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(Hash, HashBitvecDistinguishesContent) {
+  const Hash128 a = hash_bitvec(BitVec::from_string("0101"));
+  const Hash128 b = hash_bitvec(BitVec::from_string("0111"));
+  const Hash128 c = hash_bitvec(BitVec::from_string("0101"));
+  EXPECT_EQ(a, c);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Hash, HashBitvecDistinguishesLength) {
+  const Hash128 a = hash_bitvec(BitVec(64));
+  const Hash128 b = hash_bitvec(BitVec(65));
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Hash, SlotTokensDistinct) {
+  std::unordered_set<std::uint64_t> seen;
+  for (std::uint64_t slot = 0; slot < 1000; ++slot)
+    for (std::uint64_t v = 0; v < 2; ++v) seen.insert(slot_token(slot, v).lo);
+  EXPECT_EQ(seen.size(), 2000u);
+}
+
+TEST(Hash, XorAccumulationOrderIndependent) {
+  Hash128 a = slot_token(1, 1) ^ slot_token(2, 1) ^ slot_token(3, 1);
+  Hash128 b = slot_token(3, 1) ^ slot_token(1, 1) ^ slot_token(2, 1);
+  EXPECT_EQ(a, b);
+}
+
+// --------------------------------------------------------------- strings --
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  a b  "), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t\n"), "");
+}
+
+TEST(Strings, Split) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(Strings, SplitWs) {
+  const auto parts = split_ws("  foo\tbar  baz ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "bar");
+}
+
+TEST(Strings, ToLowerAndStartsWith) {
+  EXPECT_EQ(to_lower("NaNd"), "nand");
+  EXPECT_TRUE(starts_with("INPUT(x)", "INPUT"));
+  EXPECT_FALSE(starts_with("IN", "INPUT"));
+}
+
+TEST(Strings, WithCommas) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(1234567890ULL), "1,234,567,890");
+}
+
+// ------------------------------------------------------------------- cli --
+
+TEST(Cli, ParsesFlagsAndPositional) {
+  const char* argv[] = {"prog", "--alpha=3", "--flag", "file.bench", "--name=x"};
+  CliArgs args(5, const_cast<char**>(argv));
+  EXPECT_EQ(args.get_int("alpha", 0), 3);
+  EXPECT_TRUE(args.get_bool("flag", false));
+  EXPECT_EQ(args.get("name"), "x");
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "file.bench");
+}
+
+TEST(Cli, Defaults) {
+  const char* argv[] = {"prog"};
+  CliArgs args(1, const_cast<char**>(argv));
+  EXPECT_EQ(args.get_int("missing", 7), 7);
+  EXPECT_EQ(args.get("missing", "d"), "d");
+  EXPECT_FALSE(args.has("missing"));
+}
+
+TEST(Cli, GetList) {
+  const char* argv[] = {"prog", "--circuits=s27,s208"};
+  CliArgs args(2, const_cast<char**>(argv));
+  const auto list = args.get_list("circuits");
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[1], "s208");
+}
+
+TEST(Cli, BadBoolThrows) {
+  const char* argv[] = {"prog", "--b=maybe"};
+  CliArgs args(2, const_cast<char**>(argv));
+  EXPECT_THROW(args.get_bool("b", false), std::invalid_argument);
+}
+
+TEST(Cli, UnknownFlags) {
+  const char* argv[] = {"prog", "--good=1", "--typo=2"};
+  CliArgs args(3, const_cast<char**>(argv));
+  const auto unknown = args.unknown_flags({"good"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+}  // namespace
+}  // namespace sddict
