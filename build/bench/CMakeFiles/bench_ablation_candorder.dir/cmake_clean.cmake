@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_candorder.dir/bench_ablation_candorder.cpp.o"
+  "CMakeFiles/bench_ablation_candorder.dir/bench_ablation_candorder.cpp.o.d"
+  "bench_ablation_candorder"
+  "bench_ablation_candorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_candorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

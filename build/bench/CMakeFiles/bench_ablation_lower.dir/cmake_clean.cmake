@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lower.dir/bench_ablation_lower.cpp.o"
+  "CMakeFiles/bench_ablation_lower.dir/bench_ablation_lower.cpp.o.d"
+  "bench_ablation_lower"
+  "bench_ablation_lower.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

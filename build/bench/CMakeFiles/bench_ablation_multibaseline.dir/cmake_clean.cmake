@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_multibaseline.dir/bench_ablation_multibaseline.cpp.o"
+  "CMakeFiles/bench_ablation_multibaseline.dir/bench_ablation_multibaseline.cpp.o.d"
+  "bench_ablation_multibaseline"
+  "bench_ablation_multibaseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multibaseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

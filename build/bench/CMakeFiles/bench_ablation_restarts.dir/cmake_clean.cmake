@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_restarts.dir/bench_ablation_restarts.cpp.o"
+  "CMakeFiles/bench_ablation_restarts.dir/bench_ablation_restarts.cpp.o.d"
+  "bench_ablation_restarts"
+  "bench_ablation_restarts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_restarts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_testsize.cpp" "bench/CMakeFiles/bench_ablation_testsize.dir/bench_ablation_testsize.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_testsize.dir/bench_ablation_testsize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sddict_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/diag/CMakeFiles/sddict_diag.dir/DependInfo.cmake"
+  "/root/repo/build/src/tgen/CMakeFiles/sddict_tgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/dict/CMakeFiles/sddict_dict.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sddict_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/sddict_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/sddict_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/bmcirc/CMakeFiles/sddict_bmcirc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sddict_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_testsize.dir/bench_ablation_testsize.cpp.o"
+  "CMakeFiles/bench_ablation_testsize.dir/bench_ablation_testsize.cpp.o.d"
+  "bench_ablation_testsize"
+  "bench_ablation_testsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_testsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_baseline.dir/bench_micro_baseline.cpp.o"
+  "CMakeFiles/bench_micro_baseline.dir/bench_micro_baseline.cpp.o.d"
+  "bench_micro_baseline"
+  "bench_micro_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_dict.dir/bench_micro_dict.cpp.o"
+  "CMakeFiles/bench_micro_dict.dir/bench_micro_dict.cpp.o.d"
+  "bench_micro_dict"
+  "bench_micro_dict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_dict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagnose_chip.dir/diagnose_chip.cpp.o"
+  "CMakeFiles/diagnose_chip.dir/diagnose_chip.cpp.o.d"
+  "diagnose_chip"
+  "diagnose_chip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagnose_chip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probe_session.dir/probe_session.cpp.o"
+  "CMakeFiles/probe_session.dir/probe_session.cpp.o.d"
+  "probe_session"
+  "probe_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probe_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bmcirc/embedded.cpp" "src/bmcirc/CMakeFiles/sddict_bmcirc.dir/embedded.cpp.o" "gcc" "src/bmcirc/CMakeFiles/sddict_bmcirc.dir/embedded.cpp.o.d"
+  "/root/repo/src/bmcirc/registry.cpp" "src/bmcirc/CMakeFiles/sddict_bmcirc.dir/registry.cpp.o" "gcc" "src/bmcirc/CMakeFiles/sddict_bmcirc.dir/registry.cpp.o.d"
+  "/root/repo/src/bmcirc/synth.cpp" "src/bmcirc/CMakeFiles/sddict_bmcirc.dir/synth.cpp.o" "gcc" "src/bmcirc/CMakeFiles/sddict_bmcirc.dir/synth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/sddict_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sddict_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sddict_bmcirc.dir/embedded.cpp.o"
+  "CMakeFiles/sddict_bmcirc.dir/embedded.cpp.o.d"
+  "CMakeFiles/sddict_bmcirc.dir/registry.cpp.o"
+  "CMakeFiles/sddict_bmcirc.dir/registry.cpp.o.d"
+  "CMakeFiles/sddict_bmcirc.dir/synth.cpp.o"
+  "CMakeFiles/sddict_bmcirc.dir/synth.cpp.o.d"
+  "libsddict_bmcirc.a"
+  "libsddict_bmcirc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sddict_bmcirc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sddict_bmcirc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baseline.cpp" "src/core/CMakeFiles/sddict_core.dir/baseline.cpp.o" "gcc" "src/core/CMakeFiles/sddict_core.dir/baseline.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/sddict_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/sddict_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/hybrid.cpp" "src/core/CMakeFiles/sddict_core.dir/hybrid.cpp.o" "gcc" "src/core/CMakeFiles/sddict_core.dir/hybrid.cpp.o.d"
+  "/root/repo/src/core/minimize.cpp" "src/core/CMakeFiles/sddict_core.dir/minimize.cpp.o" "gcc" "src/core/CMakeFiles/sddict_core.dir/minimize.cpp.o.d"
+  "/root/repo/src/core/multibaseline.cpp" "src/core/CMakeFiles/sddict_core.dir/multibaseline.cpp.o" "gcc" "src/core/CMakeFiles/sddict_core.dir/multibaseline.cpp.o.d"
+  "/root/repo/src/core/pairset.cpp" "src/core/CMakeFiles/sddict_core.dir/pairset.cpp.o" "gcc" "src/core/CMakeFiles/sddict_core.dir/pairset.cpp.o.d"
+  "/root/repo/src/core/procedure2.cpp" "src/core/CMakeFiles/sddict_core.dir/procedure2.cpp.o" "gcc" "src/core/CMakeFiles/sddict_core.dir/procedure2.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dict/CMakeFiles/sddict_dict.dir/DependInfo.cmake"
+  "/root/repo/build/src/tgen/CMakeFiles/sddict_tgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sddict_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/sddict_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/sddict_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sddict_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sddict_core.dir/baseline.cpp.o"
+  "CMakeFiles/sddict_core.dir/baseline.cpp.o.d"
+  "CMakeFiles/sddict_core.dir/experiment.cpp.o"
+  "CMakeFiles/sddict_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/sddict_core.dir/hybrid.cpp.o"
+  "CMakeFiles/sddict_core.dir/hybrid.cpp.o.d"
+  "CMakeFiles/sddict_core.dir/minimize.cpp.o"
+  "CMakeFiles/sddict_core.dir/minimize.cpp.o.d"
+  "CMakeFiles/sddict_core.dir/multibaseline.cpp.o"
+  "CMakeFiles/sddict_core.dir/multibaseline.cpp.o.d"
+  "CMakeFiles/sddict_core.dir/pairset.cpp.o"
+  "CMakeFiles/sddict_core.dir/pairset.cpp.o.d"
+  "CMakeFiles/sddict_core.dir/procedure2.cpp.o"
+  "CMakeFiles/sddict_core.dir/procedure2.cpp.o.d"
+  "libsddict_core.a"
+  "libsddict_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sddict_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

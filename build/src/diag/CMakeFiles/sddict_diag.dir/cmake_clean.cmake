@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sddict_diag.dir/observe.cpp.o"
+  "CMakeFiles/sddict_diag.dir/observe.cpp.o.d"
+  "CMakeFiles/sddict_diag.dir/probe.cpp.o"
+  "CMakeFiles/sddict_diag.dir/probe.cpp.o.d"
+  "CMakeFiles/sddict_diag.dir/report.cpp.o"
+  "CMakeFiles/sddict_diag.dir/report.cpp.o.d"
+  "CMakeFiles/sddict_diag.dir/twophase.cpp.o"
+  "CMakeFiles/sddict_diag.dir/twophase.cpp.o.d"
+  "libsddict_diag.a"
+  "libsddict_diag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sddict_diag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

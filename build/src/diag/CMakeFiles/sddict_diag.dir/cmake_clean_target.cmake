@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsddict_diag.a"
+)

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dict/detlist_dict.cpp" "src/dict/CMakeFiles/sddict_dict.dir/detlist_dict.cpp.o" "gcc" "src/dict/CMakeFiles/sddict_dict.dir/detlist_dict.cpp.o.d"
+  "/root/repo/src/dict/dictionary.cpp" "src/dict/CMakeFiles/sddict_dict.dir/dictionary.cpp.o" "gcc" "src/dict/CMakeFiles/sddict_dict.dir/dictionary.cpp.o.d"
+  "/root/repo/src/dict/firstfail_dict.cpp" "src/dict/CMakeFiles/sddict_dict.dir/firstfail_dict.cpp.o" "gcc" "src/dict/CMakeFiles/sddict_dict.dir/firstfail_dict.cpp.o.d"
+  "/root/repo/src/dict/full_dict.cpp" "src/dict/CMakeFiles/sddict_dict.dir/full_dict.cpp.o" "gcc" "src/dict/CMakeFiles/sddict_dict.dir/full_dict.cpp.o.d"
+  "/root/repo/src/dict/multibaseline_dict.cpp" "src/dict/CMakeFiles/sddict_dict.dir/multibaseline_dict.cpp.o" "gcc" "src/dict/CMakeFiles/sddict_dict.dir/multibaseline_dict.cpp.o.d"
+  "/root/repo/src/dict/partition.cpp" "src/dict/CMakeFiles/sddict_dict.dir/partition.cpp.o" "gcc" "src/dict/CMakeFiles/sddict_dict.dir/partition.cpp.o.d"
+  "/root/repo/src/dict/passfail_dict.cpp" "src/dict/CMakeFiles/sddict_dict.dir/passfail_dict.cpp.o" "gcc" "src/dict/CMakeFiles/sddict_dict.dir/passfail_dict.cpp.o.d"
+  "/root/repo/src/dict/samediff_dict.cpp" "src/dict/CMakeFiles/sddict_dict.dir/samediff_dict.cpp.o" "gcc" "src/dict/CMakeFiles/sddict_dict.dir/samediff_dict.cpp.o.d"
+  "/root/repo/src/dict/serialize.cpp" "src/dict/CMakeFiles/sddict_dict.dir/serialize.cpp.o" "gcc" "src/dict/CMakeFiles/sddict_dict.dir/serialize.cpp.o.d"
+  "/root/repo/src/dict/signature_dict.cpp" "src/dict/CMakeFiles/sddict_dict.dir/signature_dict.cpp.o" "gcc" "src/dict/CMakeFiles/sddict_dict.dir/signature_dict.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sddict_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/sddict_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/sddict_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sddict_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

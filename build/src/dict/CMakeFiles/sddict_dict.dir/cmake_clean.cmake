@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sddict_dict.dir/detlist_dict.cpp.o"
+  "CMakeFiles/sddict_dict.dir/detlist_dict.cpp.o.d"
+  "CMakeFiles/sddict_dict.dir/dictionary.cpp.o"
+  "CMakeFiles/sddict_dict.dir/dictionary.cpp.o.d"
+  "CMakeFiles/sddict_dict.dir/firstfail_dict.cpp.o"
+  "CMakeFiles/sddict_dict.dir/firstfail_dict.cpp.o.d"
+  "CMakeFiles/sddict_dict.dir/full_dict.cpp.o"
+  "CMakeFiles/sddict_dict.dir/full_dict.cpp.o.d"
+  "CMakeFiles/sddict_dict.dir/multibaseline_dict.cpp.o"
+  "CMakeFiles/sddict_dict.dir/multibaseline_dict.cpp.o.d"
+  "CMakeFiles/sddict_dict.dir/partition.cpp.o"
+  "CMakeFiles/sddict_dict.dir/partition.cpp.o.d"
+  "CMakeFiles/sddict_dict.dir/passfail_dict.cpp.o"
+  "CMakeFiles/sddict_dict.dir/passfail_dict.cpp.o.d"
+  "CMakeFiles/sddict_dict.dir/samediff_dict.cpp.o"
+  "CMakeFiles/sddict_dict.dir/samediff_dict.cpp.o.d"
+  "CMakeFiles/sddict_dict.dir/serialize.cpp.o"
+  "CMakeFiles/sddict_dict.dir/serialize.cpp.o.d"
+  "CMakeFiles/sddict_dict.dir/signature_dict.cpp.o"
+  "CMakeFiles/sddict_dict.dir/signature_dict.cpp.o.d"
+  "libsddict_dict.a"
+  "libsddict_dict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sddict_dict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fault/bridge.cpp" "src/fault/CMakeFiles/sddict_fault.dir/bridge.cpp.o" "gcc" "src/fault/CMakeFiles/sddict_fault.dir/bridge.cpp.o.d"
+  "/root/repo/src/fault/collapse.cpp" "src/fault/CMakeFiles/sddict_fault.dir/collapse.cpp.o" "gcc" "src/fault/CMakeFiles/sddict_fault.dir/collapse.cpp.o.d"
+  "/root/repo/src/fault/fault.cpp" "src/fault/CMakeFiles/sddict_fault.dir/fault.cpp.o" "gcc" "src/fault/CMakeFiles/sddict_fault.dir/fault.cpp.o.d"
+  "/root/repo/src/fault/faultlist.cpp" "src/fault/CMakeFiles/sddict_fault.dir/faultlist.cpp.o" "gcc" "src/fault/CMakeFiles/sddict_fault.dir/faultlist.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/sddict_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sddict_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sddict_fault.dir/bridge.cpp.o"
+  "CMakeFiles/sddict_fault.dir/bridge.cpp.o.d"
+  "CMakeFiles/sddict_fault.dir/collapse.cpp.o"
+  "CMakeFiles/sddict_fault.dir/collapse.cpp.o.d"
+  "CMakeFiles/sddict_fault.dir/fault.cpp.o"
+  "CMakeFiles/sddict_fault.dir/fault.cpp.o.d"
+  "CMakeFiles/sddict_fault.dir/faultlist.cpp.o"
+  "CMakeFiles/sddict_fault.dir/faultlist.cpp.o.d"
+  "libsddict_fault.a"
+  "libsddict_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sddict_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/bench_io.cpp" "src/netlist/CMakeFiles/sddict_netlist.dir/bench_io.cpp.o" "gcc" "src/netlist/CMakeFiles/sddict_netlist.dir/bench_io.cpp.o.d"
+  "/root/repo/src/netlist/gate.cpp" "src/netlist/CMakeFiles/sddict_netlist.dir/gate.cpp.o" "gcc" "src/netlist/CMakeFiles/sddict_netlist.dir/gate.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/netlist/CMakeFiles/sddict_netlist.dir/netlist.cpp.o" "gcc" "src/netlist/CMakeFiles/sddict_netlist.dir/netlist.cpp.o.d"
+  "/root/repo/src/netlist/stats.cpp" "src/netlist/CMakeFiles/sddict_netlist.dir/stats.cpp.o" "gcc" "src/netlist/CMakeFiles/sddict_netlist.dir/stats.cpp.o.d"
+  "/root/repo/src/netlist/transform.cpp" "src/netlist/CMakeFiles/sddict_netlist.dir/transform.cpp.o" "gcc" "src/netlist/CMakeFiles/sddict_netlist.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sddict_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sddict_netlist.dir/bench_io.cpp.o"
+  "CMakeFiles/sddict_netlist.dir/bench_io.cpp.o.d"
+  "CMakeFiles/sddict_netlist.dir/gate.cpp.o"
+  "CMakeFiles/sddict_netlist.dir/gate.cpp.o.d"
+  "CMakeFiles/sddict_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/sddict_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/sddict_netlist.dir/stats.cpp.o"
+  "CMakeFiles/sddict_netlist.dir/stats.cpp.o.d"
+  "CMakeFiles/sddict_netlist.dir/transform.cpp.o"
+  "CMakeFiles/sddict_netlist.dir/transform.cpp.o.d"
+  "libsddict_netlist.a"
+  "libsddict_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sddict_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

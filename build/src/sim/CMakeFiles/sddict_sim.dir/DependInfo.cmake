@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/faultsim.cpp" "src/sim/CMakeFiles/sddict_sim.dir/faultsim.cpp.o" "gcc" "src/sim/CMakeFiles/sddict_sim.dir/faultsim.cpp.o.d"
+  "/root/repo/src/sim/logicsim.cpp" "src/sim/CMakeFiles/sddict_sim.dir/logicsim.cpp.o" "gcc" "src/sim/CMakeFiles/sddict_sim.dir/logicsim.cpp.o.d"
+  "/root/repo/src/sim/misr.cpp" "src/sim/CMakeFiles/sddict_sim.dir/misr.cpp.o" "gcc" "src/sim/CMakeFiles/sddict_sim.dir/misr.cpp.o.d"
+  "/root/repo/src/sim/response.cpp" "src/sim/CMakeFiles/sddict_sim.dir/response.cpp.o" "gcc" "src/sim/CMakeFiles/sddict_sim.dir/response.cpp.o.d"
+  "/root/repo/src/sim/seqsim.cpp" "src/sim/CMakeFiles/sddict_sim.dir/seqsim.cpp.o" "gcc" "src/sim/CMakeFiles/sddict_sim.dir/seqsim.cpp.o.d"
+  "/root/repo/src/sim/testset.cpp" "src/sim/CMakeFiles/sddict_sim.dir/testset.cpp.o" "gcc" "src/sim/CMakeFiles/sddict_sim.dir/testset.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fault/CMakeFiles/sddict_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/sddict_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sddict_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sddict_sim.dir/faultsim.cpp.o"
+  "CMakeFiles/sddict_sim.dir/faultsim.cpp.o.d"
+  "CMakeFiles/sddict_sim.dir/logicsim.cpp.o"
+  "CMakeFiles/sddict_sim.dir/logicsim.cpp.o.d"
+  "CMakeFiles/sddict_sim.dir/misr.cpp.o"
+  "CMakeFiles/sddict_sim.dir/misr.cpp.o.d"
+  "CMakeFiles/sddict_sim.dir/response.cpp.o"
+  "CMakeFiles/sddict_sim.dir/response.cpp.o.d"
+  "CMakeFiles/sddict_sim.dir/seqsim.cpp.o"
+  "CMakeFiles/sddict_sim.dir/seqsim.cpp.o.d"
+  "CMakeFiles/sddict_sim.dir/testset.cpp.o"
+  "CMakeFiles/sddict_sim.dir/testset.cpp.o.d"
+  "libsddict_sim.a"
+  "libsddict_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sddict_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

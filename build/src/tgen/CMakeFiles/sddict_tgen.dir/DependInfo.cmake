@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tgen/compact.cpp" "src/tgen/CMakeFiles/sddict_tgen.dir/compact.cpp.o" "gcc" "src/tgen/CMakeFiles/sddict_tgen.dir/compact.cpp.o.d"
+  "/root/repo/src/tgen/diagset.cpp" "src/tgen/CMakeFiles/sddict_tgen.dir/diagset.cpp.o" "gcc" "src/tgen/CMakeFiles/sddict_tgen.dir/diagset.cpp.o.d"
+  "/root/repo/src/tgen/distinguish.cpp" "src/tgen/CMakeFiles/sddict_tgen.dir/distinguish.cpp.o" "gcc" "src/tgen/CMakeFiles/sddict_tgen.dir/distinguish.cpp.o.d"
+  "/root/repo/src/tgen/ndetect.cpp" "src/tgen/CMakeFiles/sddict_tgen.dir/ndetect.cpp.o" "gcc" "src/tgen/CMakeFiles/sddict_tgen.dir/ndetect.cpp.o.d"
+  "/root/repo/src/tgen/podem.cpp" "src/tgen/CMakeFiles/sddict_tgen.dir/podem.cpp.o" "gcc" "src/tgen/CMakeFiles/sddict_tgen.dir/podem.cpp.o.d"
+  "/root/repo/src/tgen/randgen.cpp" "src/tgen/CMakeFiles/sddict_tgen.dir/randgen.cpp.o" "gcc" "src/tgen/CMakeFiles/sddict_tgen.dir/randgen.cpp.o.d"
+  "/root/repo/src/tgen/valuesys.cpp" "src/tgen/CMakeFiles/sddict_tgen.dir/valuesys.cpp.o" "gcc" "src/tgen/CMakeFiles/sddict_tgen.dir/valuesys.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sddict_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dict/CMakeFiles/sddict_dict.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/sddict_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/sddict_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sddict_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sddict_tgen.dir/compact.cpp.o"
+  "CMakeFiles/sddict_tgen.dir/compact.cpp.o.d"
+  "CMakeFiles/sddict_tgen.dir/diagset.cpp.o"
+  "CMakeFiles/sddict_tgen.dir/diagset.cpp.o.d"
+  "CMakeFiles/sddict_tgen.dir/distinguish.cpp.o"
+  "CMakeFiles/sddict_tgen.dir/distinguish.cpp.o.d"
+  "CMakeFiles/sddict_tgen.dir/ndetect.cpp.o"
+  "CMakeFiles/sddict_tgen.dir/ndetect.cpp.o.d"
+  "CMakeFiles/sddict_tgen.dir/podem.cpp.o"
+  "CMakeFiles/sddict_tgen.dir/podem.cpp.o.d"
+  "CMakeFiles/sddict_tgen.dir/randgen.cpp.o"
+  "CMakeFiles/sddict_tgen.dir/randgen.cpp.o.d"
+  "CMakeFiles/sddict_tgen.dir/valuesys.cpp.o"
+  "CMakeFiles/sddict_tgen.dir/valuesys.cpp.o.d"
+  "libsddict_tgen.a"
+  "libsddict_tgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sddict_tgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sddict_util.dir/bitvec.cpp.o"
+  "CMakeFiles/sddict_util.dir/bitvec.cpp.o.d"
+  "CMakeFiles/sddict_util.dir/cli.cpp.o"
+  "CMakeFiles/sddict_util.dir/cli.cpp.o.d"
+  "CMakeFiles/sddict_util.dir/hash.cpp.o"
+  "CMakeFiles/sddict_util.dir/hash.cpp.o.d"
+  "CMakeFiles/sddict_util.dir/log.cpp.o"
+  "CMakeFiles/sddict_util.dir/log.cpp.o.d"
+  "CMakeFiles/sddict_util.dir/rng.cpp.o"
+  "CMakeFiles/sddict_util.dir/rng.cpp.o.d"
+  "CMakeFiles/sddict_util.dir/strings.cpp.o"
+  "CMakeFiles/sddict_util.dir/strings.cpp.o.d"
+  "libsddict_util.a"
+  "libsddict_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sddict_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bmcirc.dir/test_bmcirc.cpp.o"
+  "CMakeFiles/test_bmcirc.dir/test_bmcirc.cpp.o.d"
+  "test_bmcirc"
+  "test_bmcirc.pdb"
+  "test_bmcirc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bmcirc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compact_ndetect.dir/test_compact_ndetect.cpp.o"
+  "CMakeFiles/test_compact_ndetect.dir/test_compact_ndetect.cpp.o.d"
+  "test_compact_ndetect"
+  "test_compact_ndetect.pdb"
+  "test_compact_ndetect[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compact_ndetect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

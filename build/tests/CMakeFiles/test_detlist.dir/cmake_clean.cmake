@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_detlist.dir/test_detlist.cpp.o"
+  "CMakeFiles/test_detlist.dir/test_detlist.cpp.o.d"
+  "test_detlist"
+  "test_detlist.pdb"
+  "test_detlist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_detlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

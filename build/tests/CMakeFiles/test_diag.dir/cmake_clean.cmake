@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_diag.dir/test_diag.cpp.o"
+  "CMakeFiles/test_diag.dir/test_diag.cpp.o.d"
+  "test_diag"
+  "test_diag.pdb"
+  "test_diag[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_diag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

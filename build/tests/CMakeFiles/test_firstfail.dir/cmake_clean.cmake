@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_firstfail.dir/test_firstfail.cpp.o"
+  "CMakeFiles/test_firstfail.dir/test_firstfail.cpp.o.d"
+  "test_firstfail"
+  "test_firstfail.pdb"
+  "test_firstfail[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_firstfail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

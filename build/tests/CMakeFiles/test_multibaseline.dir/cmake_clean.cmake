@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multibaseline.dir/test_multibaseline.cpp.o"
+  "CMakeFiles/test_multibaseline.dir/test_multibaseline.cpp.o.d"
+  "test_multibaseline"
+  "test_multibaseline.pdb"
+  "test_multibaseline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multibaseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_netlist[1]_include.cmake")
+include("/root/repo/build/tests/test_transform[1]_include.cmake")
+include("/root/repo/build/tests/test_fault[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_tgen[1]_include.cmake")
+include("/root/repo/build/tests/test_dict[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_diag[1]_include.cmake")
+include("/root/repo/build/tests/test_bmcirc[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_multibaseline[1]_include.cmake")
+include("/root/repo/build/tests/test_firstfail[1]_include.cmake")
+include("/root/repo/build/tests/test_sequential[1]_include.cmake")
+include("/root/repo/build/tests/test_edgecases[1]_include.cmake")
+include("/root/repo/build/tests/test_minimize[1]_include.cmake")
+include("/root/repo/build/tests/test_bridge[1]_include.cmake")
+include("/root/repo/build/tests/test_signature[1]_include.cmake")
+include("/root/repo/build/tests/test_probe[1]_include.cmake")
+include("/root/repo/build/tests/test_compact_ndetect[1]_include.cmake")
+include("/root/repo/build/tests/test_detlist[1]_include.cmake")
