@@ -1,0 +1,143 @@
+// Thread-scaling of the dictionary-construction pipeline: fault simulation
+// (build_response_matrix) and Procedure-1 restarts (run_procedure1) at
+// 1/2/4/8 threads, with a built-in bit-identity check of every multi-thread
+// result against the single-thread reference — the parallel pipeline
+// guarantees identical output at every thread count, and this bench fails
+// (exit 1) if that ever breaks.
+//
+//   $ ./bench_parallel_scaling                         # s1423,s5378,s9234
+//   $ ./bench_parallel_scaling --circuits=s9234 --tests=200 --calls1=50
+//   $ ./bench_parallel_scaling --threads=1,2,4,8,16
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bmcirc/registry.h"
+#include "core/baseline.h"
+#include "fault/collapse.h"
+#include "netlist/transform.h"
+#include "util/cli.h"
+#include "util/log.h"
+#include "util/threadpool.h"
+#include "util/timer.h"
+
+using namespace sddict;
+
+namespace {
+
+bool same_matrix(const ResponseMatrix& a, const ResponseMatrix& b) {
+  if (a.num_faults() != b.num_faults() || a.num_tests() != b.num_tests())
+    return false;
+  for (std::size_t j = 0; j < a.num_tests(); ++j) {
+    if (a.num_distinct(j) != b.num_distinct(j)) return false;
+    for (ResponseId id = 0; id < a.num_distinct(j); ++id)
+      if (!(a.signature(j, id) == b.signature(j, id))) return false;
+  }
+  for (FaultId f = 0; f < a.num_faults(); ++f)
+    for (std::size_t j = 0; j < a.num_tests(); ++j)
+      if (a.response(f, j) != b.response(f, j)) return false;
+  return true;
+}
+
+bool same_selection(const BaselineSelection& a, const BaselineSelection& b) {
+  return a.baselines == b.baselines &&
+         a.distinguished_pairs == b.distinguished_pairs &&
+         a.indistinguished_pairs == b.indistinguished_pairs &&
+         a.calls_used == b.calls_used;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const auto unknown =
+      args.unknown_flags({"circuits", "tests", "seed", "calls1", "lower",
+                          "threads", "verbose"});
+  if (!unknown.empty()) {
+    for (const auto& f : unknown)
+      std::fprintf(stderr, "unknown flag --%s\n", f.c_str());
+    return 1;
+  }
+  set_log_level(args.get_bool("verbose", false) ? LogLevel::kDebug
+                                                : LogLevel::kWarn);
+
+  std::vector<std::string> circuits = args.get_list("circuits");
+  if (circuits.empty()) circuits = {"s1423", "s5378", "s9234"};
+  const std::size_t num_tests = args.get_int("tests", 150);
+  const std::uint64_t seed = args.get_int("seed", 1);
+
+  std::vector<std::size_t> thread_counts;
+  for (const auto& t : args.get_list("threads"))
+    thread_counts.push_back(std::strtoull(t.c_str(), nullptr, 10));
+  if (thread_counts.empty()) thread_counts = {1, 2, 4, 8};
+
+  BaselineSelectionConfig bcfg;
+  bcfg.lower = args.get_int("lower", 10);
+  bcfg.calls1 = args.get_int("calls1", 20);
+  bcfg.seed = seed;
+
+  std::printf("Parallel dictionary-construction scaling "
+              "(%zu random tests, CALLS1=%zu, %zu hardware threads)\n\n",
+              num_tests, bcfg.calls1, ThreadPool::default_num_threads());
+  std::printf("%-8s %8s %10s %10s %10s %9s %10s\n", "circuit", "threads",
+              "sim (s)", "proc1 (s)", "total (s)", "speedup", "identical");
+
+  bool all_identical = true;
+  for (const auto& name : circuits) {
+    if (!is_known_benchmark(name)) {
+      std::fprintf(stderr, "skipping unknown circuit '%s'\n", name.c_str());
+      continue;
+    }
+    Netlist nl = load_benchmark(name);
+    if (nl.has_dffs()) nl = full_scan(nl);
+    const FaultList faults = collapsed_fault_list(nl).collapsed;
+    TestSet tests(nl.num_inputs());
+    Rng rng(seed);
+    tests.add_random(num_tests, rng);
+
+    ResponseMatrix reference_rm;
+    BaselineSelection reference_sel;
+    double base_total = 0;
+    for (std::size_t threads : thread_counts) {
+      Timer sim_timer;
+      ResponseMatrix rm =
+          build_response_matrix(nl, faults, tests, {.num_threads = threads});
+      const double sim_s = sim_timer.seconds();
+
+      bcfg.num_threads = threads;
+      Timer p1_timer;
+      BaselineSelection sel = run_procedure1(rm, bcfg);
+      const double p1_s = p1_timer.seconds();
+      const double total = sim_s + p1_s;
+
+      bool identical = true;
+      if (threads == thread_counts.front()) {
+        reference_rm = std::move(rm);
+        reference_sel = std::move(sel);
+        base_total = total;
+      } else {
+        identical = same_matrix(reference_rm, rm) &&
+                    same_selection(reference_sel, sel);
+        all_identical = all_identical && identical;
+      }
+      std::printf("%-8s %8zu %10.3f %10.3f %10.3f %8.2fx %10s\n", name.c_str(),
+                  threads, sim_s, p1_s, total,
+                  base_total > 0 ? base_total / total : 0.0,
+                  identical ? "yes" : "NO");
+      std::fflush(stdout);
+    }
+    std::printf("  [%s: %zu faults, %zu tests, %llu indistinguished pairs, "
+                "%zu proc1 calls]\n\n",
+                name.c_str(), faults.size(), tests.size(),
+                (unsigned long long)reference_sel.indistinguished_pairs,
+                reference_sel.calls_used);
+  }
+
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAIL: some thread count produced a different result\n");
+    return 1;
+  }
+  return 0;
+}

@@ -16,6 +16,9 @@
 //   --ndetect=N                n for the n-detection test set (paper: 10)
 //   --proc2=false              skip Procedure 2
 //   --seed=N
+//   --threads=N                worker threads for fault simulation and
+//                              Procedure-1 restarts (0 = all cores;
+//                              results are identical at any thread count)
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -34,7 +37,7 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   const auto unknown = args.unknown_flags(
       {"circuits", "ttype", "calls1", "lower", "ndetect", "proc2", "seed",
-       "verbose"});
+       "threads", "verbose"});
   if (!unknown.empty()) {
     for (const auto& f : unknown)
       std::fprintf(stderr, "unknown flag --%s\n", f.c_str());
@@ -53,6 +56,7 @@ int main(int argc, char** argv) {
   cfg.baseline.lower = args.get_int("lower", 10);
   cfg.baseline.calls1 = args.get_int("calls1", 10);
   cfg.baseline.seed = args.get_int("seed", 1);
+  cfg.baseline.num_threads = args.get_int("threads", 0);
   cfg.ndetect.n = args.get_int("ndetect", 10);
   cfg.ndetect.seed = cfg.baseline.seed;
   cfg.diag.seed = cfg.baseline.seed;

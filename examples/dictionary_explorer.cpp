@@ -31,7 +31,8 @@ int main(int argc, char** argv) {
   if (args.positional().empty()) {
     std::printf("usage: dictionary_explorer <benchmark-or-bench-file>\n"
                 "  [--ttype=diag|10det] [--calls1=N] [--lower=N] [--seed=N]\n"
-                "  [--hybrid=true] [--save=FILE]\n\nregistered benchmarks:");
+                "  [--threads=N] [--hybrid=true] [--save=FILE]\n\n"
+                "registered benchmarks:");
     for (const auto& n : benchmark_names()) std::printf(" %s", n.c_str());
     std::printf("\n");
     return 1;
@@ -45,6 +46,8 @@ int main(int argc, char** argv) {
   const FaultList faults = collapsed_fault_list(nl).collapsed;
   const std::string ttype = args.get("ttype", "diag");
   const std::uint64_t seed = args.get_int("seed", 1);
+  // 0 = hardware concurrency; results are identical at any thread count.
+  const std::size_t threads = args.get_int("threads", 0);
 
   TestSet tests(nl.num_inputs());
   if (ttype == "diag") {
@@ -62,7 +65,8 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const ResponseMatrix rm = build_response_matrix(nl, faults, tests);
+  const ResponseMatrix rm =
+      build_response_matrix(nl, faults, tests, {.num_threads = threads});
   const FullDictionary full = FullDictionary::build(rm);
   const PassFailDictionary pf = PassFailDictionary::build(rm);
 
@@ -70,6 +74,7 @@ int main(int argc, char** argv) {
   bcfg.lower = args.get_int("lower", 10);
   bcfg.calls1 = args.get_int("calls1", 10);
   bcfg.seed = seed;
+  bcfg.num_threads = threads;
   bcfg.target_indistinguished = full.indistinguished_pairs();
   const BaselineSelection p1 = run_procedure1(rm, bcfg);
   Procedure2Config p2cfg;

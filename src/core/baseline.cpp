@@ -1,9 +1,11 @@
 #include "core/baseline.h"
 
+#include <memory>
 #include <numeric>
 
 #include "util/log.h"
 #include "util/rng.h"
+#include "util/threadpool.h"
 
 namespace sddict {
 
@@ -54,7 +56,11 @@ BaselineSelection procedure1_single(const ResponseMatrix& rm,
                                     const std::vector<std::size_t>& order,
                                     std::size_t lower) {
   BaselineSelection sel;
-  sel.baselines.assign(rm.num_tests(), 0);
+  // Tests never reached (processed after full refinement) keep the
+  // fault-free baseline, resolved per test rather than assumed to be id 0.
+  sel.baselines.resize(rm.num_tests());
+  for (std::size_t j = 0; j < rm.num_tests(); ++j)
+    sel.baselines[j] = rm.fault_free_id(j);
   Partition part(rm.num_faults());
   const std::uint64_t total_pairs = Partition::pairs(rm.num_faults());
 
@@ -75,44 +81,90 @@ BaselineSelection procedure1_single(const ResponseMatrix& rm,
 
 BaselineSelection run_procedure1(const ResponseMatrix& rm,
                                  const BaselineSelectionConfig& config) {
-  std::vector<std::size_t> order(rm.num_tests());
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  Rng rng(config.seed);
+  // Restart r is a pure function of (rm, config, r): restart 0 uses the
+  // natural test order, restart r > 0 a permutation drawn from
+  // Rng(config.seed + r). That makes restarts independently computable in
+  // any order and on any thread.
+  auto run_restart = [&](std::size_t r) {
+    std::vector<std::size_t> order(rm.num_tests());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    if (r > 0) {
+      Rng rng(config.seed + r);
+      rng.shuffle(order);
+    }
+    return procedure1_single(rm, order, config.lower);
+  };
 
-  BaselineSelection best = procedure1_single(rm, order, config.lower);
+  BaselineSelection best = run_restart(0);
   // The all-fault-free assignment (a pass/fail dictionary) is itself a valid
-  // baseline choice; never return anything worse than it.
+  // baseline choice; never return anything worse than it. The fault-free id
+  // is resolved per test — id 0 for simulated matrices, but not necessarily
+  // for matrices from response_matrix_from_ids.
   {
     BaselineSelection passfail;
-    passfail.baselines.assign(rm.num_tests(), 0);
+    passfail.baselines.resize(rm.num_tests());
     Partition part(rm.num_faults());
-    for (std::size_t j = 0; j < rm.num_tests() && !part.fully_refined(); ++j)
-      part.refine_with([&](std::uint32_t f) {
-        return static_cast<std::uint32_t>(rm.response(f, j) == 0);
-      });
+    for (std::size_t j = 0; j < rm.num_tests(); ++j) {
+      const ResponseId ff = rm.fault_free_id(j);
+      passfail.baselines[j] = ff;
+      if (!part.fully_refined())
+        part.refine_with([&](std::uint32_t f) {
+          return static_cast<std::uint32_t>(rm.response(f, j) == ff);
+        });
+    }
     passfail.indistinguished_pairs = part.indistinguished_pairs();
     passfail.distinguished_pairs =
         Partition::pairs(rm.num_faults()) - passfail.indistinguished_pairs;
     if (passfail.distinguished_pairs > best.distinguished_pairs)
       best = std::move(passfail);
   }
+
+  // Waves of independent restarts, reduced sequentially by restart index
+  // with the original stopping rules. Strict improvement ("more distinguished
+  // pairs") keeps the lowest restart index on ties, and restarts past the
+  // stop point are computed but never consumed — so the result and
+  // calls_used are bit-identical at every thread count and wave size.
   std::size_t calls = 1;
   std::size_t no_improve = 0;
-  while (no_improve < config.calls1 && calls < config.max_calls &&
-         best.indistinguished_pairs > config.target_indistinguished) {
-    rng.shuffle(order);
-    BaselineSelection cur = procedure1_single(rm, order, config.lower);
-    ++calls;
-    if (cur.distinguished_pairs > best.distinguished_pairs) {
-      best = std::move(cur);
-      no_improve = 0;
+  auto stopped = [&] {
+    return no_improve >= config.calls1 || calls >= config.max_calls ||
+           best.indistinguished_pairs <= config.target_indistinguished;
+  };
+
+  const std::size_t threads = ThreadPool::resolve(config.num_threads);
+  const std::size_t wave = threads;
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1 && !stopped()) pool = std::make_unique<ThreadPool>(threads);
+
+  std::vector<BaselineSelection> slots(wave);
+  std::size_t next_restart = 1;
+  while (!stopped()) {
+    const std::size_t wave_begin = next_restart;
+    const std::size_t wave_end = wave_begin + wave;
+    if (pool != nullptr) {
+      pool->parallel_for(wave_begin, wave_end, [&](std::size_t r) {
+        slots[r - wave_begin] = run_restart(r);
+      });
     } else {
-      ++no_improve;
+      for (std::size_t r = wave_begin; r < wave_end; ++r)
+        slots[r - wave_begin] = run_restart(r);
     }
+    for (std::size_t r = wave_begin; r < wave_end && !stopped(); ++r) {
+      BaselineSelection cur = std::move(slots[r - wave_begin]);
+      ++calls;
+      if (cur.distinguished_pairs > best.distinguished_pairs) {
+        best = std::move(cur);
+        no_improve = 0;
+      } else {
+        ++no_improve;
+      }
+    }
+    next_restart = wave_end;
   }
   best.calls_used = calls;
-  LOG_DEBUG << "procedure1: " << calls << " calls, "
-            << best.indistinguished_pairs << " pairs indistinguished";
+  LOG_DEBUG << "procedure1: " << calls << " calls on " << threads
+            << " thread(s), " << best.indistinguished_pairs
+            << " pairs indistinguished";
   return best;
 }
 

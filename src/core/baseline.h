@@ -31,10 +31,18 @@ struct BaselineSelectionConfig {
   // Stop restarting once this many indistinguished pairs is reached — pass
   // the full-dictionary count, which lower-bounds every dictionary.
   std::uint64_t target_indistinguished = 0;
+  // Worker threads for the restart loop; 0 = hardware concurrency. Restarts
+  // are independent by construction — restart r shuffles the test order with
+  // its own Rng(seed + r) — and are reduced sequentially by restart index
+  // with the original stopping rules, so the selection, pair counts, and
+  // calls_used are bit-identical at every thread count.
+  std::size_t num_threads = 0;
 };
 
 struct BaselineSelection {
-  std::vector<ResponseId> baselines;  // one per test; 0 = fault-free
+  // One per test. The pass/fail fallback stores each test's fault-free id
+  // (rm.fault_free_id(j), which is 0 on simulated/table-built matrices).
+  std::vector<ResponseId> baselines;
   std::uint64_t distinguished_pairs = 0;
   std::uint64_t indistinguished_pairs = 0;
   std::size_t calls_used = 0;  // Procedure-1 passes executed
@@ -60,8 +68,12 @@ BaselineSelection procedure1_single(const ResponseMatrix& rm,
                                     std::size_t lower);
 
 // Procedure 1 with restarts: the first pass uses the natural test order,
-// subsequent passes random permutations; stops after `calls1` consecutive
-// passes without improvement (or on reaching target_indistinguished).
+// pass r > 0 a permutation drawn from Rng(seed + r); stops after `calls1`
+// consecutive passes without improvement (or on reaching
+// target_indistinguished / max_calls). Never returns a selection worse than
+// the pass/fail dictionary (all-fault-free baselines). Ties between restarts
+// go to the lowest restart index. Runs restarts on config.num_threads
+// threads with a deterministic reduction — see BaselineSelectionConfig.
 BaselineSelection run_procedure1(const ResponseMatrix& rm,
                                  const BaselineSelectionConfig& config);
 

@@ -42,7 +42,10 @@ ExperimentRow run_experiment(const Netlist& nl, TestSetKind kind,
   row.sizes = dictionary_sizes(tests.size(), faults.size(), nl.num_outputs());
 
   timer.reset();
-  const ResponseMatrix rm = build_response_matrix(nl, faults, tests);
+  // Fault simulation reuses the baseline-selection thread knob; both stages
+  // are bit-deterministic at any thread count.
+  const ResponseMatrix rm = build_response_matrix(
+      nl, faults, tests, {.num_threads = config.baseline.num_threads});
   row.seconds_faultsim = timer.seconds();
 
   for (FaultId f = 0; f < faults.size(); ++f)

@@ -14,6 +14,26 @@ struct Header {
   std::size_t outputs = 0;
 };
 
+// getline that tolerates CRLF line endings: files written on (or round-
+// tripped through) Windows carry a trailing '\r' that would otherwise fail
+// the exact width/keyword checks below with misleading errors.
+bool getline_clean(std::istream& in, std::string& line) {
+  if (!std::getline(in, line)) return false;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  return true;
+}
+
+// After the last row nothing but whitespace may remain; anything else means
+// the file has extra rows or was corrupted/concatenated, and silently
+// ignoring it would hide the mismatch with the header's dimensions.
+void reject_trailing_garbage(std::istream& in) {
+  char c;
+  while (in.get(c)) {
+    if (c != '\n' && c != '\r' && c != ' ' && c != '\t')
+      throw std::runtime_error("dictionary read: trailing garbage after rows");
+  }
+}
+
 void write_header(std::ostream& out, const char* magic, std::size_t tests,
                   std::size_t faults, std::size_t outputs) {
   out << magic << " v1\n";
@@ -23,12 +43,12 @@ void write_header(std::ostream& out, const char* magic, std::size_t tests,
 
 Header read_header(std::istream& in, const char* magic) {
   std::string line;
-  if (!std::getline(in, line) || line != std::string(magic) + " v1")
+  if (!getline_clean(in, line) || line != std::string(magic) + " v1")
     throw std::runtime_error(std::string("dictionary read: expected '") + magic +
                              " v1' header");
   Header h;
   std::string kw1, kw2, kw3;
-  if (!std::getline(in, line))
+  if (!getline_clean(in, line))
     throw std::runtime_error("dictionary read: truncated header");
   std::istringstream hs(line);
   if (!(hs >> kw1 >> h.tests >> kw2 >> h.faults >> kw3 >> h.outputs) ||
@@ -42,7 +62,7 @@ std::vector<BitVec> read_bit_rows(std::istream& in, const Header& h) {
   rows.reserve(h.faults);
   std::string line;
   for (std::size_t f = 0; f < h.faults; ++f) {
-    if (!std::getline(in, line))
+    if (!getline_clean(in, line))
       throw std::runtime_error("dictionary read: truncated rows");
     if (line.size() != h.tests)
       throw std::runtime_error("dictionary read: row width mismatch");
@@ -87,13 +107,15 @@ void write_dictionary(const FullDictionary& d, std::ostream& out) {
 
 PassFailDictionary read_passfail_dictionary(std::istream& in) {
   const Header h = read_header(in, "sddict-passfail");
-  return PassFailDictionary::from_rows(read_bit_rows(in, h), h.tests, h.outputs);
+  auto rows = read_bit_rows(in, h);
+  reject_trailing_garbage(in);
+  return PassFailDictionary::from_rows(std::move(rows), h.tests, h.outputs);
 }
 
 SameDifferentDictionary read_samediff_dictionary(std::istream& in) {
   const Header h = read_header(in, "sddict-samediff");
   std::string line;
-  if (!std::getline(in, line))
+  if (!getline_clean(in, line))
     throw std::runtime_error("dictionary read: missing baselines");
   std::istringstream bs(line);
   std::string kw;
@@ -103,7 +125,9 @@ SameDifferentDictionary read_samediff_dictionary(std::istream& in) {
   std::vector<ResponseId> baselines(h.tests);
   for (auto& b : baselines)
     if (!(bs >> b)) throw std::runtime_error("dictionary read: short baselines");
-  return SameDifferentDictionary::from_parts(read_bit_rows(in, h),
+  auto rows = read_bit_rows(in, h);
+  reject_trailing_garbage(in);
+  return SameDifferentDictionary::from_parts(std::move(rows),
                                              std::move(baselines), h.outputs);
 }
 
@@ -113,7 +137,7 @@ FullDictionary read_full_dictionary(std::istream& in) {
   entries.reserve(h.faults * h.tests);
   std::string line;
   for (std::size_t f = 0; f < h.faults; ++f) {
-    if (!std::getline(in, line))
+    if (!getline_clean(in, line))
       throw std::runtime_error("dictionary read: truncated rows");
     std::istringstream rs(line);
     ResponseId id;
@@ -121,7 +145,11 @@ FullDictionary read_full_dictionary(std::istream& in) {
       if (!(rs >> id)) throw std::runtime_error("dictionary read: short row");
       entries.push_back(id);
     }
+    std::string extra;
+    if (rs >> extra)
+      throw std::runtime_error("dictionary read: trailing garbage in row");
   }
+  reject_trailing_garbage(in);
   return FullDictionary::from_entries(std::move(entries), h.faults, h.tests,
                                       h.outputs);
 }

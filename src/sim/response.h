@@ -29,6 +29,13 @@ struct ResponseMatrixOptions {
   // Keep, for every (test, response id), the sorted list of outputs whose
   // value differs from fault-free. Costs memory; off for large sweeps.
   bool store_diff_outputs = false;
+  // Worker threads for fault simulation; 0 = hardware concurrency. The
+  // resulting matrix is bit-identical at every thread count: the fault list
+  // is partitioned into contiguous chunks, each simulated by its own
+  // FaultSimulator into chunk-local response ids, and a deterministic merge
+  // re-interns signatures in ascending first-detecting-fault order — the
+  // same order the single-threaded construction produces.
+  std::size_t num_threads = 0;
 };
 
 class ResponseMatrix {
@@ -60,6 +67,16 @@ class ResponseMatrix {
   // static_cast<ResponseId>(-1) when no modeled fault produces it.
   ResponseId find_response(std::size_t test, const Hash128& sig) const;
 
+  // Id of the fault-free response under `test` (the empty difference
+  // signature). Matrices built by build_response_matrix or
+  // response_matrix_from_table always intern it as id 0 (asserted at build
+  // time); response_matrix_from_ids may place it anywhere, so callers that
+  // need "the pass/fail baseline" must resolve it through here rather than
+  // assuming 0.
+  ResponseId fault_free_id(std::size_t test) const {
+    return find_response(test, Hash128{});
+  }
+
   // How many faults produce each response id under `test`; index 0 counts
   // faults the test does not detect.
   std::vector<std::uint32_t> response_counts(std::size_t test) const;
@@ -80,6 +97,9 @@ class ResponseMatrix {
                                               const ResponseMatrixOptions&);
   friend ResponseMatrix response_matrix_from_table(
       const std::vector<BitVec>&, const std::vector<std::vector<BitVec>>&);
+  friend ResponseMatrix response_matrix_from_ids(
+      std::vector<ResponseId>, std::vector<std::vector<Hash128>>, std::size_t,
+      std::size_t, std::size_t);
 
   std::size_t num_faults_ = 0;
   std::size_t num_tests_ = 0;
@@ -101,5 +121,19 @@ ResponseMatrix build_response_matrix(const Netlist& nl, const FaultList& faults,
 ResponseMatrix response_matrix_from_table(
     const std::vector<BitVec>& fault_free,
     const std::vector<std::vector<BitVec>>& faulty);
+
+// Builds a matrix from an explicit id table plus per-test signature lists:
+// resp is fault-major [num_faults][num_tests], signatures[j][id] the
+// difference signature of response id under test j. Unlike the other
+// builders this does NOT require the fault-free response to be id 0 — every
+// test must still have exactly one empty signature (validated), which
+// fault_free_id() resolves. Used for external/deserialized id tables and to
+// exercise id-permutation robustness in tests. Difference lists are not
+// stored. Caveat: detected() keeps its id-0 convention, so on a matrix with
+// a permuted fault-free id only consumers that resolve through
+// fault_free_id() (e.g. run_procedure1) interpret it correctly.
+ResponseMatrix response_matrix_from_ids(
+    std::vector<ResponseId> resp, std::vector<std::vector<Hash128>> signatures,
+    std::size_t num_faults, std::size_t num_tests, std::size_t num_outputs);
 
 }  // namespace sddict

@@ -1,0 +1,94 @@
+// Work-stealing thread pool for the dictionary-construction hot paths.
+//
+// Design: one task deque per worker. A worker pops from the back of its own
+// deque (LIFO — keeps caches warm for recursively submitted work) and, when
+// empty, steals from the front of a victim's deque (FIFO — steals the
+// oldest, largest-granularity work first). External submitters distribute
+// tasks round-robin. The pool itself is deterministic only in *what* gets
+// executed, never in completion order; callers that need reproducible
+// results must make their reduction order-independent (see
+// build_response_matrix and run_procedure1 for the pattern: compute into
+// index-addressed slots, reduce sequentially by index).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sddict {
+
+class ThreadPool {
+ public:
+  // num_threads == 0 selects default_num_threads(). A pool of size 1 still
+  // runs tasks on its single worker; parallel_for additionally has an
+  // inline fast path so tiny pools add no dispatch overhead.
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  // std::thread::hardware_concurrency(), clamped to at least 1.
+  static std::size_t default_num_threads();
+
+  // Resolves a user-facing thread-count knob: 0 -> hardware concurrency.
+  static std::size_t resolve(std::size_t requested) {
+    return requested == 0 ? default_num_threads() : requested;
+  }
+
+  // Enqueues one task. Thread-safe; may be called from worker threads
+  // (the task lands on the calling worker's own deque).
+  void submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished.
+  void wait_idle();
+
+  // Runs body(i) for i in [begin, end), split into contiguous chunks, and
+  // blocks until all iterations complete. Chunking is by iteration ranges,
+  // so side effects into index-addressed slots are race-free; completion
+  // order is unspecified. Not reentrant from inside a pool task.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+  // Range flavor: body(chunk_begin, chunk_end) over an even partition of
+  // [begin, end) into at most num_chunks pieces. Used when per-chunk setup
+  // (scratch buffers, simulator state) should be amortized.
+  void parallel_for_chunks(
+      std::size_t begin, std::size_t end, std::size_t num_chunks,
+      const std::function<void(std::size_t, std::size_t)>& body);
+
+ private:
+  struct Worker {
+    std::deque<std::function<void()>> deque;
+    std::mutex mutex;
+  };
+
+  void worker_loop(std::size_t self);
+  // Pops from own back / steals from a victim's front. Returns false when
+  // no task is available anywhere.
+  bool try_get_task(std::size_t self, std::function<void()>* out);
+  bool try_steal(std::size_t thief, std::function<void()>* out);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex state_mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::size_t pending_ = 0;  // submitted but not yet finished
+  // Tasks counted but possibly not yet claimable: submit increments before
+  // the deque push, so a woken worker can transiently find nothing and
+  // re-wait. Signed as defense in depth.
+  std::int64_t queued_ = 0;
+  std::size_t next_victim_ = 0;  // round-robin for external submits
+  bool stop_ = false;
+};
+
+}  // namespace sddict

@@ -112,6 +112,77 @@ TEST(Procedure1, SolvesPaperExampleExactly) {
   EXPECT_EQ(sel.distinguished_pairs, 6u);
 }
 
+TEST(Procedure1, MatchesExplicitPairReferenceOnRandomizedCircuits) {
+  // Differential test over randomized small synthetic circuits: the
+  // partition-refinement implementation must agree with the paper-literal
+  // explicit-pair-set reference for every test order and LOWER value —
+  // including LOWER=1, where the early stop triggers on the first candidate
+  // scoring strictly below the running best while ties keep scanning
+  // (scan_with_lower's tie rule).
+  for (std::uint64_t seed : {101u, 202u, 303u}) {
+    SynthProfile profile;
+    profile.name = "diff";
+    profile.inputs = 6;
+    profile.outputs = 3;
+    profile.gates = 30;
+    profile.seed = seed;
+    const Netlist nl = generate_synthetic(profile);
+    const FaultList faults = collapsed_fault_list(nl).collapsed;
+    TestSet tests(nl.num_inputs());
+    Rng rng(seed);
+    tests.add_random(8, rng);
+    const ResponseMatrix rm = build_response_matrix(nl, faults, tests);
+
+    std::vector<std::size_t> order(rm.num_tests());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    for (int trial = 0; trial < 3; ++trial) {
+      for (std::size_t lower : {1u, 2u, 5u, 100u}) {
+        const auto fast = procedure1_single(rm, order, lower);
+        const auto slow = procedure1_single_pairs(rm, order, lower);
+        EXPECT_EQ(fast.baselines, slow.baselines)
+            << "seed=" << seed << " lower=" << lower << " trial=" << trial;
+        EXPECT_EQ(fast.indistinguished_pairs, slow.indistinguished_pairs);
+        EXPECT_EQ(fast.distinguished_pairs, slow.distinguished_pairs);
+      }
+      rng.shuffle(order);
+    }
+  }
+}
+
+TEST(Procedure1, MatchesExplicitPairReferenceOnRandomTables) {
+  // Dense random response tables tie candidate scores far more often than
+  // circuit-derived matrices, hammering the LOWER tie path specifically.
+  Rng rng(77);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 3 + rng.below(6);  // faults
+    const std::size_t k = 2 + rng.below(4);  // tests
+    const std::size_t m = 2 + rng.below(3);  // outputs
+    std::vector<BitVec> ff;
+    for (std::size_t j = 0; j < k; ++j) {
+      BitVec v(m);
+      for (std::size_t o = 0; o < m; ++o) v.set(o, rng.coin());
+      ff.push_back(v);
+    }
+    std::vector<std::vector<BitVec>> faulty(n);
+    for (auto& row : faulty)
+      for (std::size_t j = 0; j < k; ++j) {
+        BitVec v(m);
+        for (std::size_t o = 0; o < m; ++o) v.set(o, rng.coin());
+        row.push_back(v);
+      }
+    const ResponseMatrix rm = response_matrix_from_table(ff, faulty);
+    std::vector<std::size_t> order(k);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    for (std::size_t lower : {1u, 2u, 3u}) {
+      const auto fast = procedure1_single(rm, order, lower);
+      const auto slow = procedure1_single_pairs(rm, order, lower);
+      EXPECT_EQ(fast.baselines, slow.baselines)
+          << "trial=" << trial << " lower=" << lower;
+      EXPECT_EQ(fast.indistinguished_pairs, slow.indistinguished_pairs);
+    }
+  }
+}
+
 TEST(Procedure1, MatchesExplicitPairReferenceOnC17) {
   FaultList faults;
   const ResponseMatrix rm = c17_matrix(10, 31, &faults);
@@ -149,6 +220,64 @@ TEST(Procedure1, RestartsNeverWorseThanPassFail) {
     const auto pf = PassFailDictionary::build(rm);
     EXPECT_LE(sel.indistinguished_pairs, pf.indistinguished_pairs());
   }
+}
+
+TEST(Procedure1, FaultFreeIdIsZeroOnSimulatedMatrices) {
+  const ResponseMatrix rm = c17_matrix(10, 23);
+  for (std::size_t j = 0; j < rm.num_tests(); ++j)
+    EXPECT_EQ(rm.fault_free_id(j), 0u);
+}
+
+TEST(Procedure1, PassFailFallbackResolvesPermutedFaultFreeId) {
+  // Regression for the fallback in run_procedure1 assuming ResponseId 0 is
+  // the fault-free response. One test, six faults: two produce response A,
+  // one produces B, three are fault-free — with ids permuted so the
+  // fault-free signature sits at id 2, not 0.
+  //
+  // With LOWER=1 the greedy scan sees dist(A)=8 then dist(B)=5 and stops
+  // before reaching the fault-free candidate, settling for a {2|4} split
+  // (7 indistinguished pairs). The true pass/fail split {3|3} leaves only
+  // 6, so the fallback must win — but only if it refines against the
+  // *resolved* fault-free id. The buggy "== 0" refinement reproduces the
+  // same {2|4} split and keeps 7.
+  const Hash128 sig_a = slot_token(0, 1);
+  const Hash128 sig_b = slot_token(1, 1);
+  const ResponseMatrix permuted = response_matrix_from_ids(
+      /*resp=*/{0, 0, 1, 2, 2, 2},
+      /*signatures=*/{{sig_a, sig_b, Hash128{}}},
+      /*num_faults=*/6, /*num_tests=*/1, /*num_outputs=*/2);
+  ASSERT_EQ(permuted.fault_free_id(0), 2u);
+
+  BaselineSelectionConfig cfg;
+  cfg.lower = 1;
+  cfg.calls1 = 0;  // no restarts: greedy pass + pass/fail fallback only
+  const auto sel = run_procedure1(permuted, cfg);
+  EXPECT_EQ(sel.indistinguished_pairs, 6u);
+  EXPECT_EQ(sel.baselines[0], 2u);
+
+  // The unpermuted encoding of the same matrix must land on the same count.
+  const ResponseMatrix canonical = response_matrix_from_ids(
+      {1, 1, 2, 0, 0, 0}, {{Hash128{}, sig_a, sig_b}}, 6, 1, 2);
+  const auto canonical_sel = run_procedure1(canonical, cfg);
+  EXPECT_EQ(canonical_sel.indistinguished_pairs, 6u);
+  EXPECT_EQ(canonical_sel.baselines[0], 0u);
+}
+
+TEST(ResponseMatrixFromIds, ValidatesShape) {
+  const Hash128 sig_a = slot_token(0, 1);
+  // Wrong resp size.
+  EXPECT_THROW(response_matrix_from_ids({0}, {{Hash128{}}}, 2, 1, 1),
+               std::invalid_argument);
+  // No fault-free signature.
+  EXPECT_THROW(response_matrix_from_ids({0, 0}, {{sig_a}}, 2, 1, 1),
+               std::invalid_argument);
+  // Two fault-free signatures.
+  EXPECT_THROW(
+      response_matrix_from_ids({0, 1}, {{Hash128{}, Hash128{}}}, 2, 1, 1),
+      std::invalid_argument);
+  // Id out of range.
+  EXPECT_THROW(response_matrix_from_ids({0, 3}, {{Hash128{}, sig_a}}, 2, 1, 1),
+               std::invalid_argument);
 }
 
 TEST(Procedure1, TargetStopsEarly) {
