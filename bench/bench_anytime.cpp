@@ -1,0 +1,155 @@
+// Anytime behavior of budgeted Procedure 1: solution quality
+// (indistinguished fault pairs) as a function of the wall-clock deadline,
+// on registry circuits. Each row records the deadline, the restarts
+// consumed before it expired, the resulting pair count, and the stop
+// reason.
+//
+// Every budgeted run is also checked against the anytime guarantee: a
+// deadline-expired run must return exactly the incumbent an unbudgeted run
+// holds after the same restart index. The check re-runs Procedure 1 with
+// budget.max_restarts = calls_used (and no deadline) at one thread and at
+// the bench's thread count and requires bit-identical baselines, pair
+// counts and calls_used; the bench exits 1 on any mismatch.
+//
+//   $ ./bench_anytime                                    # s953, s1423
+//   $ ./bench_anytime --circuits=s5378 --deadlines=0.1,0.5,2 --threads=8
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "bmcirc/registry.h"
+#include "core/baseline.h"
+#include "fault/collapse.h"
+#include "netlist/transform.h"
+#include "util/cli.h"
+#include "util/log.h"
+#include "util/rng.h"
+
+using namespace sddict;
+
+namespace {
+
+bool same_selection(const BaselineSelection& a, const BaselineSelection& b) {
+  return a.baselines == b.baselines &&
+         a.distinguished_pairs == b.distinguished_pairs &&
+         a.indistinguished_pairs == b.indistinguished_pairs &&
+         a.calls_used == b.calls_used;
+}
+
+double parse_seconds(const std::string& value) {
+  double out = 0;
+  std::size_t consumed = 0;
+  try {
+    out = std::stod(value, &consumed);
+  } catch (const std::exception&) {
+    consumed = std::string::npos;
+  }
+  if (consumed != value.size() || out <= 0)
+    throw std::invalid_argument("bad deadline '" + value +
+                                "' in --deadlines (want seconds > 0)");
+  return out;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_anytime [--circuits=s953,s1423]\n"
+               "  [--deadlines=0.02,0.05,0.1,0.25,0.5] [--tests=N] [--seed=N]\n"
+               "  [--calls1=N] [--lower=N] [--threads=N] [--verbose=true]\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const auto unknown =
+      args.unknown_flags({"circuits", "deadlines", "tests", "seed", "calls1",
+                          "lower", "threads", "verbose"});
+  if (!unknown.empty()) {
+    for (const auto& f : unknown)
+      std::fprintf(stderr, "unknown flag --%s\n", f.c_str());
+    return usage();
+  }
+
+  std::vector<std::string> circuits;
+  std::vector<double> deadlines;
+  std::size_t num_tests = 0, threads = 0;
+  BaselineSelectionConfig bcfg;
+  try {
+    set_log_level(args.get_bool("verbose", false) ? LogLevel::kDebug
+                                                  : LogLevel::kWarn);
+    circuits = args.get_list("circuits");
+    if (circuits.empty()) circuits = {"s953", "s1423"};
+    for (const std::string& d : args.get_list("deadlines"))
+      deadlines.push_back(parse_seconds(d));
+    if (deadlines.empty()) deadlines = {0.02, 0.05, 0.1, 0.25, 0.5};
+    num_tests = args.get_int("tests", 150, 1, 1 << 20);
+    threads = args.get_int("threads", 0, 0, 4096);
+    bcfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1, 0));
+    // A large CALLS1 keeps the restart loop running until the deadline
+    // cuts it, which is the regime this bench studies.
+    bcfg.calls1 = args.get_int("calls1", 1000, 1, 1 << 20);
+    bcfg.lower = args.get_int("lower", 10, 1, 1 << 20);
+    bcfg.num_threads = threads;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return usage();
+  }
+
+  std::printf("Anytime Procedure 1: quality vs. deadline "
+              "(%zu random tests, CALLS1=%zu)\n\n",
+              num_tests, bcfg.calls1);
+  std::printf("%-8s %10s %8s %16s %13s %10s\n", "circuit", "deadline",
+              "calls", "indistinguished", "stop", "replayable");
+
+  bool all_ok = true;
+  for (const auto& name : circuits) {
+    if (!is_known_benchmark(name)) {
+      std::fprintf(stderr, "skipping unknown circuit '%s'\n", name.c_str());
+      continue;
+    }
+    Netlist nl = load_benchmark(name);
+    if (nl.has_dffs()) nl = full_scan(nl);
+    const FaultList faults = collapsed_fault_list(nl).collapsed;
+    TestSet tests(nl.num_inputs());
+    Rng rng(bcfg.seed);
+    tests.add_random(num_tests, rng);
+    const ResponseMatrix rm =
+        build_response_matrix(nl, faults, tests, {.num_threads = threads});
+
+    for (double d : deadlines) {
+      BaselineSelectionConfig budgeted = bcfg;
+      budgeted.budget.max_seconds = d;
+      const BaselineSelection sel = run_procedure1(rm, budgeted);
+
+      // Anytime-consistency replay. calls_used == 0 means even restart 0
+      // was skipped (result is the pass/fail floor) — nothing to replay.
+      bool replayable = true;
+      if (sel.calls_used > 0) {
+        BaselineSelectionConfig replay = bcfg;
+        replay.budget.max_restarts = sel.calls_used;
+        for (std::size_t t : {std::size_t{1}, threads}) {
+          replay.num_threads = t;
+          if (!same_selection(sel, run_procedure1(rm, replay)))
+            replayable = false;
+        }
+      }
+      all_ok = all_ok && replayable;
+
+      std::printf("%-8s %9.3fs %8zu %16llu %13s %10s\n", name.c_str(), d,
+                  sel.calls_used, (unsigned long long)sel.indistinguished_pairs,
+                  stop_reason_name(sel.stop_reason),
+                  replayable ? "yes" : "NO");
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  if (!all_ok) {
+    std::fprintf(stderr,
+                 "FAIL: a budgeted run differed from its unbudgeted replay\n");
+    return 1;
+  }
+  return 0;
+}

@@ -9,7 +9,7 @@
 //   $ ./bench_parallel_scaling --circuits=s9234 --tests=200 --calls1=50
 //   $ ./bench_parallel_scaling --threads=1,2,4,8,16
 #include <cstdio>
-#include <cstdlib>
+#include <exception>
 #include <string>
 #include <vector>
 
@@ -47,6 +47,14 @@ bool same_selection(const BaselineSelection& a, const BaselineSelection& b) {
          a.calls_used == b.calls_used;
 }
 
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_parallel_scaling [--circuits=s1423,...]\n"
+               "  [--tests=N] [--seed=N] [--calls1=N] [--lower=N]\n"
+               "  [--threads=1,2,4,8] [--verbose=true]\n");
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -57,25 +65,36 @@ int main(int argc, char** argv) {
   if (!unknown.empty()) {
     for (const auto& f : unknown)
       std::fprintf(stderr, "unknown flag --%s\n", f.c_str());
-    return 1;
+    return usage();
   }
-  set_log_level(args.get_bool("verbose", false) ? LogLevel::kDebug
-                                                : LogLevel::kWarn);
 
-  std::vector<std::string> circuits = args.get_list("circuits");
-  if (circuits.empty()) circuits = {"s1423", "s5378", "s9234"};
-  const std::size_t num_tests = args.get_int("tests", 150);
-  const std::uint64_t seed = args.get_int("seed", 1);
-
+  std::vector<std::string> circuits;
+  std::size_t num_tests = 0;
+  std::uint64_t seed = 1;
   std::vector<std::size_t> thread_counts;
-  for (const auto& t : args.get_list("threads"))
-    thread_counts.push_back(std::strtoull(t.c_str(), nullptr, 10));
-  if (thread_counts.empty()) thread_counts = {1, 2, 4, 8};
-
   BaselineSelectionConfig bcfg;
-  bcfg.lower = args.get_int("lower", 10);
-  bcfg.calls1 = args.get_int("calls1", 20);
-  bcfg.seed = seed;
+  try {
+    set_log_level(args.get_bool("verbose", false) ? LogLevel::kDebug
+                                                  : LogLevel::kWarn);
+
+    circuits = args.get_list("circuits");
+    if (circuits.empty()) circuits = {"s1423", "s5378", "s9234"};
+    num_tests = args.get_int("tests", 150, 1, 1 << 20);
+    seed = static_cast<std::uint64_t>(args.get_int("seed", 1, 0));
+
+    // Strictly parsed: --threads=abc or --threads=0 is an error, not a
+    // silently-zero strtoull result.
+    for (std::int64_t t : args.get_int_list("threads", 1, 4096))
+      thread_counts.push_back(static_cast<std::size_t>(t));
+    if (thread_counts.empty()) thread_counts = {1, 2, 4, 8};
+
+    bcfg.lower = args.get_int("lower", 10, 1, 1 << 20);
+    bcfg.calls1 = args.get_int("calls1", 20, 1, 1 << 20);
+    bcfg.seed = seed;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return usage();
+  }
 
   std::printf("Parallel dictionary-construction scaling "
               "(%zu random tests, CALLS1=%zu, %zu hardware threads)\n\n",

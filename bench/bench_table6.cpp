@@ -20,6 +20,7 @@
 //                              Procedure-1 restarts (0 = all cores;
 //                              results are identical at any thread count)
 #include <cstdio>
+#include <exception>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,19 @@
 
 using namespace sddict;
 
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_table6 [--circuits=s208,s298,...]\n"
+               "  [--ttype=diag|10det|both] [--calls1=N] [--lower=N]\n"
+               "  [--ndetect=N] [--proc2=false] [--seed=N] [--threads=N]\n"
+               "  [--verbose=true]\n");
+  return 1;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   const auto unknown = args.unknown_flags(
@@ -41,26 +55,36 @@ int main(int argc, char** argv) {
   if (!unknown.empty()) {
     for (const auto& f : unknown)
       std::fprintf(stderr, "unknown flag --%s\n", f.c_str());
-    return 1;
+    return usage();
   }
-  if (args.get_bool("verbose", false))
-    set_log_level(LogLevel::kDebug);
-  else
-    set_log_level(LogLevel::kWarn);
 
-  std::vector<std::string> circuits = args.get_list("circuits");
-  if (circuits.empty()) circuits = table6_circuit_names();
-
-  const std::string ttype = args.get("ttype", "both");
+  std::vector<std::string> circuits;
+  std::string ttype;
   ExperimentConfig cfg;
-  cfg.baseline.lower = args.get_int("lower", 10);
-  cfg.baseline.calls1 = args.get_int("calls1", 10);
-  cfg.baseline.seed = args.get_int("seed", 1);
-  cfg.baseline.num_threads = args.get_int("threads", 0);
-  cfg.ndetect.n = args.get_int("ndetect", 10);
-  cfg.ndetect.seed = cfg.baseline.seed;
-  cfg.diag.seed = cfg.baseline.seed;
-  cfg.run_proc2 = args.get_bool("proc2", true);
+  try {
+    if (args.get_bool("verbose", false))
+      set_log_level(LogLevel::kDebug);
+    else
+      set_log_level(LogLevel::kWarn);
+
+    circuits = args.get_list("circuits");
+    if (circuits.empty()) circuits = table6_circuit_names();
+
+    ttype = args.get("ttype", "both");
+    if (ttype != "diag" && ttype != "10det" && ttype != "both")
+      throw std::invalid_argument("flag --ttype must be diag, 10det or both");
+    cfg.baseline.lower = args.get_int("lower", 10, 1, 1 << 20);
+    cfg.baseline.calls1 = args.get_int("calls1", 10, 1, 1 << 20);
+    cfg.baseline.seed = args.get_int("seed", 1, 0);
+    cfg.baseline.num_threads = args.get_int("threads", 0, 0, 4096);
+    cfg.ndetect.n = args.get_int("ndetect", 10, 1, 1000);
+    cfg.ndetect.seed = cfg.baseline.seed;
+    cfg.diag.seed = cfg.baseline.seed;
+    cfg.run_proc2 = args.get_bool("proc2", true);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return usage();
+  }
 
   std::printf("Table 6: experimental results (CALLS1=%zu, LOWER=%zu)\n",
               cfg.baseline.calls1, cfg.baseline.lower);

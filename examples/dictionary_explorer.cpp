@@ -5,7 +5,9 @@
 //   $ ./dictionary_explorer s344
 //   $ ./dictionary_explorer path/to/circuit.bench --ttype=10det --save=dict.txt
 //   $ ./dictionary_explorer s298 --ttype=diag --calls1=20 --hybrid=true
+//   $ ./dictionary_explorer s1423 --deadline=2.5   # anytime: best-so-far
 #include <cstdio>
+#include <exception>
 #include <fstream>
 
 #include "bmcirc/registry.h"
@@ -22,63 +24,125 @@
 #include "netlist/transform.h"
 #include "tgen/diagset.h"
 #include "tgen/ndetect.h"
+#include "util/budget.h"
 #include "util/cli.h"
 
 using namespace sddict;
 
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: dictionary_explorer <benchmark-or-bench-file>\n"
+               "  [--ttype=diag|10det] [--calls1=N] [--lower=N] [--seed=N]\n"
+               "  [--threads=N] [--deadline=SECONDS] [--hybrid=true]\n"
+               "  [--save=FILE]\n\nregistered benchmarks:");
+  for (const auto& n : benchmark_names()) std::fprintf(stderr, " %s", n.c_str());
+  std::fprintf(stderr, "\n");
+  return 1;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   CliArgs args(argc, argv);
-  if (args.positional().empty()) {
-    std::printf("usage: dictionary_explorer <benchmark-or-bench-file>\n"
-                "  [--ttype=diag|10det] [--calls1=N] [--lower=N] [--seed=N]\n"
-                "  [--threads=N] [--hybrid=true] [--save=FILE]\n\n"
-                "registered benchmarks:");
-    for (const auto& n : benchmark_names()) std::printf(" %s", n.c_str());
-    std::printf("\n");
-    return 1;
+  const auto unknown = args.unknown_flags(
+      {"ttype", "calls1", "lower", "seed", "threads", "deadline", "hybrid",
+       "save"});
+  if (!unknown.empty()) {
+    for (const auto& f : unknown)
+      std::fprintf(stderr, "unknown flag --%s\n", f.c_str());
+    return usage();
   }
+  if (args.positional().size() != 1) return usage();
+
+  std::string ttype;
+  std::uint64_t seed = 1;
+  std::size_t threads = 0, lower = 10, calls1 = 10;
+  double deadline = 0;
+  bool hybrid = false;
+  try {
+    ttype = args.get("ttype", "diag");
+    seed = static_cast<std::uint64_t>(args.get_int("seed", 1, 0));
+    // 0 = hardware concurrency; results are identical at any thread count.
+    threads = static_cast<std::size_t>(args.get_int("threads", 0, 0, 4096));
+    lower = static_cast<std::size_t>(args.get_int("lower", 10, 1, 1 << 20));
+    calls1 = static_cast<std::size_t>(args.get_int("calls1", 10, 1, 1 << 20));
+    deadline = args.get_double("deadline", 0);
+    if (deadline < 0)
+      throw std::invalid_argument("flag --deadline must be >= 0");
+    hybrid = args.get_bool("hybrid", false);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return usage();
+  }
+
   const std::string target = args.positional()[0];
-  Netlist nl = is_known_benchmark(target) ? load_benchmark(target)
-                                          : parse_bench_file(target);
+  Netlist nl;
+  try {
+    nl = is_known_benchmark(target) ? load_benchmark(target)
+                                    : parse_bench_file(target);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return usage();
+  }
   if (nl.has_dffs()) nl = full_scan(nl);
   std::printf("%s\n", format_stats(nl).c_str());
 
   const FaultList faults = collapsed_fault_list(nl).collapsed;
-  const std::string ttype = args.get("ttype", "diag");
-  const std::uint64_t seed = args.get_int("seed", 1);
-  // 0 = hardware concurrency; results are identical at any thread count.
-  const std::size_t threads = args.get_int("threads", 0);
+
+  // One absolute deadline for the whole pipeline: each stage receives the
+  // time remaining when it starts, returns its best-so-far result on
+  // expiry, and the stage stop reasons are reported below.
+  RunBudget pipeline_budget;
+  pipeline_budget.max_seconds = deadline;
+  BudgetScope pipeline(pipeline_budget);
 
   TestSet tests(nl.num_inputs());
+  StopReason testgen_reason = StopReason::kCompleted;
   if (ttype == "diag") {
     DiagSetOptions dopts;
     dopts.seed = seed;
-    tests = generate_diagnostic(nl, faults, dopts).tests;
+    dopts.budget = pipeline.nested();
+    const DiagSetResult r = generate_diagnostic(nl, faults, dopts);
+    tests = r.tests;
+    testgen_reason = r.stop_reason;
   } else if (ttype == "10det") {
     NDetectOptions nopts;
     nopts.n = 10;
     nopts.seed = seed;
-    tests = generate_ndetect(nl, faults, nopts).tests;
+    nopts.budget = pipeline.nested();
+    const NDetectResult r = generate_ndetect(nl, faults, nopts);
+    tests = r.tests;
+    testgen_reason = r.stop_reason;
   } else {
     std::fprintf(stderr, "unknown --ttype=%s (use diag or 10det)\n",
                  ttype.c_str());
+    return usage();
+  }
+  if (tests.size() == 0) {
+    std::fprintf(stderr, "deadline expired before any test was generated\n");
     return 1;
   }
 
-  const ResponseMatrix rm =
-      build_response_matrix(nl, faults, tests, {.num_threads = threads});
+  ResponseMatrixStatus rm_status;
+  const ResponseMatrix rm = build_response_matrix(
+      nl, faults, tests,
+      {.num_threads = threads, .budget = pipeline.nested()}, &rm_status);
   const FullDictionary full = FullDictionary::build(rm);
   const PassFailDictionary pf = PassFailDictionary::build(rm);
 
   BaselineSelectionConfig bcfg;
-  bcfg.lower = args.get_int("lower", 10);
-  bcfg.calls1 = args.get_int("calls1", 10);
+  bcfg.lower = lower;
+  bcfg.calls1 = calls1;
   bcfg.seed = seed;
   bcfg.num_threads = threads;
   bcfg.target_indistinguished = full.indistinguished_pairs();
+  bcfg.budget = pipeline.nested();
   const BaselineSelection p1 = run_procedure1(rm, bcfg);
   Procedure2Config p2cfg;
   p2cfg.target_indistinguished = full.indistinguished_pairs();
+  p2cfg.budget = pipeline.nested();
   const Procedure2Result p2 = run_procedure2(rm, p1.baselines, p2cfg);
   const SameDifferentDictionary sd =
       SameDifferentDictionary::build(rm, p2.baselines);
@@ -97,8 +161,14 @@ int main(int argc, char** argv) {
               "same/different", (unsigned long long)sd.size_bits(),
               (unsigned long long)sd.indistinguished_pairs(),
               (unsigned long long)p1.indistinguished_pairs, p1.calls_used);
+  if (deadline > 0)
+    std::printf("deadline %.3fs: testgen=%s faultsim=%s proc1=%s proc2=%s\n",
+                deadline, stop_reason_name(testgen_reason),
+                stop_reason_name(rm_status.stop_reason),
+                stop_reason_name(p1.stop_reason),
+                stop_reason_name(p2.stop_reason));
 
-  if (args.get_bool("hybrid", false)) {
+  if (hybrid) {
     const HybridResult hyb = hybridize_baselines(rm, p2.baselines);
     std::printf("%-16s %14llu %22llu  (%zu/%zu baselines stored)\n",
                 "s/d hybrid", (unsigned long long)hyb.size_bits,
@@ -109,7 +179,12 @@ int main(int argc, char** argv) {
   const std::string save = args.get("save");
   if (!save.empty()) {
     std::ofstream out(save);
-    write_dictionary(sd, out);
+    try {
+      write_dictionary(sd, out);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "failed to write %s: %s\n", save.c_str(), e.what());
+      return 1;
+    }
     std::printf("same/different dictionary written to %s\n", save.c_str());
   }
   return 0;

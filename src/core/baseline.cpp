@@ -3,6 +3,7 @@
 #include <memory>
 #include <numeric>
 
+#include "util/failpoint.h"
 #include "util/log.h"
 #include "util/rng.h"
 #include "util/threadpool.h"
@@ -81,11 +82,18 @@ BaselineSelection procedure1_single(const ResponseMatrix& rm,
 
 BaselineSelection run_procedure1(const ResponseMatrix& rm,
                                  const BaselineSelectionConfig& config) {
+  BudgetScope scope(config.budget);
+
   // Restart r is a pure function of (rm, config, r): restart 0 uses the
   // natural test order, restart r > 0 a permutation drawn from
   // Rng(config.seed + r). That makes restarts independently computable in
-  // any order and on any thread.
+  // any order and on any thread. A restart started after the budget expired
+  // is skipped (empty selection, calls_used == 0); the reduction below can
+  // never consume such a slot, because the expiry it observed is also
+  // visible to every later budget poll.
   auto run_restart = [&](std::size_t r) {
+    if (scope.stop()) return BaselineSelection{};
+    SDDICT_FAILPOINT("proc1_restart");
     std::vector<std::size_t> order(rm.num_tests());
     std::iota(order.begin(), order.end(), std::size_t{0});
     if (r > 0) {
@@ -96,10 +104,14 @@ BaselineSelection run_procedure1(const ResponseMatrix& rm,
   };
 
   BaselineSelection best = run_restart(0);
+  // calls_used == 1 marks a restart that actually ran (procedure1_single
+  // sets it); 0 means restart 0 was skipped by an already-expired budget.
+  const bool have_restart0 = best.calls_used == 1;
   // The all-fault-free assignment (a pass/fail dictionary) is itself a valid
-  // baseline choice; never return anything worse than it. The fault-free id
-  // is resolved per test — id 0 for simulated matrices, but not necessarily
-  // for matrices from response_matrix_from_ids.
+  // baseline choice; never return anything worse than it — and when even
+  // restart 0 was skipped, it is the result. The fault-free id is resolved
+  // per test — id 0 for simulated matrices, but not necessarily for
+  // matrices from response_matrix_from_ids.
   {
     BaselineSelection passfail;
     passfail.baselines.resize(rm.num_tests());
@@ -115,7 +127,8 @@ BaselineSelection run_procedure1(const ResponseMatrix& rm,
     passfail.indistinguished_pairs = part.indistinguished_pairs();
     passfail.distinguished_pairs =
         Partition::pairs(rm.num_faults()) - passfail.indistinguished_pairs;
-    if (passfail.distinguished_pairs > best.distinguished_pairs)
+    if (!have_restart0 ||
+        passfail.distinguished_pairs > best.distinguished_pairs)
       best = std::move(passfail);
   }
 
@@ -124,11 +137,23 @@ BaselineSelection run_procedure1(const ResponseMatrix& rm,
   // pairs") keeps the lowest restart index on ties, and restarts past the
   // stop point are computed but never consumed — so the result and
   // calls_used are bit-identical at every thread count and wave size.
-  std::size_t calls = 1;
+  // Stop-rule ordering matters for the anytime guarantee: natural
+  // completion is checked first (so a run that finishes and expires in the
+  // same instant reports completed), then the restart caps (which latch
+  // kMaxRestarts), then the deadline/cancellation poll.
+  std::size_t calls = have_restart0 ? 1 : 0;
   std::size_t no_improve = 0;
   auto stopped = [&] {
-    return no_improve >= config.calls1 || calls >= config.max_calls ||
-           best.indistinguished_pairs <= config.target_indistinguished;
+    if (no_improve >= config.calls1 ||
+        best.indistinguished_pairs <= config.target_indistinguished)
+      return true;
+    if (calls >= config.max_calls ||
+        (config.budget.max_restarts > 0 &&
+         calls >= config.budget.max_restarts)) {
+      scope.trip(StopReason::kMaxRestarts);
+      return true;
+    }
+    return scope.stop();
   };
 
   const std::size_t threads = ThreadPool::resolve(config.num_threads);
@@ -162,9 +187,12 @@ BaselineSelection run_procedure1(const ResponseMatrix& rm,
     next_restart = wave_end;
   }
   best.calls_used = calls;
+  best.completed = !scope.stopped();
+  best.stop_reason = scope.reason();
   LOG_DEBUG << "procedure1: " << calls << " calls on " << threads
             << " thread(s), " << best.indistinguished_pairs
-            << " pairs indistinguished";
+            << " pairs indistinguished ("
+            << stop_reason_name(best.stop_reason) << ")";
   return best;
 }
 

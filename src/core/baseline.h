@@ -19,6 +19,7 @@
 
 #include "dict/partition.h"
 #include "sim/response.h"
+#include "util/budget.h"
 
 namespace sddict {
 
@@ -37,6 +38,17 @@ struct BaselineSelectionConfig {
   // with the original stopping rules, so the selection, pair counts, and
   // calls_used are bit-identical at every thread count.
   std::size_t num_threads = 0;
+  // Run budget with the strong anytime guarantee: a budgeted run returns
+  // the incumbent after some restart index r with completed == false, and
+  // that result (baselines, pair counts, calls_used) is bit-identical to an
+  // unbudgeted run re-run with budget.max_restarts == r, at every thread
+  // count. This holds because the sequential reduction polls the budget
+  // before consuming each restart slot, and a restart skipped by a worker
+  // implies the budget had already expired before the reduction got there —
+  // so a skipped slot is never consumed. budget.max_restarts caps restarts
+  // consumed (including the initial natural-order pass); the run can never
+  // end below the pass/fail floor, which is computed unconditionally.
+  RunBudget budget{};
 };
 
 struct BaselineSelection {
@@ -45,7 +57,12 @@ struct BaselineSelection {
   std::vector<ResponseId> baselines;
   std::uint64_t distinguished_pairs = 0;
   std::uint64_t indistinguished_pairs = 0;
-  std::size_t calls_used = 0;  // Procedure-1 passes executed
+  std::size_t calls_used = 0;  // Procedure-1 passes consumed by the reduction
+  // False when a budget (deadline / cancellation / max_restarts, or the
+  // legacy max_calls safety net) ended the restart loop early; the
+  // selection is still valid — it is the best of the passes consumed.
+  bool completed = true;
+  StopReason stop_reason = StopReason::kCompleted;
 };
 
 // dist(z) for every candidate response of one test, given the current

@@ -64,12 +64,14 @@ Procedure2Result run_procedure2(const ResponseMatrix& rm,
 
   auto pairs2 = [](std::uint64_t m) { return m * (m - 1) / 2; };
 
+  BudgetScope scope(config.budget);
   bool improved = true;
   while (improved && res.sweeps < config.max_sweeps &&
-         dup > config.target_indistinguished) {
+         dup > config.target_indistinguished && !scope.stop()) {
     improved = false;
     ++res.sweeps;
-    for (std::size_t j = 0; j < k && dup > config.target_indistinguished; ++j) {
+    for (std::size_t j = 0;
+         j < k && dup > config.target_indistinguished && !scope.stop(); ++j) {
       const std::size_t num_candidates = rm.num_distinct(j);
       if (num_candidates < 2) continue;
       const Hash128 tok = test_token(j);
@@ -129,6 +131,8 @@ Procedure2Result run_procedure2(const ResponseMatrix& rm,
 
   res.indistinguished_pairs = dup;
   res.distinguished_pairs = Partition::pairs(n) - dup;
+  res.completed = !scope.stopped();
+  res.stop_reason = scope.reason();
   LOG_DEBUG << "procedure2: " << res.replacements << " replacements over "
             << res.sweeps << " sweeps, " << dup << " pairs indistinguished";
   return res;

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "sim/response.h"
+#include "util/budget.h"
 
 namespace sddict {
 
@@ -26,6 +27,11 @@ struct Procedure2Result {
   std::uint64_t indistinguished_pairs = 0;
   std::size_t replacements = 0;
   std::size_t sweeps = 0;
+  // Anytime: every replacement only improves the assignment, so a budgeted
+  // run stopped mid-sweep returns a valid assignment at least as good as
+  // the initial one, with completed == false.
+  bool completed = true;
+  StopReason stop_reason = StopReason::kCompleted;
 };
 
 struct Procedure2Config {
@@ -33,6 +39,8 @@ struct Procedure2Config {
   // full-dictionary count; nothing can do better).
   std::uint64_t target_indistinguished = 0;
   std::size_t max_sweeps = 100;
+  // Deadline/cancellation, polled before each test column within a sweep.
+  RunBudget budget{};
 };
 
 Procedure2Result run_procedure2(const ResponseMatrix& rm,

@@ -59,6 +59,69 @@ MultiBaselineDictionary MultiBaselineDictionary::build(
   return d;
 }
 
+MultiBaselineDictionary MultiBaselineDictionary::from_parts(
+    std::vector<BitVec> rows, std::vector<std::vector<ResponseId>> baselines,
+    std::size_t rank, std::size_t num_outputs) {
+  if (rank == 0)
+    throw std::invalid_argument("MultiBaselineDictionary::from_parts: rank 0");
+  const std::size_t num_tests = baselines.size();
+  std::size_t stored = 0;
+  for (const auto& bs : baselines) {
+    if (bs.size() > rank)
+      throw std::invalid_argument(
+          "MultiBaselineDictionary::from_parts: baseline set exceeds rank");
+    stored += bs.size();
+    for (std::size_t l = 0; l < bs.size(); ++l)
+      for (std::size_t k = l + 1; k < bs.size(); ++k)
+        if (bs[l] == bs[k])
+          throw std::invalid_argument(
+              "MultiBaselineDictionary: duplicate baseline in one test");
+  }
+  if (stored == 0)
+    throw std::invalid_argument("MultiBaselineDictionary: no baselines at all");
+
+  for (const auto& row : rows) {
+    if (row.size() != num_tests * rank)
+      throw std::invalid_argument(
+          "MultiBaselineDictionary::from_parts: row width");
+    for (std::size_t t = 0; t < num_tests; ++t) {
+      std::size_t zeros = 0;
+      for (std::size_t l = 0; l < rank; ++l) {
+        if (row.get(t * rank + l)) continue;
+        if (l >= baselines[t].size())
+          throw std::invalid_argument(
+              "MultiBaselineDictionary::from_parts: zero bit in empty slot");
+        ++zeros;
+      }
+      // Baselines are distinct, so a response matches at most one.
+      if (zeros > 1)
+        throw std::invalid_argument(
+            "MultiBaselineDictionary::from_parts: multiple matched baselines");
+    }
+  }
+
+  MultiBaselineDictionary d;
+  d.num_faults_ = rows.size();
+  d.num_tests_ = num_tests;
+  d.num_outputs_ = num_outputs;
+  d.rank_ = rank;
+  d.stored_baselines_ = stored;
+  d.baselines_ = std::move(baselines);
+  d.rows_ = std::move(rows);
+
+  d.partition_ = Partition(d.num_faults_);
+  for (std::size_t t = 0; t < d.num_tests_; ++t) {
+    d.partition_.refine_with([&](std::uint32_t f) {
+      for (std::size_t l = 0; l < d.rank_; ++l)
+        if (!d.rows_[f].get(t * d.rank_ + l))
+          return static_cast<std::uint32_t>(l);
+      return static_cast<std::uint32_t>(d.rank_);
+    });
+    if (d.partition_.fully_refined()) break;
+  }
+  return d;
+}
+
 BitVec MultiBaselineDictionary::encode(
     const std::vector<ResponseId>& observed) const {
   if (observed.size() != num_tests_)

@@ -34,8 +34,21 @@ class MultiBaselineDictionary {
       const ResponseMatrix& rm,
       std::vector<std::vector<ResponseId>> baselines);
 
+  // Reconstructs a dictionary from raw parts, e.g. when loading from disk.
+  // rows are k*rank bits wide; the partition is recomputed from the bits
+  // (the matched-baseline index of (f, t) is the first zero bit of the
+  // test's slot group, or rank when every bit is 1). Validates what can be
+  // validated without the response matrix: row count/width, per-test
+  // baseline distinctness and set size <= rank, at least one baseline
+  // overall, every missing slot's bit constant 1, and at most one matched
+  // baseline per (fault, test).
+  static MultiBaselineDictionary from_parts(
+      std::vector<BitVec> rows, std::vector<std::vector<ResponseId>> baselines,
+      std::size_t rank, std::size_t num_outputs);
+
   std::size_t num_faults() const { return num_faults_; }
   std::size_t num_tests() const { return num_tests_; }
+  std::size_t num_outputs() const { return num_outputs_; }
   std::size_t baselines_per_test() const { return rank_; }
 
   // Bit l of test t for fault f (1 = response differs from baseline l).

@@ -1,9 +1,14 @@
 #include "dict/serialize.h"
 
+#include <cctype>
+#include <cstdio>
 #include <istream>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <string>
+
+#include "util/crc32.h"
 
 namespace sddict {
 namespace {
@@ -12,112 +17,231 @@ struct Header {
   std::size_t tests = 0;
   std::size_t faults = 0;
   std::size_t outputs = 0;
+  std::size_t rank = 1;  // multibaseline only
+  int version = 0;
 };
 
-// getline that tolerates CRLF line endings: files written on (or round-
-// tripped through) Windows carry a trailing '\r' that would otherwise fail
-// the exact width/keyword checks below with misleading errors.
-bool getline_clean(std::istream& in, std::string& line) {
-  if (!std::getline(in, line)) return false;
-  if (!line.empty() && line.back() == '\r') line.pop_back();
-  return true;
-}
+// Emits payload lines while accumulating the trailer checksum. The CRC
+// covers each line plus exactly one '\n', matching what the reader
+// accumulates after CR stripping.
+class ChecksumWriter {
+ public:
+  explicit ChecksumWriter(std::ostream& out) : out_(out) {}
 
-// After the last row nothing but whitespace may remain; anything else means
-// the file has extra rows or was corrupted/concatenated, and silently
-// ignoring it would hide the mismatch with the header's dimensions.
-void reject_trailing_garbage(std::istream& in) {
-  char c;
-  while (in.get(c)) {
-    if (c != '\n' && c != '\r' && c != ' ' && c != '\t')
-      throw std::runtime_error("dictionary read: trailing garbage after rows");
+  void line(const std::string& s) {
+    crc_.update(s);
+    crc_.update("\n");
+    out_ << s << '\n';
   }
+
+  // Writes the trailer, flushes, and verifies the stream: a failure
+  // anywhere during the write (disk full, closed pipe, a throwing
+  // streambuf) sticks in the stream state and is reported here instead of
+  // leaving a torn file behind silently.
+  void finish() {
+    char trailer[16];
+    std::snprintf(trailer, sizeof trailer, "crc32 %08x", crc_.value());
+    out_ << trailer << '\n';
+    out_.flush();
+    if (!out_)
+      throw std::runtime_error("dictionary write: stream failure");
+  }
+
+ private:
+  std::ostream& out_;
+  Crc32 crc_;
+};
+
+// Reads payload lines (CR-stripped) while accumulating the checksum the
+// v2 trailer must match.
+class ChecksumReader {
+ public:
+  explicit ChecksumReader(std::istream& in) : in_(in) {}
+
+  // A payload line; throws naming `what` on truncation.
+  std::string line(const char* what) {
+    std::string s;
+    if (!raw_line(&s))
+      throw std::runtime_error(std::string("dictionary read: truncated ") +
+                               what);
+    crc_.update(s);
+    crc_.update("\n");
+    return s;
+  }
+
+  Header header(const char* magic, bool with_rank) {
+    const std::string first = line("header");
+    Header h;
+    if (first == std::string(magic) + " v1")
+      h.version = 1;
+    else if (first == std::string(magic) + " v2")
+      h.version = 2;
+    else
+      throw std::runtime_error(std::string("dictionary read: expected '") +
+                               magic + " v1' or '" + magic + " v2' header");
+    version_ = h.version;
+
+    std::istringstream hs(line("header"));
+    std::string kw1, kw2, kw3;
+    if (!(hs >> kw1 >> h.tests >> kw2 >> h.faults >> kw3 >> h.outputs) ||
+        kw1 != "tests" || kw2 != "faults" || kw3 != "outputs")
+      throw std::runtime_error("dictionary read: malformed dimensions line");
+    if (with_rank) {
+      std::string kw4;
+      if (!(hs >> kw4 >> h.rank) || kw4 != "rank" || h.rank == 0)
+        throw std::runtime_error("dictionary read: malformed dimensions line");
+    }
+    std::string extra;
+    if (hs >> extra)
+      throw std::runtime_error(
+          "dictionary read: trailing tokens on dimensions line");
+    return h;
+  }
+
+  // Verifies the v2 trailer (v1 has none) and rejects anything but
+  // whitespace afterwards.
+  void finish() {
+    if (version_ == 2) {
+      std::string s;
+      if (!raw_line(&s))
+        throw std::runtime_error("dictionary read: missing crc32 trailer");
+      std::istringstream ts(s);
+      std::string kw, hex, extra;
+      if (!(ts >> kw >> hex) || kw != "crc32" || hex.size() != 8 ||
+          (ts >> extra))
+        throw std::runtime_error("dictionary read: malformed crc32 trailer");
+      std::uint32_t stored = 0;
+      for (char c : hex) {
+        const unsigned char u = static_cast<unsigned char>(c);
+        if (!std::isxdigit(u))
+          throw std::runtime_error("dictionary read: malformed crc32 trailer");
+        stored = stored * 16 +
+                 static_cast<std::uint32_t>(
+                     std::isdigit(u) ? c - '0' : std::tolower(u) - 'a' + 10);
+      }
+      if (stored != crc_.value()) {
+        char msg[80];
+        std::snprintf(msg, sizeof msg,
+                      "dictionary read: checksum mismatch "
+                      "(stored %08x, computed %08x)",
+                      stored, crc_.value());
+        throw std::runtime_error(msg);
+      }
+    }
+    char c;
+    while (in_.get(c)) {
+      if (c != '\n' && c != '\r' && c != ' ' && c != '\t')
+        throw std::runtime_error(
+            "dictionary read: trailing garbage after rows");
+    }
+  }
+
+ private:
+  // getline that tolerates CRLF line endings: files written on (or round-
+  // tripped through) Windows carry a trailing '\r' that would otherwise
+  // fail the exact width/keyword checks with misleading errors.
+  bool raw_line(std::string* s) {
+    if (!std::getline(in_, *s)) return false;
+    if (!s->empty() && s->back() == '\r') s->pop_back();
+    return true;
+  }
+
+  std::istream& in_;
+  Crc32 crc_;
+  int version_ = 0;
+};
+
+std::string dims_line(std::size_t tests, std::size_t faults,
+                      std::size_t outputs) {
+  std::ostringstream os;
+  os << "tests " << tests << " faults " << faults << " outputs " << outputs;
+  return os.str();
 }
 
-void write_header(std::ostream& out, const char* magic, std::size_t tests,
-                  std::size_t faults, std::size_t outputs) {
-  out << magic << " v1\n";
-  out << "tests " << tests << " faults " << faults << " outputs " << outputs
-      << "\n";
-}
-
-Header read_header(std::istream& in, const char* magic) {
-  std::string line;
-  if (!getline_clean(in, line) || line != std::string(magic) + " v1")
-    throw std::runtime_error(std::string("dictionary read: expected '") + magic +
-                             " v1' header");
-  Header h;
-  std::string kw1, kw2, kw3;
-  if (!getline_clean(in, line))
-    throw std::runtime_error("dictionary read: truncated header");
-  std::istringstream hs(line);
-  if (!(hs >> kw1 >> h.tests >> kw2 >> h.faults >> kw3 >> h.outputs) ||
-      kw1 != "tests" || kw2 != "faults" || kw3 != "outputs")
-    throw std::runtime_error("dictionary read: malformed dimensions line");
-  return h;
-}
-
-std::vector<BitVec> read_bit_rows(std::istream& in, const Header& h) {
+std::vector<BitVec> read_bit_rows(ChecksumReader& r, std::size_t num_rows,
+                                  std::size_t width) {
   std::vector<BitVec> rows;
-  rows.reserve(h.faults);
-  std::string line;
-  for (std::size_t f = 0; f < h.faults; ++f) {
-    if (!getline_clean(in, line))
-      throw std::runtime_error("dictionary read: truncated rows");
-    if (line.size() != h.tests)
+  rows.reserve(num_rows);
+  for (std::size_t f = 0; f < num_rows; ++f) {
+    const std::string line = r.line("rows");
+    if (line.size() != width)
       throw std::runtime_error("dictionary read: row width mismatch");
     rows.push_back(BitVec::from_string(line));
   }
   return rows;
 }
 
-void write_bit_rows(std::ostream& out, std::size_t num_faults,
+void write_bit_rows(ChecksumWriter& w, std::size_t num_faults,
                     const auto& row_of) {
-  for (std::size_t f = 0; f < num_faults; ++f) out << row_of(f).to_string() << "\n";
+  for (std::size_t f = 0; f < num_faults; ++f) w.line(row_of(f).to_string());
 }
 
 }  // namespace
 
 void write_dictionary(const PassFailDictionary& d, std::ostream& out) {
-  write_header(out, "sddict-passfail", d.num_tests(), d.num_faults(),
-               d.num_outputs());
-  write_bit_rows(out, d.num_faults(), [&](std::size_t f) { return d.row(f); });
+  ChecksumWriter w(out);
+  w.line("sddict-passfail v2");
+  w.line(dims_line(d.num_tests(), d.num_faults(), d.num_outputs()));
+  write_bit_rows(w, d.num_faults(), [&](std::size_t f) { return d.row(f); });
+  w.finish();
 }
 
 void write_dictionary(const SameDifferentDictionary& d, std::ostream& out) {
-  write_header(out, "sddict-samediff", d.num_tests(), d.num_faults(),
-               d.num_outputs());
-  out << "baselines";
-  for (ResponseId b : d.baselines()) out << ' ' << b;
-  out << "\n";
-  write_bit_rows(out, d.num_faults(), [&](std::size_t f) { return d.row(f); });
+  ChecksumWriter w(out);
+  w.line("sddict-samediff v2");
+  w.line(dims_line(d.num_tests(), d.num_faults(), d.num_outputs()));
+  std::ostringstream bl;
+  bl << "baselines";
+  for (ResponseId b : d.baselines()) bl << ' ' << b;
+  w.line(bl.str());
+  write_bit_rows(w, d.num_faults(), [&](std::size_t f) { return d.row(f); });
+  w.finish();
 }
 
 void write_dictionary(const FullDictionary& d, std::ostream& out) {
-  write_header(out, "sddict-full", d.num_tests(), d.num_faults(),
-               d.num_outputs());
+  ChecksumWriter w(out);
+  w.line("sddict-full v2");
+  w.line(dims_line(d.num_tests(), d.num_faults(), d.num_outputs()));
   for (std::size_t f = 0; f < d.num_faults(); ++f) {
+    std::ostringstream row;
     for (std::size_t t = 0; t < d.num_tests(); ++t) {
-      if (t) out << ' ';
-      out << d.entry(static_cast<FaultId>(f), t);
+      if (t) row << ' ';
+      row << d.entry(static_cast<FaultId>(f), t);
     }
-    out << "\n";
+    w.line(row.str());
   }
+  w.finish();
+}
+
+void write_dictionary(const MultiBaselineDictionary& d, std::ostream& out) {
+  ChecksumWriter w(out);
+  w.line("sddict-multibaseline v2");
+  std::ostringstream dims;
+  dims << dims_line(d.num_tests(), d.num_faults(), d.num_outputs()) << " rank "
+       << d.baselines_per_test();
+  w.line(dims.str());
+  for (const auto& bs : d.baselines()) {
+    std::ostringstream bl;
+    bl << "baselines " << bs.size();
+    for (ResponseId b : bs) bl << ' ' << b;
+    w.line(bl.str());
+  }
+  write_bit_rows(w, d.num_faults(), [&](std::size_t f) { return d.row(f); });
+  w.finish();
 }
 
 PassFailDictionary read_passfail_dictionary(std::istream& in) {
-  const Header h = read_header(in, "sddict-passfail");
-  auto rows = read_bit_rows(in, h);
-  reject_trailing_garbage(in);
+  ChecksumReader r(in);
+  const Header h = r.header("sddict-passfail", false);
+  auto rows = read_bit_rows(r, h.faults, h.tests);
+  r.finish();
   return PassFailDictionary::from_rows(std::move(rows), h.tests, h.outputs);
 }
 
 SameDifferentDictionary read_samediff_dictionary(std::istream& in) {
-  const Header h = read_header(in, "sddict-samediff");
-  std::string line;
-  if (!getline_clean(in, line))
-    throw std::runtime_error("dictionary read: missing baselines");
-  std::istringstream bs(line);
+  ChecksumReader r(in);
+  const Header h = r.header("sddict-samediff", false);
+  std::istringstream bs(r.line("baselines"));
   std::string kw;
   bs >> kw;
   if (kw != "baselines")
@@ -125,21 +249,23 @@ SameDifferentDictionary read_samediff_dictionary(std::istream& in) {
   std::vector<ResponseId> baselines(h.tests);
   for (auto& b : baselines)
     if (!(bs >> b)) throw std::runtime_error("dictionary read: short baselines");
-  auto rows = read_bit_rows(in, h);
-  reject_trailing_garbage(in);
+  std::string extra;
+  if (bs >> extra)
+    throw std::runtime_error(
+        "dictionary read: trailing tokens on baselines line");
+  auto rows = read_bit_rows(r, h.faults, h.tests);
+  r.finish();
   return SameDifferentDictionary::from_parts(std::move(rows),
                                              std::move(baselines), h.outputs);
 }
 
 FullDictionary read_full_dictionary(std::istream& in) {
-  const Header h = read_header(in, "sddict-full");
+  ChecksumReader r(in);
+  const Header h = r.header("sddict-full", false);
   std::vector<ResponseId> entries;
   entries.reserve(h.faults * h.tests);
-  std::string line;
   for (std::size_t f = 0; f < h.faults; ++f) {
-    if (!getline_clean(in, line))
-      throw std::runtime_error("dictionary read: truncated rows");
-    std::istringstream rs(line);
+    std::istringstream rs(r.line("rows"));
     ResponseId id;
     for (std::size_t t = 0; t < h.tests; ++t) {
       if (!(rs >> id)) throw std::runtime_error("dictionary read: short row");
@@ -149,9 +275,34 @@ FullDictionary read_full_dictionary(std::istream& in) {
     if (rs >> extra)
       throw std::runtime_error("dictionary read: trailing garbage in row");
   }
-  reject_trailing_garbage(in);
+  r.finish();
   return FullDictionary::from_entries(std::move(entries), h.faults, h.tests,
                                       h.outputs);
+}
+
+MultiBaselineDictionary read_multibaseline_dictionary(std::istream& in) {
+  ChecksumReader r(in);
+  const Header h = r.header("sddict-multibaseline", true);
+  std::vector<std::vector<ResponseId>> baselines(h.tests);
+  for (std::size_t t = 0; t < h.tests; ++t) {
+    std::istringstream bs(r.line("baselines"));
+    std::string kw;
+    std::size_t count = 0;
+    if (!(bs >> kw >> count) || kw != "baselines" || count > h.rank)
+      throw std::runtime_error("dictionary read: malformed baselines line");
+    baselines[t].resize(count);
+    for (auto& b : baselines[t])
+      if (!(bs >> b))
+        throw std::runtime_error("dictionary read: short baselines");
+    std::string extra;
+    if (bs >> extra)
+      throw std::runtime_error(
+          "dictionary read: trailing tokens on baselines line");
+  }
+  auto rows = read_bit_rows(r, h.faults, h.tests * h.rank);
+  r.finish();
+  return MultiBaselineDictionary::from_parts(
+      std::move(rows), std::move(baselines), h.rank, h.outputs);
 }
 
 }  // namespace sddict

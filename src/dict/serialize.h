@@ -1,23 +1,46 @@
-// Text serialization of fault dictionaries. The formats are line-oriented
-// and self-describing:
+// Text serialization of fault dictionaries. The formats are line-oriented,
+// self-describing, versioned and (from v2) checksummed:
 //
-//   sddict-passfail v1
+//   sddict-passfail v2
 //   tests <k> faults <n> outputs <m>
 //   <n rows of k '0'/'1' characters>
+//   crc32 <8 hex digits>
 //
-//   sddict-samediff v1
+//   sddict-samediff v2
 //   tests <k> faults <n> outputs <m>
 //   baselines <k response ids>
 //   <n rows of k '0'/'1' characters>
+//   crc32 <8 hex digits>
 //
-//   sddict-full v1
+//   sddict-full v2
 //   tests <k> faults <n> outputs <m>
 //   <n rows of k response ids>
+//   crc32 <8 hex digits>
+//
+//   sddict-multibaseline v2
+//   tests <k> faults <n> outputs <m> rank <r>
+//   <k lines "baselines <c> <c response ids>">
+//   <n rows of k*r '0'/'1' characters>
+//   crc32 <8 hex digits>
+//
+// The trailer holds the CRC-32 (IEEE, zlib-compatible) of everything from
+// the magic line through the last payload line, computed over each line
+// with CR stripped plus a single '\n' — so checksums survive CRLF
+// round-trips. Writers always emit v2 and verify the stream after the
+// final flush; a write to a failed stream throws instead of silently
+// producing a torn file.
+//
+// Readers accept v1 (no trailer) and v2. Every structural defect —
+// truncation anywhere, width/dimension mismatches, malformed numerics,
+// trailing garbage, a missing or malformed trailer, a checksum mismatch —
+// raises std::runtime_error with a message naming the defect; readers
+// never crash and never silently accept a corrupted file.
 #pragma once
 
 #include <iosfwd>
 
 #include "dict/full_dict.h"
+#include "dict/multibaseline_dict.h"
 #include "dict/passfail_dict.h"
 #include "dict/samediff_dict.h"
 
@@ -26,9 +49,11 @@ namespace sddict {
 void write_dictionary(const PassFailDictionary& d, std::ostream& out);
 void write_dictionary(const SameDifferentDictionary& d, std::ostream& out);
 void write_dictionary(const FullDictionary& d, std::ostream& out);
+void write_dictionary(const MultiBaselineDictionary& d, std::ostream& out);
 
 PassFailDictionary read_passfail_dictionary(std::istream& in);
 SameDifferentDictionary read_samediff_dictionary(std::istream& in);
 FullDictionary read_full_dictionary(std::istream& in);
+MultiBaselineDictionary read_multibaseline_dictionary(std::istream& in);
 
 }  // namespace sddict

@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "sim/faultsim.h"
+#include "util/failpoint.h"
 #include "util/threadpool.h"
 
 namespace sddict {
@@ -50,16 +51,21 @@ namespace {
 struct ChunkStage {
   std::size_t fault_begin = 0;
   std::size_t fault_end = 0;
+  bool complete = false;  // ran over every pattern batch without expiring
   std::vector<std::vector<Hash128>> sigs;                        // [test][l-1]
   std::vector<std::vector<std::vector<std::uint32_t>>> diffs;    // [test][l-1]
 };
 
 // Simulates faults [stage->fault_begin, stage->fault_end) against all tests,
 // writing chunk-local ids into the global fault-major resp array (rows are
-// disjoint across chunks, so no synchronization is needed).
+// disjoint across chunks, so no synchronization is needed). Stops at the
+// next pattern-batch boundary once the budget scope expires, leaving the
+// remaining entries at id 0.
 void simulate_chunk(const Netlist& nl, const FaultList& faults,
                     const TestSet& tests, const ResponseMatrixOptions& options,
-                    std::vector<ResponseId>* resp, ChunkStage* stage) {
+                    BudgetScope* scope, std::vector<ResponseId>* resp,
+                    ChunkStage* stage) {
+  SDDICT_FAILPOINT("simulate_chunk");
   const std::size_t k = tests.size();
   stage->sigs.assign(k, {});
   if (options.store_diff_outputs) stage->diffs.assign(k, {});
@@ -74,6 +80,7 @@ void simulate_chunk(const Netlist& nl, const FaultList& faults,
   std::vector<std::pair<std::size_t, std::uint64_t>> fault_diffs;
 
   for (std::size_t first = 0; first < k; first += 64) {
+    if (scope->stop()) return;  // stage->complete stays false
     const std::size_t count = std::min<std::size_t>(64, k - first);
     tests.pack_batch(first, count, &input_words);
     fsim.load_batch(input_words, count);
@@ -119,13 +126,16 @@ void simulate_chunk(const Netlist& nl, const FaultList& faults,
       }
     }
   }
+  stage->complete = true;
 }
 
 }  // namespace
 
 ResponseMatrix build_response_matrix(const Netlist& nl, const FaultList& faults,
                                      const TestSet& tests,
-                                     const ResponseMatrixOptions& options) {
+                                     const ResponseMatrixOptions& options,
+                                     ResponseMatrixStatus* status) {
+  BudgetScope scope(options.budget);
   ResponseMatrix rm;
   rm.num_faults_ = faults.size();
   rm.num_tests_ = tests.size();
@@ -154,7 +164,7 @@ ResponseMatrix build_response_matrix(const Netlist& nl, const FaultList& faults,
   }
 
   auto run_chunk = [&](std::size_t c) {
-    simulate_chunk(nl, faults, tests, options, &rm.resp_, &stages[c]);
+    simulate_chunk(nl, faults, tests, options, &scope, &rm.resp_, &stages[c]);
   };
 
   std::unique_ptr<ThreadPool> pool;
@@ -176,6 +186,7 @@ ResponseMatrix build_response_matrix(const Netlist& nl, const FaultList& faults,
     std::vector<std::unordered_map<Hash128, ResponseId, Hash128Hasher>> intern(
         k);
     for (std::size_t c = 0; c < num_chunks; ++c) {
+      SDDICT_FAILPOINT("response_merge");
       remap[c].assign(k, {});
       for (std::size_t j = 0; j < k; ++j) {
         const auto& local_sigs = stages[c].sigs[j];
@@ -216,10 +227,18 @@ ResponseMatrix build_response_matrix(const Netlist& nl, const FaultList& faults,
 
 #ifndef NDEBUG
   // Invariant relied on throughout the dictionary layer: id 0 — and only
-  // id 0 — carries the empty (fault-free) difference signature.
+  // id 0 — carries the empty (fault-free) difference signature. It holds
+  // for budget-truncated matrices too: unsimulated entries keep id 0.
   for (std::size_t j = 0; j < k; ++j)
     assert(rm.fault_free_id(j) == 0);
 #endif
+  if (status != nullptr) {
+    status->completed = !scope.stopped();
+    status->stop_reason = scope.reason();
+    status->faults_simulated = 0;
+    for (const ChunkStage& s : stages)
+      if (s.complete) status->faults_simulated += s.fault_end - s.fault_begin;
+  }
   return rm;
 }
 

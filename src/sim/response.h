@@ -19,6 +19,7 @@
 #include "fault/faultlist.h"
 #include "netlist/netlist.h"
 #include "sim/testset.h"
+#include "util/budget.h"
 #include "util/hash.h"
 
 namespace sddict {
@@ -36,6 +37,22 @@ struct ResponseMatrixOptions {
   // re-interns signatures in ascending first-detecting-fault order — the
   // same order the single-threaded construction produces.
   std::size_t num_threads = 0;
+  // Wall-clock / cancellation budget for the simulation. Anytime: on
+  // expiry each chunk stops at a pattern-batch boundary, the (fault, test)
+  // entries never reached keep response id 0 (undetected), and the status
+  // out-param reports completed == false. The partial matrix is structurally
+  // valid (id 0 is still the fault-free response of every test) but is NOT
+  // guaranteed bit-identical across thread counts — only completed runs are.
+  RunBudget budget{};
+};
+
+// Completion report of build_response_matrix (pass to receive it).
+struct ResponseMatrixStatus {
+  bool completed = true;
+  StopReason stop_reason = StopReason::kCompleted;
+  // Fault rows simulated against every pattern; rows of chunks that were
+  // interrupted mid-way are not counted even where partially filled.
+  std::size_t faults_simulated = 0;
 };
 
 class ResponseMatrix {
@@ -94,7 +111,8 @@ class ResponseMatrix {
  private:
   friend ResponseMatrix build_response_matrix(const Netlist&, const FaultList&,
                                               const TestSet&,
-                                              const ResponseMatrixOptions&);
+                                              const ResponseMatrixOptions&,
+                                              ResponseMatrixStatus*);
   friend ResponseMatrix response_matrix_from_table(
       const std::vector<BitVec>&, const std::vector<std::vector<BitVec>>&);
   friend ResponseMatrix response_matrix_from_ids(
@@ -112,7 +130,8 @@ class ResponseMatrix {
 
 ResponseMatrix build_response_matrix(const Netlist& nl, const FaultList& faults,
                                      const TestSet& tests,
-                                     const ResponseMatrixOptions& options = {});
+                                     const ResponseMatrixOptions& options = {},
+                                     ResponseMatrixStatus* status = nullptr);
 
 // Builds a matrix directly from explicit output vectors: fault_free[j] is
 // z_ff,j and faulty[i][j] is z_i,j. Used when responses come from an

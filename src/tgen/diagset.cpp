@@ -85,13 +85,19 @@ DiagSetResult generate_diagnostic(const Netlist& nl, const FaultList& faults,
   DiagSetResult res;
   Rng rng(options.seed);
   Timer budget;
-  const auto out_of_time = [&] {
-    return options.max_seconds > 0 && budget.seconds() > options.max_seconds;
+  BudgetScope scope(fold_legacy_deadline(options.budget, options.max_seconds));
+  const std::size_t max_patterns = options.budget.max_patterns;
+  // Polls deadline/cancellation and the emitted-pattern cap in one place.
+  const auto out_of_budget = [&] {
+    if (max_patterns > 0 && res.tests.size() >= max_patterns)
+      scope.trip(StopReason::kMaxPatterns);
+    return scope.stop();
   };
 
-  // Phase 1: detection base.
+  // Phase 1: detection base (shares the overall deadline and token; its own
+  // legacy 300 s cap applies only when this run is otherwise unbudgeted).
   DetectResult det = generate_detect(nl, faults, rng.next(), options.podem,
-                                     options.random);
+                                     options.random, 300.0, scope.nested());
   res.tests = std::move(det.tests);
   res.detect_tests = res.tests.size();
   LOG_DEBUG << "diagset(" << nl.name() << "): phase1 done at "
@@ -108,13 +114,17 @@ DiagSetResult generate_diagnostic(const Netlist& nl, const FaultList& faults,
   std::size_t stale = 0;
   for (std::size_t batch = 0; batch < options.diag_random_batches &&
                               stale < options.diag_random_stale &&
-                              !part.fully_refined() && !out_of_time();
+                              !part.fully_refined() && !out_of_budget();
        ++batch) {
     TestSet candidates(nl.num_inputs());
     candidates.add_random(64, rng);
     const auto labels = batch_response_labels(fsim, faults, candidates, 0, 64);
     std::size_t kept = 0;
     for (std::size_t t = 0; t < 64; ++t) {
+      if (max_patterns > 0 && res.tests.size() >= max_patterns) {
+        scope.trip(StopReason::kMaxPatterns);
+        break;
+      }
       if (part.refine(labels[t]) > 0) {
         res.tests.add(candidates[t]);
         ++kept;
@@ -130,7 +140,7 @@ DiagSetResult generate_diagnostic(const Netlist& nl, const FaultList& faults,
   // Phase 3: targeted pair ATPG on the remaining classes.
   std::unordered_set<std::uint64_t> settled;  // proven equivalent or aborted
   for (std::size_t round = 0;
-       round < options.max_rounds && !part.fully_refined() && !out_of_time();
+       round < options.max_rounds && !part.fully_refined() && !out_of_budget();
        ++round) {
     if (res.pair_atpg_calls >= options.max_pair_atpg_calls) break;
     const std::size_t before = res.tests.size();
@@ -140,7 +150,7 @@ DiagSetResult generate_diagnostic(const Netlist& nl, const FaultList& faults,
     for (const auto& members : classes) {
       if (members.size() < 2) continue;
       if (res.pair_atpg_calls >= options.max_pair_atpg_calls) break;
-      if (out_of_time()) break;
+      if (out_of_budget()) break;
       const FaultId a = members[0];
       for (std::size_t j = 1; j < members.size(); ++j) {
         const FaultId b = members[j];
@@ -154,8 +164,10 @@ DiagSetResult generate_diagnostic(const Netlist& nl, const FaultList& faults,
         }
         ++res.pair_atpg_calls;
         BitVec test;
+        PodemOptions pair_opts = options.pair_podem;
+        pair_opts.budget = scope.nested();
         const DistinguishStatus st = distinguish_pair(
-            nl, faults[a], faults[b], &test, rng, options.pair_podem);
+            nl, faults[a], faults[b], &test, rng, pair_opts);
         if (st == DistinguishStatus::kFound) {
           res.tests.add(std::move(test));
           ++res.targeted_tests;
@@ -179,6 +191,8 @@ DiagSetResult generate_diagnostic(const Netlist& nl, const FaultList& faults,
   }
 
   res.indistinguished_pairs = part.indistinguished_pairs();
+  res.completed = !scope.stopped();
+  res.stop_reason = scope.reason();
   LOG_DEBUG << "diagset(" << nl.name() << "): " << res.tests.size() << " tests ("
             << res.detect_tests << " det + " << res.random_diag_tests
             << " rand + " << res.targeted_tests << " atpg), "

@@ -19,6 +19,7 @@
 #include "sim/testset.h"
 #include "tgen/podem.h"
 #include "tgen/randgen.h"
+#include "util/budget.h"
 
 namespace sddict {
 
@@ -37,9 +38,15 @@ struct DiagSetOptions {
   // Phase-3 rounds and a global budget of pair-ATPG calls.
   std::size_t max_rounds = 100;
   std::size_t max_pair_atpg_calls = 100000;
-  // Wall-clock budget for phases 2-3 (0 = unlimited). When exhausted the
-  // test set is returned as-is; remaining classes stay indistinguished.
+  // Legacy wall-clock cap, folded into `budget` when budget.max_seconds is
+  // unset (0 = unlimited). When exhausted the test set is returned as-is;
+  // remaining classes stay indistinguished.
   double max_seconds = 300.0;
+  // Overall run budget: deadline anchored at entry (and pushed into phase-1
+  // detection and every pair-ATPG call), cancellation token, max_patterns
+  // cap on the total emitted test-set size. Anytime: on expiry the tests
+  // generated so far are returned with completed == false.
+  RunBudget budget{};
 };
 
 struct DiagSetResult {
@@ -51,6 +58,8 @@ struct DiagSetResult {
   std::size_t equivalence_proofs = 0;   // pairs proven indistinguishable
   std::size_t aborted_pairs = 0;        // pair ATPG hit its limit
   std::size_t pair_atpg_calls = 0;
+  bool completed = true;  // false when the budget cut generation short
+  StopReason stop_reason = StopReason::kCompleted;
 };
 
 DiagSetResult generate_diagnostic(const Netlist& nl, const FaultList& faults,

@@ -5,7 +5,6 @@
 #include "sim/faultsim.h"
 #include "tgen/compact.h"
 #include "util/log.h"
-#include "util/timer.h"
 
 namespace sddict {
 namespace {
@@ -41,14 +40,17 @@ NDetectResult generate_ndetect(const Netlist& nl, const FaultList& faults,
   std::vector<bool> untestable(faults.size(), false);
   std::vector<bool> aborted(faults.size(), false);
 
-  Timer budget;
+  BudgetScope scope(fold_legacy_deadline(options.budget, options.max_seconds));
+  const std::size_t max_patterns = options.budget.max_patterns;
   for (FaultId i = 0; i < faults.size(); ++i) {
-    if (options.max_seconds > 0 && budget.seconds() > options.max_seconds)
-      break;
+    if (max_patterns > 0 && res.tests.size() >= max_patterns)
+      scope.trip(StopReason::kMaxPatterns);
+    if (scope.stop()) break;
     std::size_t attempts =
         options.attempts_per_slot * options.n;  // overall budget per fault
     while (res.detections[i] < options.n && attempts-- > 0 && !untestable[i]) {
       BitVec test;
+      podem.set_budget(scope.nested());
       const PodemStatus st = podem.generate(faults[i], &test, rng);
       if (st == PodemStatus::kUntestable) {
         untestable[i] = true;
@@ -62,6 +64,10 @@ NDetectResult generate_ndetect(const Netlist& nl, const FaultList& faults,
       ++res.atpg_patterns;
       credit_test(fsim, faults, res.tests, res.tests.size() - 1,
                   &res.detections, static_cast<std::uint32_t>(options.n));
+      if (max_patterns > 0 && res.tests.size() >= max_patterns) {
+        scope.trip(StopReason::kMaxPatterns);
+        break;
+      }
     }
   }
 
@@ -75,6 +81,8 @@ NDetectResult generate_ndetect(const Netlist& nl, const FaultList& faults,
   res.tests = compact_reverse_ndetect(nl, faults, res.tests,
                                       static_cast<std::uint32_t>(options.n));
   res.detections = count_detections(nl, faults, res.tests);
+  res.completed = !scope.stopped();
+  res.stop_reason = scope.reason();
 
   LOG_DEBUG << "ndetect(" << nl.name() << "): " << res.tests.size() << " tests ("
             << res.random_patterns << " random + " << res.atpg_patterns
@@ -86,7 +94,7 @@ NDetectResult generate_ndetect(const Netlist& nl, const FaultList& faults,
 DetectResult generate_detect(const Netlist& nl, const FaultList& faults,
                              std::uint64_t seed, const PodemOptions& podem_opts,
                              const RandomPhaseOptions& random_opts,
-                             double max_seconds) {
+                             double max_seconds, const RunBudget& budget) {
   DetectResult res;
   res.untestable.assign(faults.size(), 0);
   Rng rng(seed);
@@ -96,11 +104,15 @@ DetectResult generate_detect(const Netlist& nl, const FaultList& faults,
 
   Podem podem(nl, podem_opts);
   FaultSimulator fsim(nl);
-  Timer budget;
+  BudgetScope scope(fold_legacy_deadline(budget, max_seconds));
+  const std::size_t max_patterns = budget.max_patterns;
   for (FaultId i = 0; i < faults.size(); ++i) {
     if (det[i] > 0) continue;
-    if (max_seconds > 0 && budget.seconds() > max_seconds) break;
+    if (max_patterns > 0 && tests.size() >= max_patterns)
+      scope.trip(StopReason::kMaxPatterns);
+    if (scope.stop()) break;
     BitVec test;
+    podem.set_budget(scope.nested());
     const PodemStatus st = podem.generate(faults[i], &test, rng);
     if (st == PodemStatus::kUntestable) {
       ++res.untestable_faults;
@@ -116,6 +128,8 @@ DetectResult generate_detect(const Netlist& nl, const FaultList& faults,
   }
   for (std::uint32_t d : det) res.detected_faults += d > 0 ? 1 : 0;
   res.tests = compact_reverse(nl, faults, tests);
+  res.completed = !scope.stopped();
+  res.stop_reason = scope.reason();
   LOG_DEBUG << "detect(" << nl.name() << "): " << res.tests.size()
             << " tests after compaction, " << res.detected_faults << "/"
             << faults.size() << " detected";

@@ -11,6 +11,7 @@
 #include "sim/testset.h"
 #include "tgen/podem.h"
 #include "tgen/randgen.h"
+#include "util/budget.h"
 
 namespace sddict {
 
@@ -22,9 +23,14 @@ struct NDetectOptions {
   // Deterministic top-up attempts per missing detection (PODEM may emit the
   // same test twice under unlucky fills; extra attempts compensate).
   std::size_t attempts_per_slot = 2;
-  // Wall-clock budget for the deterministic top-up phase (0 = unlimited);
-  // faults not topped up in time keep whatever detections they have.
+  // Legacy wall-clock cap, folded into `budget` when budget.max_seconds is
+  // unset (0 = unlimited); faults not topped up in time keep whatever
+  // detections they have.
   double max_seconds = 300.0;
+  // Overall run budget (deadline anchored at entry, cancellation token,
+  // max_patterns cap on emitted tests). Anytime: on expiry the test set
+  // generated so far is compacted and returned with completed == false.
+  RunBudget budget{};
 };
 
 struct NDetectResult {
@@ -34,6 +40,8 @@ struct NDetectResult {
   std::size_t aborted_faults = 0;  // hit the backtrack limit at least once
   std::size_t random_patterns = 0;
   std::size_t atpg_patterns = 0;
+  bool completed = true;  // false when the budget cut generation short
+  StopReason stop_reason = StopReason::kCompleted;
 };
 
 NDetectResult generate_ndetect(const Netlist& nl, const FaultList& faults,
@@ -49,14 +57,18 @@ struct DetectResult {
   // fault's response is always the fault-free response, so two proven-
   // untestable faults are provably indistinguishable by any test.
   std::vector<std::uint8_t> untestable;
+  bool completed = true;
+  StopReason stop_reason = StopReason::kCompleted;
 };
 
-// `max_seconds` bounds the deterministic phase (0 = unlimited); faults not
+// `max_seconds` bounds the deterministic phase (0 = unlimited) and is
+// folded into `budget` the same way NDetectOptions does; faults not
 // reached in time simply stay untargeted.
 DetectResult generate_detect(const Netlist& nl, const FaultList& faults,
                              std::uint64_t seed = 1,
                              const PodemOptions& podem = {},
                              const RandomPhaseOptions& random = {},
-                             double max_seconds = 300.0);
+                             double max_seconds = 300.0,
+                             const RunBudget& budget = {});
 
 }  // namespace sddict

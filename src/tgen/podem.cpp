@@ -493,7 +493,12 @@ PodemStatus Podem::run(BitVec* test, Rng& rng) {
   for (GateId g : nl_->inputs()) pi_value_[g] = kVX;
   full_imply();
 
+  BudgetScope scope(options_.budget);
   while (true) {
+    // Budget expiry is reported like a backtrack-limit abort: the caller
+    // already handles kAborted as "gave up on this fault".
+    if (((decisions_ + backtracks_) & 63) == 0 && scope.stop())
+      return PodemStatus::kAborted;
     const Check c = check();
     if (c == Check::kSuccess) {
       extract_test(test, rng);

@@ -21,6 +21,7 @@
 #include "netlist/netlist.h"
 #include "tgen/valuesys.h"
 #include "util/bitvec.h"
+#include "util/budget.h"
 #include "util/rng.h"
 
 namespace sddict {
@@ -30,6 +31,11 @@ struct PodemOptions {
   std::size_t backtrack_limit = 10000;
   // Unassigned inputs of a found test are filled randomly (default) or with 0.
   bool fill_random = true;
+  // Deadline/cancellation for each generate()/justify() call; expiry makes
+  // the search return kAborted. Callers running many ATPG calls under one
+  // overall deadline refresh this per call (see BudgetScope::nested and
+  // Podem::set_budget).
+  RunBudget budget{};
 };
 
 enum class PodemStatus { kTestFound, kUntestable, kAborted };
@@ -48,6 +54,10 @@ class Podem {
   // Finds an input vector giving `target` the value `value` in the
   // fault-free circuit, or proves the value unjustifiable.
   PodemStatus justify(GateId target, bool value, BitVec* test, Rng& rng);
+
+  // Replaces the run budget of subsequent calls (deadline anchored per
+  // call, so pass a remaining-time budget, not the overall one).
+  void set_budget(const RunBudget& budget) { options_.budget = budget; }
 
   // Search-effort statistics of the last call.
   std::size_t last_backtracks() const { return backtracks_; }

@@ -1,0 +1,66 @@
+#include "util/budget.h"
+
+namespace sddict {
+
+const char* stop_reason_name(StopReason r) {
+  switch (r) {
+    case StopReason::kCompleted: return "completed";
+    case StopReason::kDeadline: return "deadline";
+    case StopReason::kCancelled: return "cancelled";
+    case StopReason::kMaxRestarts: return "max-restarts";
+    case StopReason::kMaxPatterns: return "max-patterns";
+  }
+  return "?";
+}
+
+RunBudget fold_legacy_deadline(RunBudget budget, double legacy_max_seconds) {
+  if (budget.max_seconds <= 0) budget.max_seconds = legacy_max_seconds;
+  return budget;
+}
+
+BudgetScope::BudgetScope(const RunBudget& budget) : budget_(budget) {
+  if (budget_.max_seconds > 0) {
+    has_deadline_ = true;
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(budget_.max_seconds));
+  }
+}
+
+void BudgetScope::trip(StopReason r) {
+  bool expected = false;
+  if (stopped_.compare_exchange_strong(expected, true,
+                                       std::memory_order_acq_rel)) {
+    reason_.store(static_cast<std::uint8_t>(r), std::memory_order_release);
+  }
+}
+
+bool BudgetScope::stop() {
+  if (stopped_.load(std::memory_order_acquire)) return true;
+  if (budget_.cancel.cancelled()) {
+    trip(StopReason::kCancelled);
+    return true;
+  }
+  if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+    trip(StopReason::kDeadline);
+    return true;
+  }
+  return false;
+}
+
+RunBudget BudgetScope::nested() const {
+  RunBudget b;
+  b.cancel = budget_.cancel;
+  if (has_deadline_) {
+    const double remaining =
+        std::chrono::duration<double>(deadline_ -
+                                      std::chrono::steady_clock::now())
+            .count();
+    // An exhausted outer deadline must expire the nested run on its first
+    // poll; 0 would mean "unlimited".
+    b.max_seconds = remaining > 0 ? remaining : 1e-9;
+  }
+  return b;
+}
+
+}  // namespace sddict

@@ -1,0 +1,105 @@
+// Run budgets with anytime semantics for the long-running construction
+// loops (fault simulation, ATPG, Procedure-1 restarts, Procedure-2 sweeps).
+//
+// A RunBudget bounds a run by wall-clock deadline, cooperative cancellation
+// and optional work caps. Budgeted entry points never throw on expiry:
+// they return their best-so-far result with `completed == false` and a
+// StopReason saying why the run ended early. Procedure 1 additionally
+// guarantees that a budgeted result is bit-identical to an unbudgeted run
+// truncated at the same restart index (see core/baseline.h).
+//
+// A BudgetScope anchors the deadline when a run starts and is the object
+// the inner loops poll. It is safe to poll from worker threads: the first
+// trigger (deadline, cancellation, or a consumer-reported cap) latches both
+// the stopped flag and the reason, and every later poll observes them.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace sddict {
+
+enum class StopReason : std::uint8_t {
+  kCompleted = 0,   // ran to natural completion
+  kDeadline,        // wall-clock budget exhausted
+  kCancelled,       // cancellation token tripped
+  kMaxRestarts,     // restart/call cap reached (Procedure 1)
+  kMaxPatterns,     // generated-pattern cap reached (test generation)
+};
+
+const char* stop_reason_name(StopReason r);
+
+// Copyable handle to a shared cancellation flag. Copies share state, so a
+// caller can keep one handle and hand copies (inside RunBudget) to any
+// number of concurrent runs; cancel() stops them all at their next poll.
+class CancelToken {
+ public:
+  CancelToken() : state_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void cancel() { state_->store(true, std::memory_order_release); }
+  bool cancelled() const { return state_->load(std::memory_order_acquire); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> state_;
+};
+
+struct RunBudget {
+  // Wall-clock limit in seconds, measured from the start of the budgeted
+  // run (BudgetScope construction). 0 = unlimited.
+  double max_seconds = 0;
+  // Cooperative cancellation; copying the budget shares the token.
+  CancelToken cancel{};
+  // Cap on Procedure-1 restarts consumed (including the initial natural-
+  // order pass). 0 = unlimited. Ignored by entry points without restarts.
+  std::size_t max_restarts = 0;
+  // Cap on generated test patterns (n-detect / diagnostic generation stop
+  // *emitting* once the test set reaches this size; patterns the random
+  // phase already produced are kept). 0 = unlimited.
+  std::size_t max_patterns = 0;
+};
+
+// Folds a legacy `max_seconds` knob into a budget: the budget's own
+// deadline wins when set, otherwise the legacy value is used.
+RunBudget fold_legacy_deadline(RunBudget budget, double legacy_max_seconds);
+
+class BudgetScope {
+ public:
+  explicit BudgetScope(const RunBudget& budget);
+
+  // Polls deadline and cancellation; returns true once the run should
+  // stop. The result latches: after the first true, every poll (from any
+  // thread) returns true with a stable reason.
+  bool stop();
+
+  // The latched state only — no fresh deadline/cancellation poll.
+  bool stopped() const { return stopped_.load(std::memory_order_acquire); }
+
+  // Reports a consumer-detected cap (kMaxRestarts / kMaxPatterns). First
+  // trigger wins; later trips are ignored.
+  void trip(StopReason r);
+
+  // kCompleted until something stops the run.
+  StopReason reason() const {
+    return static_cast<StopReason>(reason_.load(std::memory_order_acquire));
+  }
+
+  // Budget for a nested run sharing this scope's absolute deadline and
+  // cancellation token (caps are not inherited — they are owned by the
+  // outer consumer). Used to push an outer deadline into inner ATPG calls.
+  RunBudget nested() const;
+
+  const RunBudget& budget() const { return budget_; }
+
+ private:
+  RunBudget budget_;
+  std::chrono::steady_clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  std::atomic<bool> stopped_{false};
+  std::atomic<std::uint8_t> reason_{
+      static_cast<std::uint8_t>(StopReason::kCompleted)};
+};
+
+}  // namespace sddict

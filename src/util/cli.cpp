@@ -6,6 +6,27 @@
 #include "util/strings.h"
 
 namespace sddict {
+namespace {
+
+std::int64_t parse_int_strict(const std::string& name, const std::string& value,
+                              std::int64_t lo, std::int64_t hi) {
+  std::int64_t out = 0;
+  std::size_t consumed = 0;
+  try {
+    out = std::stoll(value, &consumed);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad integer flag --" + name + "=" + value);
+  }
+  if (consumed != value.size())
+    throw std::invalid_argument("bad integer flag --" + name + "=" + value);
+  if (out < lo || out > hi)
+    throw std::invalid_argument("flag --" + name + "=" + value +
+                                " out of range [" + std::to_string(lo) + ", " +
+                                std::to_string(hi) + "]");
+  return out;
+}
+
+}  // namespace
 
 CliArgs::CliArgs(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
@@ -29,16 +50,26 @@ std::string CliArgs::get(const std::string& name, const std::string& def) const 
   return it == flags_.end() ? def : it->second;
 }
 
-std::int64_t CliArgs::get_int(const std::string& name, std::int64_t def) const {
+std::int64_t CliArgs::get_int(const std::string& name, std::int64_t def,
+                              std::int64_t lo, std::int64_t hi) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) return def;
-  return std::stoll(it->second);
+  return parse_int_strict(name, it->second, lo, hi);
 }
 
 double CliArgs::get_double(const std::string& name, double def) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) return def;
-  return std::stod(it->second);
+  double out = 0;
+  std::size_t consumed = 0;
+  try {
+    out = std::stod(it->second, &consumed);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad numeric flag --" + name + "=" + it->second);
+  }
+  if (consumed != it->second.size())
+    throw std::invalid_argument("bad numeric flag --" + name + "=" + it->second);
+  return out;
 }
 
 bool CliArgs::get_bool(const std::string& name, bool def) const {
@@ -54,6 +85,15 @@ std::vector<std::string> CliArgs::get_list(const std::string& name) const {
   const auto it = flags_.find(name);
   if (it == flags_.end() || it->second.empty()) return {};
   return split(it->second, ',');
+}
+
+std::vector<std::int64_t> CliArgs::get_int_list(const std::string& name,
+                                                std::int64_t lo,
+                                                std::int64_t hi) const {
+  std::vector<std::int64_t> out;
+  for (const std::string& e : get_list(name))
+    out.push_back(parse_int_strict(name, e, lo, hi));
+  return out;
 }
 
 std::vector<std::string> CliArgs::unknown_flags(

@@ -1,7 +1,14 @@
 // Tiny --flag=value command-line parser for the benches and examples.
+//
+// Numeric accessors are strict: a malformed value ("abc", "12abc", an
+// empty value, or a bare --flag with no '=') or an out-of-range value
+// throws std::invalid_argument with a message naming the flag, so tools
+// can catch once around argument handling and exit with a usage message
+// instead of silently ignoring or wrapping the value.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <string>
 #include <vector>
@@ -14,12 +21,22 @@ class CliArgs {
 
   bool has(const std::string& name) const;
   std::string get(const std::string& name, const std::string& def = "") const;
-  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  // Throws std::invalid_argument unless the flag value is a fully-formed
+  // integer within [lo, hi].
+  std::int64_t get_int(const std::string& name, std::int64_t def,
+                       std::int64_t lo = std::numeric_limits<std::int64_t>::min(),
+                       std::int64_t hi = std::numeric_limits<std::int64_t>::max()) const;
   double get_double(const std::string& name, double def) const;
   bool get_bool(const std::string& name, bool def) const;
 
   // Comma-separated list flag.
   std::vector<std::string> get_list(const std::string& name) const;
+
+  // Comma-separated integer list, each element validated like get_int.
+  std::vector<std::int64_t> get_int_list(
+      const std::string& name,
+      std::int64_t lo = std::numeric_limits<std::int64_t>::min(),
+      std::int64_t hi = std::numeric_limits<std::int64_t>::max()) const;
 
   const std::vector<std::string>& positional() const { return positional_; }
 

@@ -1,0 +1,28 @@
+// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) for tamper-evident
+// dictionary serialization. Incremental: feed the payload in pieces, read
+// value() at the end. Matches zlib's crc32() so files can be checked with
+// standard tools.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace sddict {
+
+class Crc32 {
+ public:
+  void update(const void* data, std::size_t n);
+  void update(std::string_view s) { update(s.data(), s.size()); }
+
+  std::uint32_t value() const { return state_ ^ 0xffffffffu; }
+
+  void reset() { state_ = 0xffffffffu; }
+
+ private:
+  std::uint32_t state_ = 0xffffffffu;
+};
+
+std::uint32_t crc32(std::string_view s);
+
+}  // namespace sddict

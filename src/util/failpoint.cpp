@@ -1,0 +1,64 @@
+#include "util/failpoint.h"
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <new>
+
+namespace sddict::failpoint {
+namespace {
+
+struct Point {
+  std::size_t remaining = 0;
+  Kind kind = Kind::kRuntimeError;
+};
+
+std::mutex g_mutex;
+std::map<std::string, Point>& points() {
+  static std::map<std::string, Point> p;
+  return p;
+}
+// Fast-path guard: number of currently armed points. Checked without the
+// mutex so un-instrumented runs pay one relaxed load per hit.
+std::atomic<int> g_armed{0};
+
+}  // namespace
+
+void arm(const std::string& name, std::size_t countdown, Kind kind) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  auto [it, inserted] = points().insert_or_assign(name, Point{countdown, kind});
+  (void)it;
+  if (inserted) g_armed.fetch_add(1, std::memory_order_relaxed);
+}
+
+void disarm(const std::string& name) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (points().erase(name) > 0)
+    g_armed.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void disarm_all() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_armed.fetch_sub(static_cast<int>(points().size()),
+                    std::memory_order_relaxed);
+  points().clear();
+}
+
+void check(const char* name) {
+  if (g_armed.load(std::memory_order_relaxed) == 0) return;
+  Kind kind;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    const auto it = points().find(name);
+    if (it == points().end()) return;
+    if (--it->second.remaining > 0) return;
+    kind = it->second.kind;
+    points().erase(it);
+    g_armed.fetch_sub(1, std::memory_order_relaxed);
+  }
+  // Throw outside the lock so the unwound stack can arm/disarm freely.
+  if (kind == Kind::kBadAlloc) throw std::bad_alloc();
+  throw InjectedFault(std::string("injected fault at '") + name + "'");
+}
+
+}  // namespace sddict::failpoint

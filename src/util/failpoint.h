@@ -1,0 +1,40 @@
+// Deterministic fault-injection points compiled into the library.
+//
+// Library code marks a failure-prone spot with SDDICT_FAILPOINT("name");
+// tests arm a point to throw on its N-th hit (see tests/faultinject.h for
+// the RAII harness). When nothing is armed — the production case — a hit
+// costs a single relaxed atomic load. Points are process-global and
+// thread-safe: hits from pool workers decrement the same countdown.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace sddict::failpoint {
+
+// What an armed point throws when its countdown reaches zero.
+enum class Kind {
+  kRuntimeError,  // InjectedFault (a std::runtime_error)
+  kBadAlloc,      // std::bad_alloc, simulating allocation failure
+};
+
+// Thrown by kRuntimeError failpoints; the message names the point.
+struct InjectedFault : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+// Arms `name` to throw on its `countdown`-th hit (1 = the next hit).
+// Re-arming an armed point replaces its countdown and kind.
+void arm(const std::string& name, std::size_t countdown = 1,
+         Kind kind = Kind::kRuntimeError);
+
+void disarm(const std::string& name);
+void disarm_all();
+
+// Called by instrumented library code; throws when the point fires.
+void check(const char* name);
+
+}  // namespace sddict::failpoint
+
+#define SDDICT_FAILPOINT(name) ::sddict::failpoint::check(name)

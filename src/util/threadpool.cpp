@@ -92,6 +92,29 @@ bool ThreadPool::try_steal(std::size_t thief, std::function<void()>* out) {
   return false;
 }
 
+void ThreadPool::capture_error() noexcept {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+  // Stop siblings early: chunks that have not started skip their bodies.
+  cancelled_.store(true, std::memory_order_release);
+}
+
+std::exception_ptr ThreadPool::take_error() {
+  std::exception_ptr err;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    err = first_error_;
+    first_error_ = nullptr;
+  }
+  // The cancellation was raised by the failed task; clear it so the pool
+  // stays usable after the rethrow. An explicit cancel() with no error in
+  // flight is left alone.
+  if (err) cancelled_.store(false, std::memory_order_release);
+  return err;
+}
+
 void ThreadPool::worker_loop(std::size_t self) {
   tls_worker = {this, self};
   for (;;) {
@@ -101,7 +124,13 @@ void ThreadPool::worker_loop(std::size_t self) {
         std::lock_guard<std::mutex> lock(state_mutex_);
         --queued_;
       }
-      task();
+      // A throwing task must not unwind through the worker loop (that
+      // would std::terminate the process); capture and surface at join.
+      try {
+        task();
+      } catch (...) {
+        capture_error();
+      }
       task = nullptr;  // release captures before possibly sleeping
       {
         std::lock_guard<std::mutex> lock(state_mutex_);
@@ -118,8 +147,11 @@ void ThreadPool::worker_loop(std::size_t self) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(state_mutex_);
-  all_done_.wait(lock, [&] { return pending_ == 0; });
+  {
+    std::unique_lock<std::mutex> lock(state_mutex_);
+    all_done_.wait(lock, [&] { return pending_ == 0; });
+  }
+  if (std::exception_ptr err = take_error()) std::rethrow_exception(err);
 }
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
@@ -141,7 +173,9 @@ void ThreadPool::parallel_for_chunks(
   // traffic. 4x gives the stealer something to grab when chunks are uneven.
   num_chunks = std::min(num_chunks, workers_.size() * 4);
   if (num_chunks <= 1 || workers_.size() == 1) {
-    body(begin, end);
+    // Inline fast path: exceptions propagate directly; cancellation is
+    // honored the same way the task path honors it.
+    if (!cancel_requested()) body(begin, end);
     return;
   }
 
@@ -153,15 +187,26 @@ void ThreadPool::parallel_for_chunks(
     const std::size_t cb = begin + n * c / num_chunks;
     const std::size_t ce = begin + n * (c + 1) / num_chunks;
     submit([&, cb, ce] {
-      body(cb, ce);
+      // The decrement below must run even when the body throws, or the
+      // barrier would hang; capture here rather than in the worker loop.
+      if (!cancel_requested()) {
+        try {
+          body(cb, ce);
+        } catch (...) {
+          capture_error();
+        }
+      }
       if (remaining.fetch_sub(1) == 1) {
         std::lock_guard<std::mutex> lock(done_mutex);
         done_cv.notify_all();
       }
     });
   }
-  std::unique_lock<std::mutex> lock(done_mutex);
-  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+  {
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait(lock, [&] { return remaining.load() == 0; });
+  }
+  if (std::exception_ptr err = take_error()) std::rethrow_exception(err);
 }
 
 }  // namespace sddict

@@ -9,11 +9,20 @@
 // results must make their reduction order-independent (see
 // build_response_matrix and run_procedure1 for the pattern: compute into
 // index-addressed slots, reduce sequentially by index).
+//
+// Exception safety: a task that throws never takes the process down. The
+// worker captures the std::exception_ptr, the pool cancels itself so
+// sibling chunks of the same parallel_for stop early, and the first
+// exception is rethrown at the join point — the end of parallel_for /
+// parallel_for_chunks, or wait_idle for raw submit()s. Rethrowing clears
+// the error and the cancellation flag, so the pool stays usable.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -44,16 +53,20 @@ class ThreadPool {
   }
 
   // Enqueues one task. Thread-safe; may be called from worker threads
-  // (the task lands on the calling worker's own deque).
+  // (the task lands on the calling worker's own deque). A throwing task's
+  // exception is captured and rethrown by the next wait_idle().
   void submit(std::function<void()> task);
 
-  // Blocks until every submitted task has finished.
+  // Blocks until every submitted task has finished, then rethrows the
+  // first exception any of them raised (clearing it).
   void wait_idle();
 
   // Runs body(i) for i in [begin, end), split into contiguous chunks, and
   // blocks until all iterations complete. Chunking is by iteration ranges,
   // so side effects into index-addressed slots are race-free; completion
-  // order is unspecified. Not reentrant from inside a pool task.
+  // order is unspecified. Not reentrant from inside a pool task. If any
+  // iteration throws, not-yet-started chunks are skipped and the first
+  // exception is rethrown here after the barrier.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& body);
 
@@ -63,6 +76,17 @@ class ThreadPool {
   void parallel_for_chunks(
       std::size_t begin, std::size_t end, std::size_t num_chunks,
       const std::function<void(std::size_t, std::size_t)>& body);
+
+  // Cooperative pool-wide cancellation. Cancelled pools skip the bodies of
+  // chunks that have not started yet (queued tasks still drain, so joins
+  // do not hang); long tasks may poll cancel_requested() to stop early.
+  // Raised automatically when a task throws; cleared when the exception is
+  // rethrown at a join point, or manually via reset_cancel().
+  void cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancel_requested() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+  void reset_cancel() { cancelled_.store(false, std::memory_order_release); }
 
  private:
   struct Worker {
@@ -75,6 +99,10 @@ class ThreadPool {
   // no task is available anywhere.
   bool try_get_task(std::size_t self, std::function<void()>* out);
   bool try_steal(std::size_t thief, std::function<void()>* out);
+  // Records the in-flight exception (first one wins) and cancels the pool.
+  void capture_error() noexcept;
+  // Takes the stored error, clearing it and the cancellation flag it set.
+  std::exception_ptr take_error();
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
@@ -89,6 +117,8 @@ class ThreadPool {
   std::int64_t queued_ = 0;
   std::size_t next_victim_ = 0;  // round-robin for external submits
   bool stop_ = false;
+  std::exception_ptr first_error_;  // guarded by state_mutex_
+  std::atomic<bool> cancelled_{false};
 };
 
 }  // namespace sddict

@@ -1,0 +1,28 @@
+#include "faultinject.h"
+
+#include <ios>
+
+namespace sddict::testing {
+
+std::streambuf::int_type FailAfterWriteBuf::overflow(int_type ch) {
+  if (ch == traits_type::eof()) return traits_type::eof();
+  if (written_.size() >= limit_) return traits_type::eof();
+  written_.push_back(static_cast<char>(ch));
+  return ch;
+}
+
+std::streambuf::int_type ThrowAfterReadBuf::underflow() {
+  if (served_ >= limit_) throw std::ios_base::failure("injected read error");
+  if (served_ >= data_.size()) return traits_type::eof();
+  ch_ = data_[served_];
+  ++served_;
+  setg(&ch_, &ch_, &ch_ + 1);
+  return traits_type::to_int_type(ch_);
+}
+
+std::string flip_byte(std::string text, std::size_t index) {
+  text.at(index) = static_cast<char>(text[index] ^ 1);
+  return text;
+}
+
+}  // namespace sddict::testing

@@ -1,0 +1,707 @@
+// Robustness suite (ISSUE: bounded, cancellable, fail-safe construction):
+//
+//  * ThreadPool exception safety — a throwing task is captured and rethrown
+//    at the join point, siblings are cancelled, and the pool stays usable;
+//  * RunBudget / BudgetScope semantics and the anytime guarantees of every
+//    budgeted entry point (fault simulation, ATPG, Procedures 1 and 2),
+//    including the Procedure-1 differential: a deadline-expired run is
+//    bit-identical to an unbudgeted run truncated at the same restart
+//    index, at one thread and at eight;
+//  * fault injection through library failpoints (src/util/failpoint.h) and
+//    failing stream buffers (tests/faultinject.h): injected faults surface
+//    as typed errors, never aborts, and the system works again afterwards;
+//  * serialization hardening — v2 round trips for all four dictionary
+//    types, degenerate shapes, v1 back-compat, and a deterministic mutation
+//    fuzzer (every truncation and every single-byte flip of a v2 file must
+//    be rejected with std::runtime_error).
+//
+// Registered under the ctest labels "robustness" and "concurrency" so the
+// sanitizer presets pick it up.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bmcirc/synth.h"
+#include "core/baseline.h"
+#include "core/procedure2.h"
+#include "dict/full_dict.h"
+#include "dict/multibaseline_dict.h"
+#include "dict/passfail_dict.h"
+#include "dict/samediff_dict.h"
+#include "dict/serialize.h"
+#include "fault/collapse.h"
+#include "faultinject.h"
+#include "sim/response.h"
+#include "tgen/diagset.h"
+#include "tgen/ndetect.h"
+#include "tgen/podem.h"
+#include "util/budget.h"
+#include "util/cli.h"
+#include "util/rng.h"
+#include "util/threadpool.h"
+
+namespace sddict {
+namespace {
+
+using testing::FailAfterWriteBuf;
+using testing::ScopedFailPoint;
+using testing::ThrowAfterReadBuf;
+using testing::flip_byte;
+
+// ------------------------------------------------------------- fixtures --
+
+struct Workload {
+  Netlist nl;
+  FaultList faults;
+  TestSet tests;
+};
+
+Workload synth_workload(std::size_t gates, std::size_t num_tests,
+                        std::uint64_t seed) {
+  SynthProfile profile;
+  profile.name = "rob";
+  profile.inputs = 12;
+  profile.outputs = 5;
+  profile.dffs = 0;
+  profile.gates = gates;
+  profile.seed = seed;
+  Workload w{generate_synthetic(profile), FaultList{}, TestSet{0}};
+  w.faults = collapsed_fault_list(w.nl).collapsed;
+  w.tests = TestSet(w.nl.num_inputs());
+  Rng rng(seed);
+  w.tests.add_random(num_tests, rng);
+  return w;
+}
+
+// The paper's worked example: four faults, two tests, two outputs. Small
+// enough that the fuzzers below can afford to re-parse the serialized file
+// once per byte.
+ResponseMatrix paper_example() {
+  const std::vector<BitVec> ff = {BitVec::from_string("00"),
+                                  BitVec::from_string("00")};
+  const std::vector<std::vector<BitVec>> faulty = {
+      {BitVec::from_string("10"), BitVec::from_string("11")},
+      {BitVec::from_string("00"), BitVec::from_string("10")},
+      {BitVec::from_string("01"), BitVec::from_string("10")},
+      {BitVec::from_string("01"), BitVec::from_string("00")},
+  };
+  return response_matrix_from_table(ff, faulty);
+}
+
+RunBudget cancelled_budget() {
+  RunBudget b;
+  b.cancel.cancel();
+  return b;
+}
+
+template <typename Dict>
+std::string serialized(const Dict& d) {
+  std::stringstream ss;
+  write_dictionary(d, ss);
+  return ss.str();
+}
+
+void expect_same_selection(const BaselineSelection& a,
+                           const BaselineSelection& b, const char* what) {
+  EXPECT_EQ(a.baselines, b.baselines) << what;
+  EXPECT_EQ(a.distinguished_pairs, b.distinguished_pairs) << what;
+  EXPECT_EQ(a.indistinguished_pairs, b.indistinguished_pairs) << what;
+  EXPECT_EQ(a.calls_used, b.calls_used) << what;
+}
+
+// ------------------------------------------------ ThreadPool exceptions --
+
+TEST(ThreadPoolRobust, PoisonedTaskAmongManySurfacesAtWaitIdle) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i)
+    pool.submit([&ran, i] {
+      if (i == 37) throw std::runtime_error("poison");
+      ran.fetch_add(1);
+    });
+  try {
+    pool.wait_idle();
+    FAIL() << "wait_idle did not rethrow the poisoned task's exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "poison");
+  }
+  // Raw submits do not consult the cancellation flag: the other 99 all ran.
+  EXPECT_EQ(ran.load(), 99);
+
+  // The rethrow cleared the error and the cancellation it raised; the pool
+  // is immediately reusable.
+  for (int i = 0; i < 10; ++i)
+    pool.submit([&ran] { ran.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 109);
+}
+
+TEST(ThreadPoolRobust, ParallelForBodyThrowRethrownAtBarrier) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(0, 1000,
+                                 [](std::size_t i) {
+                                   if (i == 500)
+                                     throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // Pool usable again, full coverage.
+  std::atomic<std::size_t> count{0};
+  pool.parallel_for(0, 1000, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 1000u);
+}
+
+TEST(ThreadPoolRobust, ParallelForChunksThrowRethrownAtBarrier) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for_chunks(0, 512, 32,
+                                        [](std::size_t b, std::size_t) {
+                                          if (b >= 256)
+                                            throw std::runtime_error("boom");
+                                        }),
+               std::runtime_error);
+  std::atomic<std::size_t> covered{0};
+  pool.parallel_for_chunks(0, 512, 32,
+                           [&](std::size_t b, std::size_t e) {
+                             covered.fetch_add(e - b);
+                           });
+  EXPECT_EQ(covered.load(), 512u);
+}
+
+TEST(ThreadPoolRobust, SingleWorkerInlinePathPropagatesAndRecovers) {
+  ThreadPool pool(1);
+  EXPECT_THROW(
+      pool.parallel_for(0, 10,
+                        [](std::size_t) { throw std::runtime_error("boom"); }),
+      std::runtime_error);
+  std::atomic<std::size_t> count{0};
+  pool.parallel_for(0, 10, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10u);
+}
+
+TEST(ThreadPoolRobust, CancelSkipsBodiesResetRestores) {
+  ThreadPool pool(4);
+  pool.cancel();
+  EXPECT_TRUE(pool.cancel_requested());
+  std::atomic<std::size_t> count{0};
+  pool.parallel_for(0, 100, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 0u);
+
+  pool.reset_cancel();
+  EXPECT_FALSE(pool.cancel_requested());
+  pool.parallel_for(0, 100, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 100u);
+}
+
+// ------------------------------------------------- RunBudget primitives --
+
+TEST(Budget, DeadlineLatches) {
+  RunBudget b;
+  b.max_seconds = 1e-9;
+  BudgetScope scope(b);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_TRUE(scope.stop());
+  EXPECT_TRUE(scope.stopped());
+  EXPECT_EQ(scope.reason(), StopReason::kDeadline);
+  // Latched: stays stopped with a stable reason.
+  EXPECT_TRUE(scope.stop());
+  EXPECT_EQ(scope.reason(), StopReason::kDeadline);
+}
+
+TEST(Budget, PreCancelledTokenStopsImmediately) {
+  BudgetScope scope(cancelled_budget());
+  EXPECT_TRUE(scope.stop());
+  EXPECT_EQ(scope.reason(), StopReason::kCancelled);
+}
+
+TEST(Budget, UnlimitedBudgetNeverStops) {
+  BudgetScope scope(RunBudget{});
+  EXPECT_FALSE(scope.stop());
+  EXPECT_FALSE(scope.stopped());
+  EXPECT_EQ(scope.reason(), StopReason::kCompleted);
+}
+
+TEST(Budget, TripFirstReasonWins) {
+  BudgetScope scope(RunBudget{});
+  scope.trip(StopReason::kMaxRestarts);
+  scope.trip(StopReason::kMaxPatterns);
+  EXPECT_TRUE(scope.stop());
+  EXPECT_EQ(scope.reason(), StopReason::kMaxRestarts);
+}
+
+TEST(Budget, NestedSharesTokenNotCaps) {
+  RunBudget outer;
+  outer.max_restarts = 5;
+  outer.max_patterns = 7;
+  BudgetScope scope(outer);
+  const RunBudget inner = scope.nested();
+  // Caps belong to the outer consumer and are not inherited.
+  EXPECT_EQ(inner.max_restarts, 0u);
+  EXPECT_EQ(inner.max_patterns, 0u);
+  // Cancelling the outer token stops nested scopes too.
+  BudgetScope nested_scope(inner);
+  EXPECT_FALSE(nested_scope.stop());
+  outer.cancel.cancel();
+  EXPECT_TRUE(nested_scope.stop());
+  EXPECT_EQ(nested_scope.reason(), StopReason::kCancelled);
+}
+
+TEST(Budget, FoldLegacyDeadlinePrecedence) {
+  EXPECT_DOUBLE_EQ(fold_legacy_deadline(RunBudget{}, 3.5).max_seconds, 3.5);
+  RunBudget own;
+  own.max_seconds = 2.0;
+  EXPECT_DOUBLE_EQ(fold_legacy_deadline(own, 3.5).max_seconds, 2.0);
+}
+
+// --------------------------------------------- Procedure 1 anytime runs --
+
+// The acceptance criterion of the budgeted pipeline: a deadline-expired
+// Procedure-1 run must be bit-identical to an unbudgeted run truncated at
+// the same restart index, at every thread count.
+TEST(AnytimeProcedure1, DeadlineDifferentialBitIdentical) {
+  const Workload w = synth_workload(200, 100, 7);
+  const ResponseMatrix rm =
+      build_response_matrix(w.nl, w.faults, w.tests, {.num_threads = 4});
+  // The full dictionary lower-bounds every dictionary; with a nonzero floor
+  // and target_indistinguished == 0, only the budget can stop the loop.
+  ASSERT_GT(FullDictionary::build(rm).indistinguished_pairs(), 0u);
+
+  BaselineSelectionConfig cfg;
+  cfg.lower = 10;
+  cfg.calls1 = 1 << 20;
+  cfg.seed = 3;
+  cfg.num_threads = 8;
+  cfg.budget.max_seconds = 0.1;
+  const BaselineSelection sel = run_procedure1(rm, cfg);
+  ASSERT_FALSE(sel.completed);
+  EXPECT_EQ(sel.stop_reason, StopReason::kDeadline);
+  ASSERT_GE(sel.calls_used, 1u);
+
+  BaselineSelectionConfig replay = cfg;
+  replay.budget = RunBudget{};
+  replay.budget.max_restarts = sel.calls_used;
+  for (std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    replay.num_threads = threads;
+    const BaselineSelection again = run_procedure1(rm, replay);
+    expect_same_selection(sel, again,
+                          threads == 1 ? "replay at 1 thread"
+                                       : "replay at 8 threads");
+    EXPECT_FALSE(again.completed);
+    EXPECT_EQ(again.stop_reason, StopReason::kMaxRestarts);
+  }
+}
+
+TEST(AnytimeProcedure1, MaxRestartsCapConsumesExactly) {
+  const Workload w = synth_workload(150, 80, 11);
+  const ResponseMatrix rm =
+      build_response_matrix(w.nl, w.faults, w.tests, {.num_threads = 2});
+  ASSERT_GT(FullDictionary::build(rm).indistinguished_pairs(), 0u);
+
+  BaselineSelectionConfig cfg;
+  cfg.calls1 = 1 << 20;
+  cfg.seed = 5;
+  cfg.budget.max_restarts = 3;
+  cfg.num_threads = 1;
+  const BaselineSelection serial = run_procedure1(rm, cfg);
+  EXPECT_EQ(serial.calls_used, 3u);
+  EXPECT_FALSE(serial.completed);
+  EXPECT_EQ(serial.stop_reason, StopReason::kMaxRestarts);
+  // The cap is part of the deterministic reduction: identical at any
+  // thread count.
+  cfg.num_threads = 8;
+  expect_same_selection(serial, run_procedure1(rm, cfg), "capped at 8 threads");
+}
+
+TEST(AnytimeProcedure1, PreCancelledFallsBackToPassFailFloor) {
+  const Workload w = synth_workload(120, 60, 13);
+  const ResponseMatrix rm =
+      build_response_matrix(w.nl, w.faults, w.tests, {.num_threads = 2});
+
+  BaselineSelectionConfig cfg;
+  cfg.budget = cancelled_budget();
+  cfg.num_threads = 4;
+  const BaselineSelection sel = run_procedure1(rm, cfg);
+  EXPECT_FALSE(sel.completed);
+  EXPECT_EQ(sel.stop_reason, StopReason::kCancelled);
+  EXPECT_EQ(sel.calls_used, 0u);
+  // Floor: the pass/fail selection (every baseline the fault-free id).
+  ASSERT_EQ(sel.baselines.size(), rm.num_tests());
+  for (std::size_t t = 0; t < rm.num_tests(); ++t)
+    EXPECT_EQ(sel.baselines[t], rm.fault_free_id(t));
+  EXPECT_EQ(sel.indistinguished_pairs,
+            PassFailDictionary::build(rm).indistinguished_pairs());
+}
+
+// ------------------------------------------- other budgeted entry points --
+
+TEST(AnytimePipeline, PreCancelledResponseMatrixIsStructurallyValid) {
+  const Workload w = synth_workload(150, 60, 17);
+  ResponseMatrixOptions opts;
+  opts.num_threads = 4;
+  opts.budget = cancelled_budget();
+  ResponseMatrixStatus status;
+  const ResponseMatrix rm =
+      build_response_matrix(w.nl, w.faults, w.tests, opts, &status);
+  EXPECT_FALSE(status.completed);
+  EXPECT_EQ(status.stop_reason, StopReason::kCancelled);
+  EXPECT_EQ(status.faults_simulated, 0u);
+  // Unreached entries keep response id 0 and id 0 is still the fault-free
+  // response of every test, so downstream consumers cannot misread the
+  // partial matrix.
+  ASSERT_EQ(rm.num_tests(), w.tests.size());
+  for (std::size_t t = 0; t < rm.num_tests(); ++t) {
+    EXPECT_EQ(rm.fault_free_id(t), 0u);
+    EXPECT_EQ(rm.num_distinct(t), 1u);
+  }
+  for (FaultId f = 0; f < rm.num_faults(); ++f)
+    for (std::size_t t = 0; t < rm.num_tests(); ++t)
+      ASSERT_EQ(rm.response(f, t), 0u);
+}
+
+TEST(AnytimePipeline, PreCancelledNDetect) {
+  const Workload w = synth_workload(120, 0, 19);
+  NDetectOptions opts;
+  opts.budget = cancelled_budget();
+  const NDetectResult res = generate_ndetect(w.nl, w.faults, opts);
+  EXPECT_FALSE(res.completed);
+  EXPECT_EQ(res.stop_reason, StopReason::kCancelled);
+}
+
+TEST(AnytimePipeline, NDetectMaxPatternsCap) {
+  const Workload w = synth_workload(150, 0, 23);
+  NDetectOptions opts;
+  // A tiny random phase leaves most faults short of n detections, so the
+  // top-up loop runs and trips the pattern cap on its first fault.
+  opts.n = 32;
+  opts.random.max_batches = 2;
+  opts.budget.max_patterns = 1;
+  const NDetectResult res = generate_ndetect(w.nl, w.faults, opts);
+  EXPECT_FALSE(res.completed);
+  EXPECT_EQ(res.stop_reason, StopReason::kMaxPatterns);
+}
+
+TEST(AnytimePipeline, PreCancelledDiagSet) {
+  const Workload w = synth_workload(100, 0, 29);
+  DiagSetOptions opts;
+  opts.budget = cancelled_budget();
+  const DiagSetResult res = generate_diagnostic(w.nl, w.faults, opts);
+  EXPECT_FALSE(res.completed);
+  EXPECT_EQ(res.stop_reason, StopReason::kCancelled);
+}
+
+TEST(AnytimePipeline, PodemCancelledReturnsAborted) {
+  const Workload w = synth_workload(150, 0, 31);
+  PodemOptions opts;
+  opts.budget = cancelled_budget();
+  Podem podem(w.nl, opts);
+  Rng rng(1);
+  BitVec test;
+  ASSERT_FALSE(w.faults.empty());
+  EXPECT_EQ(podem.generate(w.faults[0], &test, rng), PodemStatus::kAborted);
+}
+
+TEST(AnytimePipeline, PreCancelledProcedure2KeepsInitialAssignment) {
+  const Workload w = synth_workload(120, 60, 37);
+  const ResponseMatrix rm =
+      build_response_matrix(w.nl, w.faults, w.tests, {.num_threads = 2});
+  const std::vector<ResponseId> initial(rm.num_tests(), 0);
+
+  Procedure2Config cfg;
+  cfg.budget = cancelled_budget();
+  const Procedure2Result res = run_procedure2(rm, initial, cfg);
+  EXPECT_FALSE(res.completed);
+  EXPECT_EQ(res.stop_reason, StopReason::kCancelled);
+  EXPECT_EQ(res.baselines, initial);
+  EXPECT_EQ(res.replacements, 0u);
+  EXPECT_EQ(res.indistinguished_pairs, count_indistinguished(rm, initial));
+}
+
+// ------------------------------------------------------ fault injection --
+
+TEST(FaultInjection, SimulateChunkFaultSurfacesAtEveryThreadCount) {
+  const Workload w = synth_workload(120, 40, 41);
+  const ResponseMatrix reference =
+      build_response_matrix(w.nl, w.faults, w.tests, {.num_threads = 1});
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    ScopedFailPoint fp("simulate_chunk");
+    EXPECT_THROW(build_response_matrix(w.nl, w.faults, w.tests,
+                                       {.num_threads = threads}),
+                 failpoint::InjectedFault)
+        << threads << " threads";
+  }
+  // The system recovers completely once the fault stops firing.
+  const ResponseMatrix again =
+      build_response_matrix(w.nl, w.faults, w.tests, {.num_threads = 4});
+  for (FaultId f = 0; f < reference.num_faults(); ++f)
+    for (std::size_t t = 0; t < reference.num_tests(); ++t)
+      ASSERT_EQ(again.response(f, t), reference.response(f, t));
+}
+
+TEST(FaultInjection, MergeBadAllocPropagatesAsBadAlloc) {
+  const Workload w = synth_workload(120, 40, 43);
+  {
+    ScopedFailPoint fp("response_merge", 1, failpoint::Kind::kBadAlloc);
+    EXPECT_THROW(
+        build_response_matrix(w.nl, w.faults, w.tests, {.num_threads = 4}),
+        std::bad_alloc);
+  }
+  EXPECT_NO_THROW(
+      build_response_matrix(w.nl, w.faults, w.tests, {.num_threads = 4}));
+}
+
+TEST(FaultInjection, Procedure1RestartFaultCrossesThePool) {
+  const Workload w = synth_workload(140, 60, 47);
+  const ResponseMatrix rm =
+      build_response_matrix(w.nl, w.faults, w.tests, {.num_threads = 2});
+  BaselineSelectionConfig cfg;
+  cfg.calls1 = 8;
+  cfg.seed = 9;
+  cfg.num_threads = 4;
+  const BaselineSelection reference = run_procedure1(rm, cfg);
+  {
+    // Third restart throws, from whichever worker gets there.
+    ScopedFailPoint fp("proc1_restart", 3);
+    EXPECT_THROW(run_procedure1(rm, cfg), failpoint::InjectedFault);
+  }
+  expect_same_selection(reference, run_procedure1(rm, cfg),
+                        "after injected fault");
+}
+
+// ------------------------------------------------- serialization: v2 I/O --
+
+TEST(SerializeRobust, RoundTripAllFourDictionaryTypes) {
+  const ResponseMatrix rm = paper_example();
+
+  const auto pf = PassFailDictionary::build(rm);
+  std::stringstream s1(serialized(pf));
+  const auto pf2 = read_passfail_dictionary(s1);
+  EXPECT_EQ(pf2.indistinguished_pairs(), pf.indistinguished_pairs());
+  for (FaultId f = 0; f < pf.num_faults(); ++f)
+    EXPECT_EQ(pf2.row(f), pf.row(f));
+
+  const auto sd =
+      SameDifferentDictionary::build(rm, {rm.response(2, 0), rm.response(1, 1)});
+  std::stringstream s2(serialized(sd));
+  const auto sd2 = read_samediff_dictionary(s2);
+  EXPECT_EQ(sd2.baselines(), sd.baselines());
+  EXPECT_EQ(sd2.indistinguished_pairs(), sd.indistinguished_pairs());
+  for (FaultId f = 0; f < sd.num_faults(); ++f)
+    EXPECT_EQ(sd2.row(f), sd.row(f));
+
+  const auto full = FullDictionary::build(rm);
+  std::stringstream s3(serialized(full));
+  const auto full2 = read_full_dictionary(s3);
+  EXPECT_EQ(full2.indistinguished_pairs(), full.indistinguished_pairs());
+  for (FaultId f = 0; f < full.num_faults(); ++f)
+    for (std::size_t t = 0; t < full.num_tests(); ++t)
+      EXPECT_EQ(full2.entry(f, t), full.entry(f, t));
+
+  const auto mb = MultiBaselineDictionary::build(
+      rm, {{rm.response(0, 0), rm.response(2, 0)},
+           {rm.response(0, 1), rm.response(1, 1)}});
+  std::stringstream s4(serialized(mb));
+  const auto mb2 = read_multibaseline_dictionary(s4);
+  EXPECT_EQ(mb2.baselines(), mb.baselines());
+  EXPECT_EQ(mb2.baselines_per_test(), mb.baselines_per_test());
+  EXPECT_EQ(mb2.num_outputs(), mb.num_outputs());
+  EXPECT_EQ(mb2.indistinguished_pairs(), mb.indistinguished_pairs());
+  for (FaultId f = 0; f < mb.num_faults(); ++f)
+    EXPECT_EQ(mb2.row(f), mb.row(f));
+}
+
+TEST(SerializeRobust, DegenerateShapesRoundTrip) {
+  // One fault, zero tests, zero outputs.
+  const auto pf = PassFailDictionary::from_rows({BitVec(0)}, 0, 0);
+  std::stringstream s1(serialized(pf));
+  const auto pf2 = read_passfail_dictionary(s1);
+  EXPECT_EQ(pf2.num_faults(), 1u);
+  EXPECT_EQ(pf2.num_tests(), 0u);
+  EXPECT_EQ(pf2.num_outputs(), 0u);
+
+  const auto sd = SameDifferentDictionary::from_parts({BitVec(0)}, {}, 0);
+  std::stringstream s2(serialized(sd));
+  const auto sd2 = read_samediff_dictionary(s2);
+  EXPECT_EQ(sd2.num_faults(), 1u);
+  EXPECT_EQ(sd2.num_tests(), 0u);
+  EXPECT_TRUE(sd2.baselines().empty());
+
+  const auto full = FullDictionary::from_entries({}, 1, 0, 0);
+  std::stringstream s3(serialized(full));
+  const auto full2 = read_full_dictionary(s3);
+  EXPECT_EQ(full2.num_faults(), 1u);
+  EXPECT_EQ(full2.num_tests(), 0u);
+
+  // Multi-baseline needs at least one baseline: 1 fault, 1 test, rank 1.
+  const auto mb =
+      MultiBaselineDictionary::from_parts({BitVec(1)}, {{0}}, 1, 0);
+  std::stringstream s4(serialized(mb));
+  const auto mb2 = read_multibaseline_dictionary(s4);
+  EXPECT_EQ(mb2.num_faults(), 1u);
+  EXPECT_EQ(mb2.num_tests(), 1u);
+  EXPECT_EQ(mb2.baselines(), mb.baselines());
+}
+
+// Turns a v2 serialization into its v1 equivalent: version bumped down on
+// the magic line, trailer dropped.
+std::string as_v1(const std::string& v2) {
+  const std::size_t nl = v2.find('\n');
+  EXPECT_NE(nl, std::string::npos);
+  std::string out = v2.substr(0, nl);
+  const std::size_t v = out.rfind(" v2");
+  EXPECT_NE(v, std::string::npos);
+  out.replace(v, 3, " v1");
+  const std::size_t crc = v2.rfind("crc32 ");
+  EXPECT_NE(crc, std::string::npos);
+  out += v2.substr(nl, crc - nl);
+  return out;
+}
+
+TEST(SerializeRobust, V1FilesStillReadable) {
+  const ResponseMatrix rm = paper_example();
+  const auto sd =
+      SameDifferentDictionary::build(rm, {rm.response(2, 0), rm.response(1, 1)});
+  std::stringstream s1(as_v1(serialized(sd)));
+  const auto sd2 = read_samediff_dictionary(s1);
+  EXPECT_EQ(sd2.baselines(), sd.baselines());
+  for (FaultId f = 0; f < sd.num_faults(); ++f)
+    EXPECT_EQ(sd2.row(f), sd.row(f));
+
+  const auto mb = MultiBaselineDictionary::build(
+      rm, {{rm.response(0, 0), rm.response(2, 0)}, {rm.response(0, 1)}});
+  std::stringstream s2(as_v1(serialized(mb)));
+  const auto mb2 = read_multibaseline_dictionary(s2);
+  EXPECT_EQ(mb2.baselines(), mb.baselines());
+  for (FaultId f = 0; f < mb.num_faults(); ++f)
+    EXPECT_EQ(mb2.row(f), mb.row(f));
+}
+
+TEST(SerializeRobust, ChecksumMismatchNamesTheDefect) {
+  const ResponseMatrix rm = paper_example();
+  std::string text = serialized(PassFailDictionary::build(rm));
+  // Flip the last payload character (a row bit, two bytes before the
+  // trailer line): structure intact, checksum wrong.
+  const std::size_t crc = text.rfind("crc32 ");
+  ASSERT_NE(crc, std::string::npos);
+  ASSERT_GE(crc, 2u);
+  text = flip_byte(std::move(text), crc - 2);
+  std::stringstream ss(text);
+  try {
+    read_passfail_dictionary(ss);
+    FAIL() << "corrupted payload was accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum mismatch"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SerializeRobust, MidWriteStreamFailureThrows) {
+  const ResponseMatrix rm = paper_example();
+  const auto pf = PassFailDictionary::build(rm);
+  FailAfterWriteBuf buf(/*limit=*/10);
+  std::ostream out(&buf);
+  EXPECT_THROW(write_dictionary(pf, out), std::runtime_error);
+}
+
+TEST(SerializeRobust, MidReadStreamFailureThrows) {
+  const ResponseMatrix rm = paper_example();
+  const std::string text = serialized(
+      SameDifferentDictionary::build(rm, {rm.response(2, 0), rm.response(1, 1)}));
+  ThrowAfterReadBuf buf(text, text.size() / 2);
+  std::istream in(&buf);
+  EXPECT_THROW(read_samediff_dictionary(in), std::runtime_error);
+}
+
+// ------------------------------------------ deterministic mutation fuzzer --
+
+TEST(SerializeFuzz, EveryTruncationRejected) {
+  const ResponseMatrix rm = paper_example();
+  const std::string text = serialized(
+      SameDifferentDictionary::build(rm, {rm.response(2, 0), rm.response(1, 1)}));
+  ASSERT_GT(text.size(), 1u);
+  for (std::size_t cut = 0; cut + 1 < text.size(); ++cut) {
+    std::stringstream ss(text.substr(0, cut));
+    EXPECT_THROW(read_samediff_dictionary(ss), std::runtime_error)
+        << "cut at byte " << cut << " was accepted";
+  }
+  // Dropping only the final '\n' leaves a complete file.
+  std::stringstream whole(text), clipped(text.substr(0, text.size() - 1));
+  EXPECT_EQ(read_samediff_dictionary(clipped).indistinguished_pairs(),
+            read_samediff_dictionary(whole).indistinguished_pairs());
+}
+
+TEST(SerializeFuzz, EverySingleByteFlipRejected) {
+  const ResponseMatrix rm = paper_example();
+  const std::string text = serialized(
+      SameDifferentDictionary::build(rm, {rm.response(2, 0), rm.response(1, 1)}));
+  // Every byte except the final newline: a flipped payload byte fails the
+  // checksum (at minimum), a flipped structural byte fails parsing, a
+  // flipped trailer byte fails the trailer check.
+  for (std::size_t i = 0; i + 1 < text.size(); ++i) {
+    std::stringstream ss(flip_byte(text, i));
+    EXPECT_THROW(read_samediff_dictionary(ss), std::runtime_error)
+        << "flip at byte " << i << " was accepted";
+  }
+  // The final newline carries no information; flipping it to '\v' leaves
+  // the parse intact (trailing whitespace on the trailer line).
+  std::stringstream ss(flip_byte(text, text.size() - 1));
+  EXPECT_NO_THROW(read_samediff_dictionary(ss));
+}
+
+TEST(SerializeFuzz, MultiBaselineTruncationsAndFlipsRejected) {
+  const ResponseMatrix rm = paper_example();
+  const std::string text = serialized(MultiBaselineDictionary::build(
+      rm, {{rm.response(0, 0), rm.response(2, 0)}, {rm.response(1, 1)}}));
+  for (std::size_t cut = 0; cut + 1 < text.size(); ++cut) {
+    std::stringstream ss(text.substr(0, cut));
+    EXPECT_THROW(read_multibaseline_dictionary(ss), std::runtime_error)
+        << "cut at byte " << cut << " was accepted";
+  }
+  for (std::size_t i = 0; i + 1 < text.size(); ++i) {
+    std::stringstream ss(flip_byte(text, i));
+    EXPECT_THROW(read_multibaseline_dictionary(ss), std::runtime_error)
+        << "flip at byte " << i << " was accepted";
+  }
+}
+
+// ------------------------------------------------------- CLI strictness --
+
+CliArgs make_args(std::vector<std::string> argv) {
+  std::vector<char*> ptrs;
+  ptrs.reserve(argv.size());
+  for (auto& s : argv) ptrs.push_back(s.data());
+  return CliArgs(static_cast<int>(ptrs.size()), ptrs.data());
+}
+
+TEST(CliStrict, MalformedNumericsThrow) {
+  const CliArgs args = make_args(
+      {"prog", "--a=abc", "--b=12abc", "--c=", "--d", "--e=1,abc", "--f=1.5x"});
+  EXPECT_THROW(args.get_int("a", 0), std::invalid_argument);
+  EXPECT_THROW(args.get_int("b", 0), std::invalid_argument);
+  EXPECT_THROW(args.get_int("c", 0), std::invalid_argument);
+  EXPECT_THROW(args.get_int("d", 0), std::invalid_argument);
+  EXPECT_THROW(args.get_int_list("e"), std::invalid_argument);
+  EXPECT_THROW(args.get_double("f", 0), std::invalid_argument);
+}
+
+TEST(CliStrict, OutOfRangeThrowsInRangePasses) {
+  const CliArgs args = make_args({"prog", "--n=5"});
+  EXPECT_THROW(args.get_int("n", 0, 0, 4), std::invalid_argument);
+  EXPECT_THROW(args.get_int("n", 0, 6, 10), std::invalid_argument);
+  EXPECT_EQ(args.get_int("n", 0, 1, 10), 5);
+  EXPECT_EQ(args.get_int("absent", 42, 0, 100), 42);
+}
+
+TEST(CliStrict, UnknownFlagsReported) {
+  const CliArgs args = make_args({"prog", "--seed=1", "--sede=2"});
+  const auto unknown = args.unknown_flags({"seed", "threads"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "sede");
+}
+
+}  // namespace
+}  // namespace sddict
