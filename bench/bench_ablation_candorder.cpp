@@ -65,14 +65,38 @@ std::uint64_t run_with_order(const ResponseMatrix& rm, std::size_t lower,
 
 }  // namespace
 
+namespace {
+
+int usage() {
+  std::fprintf(stderr, "usage: bench_ablation_candorder [--circuits=s298,...] [--tests=N] [--lower=N] [--seed=N]\n");
+  return 1;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   CliArgs args(argc, argv);
-  set_log_level(LogLevel::kWarn);
-  std::vector<std::string> circuits = args.get_list("circuits");
-  if (circuits.empty()) circuits = {"s298", "s344", "s526"};
-  const std::size_t num_tests = args.get_int("tests", 150);
-  const std::size_t lower = args.get_int("lower", 3);
-  const std::uint64_t seed = args.get_int("seed", 1);
+  const auto unknown = args.unknown_flags({"circuits", "tests", "lower", "seed"});
+  if (!unknown.empty()) {
+    for (const auto& f : unknown)
+      std::fprintf(stderr, "unknown flag --%s\n", f.c_str());
+    return usage();
+  }
+  std::vector<std::string> circuits;
+  std::size_t num_tests = 0;
+  std::size_t lower = 0;
+  std::uint64_t seed = 0;
+  try {
+    set_log_level(LogLevel::kWarn);
+    circuits = args.get_list("circuits");
+    if (circuits.empty()) circuits = {"s298", "s344", "s526"};
+    num_tests = args.get_int("tests", 150, 1, 1 << 20);
+    lower = args.get_int("lower", 3, 1, 1 << 20);
+    seed = args.get_int("seed", 1, 0);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return usage();
+  }
 
   std::printf("Ablation: candidate order inside Z_j under LOWER=%zu\n\n",
               lower);

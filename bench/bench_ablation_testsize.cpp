@@ -18,12 +18,34 @@
 
 using namespace sddict;
 
+namespace {
+
+int usage() {
+  std::fprintf(stderr, "usage: bench_ablation_testsize [--circuits=s298,...] [--seed=N]\n");
+  return 1;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   CliArgs args(argc, argv);
-  set_log_level(LogLevel::kWarn);
-  std::vector<std::string> circuits = args.get_list("circuits");
-  if (circuits.empty()) circuits = {"s298", "s420"};
-  const std::uint64_t seed = args.get_int("seed", 1);
+  const auto unknown = args.unknown_flags({"circuits", "seed"});
+  if (!unknown.empty()) {
+    for (const auto& f : unknown)
+      std::fprintf(stderr, "unknown flag --%s\n", f.c_str());
+    return usage();
+  }
+  std::vector<std::string> circuits;
+  std::uint64_t seed = 0;
+  try {
+    set_log_level(LogLevel::kWarn);
+    circuits = args.get_list("circuits");
+    if (circuits.empty()) circuits = {"s298", "s420"};
+    seed = args.get_int("seed", 1, 0);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return usage();
+  }
 
   std::printf("Ablation: resolution vs test-set size (random tests)\n\n");
   std::printf("%-8s %6s %12s %12s %12s %16s\n", "circuit", "|T|", "full",

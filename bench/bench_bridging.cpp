@@ -45,14 +45,37 @@ bool hits_bridge(const Netlist& nl, const FaultList& faults,
 
 }  // namespace
 
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_bridging [--circuits=s298,...] [--bridges=N] "
+               "[--top=N] [--seed=N]\n");
+  return 1;
+}
+
 int main(int argc, char** argv) {
   CliArgs args(argc, argv);
-  set_log_level(LogLevel::kWarn);
-  std::vector<std::string> circuits = args.get_list("circuits");
-  if (circuits.empty()) circuits = {"s298", "s344"};
-  const std::size_t num_bridges = args.get_int("bridges", 40);
-  const std::size_t top = args.get_int("top", 10);
-  const std::uint64_t seed = args.get_int("seed", 1);
+  const auto unknown =
+      args.unknown_flags({"circuits", "bridges", "top", "seed"});
+  if (!unknown.empty()) {
+    for (const auto& f : unknown)
+      std::fprintf(stderr, "unknown flag --%s\n", f.c_str());
+    return usage();
+  }
+  std::vector<std::string> circuits;
+  std::size_t num_bridges = 0;
+  std::size_t top = 0;
+  std::uint64_t seed = 0;
+  try {
+    set_log_level(LogLevel::kWarn);
+    circuits = args.get_list("circuits");
+    if (circuits.empty()) circuits = {"s298", "s344"};
+    num_bridges = args.get_int("bridges", 40, 1, 1 << 20);
+    top = args.get_int("top", 10, 1, 1 << 20);
+    seed = args.get_int("seed", 1, 0);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return usage();
+  }
 
   std::printf("Bridging-defect diagnosis via stuck-at dictionaries "
               "(%zu bridges per circuit, top-%zu candidates)\n\n",

@@ -13,6 +13,7 @@
 #include "dict/passfail_dict.h"
 #include "dict/samediff_dict.h"
 #include "sim/response.h"
+#include "util/cli.h"
 
 using namespace sddict;
 
@@ -27,7 +28,14 @@ void check(bool ok, const char* what) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // bench_paper_tables takes no flags; fail loudly on any argument.
+  const CliArgs args(argc, argv);
+  if (!args.unknown_flags({}).empty() || !args.positional().empty()) {
+    std::fprintf(stderr, "usage: bench_paper_tables  (no arguments)\n");
+    return 1;
+  }
+
   // Table 1 responses.
   const std::vector<BitVec> ff = {BitVec::from_string("00"),
                                   BitVec::from_string("00")};

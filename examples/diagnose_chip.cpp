@@ -4,14 +4,29 @@
 // (dictionary + simulation) flow, and compare how far each narrows the
 // candidate list.
 //
+// The tester is allowed to be imperfect: --noise corrupts a fraction of
+// the observed responses, --drop loses a fraction of the datalog records,
+// and the diagnosis runs through the noise-tolerant engine (diag/engine.h)
+// with the chosen mismatch tolerance. The observation can be saved to a
+// tester datalog (--log) and a diagnosis can be re-run later straight from
+// such a file (--from-log), exercising the robust datalog reader.
+//
 //   $ ./diagnose_chip [--circuit=s298] [--defect=<fault-index>] [--seed=N]
+//       [--noise=PCT] [--drop=PCT] [--tolerance=N]
+//       [--log=obs.log] [--from-log=obs.log]
 #include <cstdio>
+#include <exception>
+#include <fstream>
+#include <stdexcept>
+#include <string>
 
 #include "bmcirc/registry.h"
 #include "core/baseline.h"
 #include "core/procedure2.h"
+#include "diag/engine.h"
 #include "diag/observe.h"
 #include "diag/report.h"
+#include "diag/testerlog.h"
 #include "diag/twophase.h"
 #include "fault/collapse.h"
 #include "netlist/stats.h"
@@ -19,14 +34,65 @@
 #include "tgen/diagset.h"
 #include "util/cli.h"
 
+#include "../tests/faultinject.h"
+
 using namespace sddict;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: diagnose_chip [--circuit=s298] [--defect=INDEX]\n"
+               "  [--seed=N] [--noise=PCT] [--drop=PCT] [--tolerance=N]\n"
+               "  [--log=FILE] [--from-log=FILE]\n");
+  return 1;
+}
+
+double get_pct(const CliArgs& args, const std::string& name) {
+  const double v = args.get_double(name, 0.0);
+  if (v < 0 || v > 100)
+    throw std::invalid_argument("flag --" + name +
+                                " must be a percentage in [0, 100]");
+  return v;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   CliArgs args(argc, argv);
-  const std::string circuit = args.get("circuit", "s298");
-  const std::uint64_t seed = args.get_int("seed", 7);
+  const auto unknown = args.unknown_flags({"circuit", "defect", "seed",
+                                           "noise", "drop", "tolerance", "log",
+                                           "from-log"});
+  if (!unknown.empty()) {
+    for (const auto& f : unknown)
+      std::fprintf(stderr, "unknown flag --%s\n", f.c_str());
+    return usage();
+  }
 
-  const Netlist nl = full_scan(load_benchmark(circuit));
+  std::string circuit;
+  std::uint64_t seed = 0;
+  double noise_pct = 0, drop_pct = 0;
+  EngineOptions eopt;
+  std::string log_path, from_log;
+  try {
+    circuit = args.get("circuit", "s298");
+    if (!is_known_benchmark(circuit))
+      throw std::invalid_argument("flag --circuit: unknown benchmark '" +
+                                  circuit + "'");
+    seed = args.get_int("seed", 7, 0);
+    noise_pct = get_pct(args, "noise");
+    drop_pct = get_pct(args, "drop");
+    eopt.tolerance =
+        static_cast<std::uint32_t>(args.get_int("tolerance", 2, 0, 1 << 20));
+    log_path = args.get("log");
+    from_log = args.get("from-log");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return usage();
+  }
+
+  Netlist nl = load_benchmark(circuit);
+  if (nl.has_dffs()) nl = full_scan(nl);
   std::printf("chip under diagnosis: %s\n", format_stats(nl).c_str());
 
   const FaultList faults = collapsed_fault_list(nl).collapsed;
@@ -53,27 +119,92 @@ int main(int argc, char** argv) {
 
   // The defect: by default a modeled single stuck-at fault somewhere in the
   // middle of the fault list (the diagnosis engines don't know which).
-  const FaultId truth = static_cast<FaultId>(
-      args.get_int("defect", static_cast<std::int64_t>(faults.size() / 2)));
-  std::printf("injected defect (hidden from diagnosis): %s\n\n",
-              fault_name(nl, faults[truth]).c_str());
+  FaultId truth = kNoFault;
+  std::vector<Observed> observed;
+  std::vector<ResponseId> clean_ids;
+  if (!from_log.empty()) {
+    std::ifstream in(from_log);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", from_log.c_str());
+      return 1;
+    }
+    try {
+      TesterLogOptions lopts;
+      lopts.recover = true;
+      const TesterLog log = read_testerlog(in, lopts);
+      for (const auto& d : log.dropped)
+        std::fprintf(stderr, "%s:%zu:%zu: dropped record: %s\n",
+                     from_log.c_str(), d.line, d.column, d.reason.c_str());
+      if (log.truncated)
+        std::fprintf(stderr, "%s: log truncated (no 'end' trailer)\n",
+                     from_log.c_str());
+      observed = log.observations;
+    } catch (const TesterLogError& e) {
+      std::fprintf(stderr, "%s: %s\n", from_log.c_str(), e.what());
+      return 1;
+    }
+    if (observed.size() != tests.size()) {
+      std::fprintf(stderr,
+                   "%s: log has %zu tests but the test set has %zu\n",
+                   from_log.c_str(), observed.size(), tests.size());
+      return 1;
+    }
+    std::printf("observation read from %s\n\n", from_log.c_str());
+  } else {
+    std::int64_t defect = 0;
+    try {
+      defect = args.get_int("defect",
+                            static_cast<std::int64_t>(faults.size() / 2), 0,
+                            static_cast<std::int64_t>(faults.size()) - 1);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return usage();
+    }
+    truth = static_cast<FaultId>(defect);
+    std::printf("injected defect (hidden from diagnosis): %s\n\n",
+                fault_name(nl, faults[truth]).c_str());
+    clean_ids = observe_defect(nl, tests, rm, {to_injection(faults[truth])});
+    testing::NoiseChannel channel;
+    channel.flip_rate = noise_pct / 100.0;
+    channel.drop_rate = drop_pct / 100.0;
+    channel.seed = seed + 17;
+    observed = testing::apply_noise(clean_ids, rm, channel);
+  }
 
-  const auto observed =
-      observe_defect(nl, tests, rm, {to_injection(faults[truth])});
+  if (!log_path.empty()) {
+    std::ofstream out(log_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n", log_path.c_str());
+      return 1;
+    }
+    write_testerlog(out, observed);
+    std::printf("observation written to %s\n\n", log_path.c_str());
+  }
 
-  const DiagnosisComparison cmp =
-      compare_dictionaries(full, pf, sd, observed, truth);
-  std::printf("%s\n", format_diagnosis(nl, faults, cmp).c_str());
+  // Noise-tolerant diagnosis through the engine, all three dictionaries.
+  const RobustDiagnosisComparison rcmp =
+      compare_dictionaries_robust(full, pf, sd, observed, eopt);
+  std::printf("%s\n", format_robust_diagnosis(nl, faults, rcmp).c_str());
 
-  // Two-phase diagnosis: bit dictionary narrows, full-response simulation
-  // confirms. The figure of merit is phase-2 simulations saved.
-  const auto tp_pf = two_phase_with_passfail(pf, rm, observed);
-  const auto tp_sd = two_phase_with_samediff(sd, rm, observed);
-  std::printf("two-phase diagnosis (candidate simulations instead of %zu):\n",
-              faults.size());
-  std::printf("  via pass/fail:      %zu candidates -> %zu exact\n",
-              tp_pf.phase1_candidates.size(), tp_pf.phase2_candidates.size());
-  std::printf("  via same/different: %zu candidates -> %zu exact\n",
-              tp_sd.phase1_candidates.size(), tp_sd.phase2_candidates.size());
+  // With a clean, fully-observed datalog the classical flows apply too:
+  // exact dictionary comparison plus two-phase (dictionary narrows,
+  // full-response simulation confirms; the figure of merit is phase-2
+  // simulations saved).
+  if (from_log.empty() && noise_pct == 0 && drop_pct == 0) {
+    const DiagnosisComparison cmp =
+        compare_dictionaries(full, pf, sd, clean_ids, truth);
+    std::printf("%s\n", format_diagnosis(nl, faults, cmp).c_str());
+    const auto tp_pf = two_phase_with_passfail(pf, rm, clean_ids);
+    const auto tp_sd = two_phase_with_samediff(sd, rm, clean_ids);
+    std::printf(
+        "two-phase diagnosis (candidate simulations instead of %zu):\n",
+        faults.size());
+    std::printf("  via pass/fail:      %zu candidates -> %zu exact\n",
+                tp_pf.phase1_candidates.size(),
+                tp_pf.phase2_candidates.size());
+    std::printf("  via same/different: %zu candidates -> %zu exact\n",
+                tp_sd.phase1_candidates.size(),
+                tp_sd.phase2_candidates.size());
+  }
   return 0;
 }

@@ -12,6 +12,7 @@
 #include "dict/passfail_dict.h"
 #include "dict/samediff_dict.h"
 #include "sim/response.h"
+#include "util/cli.h"
 
 using namespace sddict;
 
@@ -57,7 +58,14 @@ void print_dist_table(const ResponseMatrix& rm, std::size_t test,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // paper_example takes no flags; fail loudly on any argument.
+  const CliArgs args(argc, argv);
+  if (!args.unknown_flags({}).empty() || !args.positional().empty()) {
+    std::fprintf(stderr, "usage: paper_example  (no arguments)\n");
+    return 1;
+  }
+
   const ResponseMatrix rm = example_matrix();
 
   std::printf("Table 1: full fault dictionary\n        t0   t1\n");

@@ -6,6 +6,8 @@
 //
 //   $ ./probe_session [--circuit=s298] [--seed=1]
 #include <cstdio>
+#include <exception>
+#include <stdexcept>
 
 #include "bmcirc/registry.h"
 #include "core/baseline.h"
@@ -23,10 +25,35 @@
 
 using namespace sddict;
 
+namespace {
+
+int usage() {
+  std::fprintf(stderr, "usage: probe_session [--circuit=s298] [--seed=N]\n");
+  return 1;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   CliArgs args(argc, argv);
-  const std::string circuit = args.get("circuit", "s298");
-  const std::uint64_t seed = args.get_int("seed", 1);
+  const auto unknown = args.unknown_flags({"circuit", "seed"});
+  if (!unknown.empty()) {
+    for (const auto& f : unknown)
+      std::fprintf(stderr, "unknown flag --%s\n", f.c_str());
+    return usage();
+  }
+  std::string circuit;
+  std::uint64_t seed = 0;
+  try {
+    circuit = args.get("circuit", "s298");
+    if (!is_known_benchmark(circuit))
+      throw std::invalid_argument("flag --circuit: unknown benchmark '" +
+                                  circuit + "'");
+    seed = args.get_int("seed", 1, 0);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return usage();
+  }
 
   Netlist nl = load_benchmark(circuit);
   if (nl.has_dffs()) nl = full_scan(nl);

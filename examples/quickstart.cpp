@@ -14,10 +14,19 @@
 #include "fault/collapse.h"
 #include "netlist/stats.h"
 #include "tgen/ndetect.h"
+#include "util/cli.h"
 
 using namespace sddict;
 
-int main() {
+int main(int argc, char** argv) {
+  // quickstart takes no flags; reject anything that looks like one so a
+  // typo ("quickstart --seed=3") fails loudly instead of being ignored.
+  const CliArgs args(argc, argv);
+  if (!args.unknown_flags({}).empty() || !args.positional().empty()) {
+    std::fprintf(stderr, "usage: quickstart  (no arguments)\n");
+    return 1;
+  }
+
   // 1. A circuit. (Load your own with parse_bench_file("my.bench") and, if
   //    it is sequential, full_scan() it first.)
   const Netlist nl = make_c17();

@@ -1,0 +1,437 @@
+#include "diag/engine.h"
+
+#include <algorithm>
+#include <bit>
+#include <functional>
+#include <utility>
+
+#include "util/bitvec.h"
+
+namespace sddict {
+
+const char* diagnosis_outcome_name(DiagnosisOutcome o) {
+  switch (o) {
+    case DiagnosisOutcome::kExactMatch: return "exact-match";
+    case DiagnosisOutcome::kTolerantMatch: return "tolerant-match";
+    case DiagnosisOutcome::kPassFailProjection: return "pass/fail-projection";
+    case DiagnosisOutcome::kUnmodeledDefect: return "unmodeled-defect";
+  }
+  return "?";
+}
+
+std::size_t true_fault_rank(const std::vector<DiagnosisMatch>& matches,
+                            FaultId fault) {
+  for (std::size_t i = 0; i < matches.size(); ++i)
+    if (matches[i].fault == fault) return i + 1;
+  return 0;
+}
+
+namespace {
+
+// Faults scored between budget polls in the ranking loops.
+constexpr FaultId kPollStride = 256;
+
+// popcount((row ^ obs) & care): mismatches over the cared positions only.
+std::uint32_t masked_mismatches(const BitVec& row, const BitVec& obs,
+                                const BitVec& care) {
+  const auto& rw = row.words();
+  const auto& ow = obs.words();
+  const auto& cw = care.words();
+  std::uint32_t n = 0;
+  for (std::size_t i = 0; i < rw.size(); ++i)
+    n += static_cast<std::uint32_t>(std::popcount((rw[i] ^ ow[i]) & cw[i]));
+  return n;
+}
+
+// Tri-state pass/fail projection: 1 fail, 0 pass, -1 not derivable (for a
+// row bit) or don't-care (for an observation).
+struct PfProjection {
+  std::vector<std::int8_t> obs;                  // per test
+  std::function<int(FaultId, std::size_t)> bit;  // per (fault, test)
+  std::size_t comparable_tests = 0;              // tests with obs[t] >= 0
+};
+
+// Everything the staged chain needs to know about the observation before
+// any fault is scored.
+struct ObservationSummary {
+  std::size_t num_faults = 0;
+  std::size_t effective_tests = 0;
+  std::size_t dont_care_tests = 0;
+  std::size_t unknown_tests = 0;
+};
+
+// Shared first pass over the qualified observation: counts the qualifier
+// classes and computes the pass/fail projection of the observation (the
+// fault-free response is id 0; kUnknownResponse differs from it, so an
+// unknown response still carries its one honest bit: the test failed).
+std::vector<std::int8_t> project_observation(
+    const std::vector<Observed>& observed, ObservationSummary* sum) {
+  std::vector<std::int8_t> pf(observed.size(), -1);
+  for (std::size_t t = 0; t < observed.size(); ++t) {
+    const Observed& o = observed[t];
+    if (o.dont_care()) {
+      ++sum->dont_care_tests;
+      continue;
+    }
+    if (o.value == kUnknownResponse) ++sum->unknown_tests;
+    pf[t] = o.value == 0 ? 0 : 1;
+  }
+  sum->effective_tests = observed.size() - sum->dont_care_tests;
+  return pf;
+}
+
+struct StageRank {
+  std::vector<DiagnosisMatch> matches;  // sorted best-first, truncated
+  std::uint32_t best = 0;
+  std::uint32_t margin = 0;
+  bool complete = true;
+};
+
+// Scores every fault (budget permitting), sorts, and truncates to
+// max(max_results, faults within tolerance) — the tolerance-e guarantee.
+// `tiebreak` (optional) orders faults whose mismatch counts tie before the
+// fault-id fallback; it never reorders differently-scored candidates, so
+// reported mismatch counts are unaffected.
+template <typename MismFn>
+StageRank rank_stage(std::size_t num_faults, std::size_t effective,
+                     const EngineOptions& opt, BudgetScope& scope,
+                     MismFn&& mism,
+                     const std::function<std::uint32_t(FaultId)>& tiebreak =
+                         nullptr) {
+  StageRank r;
+  std::vector<DiagnosisMatch> all;
+  all.reserve(num_faults);
+  for (FaultId f = 0; f < num_faults; ++f) {
+    if (f % kPollStride == 0 && scope.stop()) {
+      r.complete = false;
+      break;
+    }
+    all.push_back(
+        {f, mism(f), 0, static_cast<std::uint32_t>(effective)});
+  }
+  if (tiebreak) {
+    std::vector<std::uint32_t> sec(all.size());
+    for (std::size_t i = 0; i < all.size(); ++i)
+      sec[i] = tiebreak(all[i].fault);
+    std::sort(all.begin(), all.end(),
+              [&sec](const DiagnosisMatch& a, const DiagnosisMatch& b) {
+                if (a.mismatches != b.mismatches)
+                  return a.mismatches < b.mismatches;
+                if (sec[a.fault] != sec[b.fault])
+                  return sec[a.fault] < sec[b.fault];
+                return a.fault < b.fault;
+              });
+  } else {
+    all = rank_matches(std::move(all), all.size());
+  }
+  if (!all.empty()) {
+    r.best = all.front().mismatches;
+    if (all.size() >= 2) r.margin = all[1].mismatches - r.best;
+    std::size_t within = 0;
+    while (within < all.size() && all[within].mismatches <= opt.tolerance)
+      ++within;
+    const std::size_t keep = std::max(opt.max_results, within);
+    if (all.size() > keep) all.resize(keep);
+    all.front().margin = r.margin;
+  }
+  r.matches = std::move(all);
+  return r;
+}
+
+// The staged fallback chain shared by all dictionary types.
+EngineDiagnosis run_chain(const ObservationSummary& sum,
+                          const std::function<std::uint32_t(FaultId)>& native,
+                          const PfProjection& pf, const EngineOptions& opt) {
+  BudgetScope scope(opt.budget);
+  EngineDiagnosis out;
+  out.dont_care_tests = sum.dont_care_tests;
+  out.unknown_tests = sum.unknown_tests;
+  out.effective_tests = sum.effective_tests;
+
+  // Pass/fail-projection mismatch count of one fault, reused by the
+  // native-stage tiebreak and by stage 3.
+  const auto proj_mism = [&pf](FaultId f) {
+    std::uint32_t mism = 0;
+    for (std::size_t t = 0; t < pf.obs.size(); ++t) {
+      const int o = pf.obs[t];
+      if (o < 0) continue;
+      const int b = pf.bit(f, t);
+      if (b >= 0 && b != o) ++mism;
+    }
+    return mism;
+  };
+
+  // Stages 1+2: exact / tolerant nearest match in the dictionary's native
+  // space. An observation containing unmodeled responses can never produce
+  // a confident native verdict, no matter how well the bits happen to line
+  // up — it falls through to the projection stages.
+  //
+  // When the observation is visibly degraded (dropped/unstable records or
+  // unmodeled responses), native ties are broken by pass/fail-projection
+  // agreement: the projection is a coarser view, but its bits fail
+  // independently of the native bits, so consulting it separates candidates
+  // the noisy native signature can no longer tell apart. A clean
+  // observation skips this and reproduces the dictionary's classical
+  // ranking exactly.
+  const bool degraded = sum.dont_care_tests > 0 || sum.unknown_tests > 0;
+  StageRank nat = rank_stage(sum.num_faults, sum.effective_tests, opt, scope,
+                             [&](FaultId f) { return native(f); },
+                             degraded ? std::function<std::uint32_t(FaultId)>(
+                                            proj_mism)
+                                      : nullptr);
+  if (!nat.matches.empty() && sum.unknown_tests == 0 &&
+      nat.best <= opt.tolerance) {
+    out.outcome = nat.best == 0 ? DiagnosisOutcome::kExactMatch
+                                : DiagnosisOutcome::kTolerantMatch;
+    out.matches = std::move(nat.matches);
+    out.best_mismatches = nat.best;
+    out.margin = nat.margin;
+    out.completed = nat.complete;
+    out.stop_reason = nat.complete ? StopReason::kCompleted : scope.reason();
+    return out;
+  }
+
+  // Stage 3: pass/fail projection — compare only the tests where both the
+  // observation and the dictionary row project onto pass/fail.
+  StageRank proj = rank_stage(sum.num_faults, pf.comparable_tests, opt, scope,
+                              proj_mism);
+  out.completed = nat.complete && proj.complete;
+  out.stop_reason = out.completed ? StopReason::kCompleted : scope.reason();
+
+  if (proj.matches.empty() && !nat.matches.empty()) {
+    // Budget expired before the projection scored anything; the native
+    // best-so-far prefix is the strongest remaining evidence.
+    out.outcome = DiagnosisOutcome::kUnmodeledDefect;
+    out.matches = std::move(nat.matches);
+    out.best_mismatches = nat.best;
+    out.margin = nat.margin;
+    return out;
+  }
+
+  out.matches = std::move(proj.matches);
+  out.best_mismatches = proj.best;
+  out.margin = proj.margin;
+  out.effective_tests = pf.comparable_tests;
+  if (!out.matches.empty() && proj.best <= opt.tolerance) {
+    out.outcome = DiagnosisOutcome::kPassFailProjection;
+    return out;
+  }
+
+  // Stage 4: unmodeled defect. Build a best-effort multiple-fault cover of
+  // the observed failing tests (greedy set cover over detection sets).
+  out.outcome = DiagnosisOutcome::kUnmodeledDefect;
+  std::vector<std::size_t> failing;
+  for (std::size_t t = 0; t < pf.obs.size(); ++t)
+    if (pf.obs[t] == 1) failing.push_back(t);
+  std::vector<bool> covered(failing.size(), false);
+  std::size_t uncovered = failing.size();
+  while (uncovered > 0 && out.cover.size() < opt.max_cover) {
+    if (scope.stop()) {
+      out.completed = false;
+      out.stop_reason = scope.reason();
+      break;
+    }
+    FaultId best_f = kNoFault;
+    std::size_t best_gain = 0;
+    for (FaultId f = 0; f < sum.num_faults; ++f) {
+      std::size_t gain = 0;
+      for (std::size_t i = 0; i < failing.size(); ++i)
+        if (!covered[i] && pf.bit(f, failing[i]) == 1) ++gain;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_f = f;
+      }
+    }
+    if (best_gain == 0) break;
+    out.cover.push_back(best_f);
+    for (std::size_t i = 0; i < failing.size(); ++i)
+      if (!covered[i] && pf.bit(best_f, failing[i]) == 1) {
+        covered[i] = true;
+        --uncovered;
+      }
+  }
+  out.uncovered_failures = uncovered;
+  return out;
+}
+
+}  // namespace
+
+EngineDiagnosis diagnose_observed(const PassFailDictionary& dict,
+                                  const std::vector<Observed>& observed,
+                                  const EngineOptions& options) {
+  check_observation_size("diagnose_observed(pass/fail): observed tests",
+                         dict.num_tests(), observed.size());
+  ObservationSummary sum;
+  sum.num_faults = dict.num_faults();
+  PfProjection pf;
+  pf.obs = project_observation(observed, &sum);
+  pf.comparable_tests = sum.effective_tests;
+  pf.bit = [&dict](FaultId f, std::size_t t) { return dict.bit(f, t) ? 1 : 0; };
+
+  BitVec bits(dict.num_tests());
+  BitVec care(dict.num_tests());
+  for (std::size_t t = 0; t < observed.size(); ++t) {
+    if (observed[t].dont_care()) continue;
+    care.set(t, true);
+    bits.set(t, observed[t].value != 0);  // id 0 == fault-free == pass
+  }
+  return run_chain(
+      sum,
+      [&](FaultId f) { return masked_mismatches(dict.row(f), bits, care); },
+      pf, options);
+}
+
+EngineDiagnosis diagnose_observed(const SameDifferentDictionary& dict,
+                                  const std::vector<Observed>& observed,
+                                  const EngineOptions& options) {
+  check_observation_size("diagnose_observed(same/different): observed tests",
+                         dict.num_tests(), observed.size());
+  ObservationSummary sum;
+  sum.num_faults = dict.num_faults();
+  PfProjection pf;
+  pf.obs = project_observation(observed, &sum);
+  pf.comparable_tests = sum.effective_tests;
+  pf.bit = [&dict](FaultId f, std::size_t t) {
+    // Baseline id 0 is the fault-free response: the bit IS the pass/fail
+    // bit. Against a non-fault-free baseline, bit 0 (matches the baseline)
+    // implies "differs from fault-free" — a fail — while bit 1 says
+    // nothing about pass/fail.
+    if (dict.baselines()[t] == 0) return dict.bit(f, t) ? 1 : 0;
+    return dict.bit(f, t) ? -1 : 1;
+  };
+
+  const auto& bl = dict.baselines();
+  BitVec bits(dict.num_tests());
+  BitVec care(dict.num_tests());
+  for (std::size_t t = 0; t < observed.size(); ++t) {
+    if (observed[t].dont_care()) continue;
+    care.set(t, true);
+    bits.set(t, observed[t].value != bl[t]);
+  }
+  return run_chain(
+      sum,
+      [&](FaultId f) { return masked_mismatches(dict.row(f), bits, care); },
+      pf, options);
+}
+
+EngineDiagnosis diagnose_observed(const MultiBaselineDictionary& dict,
+                                  const std::vector<Observed>& observed,
+                                  const EngineOptions& options) {
+  check_observation_size("diagnose_observed(multi-baseline): observed tests",
+                         dict.num_tests(), observed.size());
+  ObservationSummary sum;
+  sum.num_faults = dict.num_faults();
+  const std::size_t rank = dict.baselines_per_test();
+
+  // Slot of the fault-free response among each test's baselines, -1 if
+  // absent (then a matched non-fault-free baseline still implies "fail").
+  std::vector<int> ff_slot(dict.num_tests(), -1);
+  for (std::size_t t = 0; t < dict.num_tests(); ++t) {
+    const auto& bs = dict.baselines()[t];
+    for (std::size_t l = 0; l < bs.size(); ++l)
+      if (bs[l] == 0) ff_slot[t] = static_cast<int>(l);
+  }
+
+  PfProjection pf;
+  pf.obs = project_observation(observed, &sum);
+  pf.comparable_tests = sum.effective_tests;
+  pf.bit = [&dict, &ff_slot](FaultId f, std::size_t t) {
+    if (ff_slot[t] >= 0)
+      return dict.bit(f, t, static_cast<std::size_t>(ff_slot[t])) ? 1 : 0;
+    const auto& bs = dict.baselines()[t];
+    for (std::size_t l = 0; l < bs.size(); ++l)
+      if (!dict.bit(f, t, l)) return 1;
+    return -1;
+  };
+
+  BitVec bits(dict.num_tests() * rank);
+  BitVec care(dict.num_tests() * rank);
+  for (std::size_t t = 0; t < observed.size(); ++t) {
+    if (observed[t].dont_care()) continue;
+    const auto& bs = dict.baselines()[t];
+    for (std::size_t l = 0; l < rank; ++l) {
+      care.set(t * rank + l, true);
+      if (l >= bs.size() || observed[t].value != bs[l])
+        bits.set(t * rank + l, true);
+    }
+  }
+  return run_chain(
+      sum,
+      [&](FaultId f) { return masked_mismatches(dict.row(f), bits, care); },
+      pf, options);
+}
+
+EngineDiagnosis diagnose_observed(const FirstFailDictionary& dict,
+                                  const ResponseMatrix& rm,
+                                  const std::vector<Observed>& observed,
+                                  const EngineOptions& options) {
+  check_observation_size("diagnose_observed(first-fail): observed tests",
+                         dict.num_tests(), observed.size());
+  check_observation_size("diagnose_observed(first-fail): matrix tests",
+                         dict.num_tests(), rm.num_tests());
+  ObservationSummary sum;
+  sum.num_faults = dict.num_faults();
+  PfProjection pf;
+  pf.obs = project_observation(observed, &sum);
+  pf.comparable_tests = sum.effective_tests;
+  pf.bit = [&dict](FaultId f, std::size_t t) {
+    return dict.entry(f, t) != 0 ? 1 : 0;
+  };
+
+  // Cared tests as (test, first-fail symbol) pairs; unknown or untranslat-
+  // able responses get symbol m+1, which no dictionary entry equals.
+  const auto unknown_sym = static_cast<std::uint32_t>(dict.num_outputs() + 1);
+  std::vector<std::pair<std::size_t, std::uint32_t>> cared;
+  cared.reserve(observed.size());
+  for (std::size_t t = 0; t < observed.size(); ++t) {
+    if (observed[t].dont_care()) continue;
+    const ResponseId v = observed[t].value;
+    std::uint32_t sym = 0;
+    if (v != 0) {
+      sym = (v == kUnknownResponse || v >= rm.num_distinct(t))
+                ? unknown_sym
+                : 1 + rm.diff_outputs(t, v).front();
+    }
+    cared.emplace_back(t, sym);
+  }
+  return run_chain(
+      sum,
+      [&](FaultId f) {
+        std::uint32_t mism = 0;
+        for (const auto& [t, sym] : cared)
+          if (dict.entry(f, t) != sym) ++mism;
+        return mism;
+      },
+      pf, options);
+}
+
+EngineDiagnosis diagnose_observed(const FullDictionary& dict,
+                                  const std::vector<Observed>& observed,
+                                  const EngineOptions& options) {
+  check_observation_size("diagnose_observed(full): observed tests",
+                         dict.num_tests(), observed.size());
+  ObservationSummary sum;
+  sum.num_faults = dict.num_faults();
+  PfProjection pf;
+  pf.obs = project_observation(observed, &sum);
+  pf.comparable_tests = sum.effective_tests;
+  pf.bit = [&dict](FaultId f, std::size_t t) {
+    return dict.entry(f, t) != 0 ? 1 : 0;
+  };
+
+  std::vector<std::pair<std::size_t, ResponseId>> cared;
+  cared.reserve(observed.size());
+  for (std::size_t t = 0; t < observed.size(); ++t)
+    if (!observed[t].dont_care()) cared.emplace_back(t, observed[t].value);
+  return run_chain(
+      sum,
+      [&](FaultId f) {
+        std::uint32_t mism = 0;
+        for (const auto& [t, v] : cared)
+          if (v == kUnknownResponse || dict.entry(f, t) != v) ++mism;
+        return mism;
+      },
+      pf, options);
+}
+
+}  // namespace sddict

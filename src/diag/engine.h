@@ -1,0 +1,115 @@
+// Noise-tolerant diagnosis engine: one lookup path for every dictionary
+// type that degrades gracefully under imperfect tester data instead of
+// silently misranking.
+//
+//  * Qualified observations (sim/response.h): tests recorded as kMissing or
+//    kUnstable are don't-cares — excluded from mismatch counting — rather
+//    than counted as mismatches against every fault.
+//  * Tolerance-e nearest match: on a run that completes within budget,
+//    every fault whose dictionary signature is within Hamming distance e of
+//    the observed signature (over the cared tests) is guaranteed a slot in
+//    the returned candidate set, even when that exceeds max_results.
+//  * Confidence scoring: the margin between the best match and the
+//    runner-up and the number of effectively compared tests are stamped on
+//    the result and its top DiagnosisMatch.
+//  * Staged fallback chain, so diagnosis always returns a typed, honest
+//    answer: exact match -> tolerant match -> pass/fail-projection match ->
+//    unmodeled-defect verdict with a best-effort multiple-fault cover.
+//    Observations containing kUnknownResponse (a response no modeled fault
+//    produces) can never yield a "confident" exact/tolerant verdict; they
+//    fall through to the projection stages, where an unknown response still
+//    carries its one honest bit of information: the test failed.
+//  * Budget-aware: ranking loops poll a RunBudget and return the
+//    best-so-far prefix with completed == false on expiry, never throwing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dict/dictionary.h"
+#include "dict/firstfail_dict.h"
+#include "dict/full_dict.h"
+#include "dict/multibaseline_dict.h"
+#include "dict/passfail_dict.h"
+#include "dict/samediff_dict.h"
+#include "sim/response.h"
+#include "util/budget.h"
+
+namespace sddict {
+
+struct EngineOptions {
+  std::size_t max_results = 10;
+  // Tolerance e of the nearest-match stage. The tolerant (and projection)
+  // stages accept when the best candidate mismatches at most e cared tests.
+  std::uint32_t tolerance = 0;
+  // Cap on the multiple-fault cover built for an unmodeled-defect verdict.
+  std::size_t max_cover = 8;
+  // Wall-clock / cancellation budget; anytime, never throws on expiry.
+  RunBudget budget{};
+};
+
+// How far down the fallback chain the engine had to go. The order is the
+// chain order, so "later" means "weaker evidence".
+enum class DiagnosisOutcome : std::uint8_t {
+  kExactMatch = 0,      // a fault matches every cared test
+  kTolerantMatch,       // best fault within tolerance of the observation
+  kPassFailProjection,  // only the pass/fail projection matched (within
+                        // tolerance); per-response detail did not
+  kUnmodeledDefect,     // nothing in the single-fault model explains the
+                        // observation; see `cover`
+};
+
+const char* diagnosis_outcome_name(DiagnosisOutcome o);
+
+struct EngineDiagnosis {
+  DiagnosisOutcome outcome = DiagnosisOutcome::kUnmodeledDefect;
+  // Best-first candidates of the stage named by `outcome` (exact/tolerant:
+  // native dictionary space; projection/unmodeled: pass/fail projection).
+  // Holds at least every fault within `tolerance`, at most
+  // max(max_results, that count) entries — on completed runs.
+  std::vector<DiagnosisMatch> matches;
+  std::uint32_t best_mismatches = 0;
+  // Runner-up's mismatch count minus the best's; 0 when the best is tied
+  // or there is no runner-up. Also stamped on matches.front().
+  std::uint32_t margin = 0;
+  // Tests actually compared in the stage that produced `matches`.
+  std::size_t effective_tests = 0;
+  std::size_t dont_care_tests = 0;  // kMissing/kUnstable observations
+  std::size_t unknown_tests = 0;    // kUnknownResponse observations
+  // Unmodeled-defect fallback: greedy multiple-fault cover of the observed
+  // failing tests (faults whose detection sets jointly explain the fails),
+  // and the failing tests no modeled fault detects.
+  std::vector<FaultId> cover;
+  std::size_t uncovered_failures = 0;
+  bool completed = true;
+  StopReason stop_reason = StopReason::kCompleted;
+};
+
+// One engine entry point per dictionary type. With tolerance 0, an
+// all-kValue observation and no budget, the ranking equals the
+// dictionary's own diagnose() (same order, same mismatch counts).
+EngineDiagnosis diagnose_observed(const PassFailDictionary& dict,
+                                  const std::vector<Observed>& observed,
+                                  const EngineOptions& options = {});
+EngineDiagnosis diagnose_observed(const SameDifferentDictionary& dict,
+                                  const std::vector<Observed>& observed,
+                                  const EngineOptions& options = {});
+EngineDiagnosis diagnose_observed(const MultiBaselineDictionary& dict,
+                                  const std::vector<Observed>& observed,
+                                  const EngineOptions& options = {});
+// The first-fail dictionary needs the response matrix it was built from to
+// translate response ids into first-failing-output symbols.
+EngineDiagnosis diagnose_observed(const FirstFailDictionary& dict,
+                                  const ResponseMatrix& rm,
+                                  const std::vector<Observed>& observed,
+                                  const EngineOptions& options = {});
+EngineDiagnosis diagnose_observed(const FullDictionary& dict,
+                                  const std::vector<Observed>& observed,
+                                  const EngineOptions& options = {});
+
+// 1-based rank of `fault` in a best-first candidate list; 0 when absent.
+std::size_t true_fault_rank(const std::vector<DiagnosisMatch>& matches,
+                            FaultId fault);
+
+}  // namespace sddict

@@ -48,6 +48,50 @@ DiagnosisComparison compare_dictionaries(const FullDictionary& full,
   return cmp;
 }
 
+RobustDiagnosisComparison compare_dictionaries_robust(
+    const FullDictionary& full, const PassFailDictionary& pf,
+    const SameDifferentDictionary& sd, const std::vector<Observed>& observed,
+    const EngineOptions& options) {
+  RobustDiagnosisComparison cmp;
+  cmp.full = diagnose_observed(full, observed, options);
+  cmp.pass_fail = diagnose_observed(pf, observed, options);
+  cmp.same_different = diagnose_observed(sd, observed, options);
+  return cmp;
+}
+
+std::string format_robust_diagnosis(const Netlist& nl, const FaultList& faults,
+                                    const RobustDiagnosisComparison& cmp) {
+  std::ostringstream out;
+  const DictionaryKind kinds[] = {DictionaryKind::kFull,
+                                  DictionaryKind::kPassFail,
+                                  DictionaryKind::kSameDifferent};
+  const EngineDiagnosis* diags[] = {&cmp.full, &cmp.pass_fail,
+                                    &cmp.same_different};
+  for (std::size_t i = 0; i < 3; ++i) {
+    const EngineDiagnosis& d = *diags[i];
+    out << dictionary_kind_name(kinds[i])
+        << " dictionary: " << diagnosis_outcome_name(d.outcome) << ", best "
+        << d.best_mismatches << " mismatch(es), margin " << d.margin << " over "
+        << d.effective_tests << " effective test(s)";
+    if (d.dont_care_tests != 0)
+      out << ", " << d.dont_care_tests << " don't-care";
+    if (d.unknown_tests != 0) out << ", " << d.unknown_tests << " unknown";
+    if (!d.completed) out << " [budget: " << stop_reason_name(d.stop_reason)
+                          << "]";
+    out << "\n";
+    for (const auto& m : d.matches)
+      out << "    " << fault_name(nl, faults[m.fault]) << "  (" << m.mismatches
+          << " mismatches)\n";
+    if (d.outcome == DiagnosisOutcome::kUnmodeledDefect && !d.cover.empty()) {
+      out << "    cover:";
+      for (const FaultId f : d.cover)
+        out << " " << fault_name(nl, faults[f]);
+      out << "  (" << d.uncovered_failures << " failing test(s) uncovered)\n";
+    }
+  }
+  return out.str();
+}
+
 std::string format_diagnosis(const Netlist& nl, const FaultList& faults,
                              const DiagnosisComparison& cmp) {
   std::ostringstream out;

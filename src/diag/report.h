@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "diag/engine.h"
 #include "dict/full_dict.h"
 #include "dict/passfail_dict.h"
 #include "dict/samediff_dict.h"
@@ -39,5 +40,25 @@ DiagnosisComparison compare_dictionaries(const FullDictionary& full,
 // Human-readable report; `nl`/`faults` provide fault names.
 std::string format_diagnosis(const Netlist& nl, const FaultList& faults,
                              const DiagnosisComparison& cmp);
+
+// Noise-tolerant variant of the side-by-side comparison: routes a
+// *qualified* observation (possibly holding kMissing / kUnstable /
+// kUnknownResponse entries) through the diagnosis engine for all three
+// dictionary types, so each column reports the engine's staged verdict.
+struct RobustDiagnosisComparison {
+  EngineDiagnosis full;
+  EngineDiagnosis pass_fail;
+  EngineDiagnosis same_different;
+};
+
+RobustDiagnosisComparison compare_dictionaries_robust(
+    const FullDictionary& full, const PassFailDictionary& pf,
+    const SameDifferentDictionary& sd, const std::vector<Observed>& observed,
+    const EngineOptions& options = {});
+
+// Human-readable report of a robust comparison, including the outcome,
+// confidence (margin / effective tests), and any multiple-fault cover.
+std::string format_robust_diagnosis(const Netlist& nl, const FaultList& faults,
+                                    const RobustDiagnosisComparison& cmp);
 
 }  // namespace sddict

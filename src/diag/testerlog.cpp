@@ -1,0 +1,198 @@
+#include "diag/testerlog.h"
+
+#include <cstdint>
+#include <istream>
+#include <limits>
+#include <ostream>
+
+#include "dict/full_dict.h"  // kUnknownResponse
+
+namespace sddict {
+
+namespace {
+
+// Absurd test counts in a corrupted header must not translate into an
+// absurd allocation.
+constexpr std::uint64_t kMaxTests = std::uint64_t{1} << 28;
+
+std::string at(std::size_t line, std::size_t column, const std::string& reason) {
+  return "testerlog:" + std::to_string(line) + ":" + std::to_string(column) +
+         ": " + reason;
+}
+
+struct Token {
+  std::string text;
+  std::size_t col = 0;  // 1-based
+};
+
+std::vector<Token> split(const std::string& line) {
+  std::vector<Token> toks;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    if (line[i] == ' ' || line[i] == '\t') {
+      ++i;
+      continue;
+    }
+    const std::size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    toks.push_back({line.substr(start, i - start), start + 1});
+  }
+  return toks;
+}
+
+bool parse_u64(const std::string& s, std::uint64_t* out) {
+  if (s.empty()) return false;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    const std::uint64_t d = static_cast<std::uint64_t>(c - '0');
+    if (v > (std::numeric_limits<std::uint64_t>::max() - d) / 10) return false;
+    v = v * 10 + d;
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+TesterLogError::TesterLogError(std::size_t line, std::size_t column,
+                               const std::string& reason)
+    : std::runtime_error(at(line, column, reason)),
+      line_(line),
+      column_(column) {}
+
+TesterLog read_testerlog(std::istream& in, const TesterLogOptions& options) {
+  TesterLog log;
+  std::string line;
+  std::size_t lineno = 0;
+  bool saw_header = false;
+  bool saw_tests = false;
+  bool saw_end = false;
+  std::size_t num_tests = 0;
+  std::vector<char> seen;
+
+  // Record-level defects are recoverable; structural defects (header and
+  // `tests` line — without them there is no observation vector to salvage
+  // into) throw in both modes.
+  const auto fail_or_drop = [&](std::size_t col, const std::string& reason) {
+    if (!options.recover) throw TesterLogError(lineno, col, reason);
+    log.dropped.push_back({lineno, col, line, reason});
+  };
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    while (!line.empty() && (line.back() == '\r' || line.back() == '\n'))
+      line.pop_back();
+    if (!saw_header) {
+      if (line != "sddict testerlog v1")
+        throw TesterLogError(lineno, 1,
+                             "expected header 'sddict testerlog v1'");
+      saw_header = true;
+      continue;
+    }
+    const std::vector<Token> toks = split(line);
+    if (toks.empty() || toks[0].text[0] == '#') continue;
+    if (!saw_tests) {
+      if (toks[0].text != "tests")
+        throw TesterLogError(lineno, toks[0].col, "expected 'tests <count>'");
+      std::uint64_t k = 0;
+      if (toks.size() != 2 || !parse_u64(toks[1].text, &k))
+        throw TesterLogError(lineno, toks.size() > 1 ? toks[1].col : toks[0].col,
+                             "expected 'tests <count>'");
+      if (k > kMaxTests)
+        throw TesterLogError(lineno, toks[1].col, "test count too large");
+      num_tests = static_cast<std::size_t>(k);
+      log.observations.assign(num_tests, Observed::missing());
+      seen.assign(num_tests, 0);
+      saw_tests = true;
+      continue;
+    }
+    if (toks[0].text == "end") {
+      if (toks.size() != 1)
+        fail_or_drop(toks[1].col, "trailing tokens after 'end'");
+      saw_end = true;
+      break;
+    }
+    if (toks[0].text != "t") {
+      fail_or_drop(toks[0].col,
+                   "unknown record type '" + toks[0].text + "'");
+      continue;
+    }
+    if (toks.size() != 3) {
+      fail_or_drop(toks.back().col + toks.back().text.size(),
+                   "expected 't <index> <value>'");
+      continue;
+    }
+    std::uint64_t idx = 0;
+    if (!parse_u64(toks[1].text, &idx)) {
+      fail_or_drop(toks[1].col, "bad test index '" + toks[1].text + "'");
+      continue;
+    }
+    if (idx >= num_tests) {
+      fail_or_drop(toks[1].col, "test index " + toks[1].text +
+                                    " out of range (tests " +
+                                    std::to_string(num_tests) + ")");
+      continue;
+    }
+    if (seen[idx]) {  // keep-first: the earlier record stands
+      fail_or_drop(toks[1].col,
+                   "duplicate record for test " + toks[1].text);
+      continue;
+    }
+    Observed obs;
+    const std::string& val = toks[2].text;
+    std::uint64_t v = 0;
+    if (val == "missing") {
+      obs = Observed::missing();
+    } else if (val == "unstable") {
+      obs = Observed::unstable();
+    } else if (val == "unknown") {
+      obs = Observed::of(kUnknownResponse);
+    } else if (parse_u64(val, &v) &&
+               v <= std::numeric_limits<std::uint32_t>::max()) {
+      obs = Observed::of(static_cast<ResponseId>(v));
+    } else {
+      fail_or_drop(toks[2].col, "bad response value '" + val + "'");
+      continue;
+    }
+    seen[idx] = 1;
+    log.observations[static_cast<std::size_t>(idx)] = obs;
+  }
+
+  if (!saw_header)
+    throw TesterLogError(lineno == 0 ? 1 : lineno, 1,
+                         "empty log: missing header");
+  if (!saw_tests)
+    throw TesterLogError(lineno + 1, 1, "missing 'tests <count>' line");
+  if (!saw_end) {
+    if (!options.recover)
+      throw TesterLogError(lineno + 1, 1, "missing 'end' trailer");
+    log.truncated = true;
+  }
+  return log;
+}
+
+void write_testerlog(std::ostream& out,
+                     const std::vector<Observed>& observed) {
+  out << "sddict testerlog v1\n";
+  out << "tests " << observed.size() << "\n";
+  for (std::size_t t = 0; t < observed.size(); ++t) {
+    const Observed& o = observed[t];
+    switch (o.status) {
+      case ObservedStatus::kMissing:
+        break;  // absence means missing
+      case ObservedStatus::kUnstable:
+        out << "t " << t << " unstable\n";
+        break;
+      case ObservedStatus::kValue:
+        if (o.value == kUnknownResponse)
+          out << "t " << t << " unknown\n";
+        else
+          out << "t " << t << " " << o.value << "\n";
+        break;
+    }
+  }
+  out << "end\n";
+}
+
+}  // namespace sddict

@@ -1,0 +1,71 @@
+// Robust reader/writer for tester datalogs: the qualified per-test
+// observation vector (sim/response.h) in a line-oriented text format.
+//
+//   sddict testerlog v1
+//   tests <k>
+//   # comment lines and blank lines are allowed anywhere
+//   t <index> <response-id | missing | unstable | unknown>
+//   end
+//
+// Tests with no record default to kMissing (a dropped datalog record is
+// the common tester failure, and a don't-care is the honest reading of
+// it). The reader never crashes on malformed input: in strict mode every
+// defect raises a TesterLogError carrying the 1-based line and column; in
+// recovery mode malformed or duplicate records are set aside as
+// DroppedRecords (first record wins on duplicates), a missing `end`
+// trailer marks the log truncated, and everything parseable is kept.
+// Lines are CRLF-tolerant.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/response.h"
+
+namespace sddict {
+
+// Parse error with tester-datalog coordinates; what() reads
+// "testerlog:LINE:COL: reason".
+class TesterLogError : public std::runtime_error {
+ public:
+  TesterLogError(std::size_t line, std::size_t column,
+                 const std::string& reason);
+
+  std::size_t line() const { return line_; }
+  std::size_t column() const { return column_; }
+
+ private:
+  std::size_t line_ = 0;
+  std::size_t column_ = 0;
+};
+
+// One record set aside (not applied) by the recovery-mode reader.
+struct DroppedRecord {
+  std::size_t line = 0;
+  std::size_t column = 0;
+  std::string text;    // the offending line, CR/LF stripped
+  std::string reason;  // same wording a strict-mode TesterLogError carries
+};
+
+struct TesterLog {
+  std::vector<Observed> observations;
+  std::vector<DroppedRecord> dropped;  // recovery mode only
+  bool truncated = false;              // `end` trailer never seen
+};
+
+struct TesterLogOptions {
+  // false: throw TesterLogError on the first defect. true: salvage — keep
+  // every well-formed record, collect the rest as DroppedRecords.
+  bool recover = false;
+};
+
+TesterLog read_testerlog(std::istream& in, const TesterLogOptions& options = {});
+
+// Writes a log read_testerlog round-trips. kMissing observations are
+// omitted (absence already means missing).
+void write_testerlog(std::ostream& out, const std::vector<Observed>& observed);
+
+}  // namespace sddict

@@ -1,5 +1,9 @@
 #include "dict/dictionary.h"
 
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
 namespace sddict {
 
 const char* dictionary_kind_name(DictionaryKind k) {
@@ -25,6 +29,24 @@ std::uint64_t hybrid_same_different_bits(std::uint64_t num_tests,
                                          std::uint64_t num_outputs,
                                          std::uint64_t stored_baselines) {
   return num_tests * num_faults + stored_baselines * num_outputs + num_tests;
+}
+
+std::vector<DiagnosisMatch> rank_matches(std::vector<DiagnosisMatch> all,
+                                         std::size_t max_results) {
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    return a.mismatches != b.mismatches ? a.mismatches < b.mismatches
+                                        : a.fault < b.fault;
+  });
+  if (all.size() > max_results) all.resize(max_results);
+  return all;
+}
+
+void check_observation_size(const char* what, std::size_t expected,
+                            std::size_t actual) {
+  if (actual == expected) return;
+  throw std::invalid_argument(std::string(what) + ": expected " +
+                              std::to_string(expected) + ", got " +
+                              std::to_string(actual));
 }
 
 }  // namespace sddict

@@ -9,6 +9,9 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
+
+#include "fault/fault.h"
 
 namespace sddict {
 
@@ -32,5 +35,28 @@ std::uint64_t hybrid_same_different_bits(std::uint64_t num_tests,
                                          std::uint64_t num_faults,
                                          std::uint64_t num_outputs,
                                          std::uint64_t stored_baselines);
+
+// One candidate of a cause-effect lookup, shared by every dictionary type.
+struct DiagnosisMatch {
+  FaultId fault = kNoFault;
+  // Number of tests whose dictionary entry disagrees with the observation.
+  std::uint32_t mismatches = 0;
+  // Confidence annotations stamped by the diagnosis engine (diag/engine.h):
+  // how far the runner-up trails this candidate (top match only) and how
+  // many tests were actually compared after don't-care removal. Zero on
+  // matches produced by a plain dictionary diagnose().
+  std::uint32_t margin = 0;
+  std::uint32_t effective_tests = 0;
+};
+
+// The shared tail of every dictionary's diagnose(): order candidates by
+// (mismatches, fault id) and keep the best max_results.
+std::vector<DiagnosisMatch> rank_matches(std::vector<DiagnosisMatch> all,
+                                         std::size_t max_results);
+
+// Throws std::invalid_argument naming the call site and both sizes, e.g.
+// "SameDifferentDictionary::diagnose: signature bits: expected 14, got 12".
+void check_observation_size(const char* what, std::size_t expected,
+                            std::size_t actual);
 
 }  // namespace sddict

@@ -41,8 +41,8 @@ std::uint64_t FirstFailDictionary::size_bits() const {
 
 std::vector<std::uint32_t> FirstFailDictionary::encode(
     const ResponseMatrix& rm, const std::vector<ResponseId>& observed) const {
-  if (observed.size() != num_tests_)
-    throw std::invalid_argument("FirstFailDictionary::encode: length");
+  check_observation_size("FirstFailDictionary::encode: observed tests",
+                         num_tests_, observed.size());
   std::vector<std::uint32_t> out(num_tests_, 0);
   for (std::size_t t = 0; t < num_tests_; ++t) {
     const ResponseId r = observed[t];
@@ -58,8 +58,8 @@ std::vector<std::uint32_t> FirstFailDictionary::encode(
 
 std::vector<DiagnosisMatch> FirstFailDictionary::diagnose(
     const std::vector<std::uint32_t>& observed, std::size_t max_results) const {
-  if (observed.size() != num_tests_)
-    throw std::invalid_argument("FirstFailDictionary::diagnose: length");
+  check_observation_size("FirstFailDictionary::diagnose: observed tests",
+                         num_tests_, observed.size());
   std::vector<DiagnosisMatch> all(num_faults_);
   for (FaultId f = 0; f < num_faults_; ++f) {
     std::uint32_t mism = 0;
@@ -67,12 +67,7 @@ std::vector<DiagnosisMatch> FirstFailDictionary::diagnose(
       if (entry(f, t) != observed[t]) ++mism;
     all[f] = {f, mism};
   }
-  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
-    return a.mismatches != b.mismatches ? a.mismatches < b.mismatches
-                                        : a.fault < b.fault;
-  });
-  if (all.size() > max_results) all.resize(max_results);
-  return all;
+  return rank_matches(std::move(all), max_results);
 }
 
 }  // namespace sddict

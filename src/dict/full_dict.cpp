@@ -37,6 +37,8 @@ FullDictionary FullDictionary::from_entries(std::vector<ResponseId> entries,
 
 std::vector<DiagnosisMatch> FullDictionary::diagnose(
     const std::vector<ResponseId>& observed, std::size_t max_results) const {
+  check_observation_size("FullDictionary::diagnose: observed tests",
+                         num_tests_, observed.size());
   std::vector<DiagnosisMatch> all(num_faults_);
   for (FaultId f = 0; f < num_faults_; ++f) {
     std::uint32_t mism = 0;
@@ -44,12 +46,7 @@ std::vector<DiagnosisMatch> FullDictionary::diagnose(
       if (observed[t] == kUnknownResponse || entry(f, t) != observed[t]) ++mism;
     all[f] = {f, mism};
   }
-  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
-    return a.mismatches != b.mismatches ? a.mismatches < b.mismatches
-                                        : a.fault < b.fault;
-  });
-  if (all.size() > max_results) all.resize(max_results);
-  return all;
+  return rank_matches(std::move(all), max_results);
 }
 
 }  // namespace sddict

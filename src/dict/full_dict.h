@@ -17,12 +17,6 @@ namespace sddict {
 // Sentinel for "observed response matches no modeled fault's response".
 inline constexpr ResponseId kUnknownResponse = static_cast<ResponseId>(-1);
 
-struct DiagnosisMatch {
-  FaultId fault = kNoFault;
-  // Number of tests whose dictionary entry disagrees with the observation.
-  std::uint32_t mismatches = 0;
-};
-
 class FullDictionary {
  public:
   static FullDictionary build(const ResponseMatrix& rm);

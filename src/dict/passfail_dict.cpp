@@ -34,8 +34,8 @@ PassFailDictionary PassFailDictionary::from_rows(std::vector<BitVec> rows,
 }
 
 BitVec PassFailDictionary::encode(const std::vector<ResponseId>& observed) const {
-  if (observed.size() != num_tests_)
-    throw std::invalid_argument("PassFailDictionary::encode: wrong length");
+  check_observation_size("PassFailDictionary::encode: observed tests",
+                         num_tests_, observed.size());
   BitVec bits(num_tests_);
   for (std::size_t t = 0; t < num_tests_; ++t)
     bits.set(t, observed[t] != 0);  // id 0 == fault-free == pass
@@ -44,20 +44,15 @@ BitVec PassFailDictionary::encode(const std::vector<ResponseId>& observed) const
 
 std::vector<DiagnosisMatch> PassFailDictionary::diagnose(
     const BitVec& observed_bits, std::size_t max_results) const {
-  if (observed_bits.size() != num_tests_)
-    throw std::invalid_argument("PassFailDictionary::diagnose: wrong length");
+  check_observation_size("PassFailDictionary::diagnose: signature bits",
+                         num_tests_, observed_bits.size());
   std::vector<DiagnosisMatch> all(rows_.size());
   for (FaultId f = 0; f < rows_.size(); ++f) {
     BitVec diff = rows_[f];
     diff ^= observed_bits;
     all[f] = {f, static_cast<std::uint32_t>(diff.count_ones())};
   }
-  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
-    return a.mismatches != b.mismatches ? a.mismatches < b.mismatches
-                                        : a.fault < b.fault;
-  });
-  if (all.size() > max_results) all.resize(max_results);
-  return all;
+  return rank_matches(std::move(all), max_results);
 }
 
 }  // namespace sddict

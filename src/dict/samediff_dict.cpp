@@ -52,8 +52,8 @@ std::size_t SameDifferentDictionary::num_nontrivial_baselines() const {
 
 BitVec SameDifferentDictionary::encode(
     const std::vector<ResponseId>& observed) const {
-  if (observed.size() != num_tests_)
-    throw std::invalid_argument("SameDifferentDictionary::encode: wrong length");
+  check_observation_size("SameDifferentDictionary::encode: observed tests",
+                         num_tests_, observed.size());
   BitVec bits(num_tests_);
   for (std::size_t t = 0; t < num_tests_; ++t)
     bits.set(t, observed[t] != baselines_[t]);
@@ -62,20 +62,15 @@ BitVec SameDifferentDictionary::encode(
 
 std::vector<DiagnosisMatch> SameDifferentDictionary::diagnose(
     const BitVec& observed_bits, std::size_t max_results) const {
-  if (observed_bits.size() != num_tests_)
-    throw std::invalid_argument("SameDifferentDictionary::diagnose: wrong length");
+  check_observation_size("SameDifferentDictionary::diagnose: signature bits",
+                         num_tests_, observed_bits.size());
   std::vector<DiagnosisMatch> all(rows_.size());
   for (FaultId f = 0; f < rows_.size(); ++f) {
     BitVec diff = rows_[f];
     diff ^= observed_bits;
     all[f] = {f, static_cast<std::uint32_t>(diff.count_ones())};
   }
-  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
-    return a.mismatches != b.mismatches ? a.mismatches < b.mismatches
-                                        : a.fault < b.fault;
-  });
-  if (all.size() > max_results) all.resize(max_results);
-  return all;
+  return rank_matches(std::move(all), max_results);
 }
 
 }  // namespace sddict

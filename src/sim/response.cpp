@@ -12,6 +12,22 @@
 
 namespace sddict {
 
+const char* observed_status_name(ObservedStatus s) {
+  switch (s) {
+    case ObservedStatus::kValue: return "value";
+    case ObservedStatus::kMissing: return "missing";
+    case ObservedStatus::kUnstable: return "unstable";
+  }
+  return "?";
+}
+
+std::vector<Observed> qualify(const std::vector<ResponseId>& observed) {
+  std::vector<Observed> out(observed.size());
+  for (std::size_t t = 0; t < observed.size(); ++t)
+    out[t] = Observed::of(observed[t]);
+  return out;
+}
+
 std::vector<std::uint32_t> ResponseMatrix::response_counts(std::size_t test) const {
   std::vector<std::uint32_t> counts(num_distinct(test), 0);
   for (FaultId f = 0; f < num_faults_; ++f) ++counts[response(f, test)];

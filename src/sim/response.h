@@ -26,6 +26,31 @@ namespace sddict {
 
 using ResponseId = std::uint32_t;
 
+// Data-quality qualifier of one per-test tester observation. Real datalogs
+// are imperfect: a record can be lost (kMissing) or the tester can read an
+// inconsistent value across retries (kUnstable). Qualified tests are
+// don't-cares for the diagnosis engine (diag/engine.h) — excluded from
+// mismatch counting — instead of silently mismatching every fault.
+enum class ObservedStatus : std::uint8_t { kValue = 0, kMissing, kUnstable };
+
+const char* observed_status_name(ObservedStatus s);
+
+struct Observed {
+  ResponseId value = 0;  // meaningful only when status == kValue
+  ObservedStatus status = ObservedStatus::kValue;
+
+  bool dont_care() const { return status != ObservedStatus::kValue; }
+
+  static Observed of(ResponseId v) { return {v, ObservedStatus::kValue}; }
+  static Observed missing() { return {0, ObservedStatus::kMissing}; }
+  static Observed unstable() { return {0, ObservedStatus::kUnstable}; }
+
+  bool operator==(const Observed&) const = default;
+};
+
+// Lifts a plain per-test id vector into fully-observed qualified form.
+std::vector<Observed> qualify(const std::vector<ResponseId>& observed);
+
 struct ResponseMatrixOptions {
   // Keep, for every (test, response id), the sorted list of outputs whose
   // value differs from fault-free. Costs memory; off for large sweeps.

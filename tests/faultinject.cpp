@@ -2,6 +2,9 @@
 
 #include <ios>
 
+#include "dict/full_dict.h"  // kUnknownResponse
+#include "util/rng.h"
+
 namespace sddict::testing {
 
 std::streambuf::int_type FailAfterWriteBuf::overflow(int_type ch) {
@@ -23,6 +26,36 @@ std::streambuf::int_type ThrowAfterReadBuf::underflow() {
 std::string flip_byte(std::string text, std::size_t index) {
   text.at(index) = static_cast<char>(text[index] ^ 1);
   return text;
+}
+
+std::vector<Observed> apply_noise(const std::vector<ResponseId>& observed,
+                                  const ResponseMatrix& rm,
+                                  const NoiseChannel& noise) {
+  Rng rng(noise.seed);
+  std::vector<Observed> out(observed.size());
+  for (std::size_t t = 0; t < observed.size(); ++t) {
+    if (rng.chance(noise.drop_rate)) {
+      out[t] = Observed::missing();
+      continue;
+    }
+    ResponseId v = observed[t];
+    if (rng.chance(noise.flip_rate)) {
+      const std::size_t n = rm.num_distinct(t);
+      if (v < n && n > 1) {
+        // Corrupt into one of the other modeled responses.
+        auto pick = static_cast<ResponseId>(rng.below(n - 1));
+        if (pick >= v) ++pick;
+        v = pick;
+      } else if (v >= n) {
+        // Already unmodeled; corrupt into any modeled response.
+        v = static_cast<ResponseId>(rng.below(n));
+      } else {
+        v = kUnknownResponse;
+      }
+    }
+    out[t] = Observed::of(v);
+  }
+  return out;
 }
 
 }  // namespace sddict::testing

@@ -8,13 +8,19 @@
 //    ostream fail mid-write, ThrowAfterReadBuf makes an istream go bad
 //    mid-read — exercising the serialization layer's torn-file handling;
 //  * byte-level corruption via flip_byte, the primitive of the
-//    deterministic mutation fuzzer in test_robustness.cpp.
+//    deterministic mutation fuzzer in test_robustness.cpp;
+//  * observation noise via apply_noise, a seeded per-test channel that
+//    flips response ids and drops records — the model of an imperfect
+//    tester datalog driving bench/bench_noise.cpp and the engine tests.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <streambuf>
 #include <string>
+#include <vector>
 
+#include "sim/response.h"
 #include "util/failpoint.h"
 
 namespace sddict::testing {
@@ -77,5 +83,21 @@ class ThrowAfterReadBuf : public std::streambuf {
 // The mutation-fuzzer primitive: returns `text` with the byte at `index`
 // xor'd with 1 (flips '0' <-> '1', perturbs digits, letters and '\n').
 std::string flip_byte(std::string text, std::size_t index);
+
+// Deterministic observation-noise channel. Per test, in fixed draw order:
+// with probability drop_rate the record is lost (kMissing); otherwise with
+// probability flip_rate the value is corrupted — into a different modeled
+// response id when the test has one, into kUnknownResponse when the only
+// modeled response is fault-free (nothing plausible to flip to). The same
+// seed always produces the same noise pattern.
+struct NoiseChannel {
+  double flip_rate = 0.0;
+  double drop_rate = 0.0;
+  std::uint64_t seed = 1;
+};
+
+std::vector<Observed> apply_noise(const std::vector<ResponseId>& observed,
+                                  const ResponseMatrix& rm,
+                                  const NoiseChannel& noise);
 
 }  // namespace sddict::testing

@@ -27,9 +27,16 @@
 #include <thread>
 #include <vector>
 
+#include "bmcirc/registry.h"
 #include "bmcirc/synth.h"
 #include "core/baseline.h"
+#include "core/multibaseline.h"
 #include "core/procedure2.h"
+#include "diag/engine.h"
+#include "diag/observe.h"
+#include "diag/testerlog.h"
+#include "dict/firstfail_dict.h"
+#include "fault/bridge.h"
 #include "dict/full_dict.h"
 #include "dict/multibaseline_dict.h"
 #include "dict/passfail_dict.h"
@@ -37,6 +44,7 @@
 #include "dict/serialize.h"
 #include "fault/collapse.h"
 #include "faultinject.h"
+#include "netlist/transform.h"
 #include "sim/response.h"
 #include "tgen/diagset.h"
 #include "tgen/ndetect.h"
@@ -701,6 +709,489 @@ TEST(CliStrict, UnknownFlagsReported) {
   const auto unknown = args.unknown_flags({"seed", "threads"});
   ASSERT_EQ(unknown.size(), 1u);
   EXPECT_EQ(unknown[0], "sede");
+}
+
+// ------------------------------------------- tester-datalog reader --
+
+TesterLog parse_log(const std::string& text, bool recover) {
+  std::istringstream in(text);
+  TesterLogOptions topt;
+  topt.recover = recover;
+  return read_testerlog(in, topt);
+}
+
+TEST(TesterLog, RoundTripPreservesEveryQualifier) {
+  const std::vector<Observed> obs = {
+      Observed::of(0),  Observed::of(3),
+      Observed::missing(), Observed::unstable(),
+      Observed::of(kUnknownResponse), Observed::of(7)};
+  std::ostringstream out;
+  write_testerlog(out, obs);
+  const TesterLog log = parse_log(out.str(), /*recover=*/false);
+  EXPECT_EQ(log.observations, obs);
+  EXPECT_TRUE(log.dropped.empty());
+  EXPECT_FALSE(log.truncated);
+}
+
+TEST(TesterLog, UnmentionedTestsDefaultToMissingAndCrlfTolerated) {
+  const TesterLog log = parse_log(
+      "sddict testerlog v1\r\ntests 4\r\n# comment\r\n\r\nt 1 5\r\nend\r\n",
+      /*recover=*/false);
+  ASSERT_EQ(log.observations.size(), 4u);
+  EXPECT_EQ(log.observations[0], Observed::missing());
+  EXPECT_EQ(log.observations[1], Observed::of(5));
+  EXPECT_EQ(log.observations[2], Observed::missing());
+  EXPECT_EQ(log.observations[3], Observed::missing());
+}
+
+TEST(TesterLog, StrictModeReportsLineAndColumn) {
+  try {
+    parse_log("sddict testerlog v1\ntests 3\nt 0 bogus\nend\n", false);
+    FAIL() << "bad response value was accepted";
+  } catch (const TesterLogError& e) {
+    EXPECT_EQ(e.line(), 3u);
+    EXPECT_EQ(e.column(), 5u);
+    EXPECT_NE(std::string(e.what()).find("testerlog:3:5"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("bad response value"),
+              std::string::npos);
+  }
+  try {
+    parse_log("sddict testerlog v1\ntests 3\nt 9 1\nend\n", false);
+    FAIL() << "out-of-range index was accepted";
+  } catch (const TesterLogError& e) {
+    EXPECT_EQ(e.line(), 3u);
+    EXPECT_EQ(e.column(), 3u);
+    EXPECT_NE(std::string(e.what()).find("out of range"), std::string::npos);
+  }
+  try {
+    parse_log("sddict testerlog v1\ntests 2\nt 0 1\n", false);
+    FAIL() << "missing 'end' was accepted in strict mode";
+  } catch (const TesterLogError& e) {
+    EXPECT_EQ(e.line(), 4u);
+    EXPECT_NE(std::string(e.what()).find("missing 'end'"), std::string::npos);
+  }
+}
+
+TEST(TesterLog, StructuralDefectsThrowInBothModes) {
+  for (const bool recover : {false, true}) {
+    EXPECT_THROW(parse_log("bogus header\n", recover), TesterLogError);
+    EXPECT_THROW(parse_log("", recover), TesterLogError);
+    EXPECT_THROW(parse_log("sddict testerlog v1\nnot-tests 3\n", recover),
+                 TesterLogError);
+    EXPECT_THROW(parse_log("sddict testerlog v1\ntests huge\n", recover),
+                 TesterLogError);
+    EXPECT_THROW(
+        parse_log("sddict testerlog v1\ntests 999999999999\n", recover),
+        TesterLogError);
+  }
+}
+
+TEST(TesterLog, RecoveryModeDropsDeterministically) {
+  const TesterLog log = parse_log(
+      "sddict testerlog v1\n"
+      "tests 4\n"
+      "t 0 2\n"
+      "t 0 3\n"      // duplicate: first record stands
+      "t 9 1\n"      // index out of range
+      "t 1 bogus\n"  // bad value
+      "x 2 1\n"      // unknown record type
+      "t 2\n"        // wrong arity
+      "t 3 unstable\n"
+      "end\n",
+      /*recover=*/true);
+  ASSERT_EQ(log.observations.size(), 4u);
+  EXPECT_EQ(log.observations[0], Observed::of(2));
+  EXPECT_EQ(log.observations[1], Observed::missing());
+  EXPECT_EQ(log.observations[2], Observed::missing());
+  EXPECT_EQ(log.observations[3], Observed::unstable());
+  EXPECT_FALSE(log.truncated);
+  ASSERT_EQ(log.dropped.size(), 5u);
+  const struct {
+    std::size_t line;
+    const char* reason;
+  } expected[5] = {{4, "duplicate record"},
+                   {5, "out of range"},
+                   {6, "bad response value"},
+                   {7, "unknown record type"},
+                   {8, "expected 't <index> <value>'"}};
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(log.dropped[i].line, expected[i].line) << i;
+    EXPECT_NE(log.dropped[i].reason.find(expected[i].reason),
+              std::string::npos)
+        << log.dropped[i].reason;
+  }
+}
+
+TEST(TesterLog, RecoveryModeMarksMissingEndAsTruncated) {
+  const TesterLog log =
+      parse_log("sddict testerlog v1\ntests 2\nt 1 6\n", /*recover=*/true);
+  EXPECT_TRUE(log.truncated);
+  ASSERT_EQ(log.observations.size(), 2u);
+  EXPECT_EQ(log.observations[1], Observed::of(6));
+}
+
+// Deterministic mutation fuzzer: every truncation and every single-byte
+// flip of a valid log must either parse or raise a typed TesterLogError —
+// in both modes — and recovery-mode salvage stays within the declared
+// vector size.
+TEST(TesterLog, MutationFuzzNeverCrashesOrOverflows) {
+  const std::vector<Observed> obs = {
+      Observed::of(4), Observed::missing(), Observed::unstable(),
+      Observed::of(kUnknownResponse), Observed::of(0)};
+  std::ostringstream out;
+  write_testerlog(out, obs);
+  const std::string good = out.str();
+  const auto attempt = [](const std::string& text, bool recover) {
+    try {
+      const TesterLog log = parse_log(text, recover);
+      for (const DroppedRecord& d : log.dropped) EXPECT_GT(d.line, 0u);
+    } catch (const TesterLogError&) {
+      // typed rejection is the other acceptable outcome
+    }
+  };
+  for (std::size_t n = 0; n <= good.size(); ++n) {
+    attempt(good.substr(0, n), false);
+    attempt(good.substr(0, n), true);
+  }
+  for (std::size_t i = 0; i < good.size(); ++i) {
+    attempt(flip_byte(good, i), false);
+    attempt(flip_byte(good, i), true);
+  }
+}
+
+// ------------------------------------------- noise-tolerant engine --
+
+struct EngineEnv {
+  Workload w;
+  ResponseMatrix rm;
+  FullDictionary full;
+  PassFailDictionary pf;
+  SameDifferentDictionary sd;
+  MultiBaselineDictionary mb;
+  FirstFailDictionary ff;
+};
+
+const EngineEnv& engine_env() {
+  static const EngineEnv* env = [] {
+    Workload w = synth_workload(150, 40, 7);
+    ResponseMatrixOptions rmopts;
+    rmopts.store_diff_outputs = true;  // first-fail translation needs them
+    ResponseMatrix rm = build_response_matrix(w.nl, w.faults, w.tests, rmopts);
+    const auto full = FullDictionary::build(rm);
+    BaselineSelectionConfig cfg;
+    cfg.calls1 = 4;
+    cfg.seed = 7;
+    cfg.target_indistinguished = full.indistinguished_pairs();
+    const auto p1 = run_procedure1(rm, cfg);
+    Procedure2Config p2cfg;
+    p2cfg.target_indistinguished = full.indistinguished_pairs();
+    const auto p2 = run_procedure2(rm, p1.baselines, p2cfg);
+    auto sd = SameDifferentDictionary::build(rm, p2.baselines);
+    auto mb = MultiBaselineDictionary::build(
+        rm, run_multi_baseline(rm, 2, cfg).baselines);
+    auto pf = PassFailDictionary::build(rm);
+    auto ff = FirstFailDictionary::build(rm);
+    return new EngineEnv{std::move(w),  std::move(rm), full,
+                         std::move(pf), std::move(sd), std::move(mb),
+                         std::move(ff)};
+  }();
+  return *env;
+}
+
+std::vector<ResponseId> defect_ids(const EngineEnv& e, FaultId truth) {
+  return observe_defect(e.w.nl, e.w.tests, e.rm,
+                        {to_injection(e.w.faults[truth])});
+}
+
+// fault id -> mismatch count, from a full-length candidate list.
+std::vector<std::uint32_t> mismatch_map(
+    const std::vector<DiagnosisMatch>& matches, std::size_t num_faults) {
+  std::vector<std::uint32_t> m(num_faults, 0);
+  EXPECT_EQ(matches.size(), num_faults);
+  for (const DiagnosisMatch& dm : matches) m[dm.fault] = dm.mismatches;
+  return m;
+}
+
+void expect_same_ranking(const std::vector<DiagnosisMatch>& engine,
+                         const std::vector<DiagnosisMatch>& dict,
+                         const char* what) {
+  ASSERT_EQ(engine.size(), dict.size()) << what;
+  for (std::size_t i = 0; i < engine.size(); ++i) {
+    EXPECT_EQ(engine[i].fault, dict[i].fault) << what << " rank " << i;
+    EXPECT_EQ(engine[i].mismatches, dict[i].mismatches) << what << " rank "
+                                                        << i;
+  }
+}
+
+// Acceptance gate of the engine refactor: with a clean observation, zero
+// tolerance and no budget, the engine-routed diagnosis is bit-identical to
+// each dictionary's own diagnose() — same ranking, same mismatch counts.
+TEST(DiagnosisEngine, CleanObservationMatchesDictionaryDiagnose) {
+  const EngineEnv& e = engine_env();
+  const std::size_t n = e.rm.num_faults();
+  EngineOptions opt;
+  opt.max_results = n;
+  Rng rng(11);
+  for (int d = 0; d < 4; ++d) {
+    const auto truth = static_cast<FaultId>(rng.below(n));
+    const std::vector<ResponseId> ids = defect_ids(e, truth);
+    const std::vector<Observed> obs = qualify(ids);
+
+    const EngineDiagnosis df = diagnose_observed(e.full, obs, opt);
+    EXPECT_EQ(df.outcome, DiagnosisOutcome::kExactMatch);
+    EXPECT_EQ(df.best_mismatches, 0u);
+    EXPECT_EQ(df.effective_tests, e.rm.num_tests());
+    EXPECT_EQ(df.dont_care_tests, 0u);
+    EXPECT_EQ(df.unknown_tests, 0u);
+    expect_same_ranking(df.matches, e.full.diagnose(ids, n), "full");
+    expect_same_ranking(diagnose_observed(e.pf, obs, opt).matches,
+                        e.pf.diagnose(e.pf.encode(ids), n), "pass/fail");
+    expect_same_ranking(diagnose_observed(e.sd, obs, opt).matches,
+                        e.sd.diagnose(e.sd.encode(ids), n), "same/diff");
+    expect_same_ranking(diagnose_observed(e.mb, obs, opt).matches,
+                        e.mb.diagnose(e.mb.encode(ids), n), "multi-baseline");
+    expect_same_ranking(diagnose_observed(e.ff, e.rm, obs, opt).matches,
+                        e.ff.diagnose(e.ff.encode(e.rm, ids), n),
+                        "first-fail");
+  }
+}
+
+// Flipping one observed test across the pass/fail boundary moves every
+// candidate's mismatch count by exactly one — the dictionary bit either
+// agreed before and disagrees now, or vice versa.
+TEST(DiagnosisEngine, SingleFlipShiftsEveryPassFailCandidateByOne) {
+  const EngineEnv& e = engine_env();
+  const std::size_t n = e.rm.num_faults();
+  EngineOptions opt;
+  opt.max_results = n;
+  // Large tolerance keeps the flipped observation in the native stage, so
+  // the compared mismatch counts live in the dictionary's own space.
+  opt.tolerance = static_cast<std::uint32_t>(e.rm.num_tests());
+  const std::vector<ResponseId> ids = defect_ids(e, 0);
+  const auto base =
+      mismatch_map(diagnose_observed(e.pf, qualify(ids), opt).matches, n);
+  for (const std::size_t t : {std::size_t{0}, e.rm.num_tests() - 1}) {
+    std::vector<Observed> obs = qualify(ids);
+    // Cross the boundary: pass becomes some failing id, fail becomes pass.
+    obs[t] = Observed::of(ids[t] == 0 ? 1 : 0);
+    const auto flipped =
+        mismatch_map(diagnose_observed(e.pf, obs, opt).matches, n);
+    for (std::size_t f = 0; f < n; ++f) {
+      const std::uint32_t delta =
+          flipped[f] > base[f] ? flipped[f] - base[f] : base[f] - flipped[f];
+      EXPECT_EQ(delta, 1u) << "fault " << f << " test " << t;
+    }
+  }
+}
+
+TEST(DiagnosisEngine, SingleFlipShiftsEverySameDiffCandidateByOne) {
+  const EngineEnv& e = engine_env();
+  const std::size_t n = e.rm.num_faults();
+  EngineOptions opt;
+  opt.max_results = n;
+  opt.tolerance = static_cast<std::uint32_t>(e.rm.num_tests());
+  const std::vector<ResponseId> ids = defect_ids(e, 1);
+  const auto base =
+      mismatch_map(diagnose_observed(e.sd, qualify(ids), opt).matches, n);
+  const auto& bl = e.sd.baselines();
+  for (const std::size_t t : {std::size_t{0}, e.rm.num_tests() / 2}) {
+    std::vector<Observed> obs = qualify(ids);
+    // Cross the same/different boundary for test t's baseline.
+    obs[t] = Observed::of(ids[t] == bl[t] ? (bl[t] == 0 ? 1 : 0) : bl[t]);
+    const auto flipped =
+        mismatch_map(diagnose_observed(e.sd, obs, opt).matches, n);
+    for (std::size_t f = 0; f < n; ++f) {
+      const std::uint32_t delta =
+          flipped[f] > base[f] ? flipped[f] - base[f] : base[f] - flipped[f];
+      EXPECT_EQ(delta, 1u) << "fault " << f << " test " << t;
+    }
+  }
+}
+
+// Missing and unstable records are don't-cares: excluded from mismatch
+// counting, counted in the result's qualifier tallies, and the true fault
+// still exact-matches on the remaining tests.
+TEST(DiagnosisEngine, MissingAndUnstableTestsAreExcluded) {
+  const EngineEnv& e = engine_env();
+  const std::size_t n = e.rm.num_faults();
+  EngineOptions opt;
+  opt.max_results = n;
+  const FaultId truth = 2;
+  const std::vector<ResponseId> ids = defect_ids(e, truth);
+  std::vector<Observed> obs = qualify(ids);
+  obs[0] = Observed::missing();
+  obs[1] = Observed::unstable();
+  const EngineDiagnosis d = diagnose_observed(e.full, obs, opt);
+  EXPECT_EQ(d.outcome, DiagnosisOutcome::kExactMatch);
+  EXPECT_EQ(d.best_mismatches, 0u);
+  EXPECT_EQ(d.dont_care_tests, 2u);
+  EXPECT_EQ(d.unknown_tests, 0u);
+  EXPECT_EQ(d.effective_tests, e.rm.num_tests() - 2);
+  EXPECT_GE(true_fault_rank(d.matches, truth), 1u);
+  // Mismatch counts equal a by-hand count over the cared tests only.
+  for (const DiagnosisMatch& m : d.matches) {
+    std::uint32_t want = 0;
+    for (std::size_t t = 2; t < e.rm.num_tests(); ++t)
+      if (e.full.entry(m.fault, t) != ids[t]) ++want;
+    EXPECT_EQ(m.mismatches, want) << "fault " << m.fault;
+  }
+}
+
+// An observation containing a response no modeled fault produces can never
+// yield a confident exact/tolerant verdict; it degrades to the pass/fail
+// projection, where the unknown still counts as "the test failed".
+TEST(DiagnosisEngine, UnknownResponseForbidsConfidentVerdict) {
+  const EngineEnv& e = engine_env();
+  EngineOptions opt;
+  opt.max_results = e.rm.num_faults();
+  const FaultId truth = 3;
+  const std::vector<ResponseId> ids = defect_ids(e, truth);
+  std::vector<Observed> obs = qualify(ids);
+  // Replace one *failing* observation with an unmodeled response, so the
+  // pass/fail projection of the truth is unchanged.
+  std::size_t t0 = e.rm.num_tests();
+  for (std::size_t t = 0; t < ids.size(); ++t)
+    if (ids[t] != 0) {
+      t0 = t;
+      break;
+    }
+  ASSERT_LT(t0, e.rm.num_tests()) << "defect not excited by the test set";
+  obs[t0] = Observed::of(kUnknownResponse);
+  const EngineDiagnosis d = diagnose_observed(e.full, obs, opt);
+  EXPECT_EQ(d.unknown_tests, 1u);
+  EXPECT_NE(d.outcome, DiagnosisOutcome::kExactMatch);
+  EXPECT_NE(d.outcome, DiagnosisOutcome::kTolerantMatch);
+  EXPECT_EQ(d.outcome, DiagnosisOutcome::kPassFailProjection);
+  EXPECT_EQ(d.best_mismatches, 0u);
+  EXPECT_GE(true_fault_rank(d.matches, truth), 1u);
+}
+
+// The tolerance-e guarantee: every fault within Hamming distance e of the
+// observed signature gets a candidate slot, even past max_results.
+TEST(DiagnosisEngine, ToleranceGuaranteeOverridesMaxResults) {
+  const EngineEnv& e = engine_env();
+  const std::size_t n = e.rm.num_faults();
+  EngineOptions opt;
+  opt.max_results = 1;
+  opt.tolerance = 2;
+  const std::vector<ResponseId> ids = defect_ids(e, 4);
+  const EngineDiagnosis d = diagnose_observed(e.pf, qualify(ids), opt);
+  const std::string enc = e.pf.encode(ids).to_string();
+  std::size_t within = 0;
+  for (FaultId f = 0; f < n; ++f) {
+    std::uint32_t dist = 0;
+    for (std::size_t t = 0; t < e.rm.num_tests(); ++t)
+      if (e.pf.bit(f, t) != (enc[t] == '1')) ++dist;
+    if (dist > opt.tolerance) continue;
+    ++within;
+    EXPECT_GE(true_fault_rank(d.matches, f), 1u)
+        << "fault " << f << " at distance " << dist << " missing";
+  }
+  EXPECT_GE(within, 1u);  // the true fault itself is at distance 0
+  EXPECT_GE(d.matches.size(), within);
+}
+
+TEST(DiagnosisEngine, CancelledBudgetReturnsIncompleteWithoutThrowing) {
+  const EngineEnv& e = engine_env();
+  EngineOptions opt;
+  opt.budget = cancelled_budget();
+  const EngineDiagnosis d =
+      diagnose_observed(e.pf, qualify(defect_ids(e, 0)), opt);
+  EXPECT_FALSE(d.completed);
+  EXPECT_EQ(d.stop_reason, StopReason::kCancelled);
+}
+
+TEST(DiagnosisEngine, WrongLengthObservationNamesBothSizes) {
+  const EngineEnv& e = engine_env();
+  const std::vector<Observed> obs(e.rm.num_tests() + 3, Observed::of(0));
+  try {
+    diagnose_observed(e.pf, obs);
+    FAIL() << "wrong-length observation was accepted";
+  } catch (const std::invalid_argument& ex) {
+    const std::string what = ex.what();
+    EXPECT_NE(what.find("expected"), std::string::npos);
+    EXPECT_NE(what.find(std::to_string(e.rm.num_tests())), std::string::npos);
+    EXPECT_NE(what.find(std::to_string(e.rm.num_tests() + 3)),
+              std::string::npos);
+  }
+}
+
+// A defect outside the single-stuck-at model (a wired bridge) must degrade
+// to a weaker typed verdict instead of a confident wrong answer, and at
+// least one bridge reaches the unmodeled-defect fallback with a cover.
+TEST(DiagnosisEngine, BridgeDefectFallsBackInsteadOfExactMatching) {
+  const EngineEnv& e = engine_env();
+  EngineOptions opt;
+  opt.max_results = 10;
+  Rng rng(23);
+  const auto bridges = sample_bridges(e.w.nl, 24, rng);
+  std::size_t active = 0, unmodeled = 0;
+  for (const BridgingFault& br : bridges) {
+    const Netlist bad = inject_bridge(e.w.nl, br);
+    const auto ids = observe_defective_netlist(e.w.nl, bad, e.w.tests, e.rm);
+    bool fails = false;
+    for (const ResponseId id : ids) fails |= id != 0;
+    if (!fails) continue;  // bridge not excited by this test set
+    ++active;
+    const EngineDiagnosis d = diagnose_observed(e.full, qualify(ids), opt);
+    if (d.unknown_tests > 0) {
+      EXPECT_NE(d.outcome, DiagnosisOutcome::kExactMatch);
+      EXPECT_NE(d.outcome, DiagnosisOutcome::kTolerantMatch);
+    }
+    if (d.outcome == DiagnosisOutcome::kUnmodeledDefect) {
+      ++unmodeled;
+      EXPECT_TRUE(!d.cover.empty() || d.uncovered_failures > 0);
+    }
+  }
+  EXPECT_GE(active, 1u);
+  EXPECT_GE(unmodeled, 1u);
+}
+
+// The headline robustness claim, pinned at a fixed seed: under 2% datalog
+// noise the same/different dictionary ranks the true fault strictly better
+// (lower mean rank) than pass/fail. Mirrors bench_noise's self-check.
+TEST(DiagnosisEngine, SameDifferentOutranksPassFailUnderNoise) {
+  Netlist nl = load_benchmark("s298");
+  if (nl.has_dffs()) nl = full_scan(nl);
+  const FaultList faults = collapsed_fault_list(nl).collapsed;
+  const TestSet tests = generate_detect(nl, faults, 1).tests;
+  ResponseMatrixOptions rmopts;
+  rmopts.store_diff_outputs = true;
+  const ResponseMatrix rm = build_response_matrix(nl, faults, tests, rmopts);
+  const auto full = FullDictionary::build(rm);
+  const auto pf = PassFailDictionary::build(rm);
+  BaselineSelectionConfig cfg;
+  cfg.calls1 = 10;
+  cfg.seed = 1;
+  cfg.target_indistinguished = full.indistinguished_pairs();
+  const auto p1 = run_procedure1(rm, cfg);
+  Procedure2Config p2cfg;
+  p2cfg.target_indistinguished = full.indistinguished_pairs();
+  const auto p2 = run_procedure2(rm, p1.baselines, p2cfg);
+  const auto sd = SameDifferentDictionary::build(rm, p2.baselines);
+
+  EngineOptions opt;
+  opt.tolerance = 2;
+  opt.max_results = faults.size();
+  std::uint64_t sum_pf = 0, sum_sd = 0;
+  Rng defect_rng(100);
+  for (int d = 0; d < 200; ++d) {
+    const auto truth = static_cast<FaultId>(defect_rng.below(faults.size()));
+    const auto ids =
+        observe_defect(nl, tests, rm, {to_injection(faults[truth])});
+    testing::NoiseChannel noise;  // the 2% channel bench_noise uses
+    noise.drop_rate = 0.02;
+    noise.flip_rate = 0.005;
+    noise.seed = 1000003 + static_cast<std::uint64_t>(d) * 31;
+    const auto obs = testing::apply_noise(ids, rm, noise);
+    const std::size_t rp =
+        true_fault_rank(diagnose_observed(pf, obs, opt).matches, truth);
+    const std::size_t rs =
+        true_fault_rank(diagnose_observed(sd, obs, opt).matches, truth);
+    sum_pf += rp ? rp : faults.size();
+    sum_sd += rs ? rs : faults.size();
+  }
+  EXPECT_LT(sum_sd, sum_pf);
 }
 
 }  // namespace
