@@ -61,11 +61,15 @@ struct ObservationSummary {
 };
 
 // Shared first pass over the qualified observation: counts the qualifier
-// classes and computes the pass/fail projection of the observation (the
-// fault-free response is id 0; kUnknownResponse differs from it, so an
-// unknown response still carries its one honest bit: the test failed).
+// classes and computes the pass/fail projection of the observation.
+// `ff_ids`, when given, holds the per-test fault-free response id; without
+// it the fault-free response is id 0 (the precondition documented on the
+// matrix-less entry points). kUnknownResponse never equals the fault-free
+// id, so an unknown response still carries its one honest bit: the test
+// failed.
 std::vector<std::int8_t> project_observation(
-    const std::vector<Observed>& observed, ObservationSummary* sum) {
+    const std::vector<Observed>& observed, ObservationSummary* sum,
+    const std::vector<ResponseId>* ff_ids = nullptr) {
   std::vector<std::int8_t> pf(observed.size(), -1);
   for (std::size_t t = 0; t < observed.size(); ++t) {
     const Observed& o = observed[t];
@@ -74,7 +78,8 @@ std::vector<std::int8_t> project_observation(
       continue;
     }
     if (o.value == kUnknownResponse) ++sum->unknown_tests;
-    pf[t] = o.value == 0 ? 0 : 1;
+    const ResponseId ff = ff_ids ? (*ff_ids)[t] : 0;
+    pf[t] = o.value == ff ? 0 : 1;
   }
   sum->effective_tests = observed.size() - sum->dont_care_tests;
   return pf;
@@ -110,9 +115,10 @@ StageRank rank_stage(std::size_t num_faults, std::size_t effective,
         {f, mism(f), 0, static_cast<std::uint32_t>(effective)});
   }
   if (tiebreak) {
-    std::vector<std::uint32_t> sec(all.size());
-    for (std::size_t i = 0; i < all.size(); ++i)
-      sec[i] = tiebreak(all[i].fault);
+    // Keyed by fault id (not position), so the comparator stays correct if
+    // the candidate list is ever filtered or reordered before the sort.
+    std::vector<std::uint32_t> sec(num_faults, 0);
+    for (const DiagnosisMatch& m : all) sec[m.fault] = tiebreak(m.fault);
     std::sort(all.begin(), all.end(),
               [&sec](const DiagnosisMatch& a, const DiagnosisMatch& b) {
                 if (a.mismatches != b.mismatches)
@@ -122,7 +128,11 @@ StageRank rank_stage(std::size_t num_faults, std::size_t effective,
                 return a.fault < b.fault;
               });
   } else {
-    all = rank_matches(std::move(all), all.size());
+    // Capture the size before the call: with the move inside the argument
+    // list, an implementation is free to construct the by-value parameter
+    // first, leaving all.size() == 0.
+    const std::size_t n = all.size();
+    all = rank_matches(std::move(all), n);
   }
   if (!all.empty()) {
     r.best = all.front().mismatches;
@@ -371,8 +381,15 @@ EngineDiagnosis diagnose_observed(const FirstFailDictionary& dict,
                          dict.num_tests(), rm.num_tests());
   ObservationSummary sum;
   sum.num_faults = dict.num_faults();
+
+  // The matrix is available here, so the pass baseline is resolved through
+  // fault_free_id() per test instead of assuming it was interned at id 0.
+  std::vector<ResponseId> ff(dict.num_tests());
+  for (std::size_t t = 0; t < dict.num_tests(); ++t)
+    ff[t] = rm.fault_free_id(t);
+
   PfProjection pf;
-  pf.obs = project_observation(observed, &sum);
+  pf.obs = project_observation(observed, &sum, &ff);
   pf.comparable_tests = sum.effective_tests;
   pf.bit = [&dict](FaultId f, std::size_t t) {
     return dict.entry(f, t) != 0 ? 1 : 0;
@@ -387,7 +404,7 @@ EngineDiagnosis diagnose_observed(const FirstFailDictionary& dict,
     if (observed[t].dont_care()) continue;
     const ResponseId v = observed[t].value;
     std::uint32_t sym = 0;
-    if (v != 0) {
+    if (v != ff[t]) {
       sym = (v == kUnknownResponse || v >= rm.num_distinct(t))
                 ? unknown_sym
                 : 1 + rm.diff_outputs(t, v).front();

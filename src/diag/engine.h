@@ -89,6 +89,17 @@ struct EngineDiagnosis {
 // One engine entry point per dictionary type. With tolerance 0, an
 // all-kValue observation and no budget, the ranking equals the
 // dictionary's own diagnose() (same order, same mismatch counts).
+//
+// Observed values are response ids in the space of the matrix the
+// dictionary was built from. The matrix-less overloads require the
+// fault-free response to be interned at id 0 when projecting onto
+// pass/fail — the same precondition the dictionaries' own build()
+// functions rely on, and one every matrix from build_response_matrix or
+// response_matrix_from_table satisfies. A response_matrix_from_ids matrix
+// with a permuted fault-free id is not supported by these overloads (nor
+// by the builders; see sim/response.h). The first-fail overload, which is
+// handed the matrix, instead resolves the pass baseline per test through
+// rm.fault_free_id().
 EngineDiagnosis diagnose_observed(const PassFailDictionary& dict,
                                   const std::vector<Observed>& observed,
                                   const EngineOptions& options = {});

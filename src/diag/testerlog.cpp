@@ -108,8 +108,14 @@ TesterLog read_testerlog(std::istream& in, const TesterLogOptions& options) {
       continue;
     }
     if (toks[0].text == "end") {
-      if (toks.size() != 1)
+      if (toks.size() != 1) {
+        // Strict mode throws inside fail_or_drop. In recovery mode a
+        // malformed trailer is just another dropped record, NOT the
+        // trailer: scanning continues so later salvageable records are
+        // kept, and only a well-formed 'end' closes the log.
         fail_or_drop(toks[1].col, "trailing tokens after 'end'");
+        continue;
+      }
       saw_end = true;
       break;
     }

@@ -12,8 +12,10 @@
 // it). The reader never crashes on malformed input: in strict mode every
 // defect raises a TesterLogError carrying the 1-based line and column; in
 // recovery mode malformed or duplicate records are set aside as
-// DroppedRecords (first record wins on duplicates), a missing `end`
-// trailer marks the log truncated, and everything parseable is kept.
+// DroppedRecords (first record wins on duplicates), a malformed `end`
+// line is dropped like any other record — only a well-formed `end`
+// closes the log — a missing `end` trailer marks the log truncated, and
+// everything parseable is kept.
 // Lines are CRLF-tolerant.
 #pragma once
 

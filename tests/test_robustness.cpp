@@ -822,6 +822,34 @@ TEST(TesterLog, RecoveryModeDropsDeterministically) {
   }
 }
 
+TEST(TesterLog, RecoveryModeMalformedTrailerIsNotTheTrailer) {
+  // A corrupted 'end' line must not swallow the records after it: it is
+  // dropped like any other malformed record and scanning continues.
+  const TesterLog log = parse_log(
+      "sddict testerlog v1\n"
+      "tests 3\n"
+      "t 0 2\n"
+      "end extra\n"
+      "t 1 5\n"
+      "end\n",
+      /*recover=*/true);
+  EXPECT_FALSE(log.truncated);
+  ASSERT_EQ(log.observations.size(), 3u);
+  EXPECT_EQ(log.observations[0], Observed::of(2));
+  EXPECT_EQ(log.observations[1], Observed::of(5));
+  ASSERT_EQ(log.dropped.size(), 1u);
+  EXPECT_EQ(log.dropped[0].line, 4u);
+  EXPECT_NE(log.dropped[0].reason.find("trailing tokens after 'end'"),
+            std::string::npos);
+
+  // Without a later well-formed 'end' the salvage is honest about it.
+  const TesterLog cut = parse_log(
+      "sddict testerlog v1\ntests 2\nt 0 1\nend extra\n", /*recover=*/true);
+  EXPECT_TRUE(cut.truncated);
+  ASSERT_EQ(cut.dropped.size(), 1u);
+  EXPECT_EQ(cut.observations[0], Observed::of(1));
+}
+
 TEST(TesterLog, RecoveryModeMarksMissingEndAsTruncated) {
   const TesterLog log =
       parse_log("sddict testerlog v1\ntests 2\nt 1 6\n", /*recover=*/true);
