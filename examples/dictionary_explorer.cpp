@@ -22,6 +22,7 @@
 #include "netlist/bench_io.h"
 #include "netlist/stats.h"
 #include "netlist/transform.h"
+#include "store/signature_store.h"
 #include "tgen/diagset.h"
 #include "tgen/ndetect.h"
 #include "util/budget.h"
@@ -36,7 +37,8 @@ int usage() {
                "usage: dictionary_explorer <benchmark-or-bench-file>\n"
                "  [--ttype=diag|10det] [--calls1=N] [--lower=N] [--seed=N]\n"
                "  [--threads=N] [--deadline=SECONDS] [--hybrid=true]\n"
-               "  [--save=FILE]\n\nregistered benchmarks:");
+               "  [--save=FILE] [--export-store=FILE]\n\n"
+               "registered benchmarks:");
   for (const auto& n : benchmark_names()) std::fprintf(stderr, " %s", n.c_str());
   std::fprintf(stderr, "\n");
   return 1;
@@ -48,7 +50,7 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   const auto unknown = args.unknown_flags(
       {"ttype", "calls1", "lower", "seed", "threads", "deadline", "hybrid",
-       "save"});
+       "save", "export-store"});
   if (!unknown.empty()) {
     for (const auto& f : unknown)
       std::fprintf(stderr, "unknown flag --%s\n", f.c_str());
@@ -186,6 +188,21 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("same/different dictionary written to %s\n", save.c_str());
+  }
+
+  // Packed serving artifact: what sddict_serve loads (mmap-ready, CRC'd).
+  const std::string export_store = args.get("export-store");
+  if (!export_store.empty()) {
+    try {
+      const SignatureStore store = SignatureStore::build(sd);
+      store.write_file(export_store);
+      std::printf("same/different store written to %s (%zu bytes)\n",
+                  export_store.c_str(), store.size_bytes());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "failed to write %s: %s\n", export_store.c_str(),
+                   e.what());
+      return 1;
+    }
   }
   return 0;
 }

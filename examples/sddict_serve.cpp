@@ -1,0 +1,301 @@
+// sddict_serve: the tester-floor query server. Loads one packed signature
+// store (dictionary_explorer --export-store writes them) and answers
+// diagnosis queries over a line protocol, on stdin/stdout by default or on
+// a Unix-domain socket with --socket.
+//
+// Protocol, one request per tester datalog (diag/testerlog.h format):
+//
+//   sddict testerlog v1        <- client sends a whole datalog, closed by
+//   tests <k>                     its well-formed `end` line
+//   t 0 4
+//   end
+//
+// and the server answers
+//
+//   diagnosis <outcome> best=<n> margin=<n> effective=<n> dont_care=<n>
+//       unknown=<n> completed=<0|1> stop=<reason> [dropped=<n>]
+//   candidate <rank> fault=<id> mismatches=<n>
+//   ...
+//   cover fault=<id> ...           (unmodeled-defect verdicts only)
+//   timing latency_ms=<x> cache_hit=<0|1>   <- volatile; CI diffs ignore it
+//   done
+//
+// Between datalogs the bare commands `stats` (print a counters line) and
+// `quit` are accepted. Responses always come back in request order, but
+// requests are submitted asynchronously as they are read, so piped input
+// actually exercises the service's micro-batching.
+//
+//   $ ./sddict_serve --store=dict.store [--threads=N] [--batch=N]
+//       [--cache=N] [--deadline-ms=X] [--load=auto|mmap|stream]
+//       [--socket=PATH [--once]]
+#include <cstdio>
+#include <deque>
+#include <exception>
+#include <future>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "diag/testerlog.h"
+#include "serve/diagnosis_service.h"
+#include "store/signature_store.h"
+#include "util/cli.h"
+#include "util/strings.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SDDICT_SERVE_HAS_SOCKET 1
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+using namespace sddict;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: sddict_serve --store=FILE [--threads=N] [--batch=N]\n"
+               "  [--cache=N] [--deadline-ms=X] [--load=auto|mmap|stream]\n"
+               "  [--socket=PATH [--once]]\n");
+  return 1;
+}
+
+struct PendingQuery {
+  std::future<ServiceResponse> future;
+  std::size_t dropped = 0;  // recovery-mode datalog records set aside
+};
+
+void print_response(std::ostream& out, const PendingQuery& q,
+                    ServiceResponse resp) {
+  const EngineDiagnosis& d = resp.diagnosis;
+  out << "diagnosis " << diagnosis_outcome_name(d.outcome)
+      << " best=" << d.best_mismatches << " margin=" << d.margin
+      << " effective=" << d.effective_tests << " dont_care=" << d.dont_care_tests
+      << " unknown=" << d.unknown_tests << " completed=" << (d.completed ? 1 : 0)
+      << " stop=" << stop_reason_name(d.stop_reason);
+  if (q.dropped > 0) out << " dropped=" << q.dropped;
+  out << "\n";
+  for (std::size_t i = 0; i < d.matches.size(); ++i)
+    out << "candidate " << (i + 1) << " fault=" << d.matches[i].fault
+        << " mismatches=" << d.matches[i].mismatches << "\n";
+  if (d.outcome == DiagnosisOutcome::kUnmodeledDefect && !d.cover.empty()) {
+    out << "cover";
+    for (FaultId f : d.cover) out << " fault=" << f;
+    out << " uncovered=" << d.uncovered_failures << "\n";
+  }
+  out << "timing latency_ms=" << resp.latency_ms
+      << " cache_hit=" << (resp.cache_hit ? 1 : 0) << "\n";
+  out << "done\n";
+  out.flush();
+}
+
+// Resolves and prints every pending response in submission order; with
+// block == false stops at the first not-yet-ready future.
+void drain(std::ostream& out, std::deque<PendingQuery>& pending, bool block) {
+  while (!pending.empty()) {
+    auto& q = pending.front();
+    if (!block &&
+        q.future.wait_for(std::chrono::seconds(0)) != std::future_status::ready)
+      return;
+    try {
+      print_response(out, q, q.future.get());
+    } catch (const std::exception& e) {
+      out << "error " << e.what() << "\n" << "done\n";
+      out.flush();
+    }
+    pending.pop_front();
+  }
+}
+
+// One client session: reads datalogs and commands until quit/EOF.
+void serve_session(DiagnosisService& service, std::istream& in,
+                   std::ostream& out) {
+  std::deque<PendingQuery> pending;
+  std::string line;
+  std::string block;
+  bool in_block = false;
+  while (std::getline(in, line)) {
+    const std::vector<std::string> tokens = split_ws(line);
+    if (!in_block && tokens.size() == 1 &&
+        (tokens[0] == "stats" || tokens[0] == "quit")) {
+      drain(out, pending, /*block=*/true);
+      if (tokens[0] == "quit") return;
+      out << "stats " << format_service_stats(service.stats()) << "\n";
+      out.flush();
+      continue;
+    }
+    if (!tokens.empty()) in_block = true;
+    block += line;
+    block += '\n';
+    // A well-formed `end` line is exactly what closes a datalog for the
+    // reader (diag/testerlog.h) — same framing rule here.
+    if (tokens.size() == 1 && tokens[0] == "end") {
+      std::istringstream blockin(block);
+      block.clear();
+      in_block = false;
+      PendingQuery q;
+      try {
+        const TesterLog log = read_testerlog(blockin, {.recover = true});
+        q.dropped = log.dropped.size();
+        q.future = service.submit(log.observations);
+      } catch (const std::exception& e) {
+        drain(out, pending, /*block=*/true);
+        out << "error " << e.what() << "\n" << "done\n";
+        out.flush();
+        continue;
+      }
+      pending.push_back(std::move(q));
+      drain(out, pending, /*block=*/false);
+    }
+  }
+  drain(out, pending, /*block=*/true);
+}
+
+#ifdef SDDICT_SERVE_HAS_SOCKET
+// Minimal read/write streambuf over a connected socket fd.
+class FdStreamBuf : public std::streambuf {
+ public:
+  explicit FdStreamBuf(int fd) : fd_(fd) {
+    setg(in_, in_, in_);
+    setp(out_, out_ + sizeof out_);
+  }
+  ~FdStreamBuf() override { sync(); }
+
+ protected:
+  int_type underflow() override {
+    if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+    const ssize_t n = ::read(fd_, in_, sizeof in_);
+    if (n <= 0) return traits_type::eof();
+    setg(in_, in_, in_ + n);
+    return traits_type::to_int_type(*gptr());
+  }
+  int_type overflow(int_type ch) override {
+    if (sync() != 0) return traits_type::eof();
+    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+      *pptr() = traits_type::to_char_type(ch);
+      pbump(1);
+    }
+    return traits_type::not_eof(ch);
+  }
+  int sync() override {
+    const char* p = pbase();
+    while (p < pptr()) {
+      const ssize_t n = ::write(fd_, p, static_cast<std::size_t>(pptr() - p));
+      if (n <= 0) return -1;
+      p += n;
+    }
+    setp(out_, out_ + sizeof out_);
+    return 0;
+  }
+
+ private:
+  int fd_;
+  char in_[4096];
+  char out_[4096];
+};
+
+int serve_socket(DiagnosisService& service, const std::string& path,
+                 bool once) {
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    std::fprintf(stderr, "socket path too long: %s\n", path.c_str());
+    ::close(listener);
+    return 1;
+  }
+  std::snprintf(addr.sun_path, sizeof addr.sun_path, "%s", path.c_str());
+  ::unlink(path.c_str());
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(listener, 8) != 0) {
+    std::perror(path.c_str());
+    ::close(listener);
+    return 1;
+  }
+  std::fprintf(stderr, "listening on %s\n", path.c_str());
+  for (;;) {
+    const int conn = ::accept(listener, nullptr, nullptr);
+    if (conn < 0) continue;
+    {
+      FdStreamBuf buf(conn);
+      std::istream in(&buf);
+      std::ostream out(&buf);
+      serve_session(service, in, out);
+    }
+    ::close(conn);
+    if (once) break;
+  }
+  ::close(listener);
+  ::unlink(path.c_str());
+  return 0;
+}
+#endif
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const auto unknown = args.unknown_flags({"store", "threads", "batch", "cache",
+                                           "deadline-ms", "load", "socket",
+                                           "once"});
+  if (!unknown.empty()) {
+    for (const auto& f : unknown)
+      std::fprintf(stderr, "unknown flag --%s\n", f.c_str());
+    return usage();
+  }
+
+  std::string store_path, load_mode, socket_path;
+  ServiceOptions opts;
+  bool once = false;
+  try {
+    store_path = args.get("store");
+    if (store_path.empty())
+      throw std::invalid_argument("flag --store is required");
+    opts.threads = static_cast<std::size_t>(args.get_int("threads", 1, 0, 4096));
+    opts.batch = static_cast<std::size_t>(args.get_int("batch", 8, 1, 1 << 16));
+    opts.cache = static_cast<std::size_t>(args.get_int("cache", 256, 0, 1 << 24));
+    opts.deadline_ms = args.get_double("deadline-ms", 0);
+    if (opts.deadline_ms < 0)
+      throw std::invalid_argument("flag --deadline-ms must be >= 0");
+    load_mode = args.get("load", "auto");
+    if (load_mode != "auto" && load_mode != "mmap" && load_mode != "stream")
+      throw std::invalid_argument("flag --load must be auto, mmap or stream");
+    socket_path = args.get("socket");
+    once = args.get_bool("once", false);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return usage();
+  }
+
+  try {
+    const StoreLoadMode mode = load_mode == "mmap"   ? StoreLoadMode::kMmap
+                               : load_mode == "stream" ? StoreLoadMode::kStream
+                                                       : StoreLoadMode::kAuto;
+    SignatureStore store = SignatureStore::load_file(store_path, mode);
+    std::fprintf(stderr,
+                 "store %s: kind=%s source=%s faults=%zu tests=%zu %s\n",
+                 store_path.c_str(), store_kind_name(store.kind()),
+                 store_source_name(store.source()), store.num_faults(),
+                 store.num_tests(), store.mapped() ? "mmap" : "stream");
+    DiagnosisService service(std::move(store), opts);
+    if (!socket_path.empty()) {
+#ifdef SDDICT_SERVE_HAS_SOCKET
+      return serve_socket(service, socket_path, once);
+#else
+      std::fprintf(stderr, "--socket is not supported on this platform\n");
+      return 1;
+#endif
+    }
+    serve_session(service, std::cin, std::cout);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sddict_serve: %s\n", e.what());
+    return 1;
+  }
+}

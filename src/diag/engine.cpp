@@ -1,10 +1,12 @@
 #include "diag/engine.h"
 
 #include <algorithm>
-#include <bit>
 #include <functional>
+#include <stdexcept>
 #include <utility>
 
+#include "store/kernels.h"
+#include "store/signature_store.h"
 #include "util/bitvec.h"
 
 namespace sddict {
@@ -30,18 +32,6 @@ namespace {
 
 // Faults scored between budget polls in the ranking loops.
 constexpr FaultId kPollStride = 256;
-
-// popcount((row ^ obs) & care): mismatches over the cared positions only.
-std::uint32_t masked_mismatches(const BitVec& row, const BitVec& obs,
-                                const BitVec& care) {
-  const auto& rw = row.words();
-  const auto& ow = obs.words();
-  const auto& cw = care.words();
-  std::uint32_t n = 0;
-  for (std::size_t i = 0; i < rw.size(); ++i)
-    n += static_cast<std::uint32_t>(std::popcount((rw[i] ^ ow[i]) & cw[i]));
-  return n;
-}
 
 // Tri-state pass/fail projection: 1 fail, 0 pass, -1 not derivable (for a
 // row bit) or don't-care (for an observation).
@@ -264,111 +254,219 @@ EngineDiagnosis run_chain(const ObservationSummary& sum,
   return out;
 }
 
-}  // namespace
+// --- Per-kind implementations, shared by the dictionary and the packed
+// SignatureStore entry points. Each is templated over the row accessors
+// (BitVec rows and mmap'd store rows expose the same word layout), so the
+// dictionary overload and the store overload of a kind run literally the
+// same code — the basis of the serving layer's equivalence guarantee. The
+// native mismatch loops go through the word-parallel kernels
+// (store/kernels.h) instead of per-bit loops.
 
-EngineDiagnosis diagnose_observed(const PassFailDictionary& dict,
-                                  const std::vector<Observed>& observed,
-                                  const EngineOptions& options) {
-  check_observation_size("diagnose_observed(pass/fail): observed tests",
-                         dict.num_tests(), observed.size());
+// RowWordsFn: FaultId -> const uint64_t* (num_tests bits, BitVec layout,
+// zero tail).
+template <typename RowWordsFn>
+EngineDiagnosis diagnose_passfail_impl(std::size_t num_faults,
+                                       std::size_t num_tests,
+                                       const RowWordsFn& row_words,
+                                       const std::vector<Observed>& observed,
+                                       const EngineOptions& options,
+                                       const char* what) {
+  check_observation_size(what, num_tests, observed.size());
   ObservationSummary sum;
-  sum.num_faults = dict.num_faults();
+  sum.num_faults = num_faults;
   PfProjection pf;
   pf.obs = project_observation(observed, &sum);
   pf.comparable_tests = sum.effective_tests;
-  pf.bit = [&dict](FaultId f, std::size_t t) { return dict.bit(f, t) ? 1 : 0; };
+  pf.bit = [&row_words](FaultId f, std::size_t t) {
+    return kernels::bit_at(row_words(f), t) ? 1 : 0;
+  };
 
-  BitVec bits(dict.num_tests());
-  BitVec care(dict.num_tests());
+  BitVec bits(num_tests);
+  BitVec care(num_tests);
   for (std::size_t t = 0; t < observed.size(); ++t) {
     if (observed[t].dont_care()) continue;
     care.set(t, true);
     bits.set(t, observed[t].value != 0);  // id 0 == fault-free == pass
   }
+  const std::uint64_t* ow = bits.words().data();
+  const std::uint64_t* cw = care.words().data();
+  const std::size_t nw = bits.words().size();
   return run_chain(
       sum,
-      [&](FaultId f) { return masked_mismatches(dict.row(f), bits, care); },
+      [&](FaultId f) { return kernels::masked_hamming(row_words(f), ow, cw, nw); },
       pf, options);
+}
+
+// BaselineFn: test -> baseline response id.
+template <typename RowWordsFn, typename BaselineFn>
+EngineDiagnosis diagnose_samediff_impl(std::size_t num_faults,
+                                       std::size_t num_tests,
+                                       const RowWordsFn& row_words,
+                                       const BaselineFn& baseline,
+                                       const std::vector<Observed>& observed,
+                                       const EngineOptions& options,
+                                       const char* what) {
+  check_observation_size(what, num_tests, observed.size());
+  ObservationSummary sum;
+  sum.num_faults = num_faults;
+  PfProjection pf;
+  pf.obs = project_observation(observed, &sum);
+  pf.comparable_tests = sum.effective_tests;
+  pf.bit = [&row_words, &baseline](FaultId f, std::size_t t) {
+    // Baseline id 0 is the fault-free response: the bit IS the pass/fail
+    // bit. Against a non-fault-free baseline, bit 0 (matches the baseline)
+    // implies "differs from fault-free" — a fail — while bit 1 says
+    // nothing about pass/fail.
+    if (baseline(t) == 0) return kernels::bit_at(row_words(f), t) ? 1 : 0;
+    return kernels::bit_at(row_words(f), t) ? -1 : 1;
+  };
+
+  BitVec bits(num_tests);
+  BitVec care(num_tests);
+  for (std::size_t t = 0; t < observed.size(); ++t) {
+    if (observed[t].dont_care()) continue;
+    care.set(t, true);
+    bits.set(t, observed[t].value != baseline(t));
+  }
+  const std::uint64_t* ow = bits.words().data();
+  const std::uint64_t* cw = care.words().data();
+  const std::size_t nw = bits.words().size();
+  return run_chain(
+      sum,
+      [&](FaultId f) { return kernels::masked_hamming(row_words(f), ow, cw, nw); },
+      pf, options);
+}
+
+// RowWordsFn rows are num_tests*rank bits; BaselineSetFn: test ->
+// {ids, count} of its (possibly ragged) baseline set.
+template <typename RowWordsFn, typename BaselineSetFn>
+EngineDiagnosis diagnose_multibaseline_impl(
+    std::size_t num_faults, std::size_t num_tests, std::size_t rank,
+    const RowWordsFn& row_words, const BaselineSetFn& baseline_set,
+    const std::vector<Observed>& observed, const EngineOptions& options,
+    const char* what) {
+  check_observation_size(what, num_tests, observed.size());
+  ObservationSummary sum;
+  sum.num_faults = num_faults;
+
+  // Slot of the fault-free response among each test's baselines, -1 if
+  // absent (then a matched non-fault-free baseline still implies "fail").
+  std::vector<int> ff_slot(num_tests, -1);
+  for (std::size_t t = 0; t < num_tests; ++t) {
+    const auto [ids, count] = baseline_set(t);
+    for (std::size_t l = 0; l < count; ++l)
+      if (ids[l] == 0) ff_slot[t] = static_cast<int>(l);
+  }
+
+  PfProjection pf;
+  pf.obs = project_observation(observed, &sum);
+  pf.comparable_tests = sum.effective_tests;
+  pf.bit = [&row_words, &baseline_set, &ff_slot, rank](FaultId f,
+                                                       std::size_t t) {
+    const std::uint64_t* row = row_words(f);
+    if (ff_slot[t] >= 0)
+      return kernels::bit_at(row, t * rank + static_cast<std::size_t>(
+                                                 ff_slot[t]))
+                 ? 1
+                 : 0;
+    const auto [ids, count] = baseline_set(t);
+    (void)ids;
+    for (std::size_t l = 0; l < count; ++l)
+      if (!kernels::bit_at(row, t * rank + l)) return 1;
+    return -1;
+  };
+
+  BitVec bits(num_tests * rank);
+  BitVec care(num_tests * rank);
+  for (std::size_t t = 0; t < observed.size(); ++t) {
+    if (observed[t].dont_care()) continue;
+    const auto [ids, count] = baseline_set(t);
+    for (std::size_t l = 0; l < rank; ++l) {
+      care.set(t * rank + l, true);
+      if (l >= count || observed[t].value != ids[l])
+        bits.set(t * rank + l, true);
+    }
+  }
+  const std::uint64_t* ow = bits.words().data();
+  const std::uint64_t* cw = care.words().data();
+  const std::size_t nw = bits.words().size();
+  return run_chain(
+      sum,
+      [&](FaultId f) { return kernels::masked_hamming(row_words(f), ow, cw, nw); },
+      pf, options);
+}
+
+// RowIdsFn: FaultId -> const ResponseId* (num_tests u32 lanes).
+template <typename RowIdsFn>
+EngineDiagnosis diagnose_full_impl(std::size_t num_faults,
+                                   std::size_t num_tests,
+                                   const RowIdsFn& row_ids,
+                                   const std::vector<Observed>& observed,
+                                   const EngineOptions& options,
+                                   const char* what) {
+  check_observation_size(what, num_tests, observed.size());
+  ObservationSummary sum;
+  sum.num_faults = num_faults;
+  PfProjection pf;
+  pf.obs = project_observation(observed, &sum);
+  pf.comparable_tests = sum.effective_tests;
+  pf.bit = [&row_ids](FaultId f, std::size_t t) {
+    return row_ids(f)[t] != 0 ? 1 : 0;
+  };
+
+  // Dictionary entries are always modeled ids, so kUnknownResponse in the
+  // observation lane mismatches every row — the kernel needs no special
+  // case for it.
+  std::vector<std::uint32_t> obs(num_tests, 0);
+  std::vector<std::uint8_t> care(num_tests, 0);
+  for (std::size_t t = 0; t < observed.size(); ++t) {
+    if (observed[t].dont_care()) continue;
+    care[t] = 1;
+    obs[t] = observed[t].value;
+  }
+  return run_chain(
+      sum,
+      [&](FaultId f) {
+        return kernels::masked_symbol_mismatches(row_ids(f), obs.data(),
+                                                 care.data(), num_tests);
+      },
+      pf, options);
+}
+
+}  // namespace
+
+EngineDiagnosis diagnose_observed(const PassFailDictionary& dict,
+                                  const std::vector<Observed>& observed,
+                                  const EngineOptions& options) {
+  return diagnose_passfail_impl(
+      dict.num_faults(), dict.num_tests(),
+      [&dict](FaultId f) { return dict.row(f).words().data(); }, observed,
+      options, "diagnose_observed(pass/fail): observed tests");
 }
 
 EngineDiagnosis diagnose_observed(const SameDifferentDictionary& dict,
                                   const std::vector<Observed>& observed,
                                   const EngineOptions& options) {
-  check_observation_size("diagnose_observed(same/different): observed tests",
-                         dict.num_tests(), observed.size());
-  ObservationSummary sum;
-  sum.num_faults = dict.num_faults();
-  PfProjection pf;
-  pf.obs = project_observation(observed, &sum);
-  pf.comparable_tests = sum.effective_tests;
-  pf.bit = [&dict](FaultId f, std::size_t t) {
-    // Baseline id 0 is the fault-free response: the bit IS the pass/fail
-    // bit. Against a non-fault-free baseline, bit 0 (matches the baseline)
-    // implies "differs from fault-free" — a fail — while bit 1 says
-    // nothing about pass/fail.
-    if (dict.baselines()[t] == 0) return dict.bit(f, t) ? 1 : 0;
-    return dict.bit(f, t) ? -1 : 1;
-  };
-
   const auto& bl = dict.baselines();
-  BitVec bits(dict.num_tests());
-  BitVec care(dict.num_tests());
-  for (std::size_t t = 0; t < observed.size(); ++t) {
-    if (observed[t].dont_care()) continue;
-    care.set(t, true);
-    bits.set(t, observed[t].value != bl[t]);
-  }
-  return run_chain(
-      sum,
-      [&](FaultId f) { return masked_mismatches(dict.row(f), bits, care); },
-      pf, options);
+  return diagnose_samediff_impl(
+      dict.num_faults(), dict.num_tests(),
+      [&dict](FaultId f) { return dict.row(f).words().data(); },
+      [&bl](std::size_t t) { return bl[t]; }, observed, options,
+      "diagnose_observed(same/different): observed tests");
 }
 
 EngineDiagnosis diagnose_observed(const MultiBaselineDictionary& dict,
                                   const std::vector<Observed>& observed,
                                   const EngineOptions& options) {
-  check_observation_size("diagnose_observed(multi-baseline): observed tests",
-                         dict.num_tests(), observed.size());
-  ObservationSummary sum;
-  sum.num_faults = dict.num_faults();
-  const std::size_t rank = dict.baselines_per_test();
-
-  // Slot of the fault-free response among each test's baselines, -1 if
-  // absent (then a matched non-fault-free baseline still implies "fail").
-  std::vector<int> ff_slot(dict.num_tests(), -1);
-  for (std::size_t t = 0; t < dict.num_tests(); ++t) {
-    const auto& bs = dict.baselines()[t];
-    for (std::size_t l = 0; l < bs.size(); ++l)
-      if (bs[l] == 0) ff_slot[t] = static_cast<int>(l);
-  }
-
-  PfProjection pf;
-  pf.obs = project_observation(observed, &sum);
-  pf.comparable_tests = sum.effective_tests;
-  pf.bit = [&dict, &ff_slot](FaultId f, std::size_t t) {
-    if (ff_slot[t] >= 0)
-      return dict.bit(f, t, static_cast<std::size_t>(ff_slot[t])) ? 1 : 0;
-    const auto& bs = dict.baselines()[t];
-    for (std::size_t l = 0; l < bs.size(); ++l)
-      if (!dict.bit(f, t, l)) return 1;
-    return -1;
-  };
-
-  BitVec bits(dict.num_tests() * rank);
-  BitVec care(dict.num_tests() * rank);
-  for (std::size_t t = 0; t < observed.size(); ++t) {
-    if (observed[t].dont_care()) continue;
-    const auto& bs = dict.baselines()[t];
-    for (std::size_t l = 0; l < rank; ++l) {
-      care.set(t * rank + l, true);
-      if (l >= bs.size() || observed[t].value != bs[l])
-        bits.set(t * rank + l, true);
-    }
-  }
-  return run_chain(
-      sum,
-      [&](FaultId f) { return masked_mismatches(dict.row(f), bits, care); },
-      pf, options);
+  const auto& bl = dict.baselines();
+  return diagnose_multibaseline_impl(
+      dict.num_faults(), dict.num_tests(), dict.baselines_per_test(),
+      [&dict](FaultId f) { return dict.row(f).words().data(); },
+      [&bl](std::size_t t) {
+        return std::pair<const ResponseId*, std::size_t>{bl[t].data(),
+                                                         bl[t].size()};
+      },
+      observed, options, "diagnose_observed(multi-baseline): observed tests");
 }
 
 EngineDiagnosis diagnose_observed(const FirstFailDictionary& dict,
@@ -425,30 +523,38 @@ EngineDiagnosis diagnose_observed(const FirstFailDictionary& dict,
 EngineDiagnosis diagnose_observed(const FullDictionary& dict,
                                   const std::vector<Observed>& observed,
                                   const EngineOptions& options) {
-  check_observation_size("diagnose_observed(full): observed tests",
-                         dict.num_tests(), observed.size());
-  ObservationSummary sum;
-  sum.num_faults = dict.num_faults();
-  PfProjection pf;
-  pf.obs = project_observation(observed, &sum);
-  pf.comparable_tests = sum.effective_tests;
-  pf.bit = [&dict](FaultId f, std::size_t t) {
-    return dict.entry(f, t) != 0 ? 1 : 0;
-  };
+  return diagnose_full_impl(
+      dict.num_faults(), dict.num_tests(),
+      [&dict](FaultId f) { return dict.row_entries(f); }, observed, options,
+      "diagnose_observed(full): observed tests");
+}
 
-  std::vector<std::pair<std::size_t, ResponseId>> cared;
-  cared.reserve(observed.size());
-  for (std::size_t t = 0; t < observed.size(); ++t)
-    if (!observed[t].dont_care()) cared.emplace_back(t, observed[t].value);
-  return run_chain(
-      sum,
-      [&](FaultId f) {
-        std::uint32_t mism = 0;
-        for (const auto& [t, v] : cared)
-          if (v == kUnknownResponse || dict.entry(f, t) != v) ++mism;
-        return mism;
-      },
-      pf, options);
+EngineDiagnosis diagnose_observed(const SignatureStore& store,
+                                  const std::vector<Observed>& observed,
+                                  const EngineOptions& options) {
+  const auto row = [&store](FaultId f) { return store.row_words(f); };
+  switch (store.kind()) {
+    case StoreKind::kPassFail:
+      return diagnose_passfail_impl(
+          store.num_faults(), store.num_tests(), row, observed, options,
+          "diagnose_observed(store): observed tests");
+    case StoreKind::kSameDifferent:
+      return diagnose_samediff_impl(
+          store.num_faults(), store.num_tests(), row,
+          [&store](std::size_t t) { return store.baselines()[t]; }, observed,
+          options, "diagnose_observed(store): observed tests");
+    case StoreKind::kMultiBaseline:
+      return diagnose_multibaseline_impl(
+          store.num_faults(), store.num_tests(), store.rank(), row,
+          [&store](std::size_t t) { return store.baseline_set(t); }, observed,
+          options, "diagnose_observed(store): observed tests");
+    case StoreKind::kFull:
+      return diagnose_full_impl(
+          store.num_faults(), store.num_tests(),
+          [&store](FaultId f) { return store.full_row(f); }, observed, options,
+          "diagnose_observed(store): observed tests");
+  }
+  throw std::runtime_error("diagnose_observed(store): bad store kind");
 }
 
 }  // namespace sddict

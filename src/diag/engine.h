@@ -119,6 +119,17 @@ EngineDiagnosis diagnose_observed(const FullDictionary& dict,
                                   const std::vector<Observed>& observed,
                                   const EngineOptions& options = {});
 
+// Packed-store entry point (store/signature_store.h): dispatches on the
+// store's kind and ranks straight off the mmap'd rows through the
+// word-parallel kernels — same staged chain, bit-identical results to the
+// dictionary overload of the same kind (the per-kind implementations are
+// shared; only the row accessor differs). A first-fail or detection-list
+// store has kind pass/fail and is diagnosed in that projection.
+class SignatureStore;
+EngineDiagnosis diagnose_observed(const SignatureStore& store,
+                                  const std::vector<Observed>& observed,
+                                  const EngineOptions& options = {});
+
 // 1-based rank of `fault` in a best-first candidate list; 0 when absent.
 std::size_t true_fault_rank(const std::vector<DiagnosisMatch>& matches,
                             FaultId fault);

@@ -35,6 +35,11 @@ class FullDictionary {
   ResponseId entry(FaultId f, std::size_t t) const {
     return entries_[static_cast<std::size_t>(f) * num_tests_ + t];
   }
+  // Contiguous num_tests-wide row of a fault — the operand of the
+  // word-parallel symbol-mismatch kernel (store/kernels.h).
+  const ResponseId* row_entries(FaultId f) const {
+    return entries_.data() + static_cast<std::size_t>(f) * num_tests_;
+  }
 
   std::uint64_t size_bits() const {
     return dictionary_sizes(num_tests_, num_faults_, num_outputs_).full_bits;

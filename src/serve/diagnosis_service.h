@@ -1,0 +1,169 @@
+// Concurrent batched diagnosis service — the query-serving layer over one
+// packed SignatureStore (or, for the equivalence harness, one dictionary)
+// and the noise-tolerant engine (diag/engine.h).
+//
+// Shape: producers submit() qualified observations into a bounded MPMC
+// queue (submit blocks when the queue is full — backpressure, not
+// unbounded memory) and get a std::future. A single dispatcher thread
+// drains the queue in micro-batches of up to `batch` requests, answers
+// what it can from an LRU cache keyed by the observation's 128-bit hash
+// (util/hash.h), and ranks the rest across the shared ThreadPool — one
+// whole diagnosis per worker task, so a batch of b queries costs b
+// independent kernel sweeps with no cross-request locking. Because the
+// cache and its LRU list are touched only by the dispatcher thread, cache
+// maintenance needs no lock at all.
+//
+// Per-request deadlines reuse the RunBudget anytime semantics: a request
+// whose remaining deadline expires mid-rank resolves (never throws) with
+// the engine's best-so-far prefix and completed == false. Only completed
+// results enter the cache.
+//
+// With batch == 1, the cache off and no deadline, a service response is
+// bit-identical to calling diagnose_observed() directly — the property
+// the single-query equivalence gate (tests/test_serving.cpp) pins down.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <list>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "diag/engine.h"
+#include "store/signature_store.h"
+#include "util/hash.h"
+#include "util/threadpool.h"
+
+namespace sddict {
+
+struct ServiceOptions {
+  std::size_t threads = 1;  // ranking workers; 0 = hardware concurrency
+  std::size_t batch = 8;    // max requests ranked per micro-batch
+  std::size_t cache = 256;  // LRU capacity in entries; 0 disables
+  double deadline_ms = 0;   // per-request deadline from submit(); 0 = none
+  std::size_t queue_capacity = 1024;  // bounded request queue
+  EngineOptions engine{};             // tolerance, max_results, ...
+};
+
+struct ServiceResponse {
+  EngineDiagnosis diagnosis;
+  bool cache_hit = false;
+  double latency_ms = 0;  // submit() -> resolution
+};
+
+// Counter snapshot for the report layer. Latency percentiles come from a
+// 64-bucket log2 histogram (microsecond resolution), so p50/p99 are upper
+// bounds of their bucket, not exact order statistics.
+struct ServiceStats {
+  std::uint64_t requests = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  // Fallback-stage tallies, indexed by DiagnosisOutcome.
+  std::uint64_t outcomes[4] = {0, 0, 0, 0};
+  std::uint64_t deadline_expired = 0;  // resolved with completed == false
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double max_ms = 0;
+};
+
+std::string format_service_stats(const ServiceStats& s);
+
+class DiagnosisService {
+ public:
+  // Store-backed service: the deployment path.
+  DiagnosisService(SignatureStore store, const ServiceOptions& options = {});
+  // Dictionary-backed services: same engine, same batching, no packed
+  // rows. These exist so every dictionary type (including first-fail,
+  // which a store can only carry as its pass/fail projection) can be
+  // served and equivalence-tested against the direct engine call.
+  DiagnosisService(PassFailDictionary dict, const ServiceOptions& options = {});
+  DiagnosisService(SameDifferentDictionary dict,
+                   const ServiceOptions& options = {});
+  DiagnosisService(MultiBaselineDictionary dict,
+                   const ServiceOptions& options = {});
+  DiagnosisService(FullDictionary dict, const ServiceOptions& options = {});
+  DiagnosisService(FirstFailDictionary dict, ResponseMatrix rm,
+                   const ServiceOptions& options = {});
+
+  // Drains every in-flight and queued request, then joins.
+  ~DiagnosisService();
+
+  DiagnosisService(const DiagnosisService&) = delete;
+  DiagnosisService& operator=(const DiagnosisService&) = delete;
+
+  std::size_t num_tests() const;
+  std::size_t num_faults() const;
+
+  // Enqueues one observation. Blocks while the queue is full; throws
+  // std::runtime_error after shutdown(). The future always resolves — a
+  // malformed observation (wrong length) resolves it with the engine's
+  // exception rather than throwing here.
+  std::future<ServiceResponse> submit(std::vector<Observed> observed);
+
+  // submit() + wait: the synchronous convenience path.
+  ServiceResponse diagnose(std::vector<Observed> observed);
+
+  // Stops accepting new requests and blocks until everything queued has
+  // resolved. Idempotent; stats() remains valid afterwards.
+  void shutdown();
+
+  ServiceStats stats() const;
+
+ private:
+  struct Request {
+    std::vector<Observed> observed;
+    std::promise<ServiceResponse> promise;
+    std::chrono::steady_clock::time_point submitted;
+  };
+  struct CacheEntry {
+    EngineDiagnosis diagnosis;
+    std::list<Hash128>::iterator lru;
+  };
+
+  void dispatcher_loop();
+  void process_batch(std::vector<Request>& batch);
+  EngineDiagnosis run_one(const std::vector<Observed>& observed,
+                          std::chrono::steady_clock::time_point submitted);
+  void record(const EngineDiagnosis& d, bool cache_hit, double latency_ms);
+
+  // Exactly one alternative is engaged for the service's lifetime.
+  struct FirstFailBackend {
+    FirstFailDictionary dict;
+    ResponseMatrix rm;
+  };
+  std::variant<SignatureStore, PassFailDictionary, SameDifferentDictionary,
+               MultiBaselineDictionary, FullDictionary, FirstFailBackend>
+      backend_;
+  ServiceOptions options_;
+  ThreadPool pool_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_not_empty_;
+  std::condition_variable queue_not_full_;
+  std::condition_variable queue_drained_;
+  std::deque<Request> queue_;
+  bool accepting_ = true;
+  bool stopping_ = false;
+  bool in_flight_ = false;  // dispatcher holds an unresolved batch
+
+  // Dispatcher-thread-only state (no lock: single reader/writer).
+  std::unordered_map<Hash128, CacheEntry, Hash128Hasher> cache_;
+  std::list<Hash128> lru_;  // front = most recent
+
+  mutable std::mutex stats_mutex_;
+  ServiceStats stats_;
+  std::uint64_t latency_buckets_[64] = {};  // log2(us), guarded by stats_mutex_
+
+  std::thread dispatcher_;  // last member: joins before the rest dies
+};
+
+}  // namespace sddict

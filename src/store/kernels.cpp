@@ -1,0 +1,53 @@
+#include "store/kernels.h"
+
+#include <bit>
+
+namespace sddict::kernels {
+
+std::uint32_t hamming(const std::uint64_t* a, const std::uint64_t* b,
+                      std::size_t nwords) {
+  std::uint32_t n = 0;
+  for (std::size_t i = 0; i < nwords; ++i)
+    n += static_cast<std::uint32_t>(std::popcount(a[i] ^ b[i]));
+  return n;
+}
+
+std::uint32_t masked_hamming(const std::uint64_t* row, const std::uint64_t* obs,
+                             const std::uint64_t* care, std::size_t nwords) {
+  std::uint32_t n = 0;
+  for (std::size_t i = 0; i < nwords; ++i)
+    n += static_cast<std::uint32_t>(std::popcount((row[i] ^ obs[i]) & care[i]));
+  return n;
+}
+
+std::uint32_t masked_symbol_mismatches(const std::uint32_t* row,
+                                       const std::uint32_t* obs,
+                                       const std::uint8_t* care,
+                                       std::size_t n) {
+  std::uint32_t mism = 0;
+  for (std::size_t t = 0; t < n; ++t)
+    mism += static_cast<std::uint32_t>(care[t] & (row[t] != obs[t]));
+  return mism;
+}
+
+std::uint32_t masked_hamming_reference(const std::uint64_t* row,
+                                       const std::uint64_t* obs,
+                                       const std::uint64_t* care,
+                                       std::size_t nbits) {
+  std::uint32_t n = 0;
+  for (std::size_t i = 0; i < nbits; ++i)
+    if (bit_at(care, i) && bit_at(row, i) != bit_at(obs, i)) ++n;
+  return n;
+}
+
+std::uint32_t masked_symbol_mismatches_reference(const std::uint32_t* row,
+                                                 const std::uint32_t* obs,
+                                                 const std::uint8_t* care,
+                                                 std::size_t n) {
+  std::uint32_t mism = 0;
+  for (std::size_t t = 0; t < n; ++t)
+    if (care[t] && row[t] != obs[t]) ++mism;
+  return mism;
+}
+
+}  // namespace sddict::kernels

@@ -1,0 +1,51 @@
+// Word-parallel signature-matching kernels: the cycles of a diagnosis
+// query go into Hamming distances between an observed signature and every
+// fault's dictionary row, so these run 64 positions per std::popcount
+// instead of one per branch. The masked variants implement the engine's
+// don't-care semantics (diag/engine.h): a position whose care bit is 0
+// never counts as a mismatch, whatever the row holds.
+//
+// The *_reference functions are the legacy per-position loops, kept as the
+// differential oracle: bench_throughput self-checks that packed and
+// reference rankings are identical before reporting a speedup, and the
+// store tests compare the two on random inputs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sddict::kernels {
+
+// Bit i of a packed row (BitVec word layout: bit i lives in word i>>6 at
+// position i&63).
+inline bool bit_at(const std::uint64_t* words, std::size_t i) {
+  return (words[i >> 6] >> (i & 63)) & 1u;
+}
+
+// popcount(a ^ b) over nwords 64-bit lanes.
+std::uint32_t hamming(const std::uint64_t* a, const std::uint64_t* b,
+                      std::size_t nwords);
+
+// popcount((row ^ obs) & care) over nwords lanes: mismatches over the
+// cared positions only.
+std::uint32_t masked_hamming(const std::uint64_t* row, const std::uint64_t* obs,
+                             const std::uint64_t* care, std::size_t nwords);
+
+// Symbol-lane mismatch count for id-valued rows (full dictionary): the
+// number of positions t < n with care[t] != 0 and row[t] != obs[t]. The
+// comparison is branch-free per lane so the compiler can vectorize it.
+std::uint32_t masked_symbol_mismatches(const std::uint32_t* row,
+                                       const std::uint32_t* obs,
+                                       const std::uint8_t* care, std::size_t n);
+
+// Legacy per-position loops (one branch per bit/symbol).
+std::uint32_t masked_hamming_reference(const std::uint64_t* row,
+                                       const std::uint64_t* obs,
+                                       const std::uint64_t* care,
+                                       std::size_t nbits);
+std::uint32_t masked_symbol_mismatches_reference(const std::uint32_t* row,
+                                                 const std::uint32_t* obs,
+                                                 const std::uint8_t* care,
+                                                 std::size_t n);
+
+}  // namespace sddict::kernels

@@ -28,6 +28,11 @@ std::string flip_byte(std::string text, std::size_t index) {
   return text;
 }
 
+std::string truncate_to(std::string bytes, std::size_t size) {
+  if (size < bytes.size()) bytes.resize(size);
+  return bytes;
+}
+
 std::vector<Observed> apply_noise(const std::vector<ResponseId>& observed,
                                   const ResponseMatrix& rm,
                                   const NoiseChannel& noise) {

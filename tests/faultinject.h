@@ -82,7 +82,13 @@ class ThrowAfterReadBuf : public std::streambuf {
 
 // The mutation-fuzzer primitive: returns `text` with the byte at `index`
 // xor'd with 1 (flips '0' <-> '1', perturbs digits, letters and '\n').
+// Works equally on binary images (the signature-store fuzzers flip every
+// byte of a packed store through it).
 std::string flip_byte(std::string text, std::size_t index);
+
+// The truncation-fuzzer primitive: the first `size` bytes of `bytes` —
+// a torn download / partial copy of a binary artifact.
+std::string truncate_to(std::string bytes, std::size_t size);
 
 // Deterministic observation-noise channel. Per test, in fixed draw order:
 // with probability drop_rate the record is lost (kMissing); otherwise with

@@ -1,0 +1,440 @@
+// Signature-store suite (ISSUE 4): the packed on-disk format and its
+// kernels.
+//
+//  * round trips for every store kind (pass/fail, same/different,
+//    multi-baseline, full) plus the pass/fail projections of first-fail
+//    and detection-list dictionaries — to_bytes/from_bytes, write_file/
+//    load_file, dictionary reconstruction, and diagnose equivalence of the
+//    store path against the dictionary path;
+//  * mmap vs. stream loads are byte- and behavior-identical;
+//  * word-parallel kernels against their per-bit reference loops on random
+//    operands;
+//  * fault injection (same discipline as the v2 serialization trailer):
+//    EVERY single-byte flip and EVERY truncation of a packed store must be
+//    rejected with a named std::runtime_error — never a crash, never a
+//    silently wrong answer.
+//
+// Registered under the "robustness" ctest label (sanitizer presets).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bmcirc/synth.h"
+#include "diag/engine.h"
+#include "dict/detlist_dict.h"
+#include "dict/firstfail_dict.h"
+#include "dict/full_dict.h"
+#include "dict/multibaseline_dict.h"
+#include "dict/passfail_dict.h"
+#include "dict/samediff_dict.h"
+#include "fault/collapse.h"
+#include "faultinject.h"
+#include "sim/response.h"
+#include "sim/testset.h"
+#include "store/kernels.h"
+#include "store/signature_store.h"
+#include "util/crc32.h"
+#include "util/rng.h"
+
+namespace sddict {
+namespace {
+
+using testing::flip_byte;
+using testing::truncate_to;
+
+// ------------------------------------------------------------- fixtures --
+
+// A small-but-not-trivial workload: enough faults and tests that rows span
+// multiple 64-bit words and the store needs several pages.
+ResponseMatrix store_matrix() {
+  SynthProfile profile;
+  profile.name = "store";
+  profile.inputs = 10;
+  profile.outputs = 4;
+  profile.dffs = 0;
+  profile.gates = 90;
+  profile.seed = 0x570e;
+  const Netlist nl = generate_synthetic(profile);
+  const FaultList faults = collapsed_fault_list(nl).collapsed;
+  TestSet tests(nl.num_inputs());
+  Rng rng(7);
+  tests.add_random(70, rng);
+  ResponseMatrixStatus status;
+  return build_response_matrix(nl, faults, tests, {.store_diff_outputs = true},
+                               &status);
+}
+
+const ResponseMatrix& rm() {
+  static const ResponseMatrix m = store_matrix();
+  return m;
+}
+
+std::vector<ResponseId> nontrivial_baselines(const ResponseMatrix& m) {
+  std::vector<ResponseId> bl(m.num_tests(), 0);
+  for (std::size_t t = 0; t < m.num_tests(); ++t)
+    if (m.num_distinct(t) > 1 && t % 2 == 0) bl[t] = 1;
+  return bl;
+}
+
+std::vector<std::vector<ResponseId>> ragged_baselines(const ResponseMatrix& m) {
+  std::vector<std::vector<ResponseId>> bl(m.num_tests());
+  for (std::size_t t = 0; t < m.num_tests(); ++t) {
+    bl[t].push_back(0);
+    if (m.num_distinct(t) > 1 && t % 3 == 0) bl[t].push_back(1);
+  }
+  return bl;
+}
+
+std::vector<Observed> fault_observation(const FullDictionary& full,
+                                        FaultId f) {
+  std::vector<Observed> obs(full.num_tests());
+  for (std::size_t t = 0; t < full.num_tests(); ++t)
+    obs[t] = Observed::of(full.entry(f, t));
+  return obs;
+}
+
+void expect_same_diagnosis(const EngineDiagnosis& a, const EngineDiagnosis& b,
+                           const char* what) {
+  EXPECT_EQ(a.outcome, b.outcome) << what;
+  EXPECT_EQ(a.best_mismatches, b.best_mismatches) << what;
+  EXPECT_EQ(a.margin, b.margin) << what;
+  EXPECT_EQ(a.effective_tests, b.effective_tests) << what;
+  EXPECT_EQ(a.dont_care_tests, b.dont_care_tests) << what;
+  EXPECT_EQ(a.unknown_tests, b.unknown_tests) << what;
+  EXPECT_EQ(a.completed, b.completed) << what;
+  EXPECT_EQ(a.stop_reason, b.stop_reason) << what;
+  EXPECT_EQ(a.cover, b.cover) << what;
+  EXPECT_EQ(a.uncovered_failures, b.uncovered_failures) << what;
+  ASSERT_EQ(a.matches.size(), b.matches.size()) << what;
+  for (std::size_t i = 0; i < a.matches.size(); ++i) {
+    EXPECT_EQ(a.matches[i].fault, b.matches[i].fault) << what << " #" << i;
+    EXPECT_EQ(a.matches[i].mismatches, b.matches[i].mismatches)
+        << what << " #" << i;
+    EXPECT_EQ(a.matches[i].margin, b.matches[i].margin) << what << " #" << i;
+    EXPECT_EQ(a.matches[i].effective_tests, b.matches[i].effective_tests)
+        << what << " #" << i;
+  }
+}
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+// --------------------------------------------------------------- kernels --
+
+TEST(Kernels, MaskedHammingMatchesReferenceOnRandomOperands) {
+  Rng rng(11);
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::size_t nbits = 1 + rng.below(300);
+    const std::size_t nwords = (nbits + 63) / 64;
+    std::vector<std::uint64_t> row(nwords), obs(nwords), care(nwords);
+    for (std::size_t i = 0; i < nwords; ++i) {
+      row[i] = rng.next();
+      obs[i] = rng.next();
+      care[i] = rng.next();
+    }
+    // Zero the tail so per-word and per-bit agree on the domain.
+    const std::size_t tail = nwords * 64 - nbits;
+    if (tail > 0) {
+      const std::uint64_t mask = ~std::uint64_t{0} >> tail;
+      row[nwords - 1] &= mask;
+      obs[nwords - 1] &= mask;
+      care[nwords - 1] &= mask;
+    }
+    EXPECT_EQ(kernels::masked_hamming(row.data(), obs.data(), care.data(),
+                                      nwords),
+              kernels::masked_hamming_reference(row.data(), obs.data(),
+                                                care.data(), nbits));
+  }
+}
+
+TEST(Kernels, MaskedSymbolMismatchesMatchesReference) {
+  Rng rng(12);
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::size_t n = 1 + rng.below(200);
+    std::vector<std::uint32_t> row(n), obs(n);
+    std::vector<std::uint8_t> care(n);
+    for (std::size_t t = 0; t < n; ++t) {
+      row[t] = static_cast<std::uint32_t>(rng.below(4));
+      obs[t] = rng.coin() ? row[t] : static_cast<std::uint32_t>(rng.below(4));
+      care[t] = rng.coin() ? 1 : 0;
+    }
+    EXPECT_EQ(kernels::masked_symbol_mismatches(row.data(), obs.data(),
+                                                care.data(), n),
+              kernels::masked_symbol_mismatches_reference(
+                  row.data(), obs.data(), care.data(), n));
+  }
+}
+
+// ----------------------------------------------------------- round trips --
+
+TEST(SignatureStore, PassFailRoundTrip) {
+  const PassFailDictionary d = PassFailDictionary::build(rm());
+  const SignatureStore s =
+      SignatureStore::from_bytes(SignatureStore::build(d).to_bytes());
+  EXPECT_EQ(s.kind(), StoreKind::kPassFail);
+  EXPECT_EQ(s.source(), StoreSource::kPassFail);
+  EXPECT_EQ(s.num_faults(), d.num_faults());
+  EXPECT_EQ(s.num_tests(), d.num_tests());
+  EXPECT_EQ(s.num_outputs(), d.num_outputs());
+  for (FaultId f = 0; f < d.num_faults(); ++f)
+    for (std::size_t t = 0; t < d.num_tests(); ++t)
+      ASSERT_EQ(s.row_bit(f, t), d.bit(f, t)) << "fault " << f << " test " << t;
+  const PassFailDictionary back = s.to_passfail();
+  EXPECT_EQ(back.num_faults(), d.num_faults());
+  EXPECT_EQ(back.indistinguished_pairs(), d.indistinguished_pairs());
+}
+
+TEST(SignatureStore, SameDifferentRoundTrip) {
+  const SameDifferentDictionary d =
+      SameDifferentDictionary::build(rm(), nontrivial_baselines(rm()));
+  const SignatureStore s =
+      SignatureStore::from_bytes(SignatureStore::build(d).to_bytes());
+  EXPECT_EQ(s.kind(), StoreKind::kSameDifferent);
+  for (std::size_t t = 0; t < d.num_tests(); ++t)
+    ASSERT_EQ(s.baselines()[t], d.baselines()[t]) << "test " << t;
+  const SameDifferentDictionary back = s.to_samediff();
+  EXPECT_EQ(back.baselines(), d.baselines());
+  EXPECT_EQ(back.indistinguished_pairs(), d.indistinguished_pairs());
+  for (FaultId f = 0; f < d.num_faults(); ++f)
+    for (std::size_t t = 0; t < d.num_tests(); ++t)
+      ASSERT_EQ(back.bit(f, t), d.bit(f, t));
+}
+
+TEST(SignatureStore, MultiBaselineRoundTrip) {
+  const MultiBaselineDictionary d =
+      MultiBaselineDictionary::build(rm(), ragged_baselines(rm()));
+  const SignatureStore s =
+      SignatureStore::from_bytes(SignatureStore::build(d).to_bytes());
+  EXPECT_EQ(s.kind(), StoreKind::kMultiBaseline);
+  EXPECT_EQ(s.rank(), d.baselines_per_test());
+  for (std::size_t t = 0; t < d.num_tests(); ++t) {
+    const auto [ids, count] = s.baseline_set(t);
+    ASSERT_EQ(count, d.baselines()[t].size()) << "test " << t;
+    for (std::size_t l = 0; l < count; ++l)
+      ASSERT_EQ(ids[l], d.baselines()[t][l]) << "test " << t << " slot " << l;
+  }
+  const MultiBaselineDictionary back = s.to_multibaseline();
+  EXPECT_EQ(back.baselines(), d.baselines());
+  EXPECT_EQ(back.indistinguished_pairs(), d.indistinguished_pairs());
+}
+
+TEST(SignatureStore, FullRoundTrip) {
+  const FullDictionary d = FullDictionary::build(rm());
+  const SignatureStore s =
+      SignatureStore::from_bytes(SignatureStore::build(d).to_bytes());
+  EXPECT_EQ(s.kind(), StoreKind::kFull);
+  for (FaultId f = 0; f < d.num_faults(); ++f)
+    for (std::size_t t = 0; t < d.num_tests(); ++t)
+      ASSERT_EQ(s.entry(f, t), d.entry(f, t));
+  const FullDictionary back = s.to_full();
+  EXPECT_EQ(back.indistinguished_pairs(), d.indistinguished_pairs());
+}
+
+TEST(SignatureStore, FirstFailAndDetectionListProjectToPassFail) {
+  const PassFailDictionary pf = PassFailDictionary::build(rm());
+  const FirstFailDictionary ff = FirstFailDictionary::build(rm());
+  const DetectionListDictionary dl = DetectionListDictionary::build(rm());
+
+  const SignatureStore sff = SignatureStore::build(ff);
+  EXPECT_EQ(sff.kind(), StoreKind::kPassFail);
+  EXPECT_EQ(sff.source(), StoreSource::kFirstFail);
+  const SignatureStore sdl = SignatureStore::build(dl, rm().num_outputs());
+  EXPECT_EQ(sdl.kind(), StoreKind::kPassFail);
+  EXPECT_EQ(sdl.source(), StoreSource::kDetectionList);
+
+  // Both projections are exactly the pass/fail bit matrix.
+  for (FaultId f = 0; f < pf.num_faults(); ++f)
+    for (std::size_t t = 0; t < pf.num_tests(); ++t) {
+      ASSERT_EQ(sff.row_bit(f, t), pf.bit(f, t)) << "first-fail " << f;
+      ASSERT_EQ(sdl.row_bit(f, t), pf.bit(f, t)) << "detlist " << f;
+    }
+}
+
+TEST(SignatureStore, RejectsKindMismatchedReconstruction) {
+  const SignatureStore s =
+      SignatureStore::build(PassFailDictionary::build(rm()));
+  EXPECT_THROW(s.to_samediff(), std::runtime_error);
+  EXPECT_THROW(s.to_multibaseline(), std::runtime_error);
+  EXPECT_THROW(s.to_full(), std::runtime_error);
+}
+
+TEST(SignatureStore, RejectsEmptyDictionary) {
+  EXPECT_THROW(SignatureStore::build(PassFailDictionary::from_rows({}, 4, 2)),
+               std::runtime_error);
+}
+
+// ----------------------------------------------------- store == dictionary --
+
+TEST(SignatureStore, DiagnoseEquivalentToDictionaryAllKinds) {
+  const FullDictionary full = FullDictionary::build(rm());
+  const PassFailDictionary pf = PassFailDictionary::build(rm());
+  const SameDifferentDictionary sd =
+      SameDifferentDictionary::build(rm(), nontrivial_baselines(rm()));
+  const MultiBaselineDictionary mb =
+      MultiBaselineDictionary::build(rm(), ragged_baselines(rm()));
+
+  Rng rng(3);
+  for (int i = 0; i < 6; ++i) {
+    const auto f = static_cast<FaultId>(rng.below(full.num_faults()));
+    std::vector<Observed> obs = fault_observation(full, f);
+    if (i % 2 == 1) {
+      // Degrade: one dropped record, one unmodeled response.
+      obs[rng.below(obs.size())] = Observed::unstable();
+      obs[rng.below(obs.size())] = Observed::of(kUnknownResponse);
+    }
+    expect_same_diagnosis(diagnose_observed(SignatureStore::build(pf), obs),
+                          diagnose_observed(pf, obs), "pass/fail");
+    expect_same_diagnosis(diagnose_observed(SignatureStore::build(sd), obs),
+                          diagnose_observed(sd, obs), "same/different");
+    expect_same_diagnosis(diagnose_observed(SignatureStore::build(mb), obs),
+                          diagnose_observed(mb, obs), "multi-baseline");
+    expect_same_diagnosis(diagnose_observed(SignatureStore::build(full), obs),
+                          diagnose_observed(full, obs), "full");
+  }
+}
+
+// ------------------------------------------------------------ file modes --
+
+TEST(SignatureStore, MmapAndStreamLoadsAreIdentical) {
+  const SameDifferentDictionary sd =
+      SameDifferentDictionary::build(rm(), nontrivial_baselines(rm()));
+  const SignatureStore built = SignatureStore::build(sd);
+  const std::string path = temp_path("sdstore_modes.bin");
+  built.write_file(path);
+
+  const SignatureStore streamed =
+      SignatureStore::load_file(path, StoreLoadMode::kStream);
+  EXPECT_FALSE(streamed.mapped());
+  EXPECT_EQ(streamed.to_bytes(), built.to_bytes());
+
+#if defined(__unix__) || defined(__APPLE__)
+  const SignatureStore mapped =
+      SignatureStore::load_file(path, StoreLoadMode::kMmap);
+  EXPECT_TRUE(mapped.mapped());
+  EXPECT_EQ(mapped.to_bytes(), built.to_bytes());
+
+  const FullDictionary full = FullDictionary::build(rm());
+  const std::vector<Observed> obs = fault_observation(full, 5);
+  expect_same_diagnosis(diagnose_observed(mapped, obs),
+                        diagnose_observed(streamed, obs), "mmap vs stream");
+#endif
+  std::remove(path.c_str());
+}
+
+TEST(SignatureStore, LoadFileMissingPathThrows) {
+  EXPECT_THROW(SignatureStore::load_file(temp_path("no_such_store.bin")),
+               std::runtime_error);
+}
+
+// --------------------------------------------------------------- fuzzers --
+
+// Small matrix (the paper's worked example) so the flip fuzzer can afford
+// one full parse per byte of the image.
+ResponseMatrix tiny_matrix() {
+  const std::vector<BitVec> ff = {BitVec::from_string("00"),
+                                  BitVec::from_string("00")};
+  const std::vector<std::vector<BitVec>> faulty = {
+      {BitVec::from_string("10"), BitVec::from_string("11")},
+      {BitVec::from_string("00"), BitVec::from_string("10")},
+      {BitVec::from_string("01"), BitVec::from_string("10")},
+      {BitVec::from_string("01"), BitVec::from_string("00")},
+  };
+  return response_matrix_from_table(ff, faulty);
+}
+
+void run_flip_fuzzer(const std::string& bytes, const char* what) {
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    try {
+      SignatureStore::from_bytes(flip_byte(bytes, i));
+      FAIL() << what << ": flip at byte " << i << " was accepted";
+    } catch (const std::runtime_error&) {
+      // Named rejection: exactly what the format promises.
+    }
+  }
+}
+
+TEST(SignatureStoreFuzz, EverySingleByteFlipIsRejected) {
+  const ResponseMatrix m = tiny_matrix();
+  run_flip_fuzzer(
+      SignatureStore::build(PassFailDictionary::build(m)).to_bytes(),
+      "pass/fail");
+  run_flip_fuzzer(
+      SignatureStore::build(
+          SameDifferentDictionary::build(m, {1, 0}))
+          .to_bytes(),
+      "same/different");
+  run_flip_fuzzer(
+      SignatureStore::build(FullDictionary::build(m)).to_bytes(), "full");
+}
+
+TEST(SignatureStoreFuzz, EveryTruncationIsRejected) {
+  const SignatureStore built =
+      SignatureStore::build(SameDifferentDictionary::build(tiny_matrix(),
+                                                           {1, 0}));
+  const std::string bytes = built.to_bytes();
+  for (std::size_t size = 0; size < bytes.size(); ++size) {
+    try {
+      SignatureStore::from_bytes(truncate_to(bytes, size));
+      FAIL() << "truncation to " << size << " bytes was accepted";
+    } catch (const std::runtime_error&) {
+    }
+  }
+}
+
+TEST(SignatureStoreFuzz, TrailingGarbageIsRejected) {
+  const std::string bytes =
+      SignatureStore::build(PassFailDictionary::build(tiny_matrix()))
+          .to_bytes();
+  EXPECT_THROW(SignatureStore::from_bytes(bytes + std::string(4096, '\0')),
+               std::runtime_error);
+  EXPECT_THROW(SignatureStore::from_bytes(bytes + "x"), std::runtime_error);
+}
+
+// Patches a header field and repairs the header CRC, so parse() reaches
+// the semantic validation behind the checksum.
+std::string patch_header(std::string bytes, std::size_t off,
+                         std::uint32_t value) {
+  for (int b = 0; b < 4; ++b)
+    bytes[off + b] = static_cast<char>((value >> (8 * b)) & 0xff);
+  Crc32 crc;
+  crc.update(bytes.data(), 4092);
+  const std::uint32_t v = crc.value();
+  for (int b = 0; b < 4; ++b)
+    bytes[4092 + b] = static_cast<char>((v >> (8 * b)) & 0xff);
+  return bytes;
+}
+
+TEST(SignatureStoreFuzz, NamedErrorsBehindTheChecksum) {
+  const std::string bytes =
+      SignatureStore::build(PassFailDictionary::build(tiny_matrix()))
+          .to_bytes();
+  const auto message_of = [](const std::string& image) -> std::string {
+    try {
+      SignatureStore::from_bytes(image);
+    } catch (const std::runtime_error& e) {
+      return e.what();
+    }
+    return "";
+  };
+  EXPECT_NE(message_of(patch_header(bytes, 12, 99)).find("version"),
+            std::string::npos);
+  EXPECT_NE(message_of(patch_header(bytes, 16, 7)).find("bad kind"),
+            std::string::npos);
+  EXPECT_NE(message_of(patch_header(bytes, 20, 42)).find("bad source"),
+            std::string::npos);
+  EXPECT_NE(message_of(patch_header(bytes, 24, 0)).find("empty"),
+            std::string::npos);
+  EXPECT_NE(message_of(patch_header(bytes, 64, 8)).find("row stride"),
+            std::string::npos);
+  // Every named error carries the format prefix.
+  EXPECT_EQ(message_of(patch_header(bytes, 12, 99)).rfind("SignatureStore:", 0),
+            0u);
+}
+
+}  // namespace
+}  // namespace sddict
