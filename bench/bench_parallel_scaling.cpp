@@ -7,7 +7,7 @@
 //
 //   $ ./bench_parallel_scaling                         # s1423,s5378,s9234
 //   $ ./bench_parallel_scaling --circuits=s9234 --tests=200 --calls1=50
-//   $ ./bench_parallel_scaling --threads=1,2,4,8,16
+//   $ ./bench_parallel_scaling --threads=1,2,4,8,16 --json=BENCH_scaling.json
 #include <cstdio>
 #include <exception>
 #include <string>
@@ -16,6 +16,7 @@
 #include "bmcirc/registry.h"
 #include "core/baseline.h"
 #include "fault/collapse.h"
+#include "json_writer.h"
 #include "netlist/transform.h"
 #include "util/cli.h"
 #include "util/log.h"
@@ -51,7 +52,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: bench_parallel_scaling [--circuits=s1423,...]\n"
                "  [--tests=N] [--seed=N] [--calls1=N] [--lower=N]\n"
-               "  [--threads=1,2,4,8] [--verbose=true]\n");
+               "  [--threads=1,2,4,8] [--verbose=true] [--json=FILE]\n");
   return 1;
 }
 
@@ -61,7 +62,7 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   const auto unknown =
       args.unknown_flags({"circuits", "tests", "seed", "calls1", "lower",
-                          "threads", "verbose"});
+                          "threads", "verbose", "json"});
   if (!unknown.empty()) {
     for (const auto& f : unknown)
       std::fprintf(stderr, "unknown flag --%s\n", f.c_str());
@@ -101,6 +102,9 @@ int main(int argc, char** argv) {
               num_tests, bcfg.calls1, ThreadPool::default_num_threads());
   std::printf("%-8s %8s %10s %10s %10s %9s %10s\n", "circuit", "threads",
               "sim (s)", "proc1 (s)", "total (s)", "speedup", "identical");
+
+  const std::string json_path = args.get("json");
+  std::vector<bench::JsonRecord> records;
 
   bool all_identical = true;
   for (const auto& name : circuits) {
@@ -145,12 +149,31 @@ int main(int argc, char** argv) {
                   base_total > 0 ? base_total / total : 0.0,
                   identical ? "yes" : "NO");
       std::fflush(stdout);
+      records.push_back({"bench_parallel_scaling", name, threads, "sim_s",
+                         sim_s});
+      records.push_back({"bench_parallel_scaling", name, threads, "proc1_s",
+                         p1_s});
+      records.push_back({"bench_parallel_scaling", name, threads, "total_s",
+                         total});
+      records.push_back({"bench_parallel_scaling", name, threads, "speedup",
+                         base_total > 0 ? base_total / total : 0.0});
     }
     std::printf("  [%s: %zu faults, %zu tests, %llu indistinguished pairs, "
                 "%zu proc1 calls]\n\n",
                 name.c_str(), faults.size(), tests.size(),
                 (unsigned long long)reference_sel.indistinguished_pairs,
                 reference_sel.calls_used);
+  }
+
+  if (!json_path.empty()) {
+    try {
+      bench::write_bench_json(json_path, records);
+      std::printf("wrote %zu records to %s\n", records.size(),
+                  json_path.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
   }
 
   if (!all_identical) {

@@ -20,6 +20,7 @@
 //
 //   $ ./bench_throughput [--circuit=s1423] [--seed=1] [--patterns=96]
 //       [--queries=256] [--threads-list=1,2,4] [--batch-list=1,8,32]
+//       [--json=BENCH_throughput.json]
 #include <cstdio>
 #include <cstdint>
 #include <exception>
@@ -32,6 +33,7 @@
 #include "dict/full_dict.h"
 #include "dict/samediff_dict.h"
 #include "fault/collapse.h"
+#include "json_writer.h"
 #include "netlist/transform.h"
 #include "serve/diagnosis_service.h"
 #include "sim/testset.h"
@@ -49,7 +51,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: bench_throughput [--circuit=s1423] [--seed=1]\n"
                "  [--patterns=96] [--queries=256] [--threads-list=1,2,4]\n"
-               "  [--batch-list=1,8,32]\n");
+               "  [--batch-list=1,8,32] [--json=FILE]\n");
   return 1;
 }
 
@@ -98,7 +100,8 @@ double time_per_sweep(const Fn& sweep) {
 int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   const auto unknown = args.unknown_flags(
-      {"circuit", "seed", "patterns", "queries", "threads-list", "batch-list"});
+      {"circuit", "seed", "patterns", "queries", "threads-list", "batch-list",
+       "json"});
   if (!unknown.empty()) {
     for (const auto& f : unknown)
       std::fprintf(stderr, "unknown flag --%s\n", f.c_str());
@@ -122,6 +125,15 @@ int main(int argc, char** argv) {
   }
   if (threads_list.empty()) threads_list = {1, 2, 4};
   if (batch_list.empty()) batch_list = {1, 8, 32};
+  const std::string json_path = args.get("json");
+
+  // Every measured number lands here as well as on stdout; --json dumps
+  // the collected records for CI archival.
+  std::vector<bench::JsonRecord> records;
+  const auto rec = [&](std::size_t threads, const std::string& metric,
+                       double value) {
+    records.push_back({"bench_throughput", circuit, threads, metric, value});
+  };
 
   Netlist nl = load_benchmark(circuit);
   if (nl.has_dffs()) nl = full_scan(nl);
@@ -234,6 +246,9 @@ int main(int argc, char** argv) {
   std::printf("  speedup %.1fx (criterion: >= 3x)%s\n", speedup,
               speedup >= 3.0 ? "" : "  FAILED");
   if (speedup < 3.0) ok = false;
+  rec(1, "legacy_ms_per_sweep", legacy_s * 1e3);
+  rec(1, "packed_ms_per_sweep", packed_s * 1e3);
+  rec(1, "kernel_speedup", speedup);
 
   // --- Equivalence self-checks (store vs dict, service vs engine). ------
   for (std::size_t q = 0; q < std::min<std::size_t>(queries, 16); ++q) {
@@ -288,6 +303,12 @@ int main(int argc, char** argv) {
                   static_cast<long long>(th), static_cast<long long>(ba),
                   static_cast<double>(queries) / secs, st.p50_ms, st.p99_ms,
                   st.max_ms);
+      // Batch size rides in the metric name: the schema has no batch field.
+      const std::string suffix = "_b" + std::to_string(ba);
+      rec(sopts.threads, "qps" + suffix,
+          static_cast<double>(queries) / secs);
+      rec(sopts.threads, "p50_ms" + suffix, st.p50_ms);
+      rec(sopts.threads, "p99_ms" + suffix, st.p99_ms);
     }
   }
 
@@ -312,8 +333,22 @@ int main(int argc, char** argv) {
                 static_cast<double>(2 * queries) / secs,
                 static_cast<unsigned long long>(st.cache_hits),
                 static_cast<unsigned long long>(st.cache_misses));
+    rec(1, "cached_replay_qps", static_cast<double>(2 * queries) / secs);
+    rec(1, "cached_replay_hits", static_cast<double>(st.cache_hits));
+    rec(1, "cached_replay_misses", static_cast<double>(st.cache_misses));
   }
 
   std::printf("(checksum %llu)\n", static_cast<unsigned long long>(sink));
+
+  if (!json_path.empty()) {
+    try {
+      bench::write_bench_json(json_path, records);
+      std::printf("wrote %zu records to %s\n", records.size(),
+                  json_path.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+  }
   return ok ? 0 : 1;
 }

@@ -22,11 +22,14 @@
 #include "netlist/bench_io.h"
 #include "netlist/stats.h"
 #include "netlist/transform.h"
+#include "repo/repository.h"
 #include "store/signature_store.h"
 #include "tgen/diagset.h"
 #include "tgen/ndetect.h"
 #include "util/budget.h"
 #include "util/cli.h"
+#include "util/fileio.h"
+#include "util/timer.h"
 
 using namespace sddict;
 
@@ -37,7 +40,8 @@ int usage() {
                "usage: dictionary_explorer <benchmark-or-bench-file>\n"
                "  [--ttype=diag|10det] [--calls1=N] [--lower=N] [--seed=N]\n"
                "  [--threads=N] [--deadline=SECONDS] [--hybrid=true]\n"
-               "  [--save=FILE] [--export-store=FILE]\n\n"
+               "  [--save=FILE] [--export-store=FILE [--force]]\n"
+               "  [--publish=REPODIR]\n\n"
                "registered benchmarks:");
   for (const auto& n : benchmark_names()) std::fprintf(stderr, " %s", n.c_str());
   std::fprintf(stderr, "\n");
@@ -50,7 +54,7 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   const auto unknown = args.unknown_flags(
       {"ttype", "calls1", "lower", "seed", "threads", "deadline", "hybrid",
-       "save", "export-store"});
+       "save", "export-store", "force", "publish"});
   if (!unknown.empty()) {
     for (const auto& f : unknown)
       std::fprintf(stderr, "unknown flag --%s\n", f.c_str());
@@ -63,6 +67,7 @@ int main(int argc, char** argv) {
   std::size_t threads = 0, lower = 10, calls1 = 10;
   double deadline = 0;
   bool hybrid = false;
+  bool force = false;
   try {
     ttype = args.get("ttype", "diag");
     seed = static_cast<std::uint64_t>(args.get_int("seed", 1, 0));
@@ -74,6 +79,7 @@ int main(int argc, char** argv) {
     if (deadline < 0)
       throw std::invalid_argument("flag --deadline must be >= 0");
     hybrid = args.get_bool("hybrid", false);
+    force = args.get_bool("force", false);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return usage();
@@ -99,6 +105,7 @@ int main(int argc, char** argv) {
   RunBudget pipeline_budget;
   pipeline_budget.max_seconds = deadline;
   BudgetScope pipeline(pipeline_budget);
+  Timer pipeline_timer;  // build wall time, recorded by --publish
 
   TestSet tests(nl.num_inputs());
   StopReason testgen_reason = StopReason::kCompleted;
@@ -194,12 +201,54 @@ int main(int argc, char** argv) {
   const std::string export_store = args.get("export-store");
   if (!export_store.empty()) {
     try {
+      if (!dir_exists(parent_dir(export_store)))
+        throw std::runtime_error("output directory " +
+                                 parent_dir(export_store) + " does not exist");
+      if (!force && file_exists(export_store))
+        throw std::runtime_error(export_store +
+                                 " already exists (pass --force to overwrite)");
       const SignatureStore store = SignatureStore::build(sd);
       store.write_file(export_store);
       std::printf("same/different store written to %s (%zu bytes)\n",
                   export_store.c_str(), store.size_bytes());
     } catch (const std::exception& e) {
       std::fprintf(stderr, "failed to write %s: %s\n", export_store.c_str(),
+                   e.what());
+      return 1;
+    }
+  }
+
+  // Publish into a repository catalog (sddict_serve --repo serves it).
+  const std::string publish = args.get("publish");
+  if (!publish.empty()) {
+    try {
+      // Circuit name: registered benchmark name, or the file's base name.
+      std::string circuit = target;
+      if (const std::size_t slash = circuit.find_last_of('/');
+          slash != std::string::npos)
+        circuit = circuit.substr(slash + 1);
+      if (const std::size_t dot = circuit.rfind(".bench");
+          dot != std::string::npos)
+        circuit = circuit.substr(0, dot);
+
+      Provenance prov;
+      prov.tests_hash = hash_hex(hash_testset(tests));
+      prov.faults_hash = hash_hex(hash_faultlist(faults));
+      prov.config = "ttype=" + ttype + ",seed=" + std::to_string(seed) +
+                    ",calls1=" + std::to_string(calls1) +
+                    ",lower=" + std::to_string(lower);
+
+      DictionaryRepository repo(publish);
+      const SignatureStore store = SignatureStore::build(sd);
+      const ManifestEntry entry =
+          repo.publish(circuit, StoreSource::kSameDifferent, store, prov,
+                       pipeline_timer.millis());
+      std::printf("published %s x %s v%llu to %s (%llu bytes, %s)\n",
+                  entry.circuit.c_str(), store_source_name(entry.kind),
+                  (unsigned long long)entry.version, publish.c_str(),
+                  (unsigned long long)entry.bytes, entry.file.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "failed to publish to %s: %s\n", publish.c_str(),
                    e.what());
       return 1;
     }

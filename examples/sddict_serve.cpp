@@ -25,19 +25,34 @@
 // requests are submitted asynchronously as they are read, so piped input
 // actually exercises the service's micro-batching.
 //
+// Repository mode (--repo=DIR instead of --store) serves a whole catalog
+// of published artifacts (dictionary_explorer --publish writes them) and
+// additionally accepts admin verbs between datalogs:
+//
+//   !list                 catalog entries, one `artifact ...` line each
+//   !use CIRCUIT [KIND]   switch the query target
+//   !reload [CIRCUIT]     re-read the manifest and hot-swap the circuit's
+//                         service to the newest version, without dropping
+//                         in-flight requests
+//   !stats                repository + per-service counters
+//
 //   $ ./sddict_serve --store=dict.store [--threads=N] [--batch=N]
 //       [--cache=N] [--deadline-ms=X] [--load=auto|mmap|stream]
 //       [--socket=PATH [--once]]
+//   $ ./sddict_serve --repo=DIR --circuit=NAME [--kind=KIND] [...]
 #include <cstdio>
 #include <deque>
 #include <exception>
 #include <future>
 #include <iostream>
+#include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "diag/testerlog.h"
+#include "repo/repository.h"
 #include "serve/diagnosis_service.h"
 #include "store/signature_store.h"
 #include "util/cli.h"
@@ -58,9 +73,38 @@ int usage() {
   std::fprintf(stderr,
                "usage: sddict_serve --store=FILE [--threads=N] [--batch=N]\n"
                "  [--cache=N] [--deadline-ms=X] [--load=auto|mmap|stream]\n"
-               "  [--socket=PATH [--once]]\n");
+               "  [--socket=PATH [--once]]\n"
+               "   or: sddict_serve --repo=DIR --circuit=NAME [--kind=KIND]\n"
+               "  [same options]\n");
   return 1;
 }
+
+// Repository-backed serving state: one hot-swappable DiagnosisService per
+// (circuit, kind) the client has targeted, created lazily from the catalog.
+struct RepoServer {
+  DictionaryRepository* repo = nullptr;
+  ServiceOptions opts;
+  std::string circuit;                          // current target
+  StoreSource kind = StoreSource::kSameDifferent;
+  std::map<std::string, std::unique_ptr<DiagnosisService>> services;
+
+  std::string key(const std::string& c, StoreSource k) const {
+    return c + '\0' + store_source_name(k);
+  }
+  // The service for the current target, created on first use.
+  DiagnosisService& current() {
+    if (circuit.empty())
+      throw std::runtime_error("no circuit selected (use !use CIRCUIT)");
+    const std::string k = key(circuit, kind);
+    auto it = services.find(k);
+    if (it == services.end())
+      it = services
+               .emplace(k, std::make_unique<DiagnosisService>(
+                                repo->acquire(circuit, kind), opts))
+               .first;
+    return *it->second;
+  }
+};
 
 struct PendingQuery {
   std::future<ServiceResponse> future;
@@ -109,20 +153,95 @@ void drain(std::ostream& out, std::deque<PendingQuery>& pending, bool block) {
   }
 }
 
-// One client session: reads datalogs and commands until quit/EOF.
-void serve_session(DiagnosisService& service, std::istream& in,
-                   std::ostream& out) {
+// Admin verbs (repository mode). Every reply ends with `done`; failures
+// surface as `error ...` through the caller's catch.
+void handle_admin(RepoServer& rs, const std::vector<std::string>& tokens,
+                  std::ostream& out) {
+  const std::string& verb = tokens[0];
+  if (verb == "!list") {
+    const Manifest m = rs.repo->manifest();
+    for (const ManifestEntry& e : m.entries)
+      out << "artifact circuit=" << e.circuit
+          << " kind=" << store_source_name(e.kind) << " version=" << e.version
+          << " bytes=" << e.bytes << " file=" << e.file << "\n";
+    out << "done\n";
+  } else if (verb == "!use") {
+    if (tokens.size() < 2 || tokens.size() > 3)
+      throw std::runtime_error("usage: !use CIRCUIT [KIND]");
+    StoreSource kind = StoreSource::kSameDifferent;
+    if (tokens.size() == 3 && !parse_store_source(tokens[2], &kind))
+      throw std::runtime_error("unknown kind '" + tokens[2] + "'");
+    rs.circuit = tokens[1];
+    rs.kind = kind;
+    DiagnosisService& svc = rs.current();  // load now, so failures land here
+    out << "using circuit=" << rs.circuit
+        << " kind=" << store_source_name(rs.kind)
+        << " faults=" << svc.num_faults() << " tests=" << svc.num_tests()
+        << "\n" << "done\n";
+  } else if (verb == "!reload") {
+    if (tokens.size() > 2) throw std::runtime_error("usage: !reload [CIRCUIT]");
+    const std::string target = tokens.size() == 2 ? tokens[1] : rs.circuit;
+    if (target.empty())
+      throw std::runtime_error("no circuit selected (use !reload CIRCUIT)");
+    rs.repo->reload();
+    std::size_t swapped = 0;
+    for (auto& [key, svc] : rs.services) {
+      const std::size_t nul = key.find('\0');
+      if (key.substr(0, nul) != target) continue;
+      StoreSource kind{};
+      parse_store_source(key.substr(nul + 1), &kind);
+      svc->swap_store(rs.repo->acquire(target, kind));
+      ++swapped;
+    }
+    out << "reloaded circuit=" << target << " swapped=" << swapped << "\n"
+        << "done\n";
+  } else if (verb == "!stats") {
+    out << "stats " << format_repository_stats(rs.repo->stats()) << "\n";
+    for (const auto& [key, svc] : rs.services) {
+      const std::size_t nul = key.find('\0');
+      out << "stats circuit=" << key.substr(0, nul)
+          << " kind=" << key.substr(nul + 1) << " "
+          << format_service_stats(svc->stats()) << "\n";
+    }
+    out << "done\n";
+  } else {
+    throw std::runtime_error("unknown admin verb " + verb +
+                             " (have !list !use !reload !stats)");
+  }
+}
+
+// One client session: reads datalogs and commands until quit/EOF. Exactly
+// one of `service` (single-store mode) and `repo` is non-null.
+void serve_session(DiagnosisService* service, RepoServer* repo,
+                   std::istream& in, std::ostream& out) {
   std::deque<PendingQuery> pending;
   std::string line;
   std::string block;
   bool in_block = false;
   while (std::getline(in, line)) {
     const std::vector<std::string> tokens = split_ws(line);
+    if (!in_block && !tokens.empty() && tokens[0][0] == '!') {
+      drain(out, pending, /*block=*/true);
+      try {
+        if (!repo)
+          throw std::runtime_error("admin verbs need repository mode (--repo)");
+        handle_admin(*repo, tokens, out);
+      } catch (const std::exception& e) {
+        out << "error " << e.what() << "\n" << "done\n";
+      }
+      out.flush();
+      continue;
+    }
     if (!in_block && tokens.size() == 1 &&
         (tokens[0] == "stats" || tokens[0] == "quit")) {
       drain(out, pending, /*block=*/true);
       if (tokens[0] == "quit") return;
-      out << "stats " << format_service_stats(service.stats()) << "\n";
+      try {
+        DiagnosisService& svc = repo ? repo->current() : *service;
+        out << "stats " << format_service_stats(svc.stats()) << "\n";
+      } catch (const std::exception& e) {
+        out << "error " << e.what() << "\n" << "done\n";
+      }
       out.flush();
       continue;
     }
@@ -139,7 +258,8 @@ void serve_session(DiagnosisService& service, std::istream& in,
       try {
         const TesterLog log = read_testerlog(blockin, {.recover = true});
         q.dropped = log.dropped.size();
-        q.future = service.submit(log.observations);
+        DiagnosisService& svc = repo ? repo->current() : *service;
+        q.future = svc.submit(log.observations);
       } catch (const std::exception& e) {
         drain(out, pending, /*block=*/true);
         out << "error " << e.what() << "\n" << "done\n";
@@ -196,8 +316,8 @@ class FdStreamBuf : public std::streambuf {
   char out_[4096];
 };
 
-int serve_socket(DiagnosisService& service, const std::string& path,
-                 bool once) {
+int serve_socket(DiagnosisService* service, RepoServer* repo,
+                 const std::string& path, bool once) {
   const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (listener < 0) {
     std::perror("socket");
@@ -226,7 +346,7 @@ int serve_socket(DiagnosisService& service, const std::string& path,
       FdStreamBuf buf(conn);
       std::istream in(&buf);
       std::ostream out(&buf);
-      serve_session(service, in, out);
+      serve_session(service, repo, in, out);
     }
     ::close(conn);
     if (once) break;
@@ -241,7 +361,8 @@ int serve_socket(DiagnosisService& service, const std::string& path,
 
 int main(int argc, char** argv) {
   CliArgs args(argc, argv);
-  const auto unknown = args.unknown_flags({"store", "threads", "batch", "cache",
+  const auto unknown = args.unknown_flags({"store", "repo", "circuit", "kind",
+                                           "threads", "batch", "cache",
                                            "deadline-ms", "load", "socket",
                                            "once"});
   if (!unknown.empty()) {
@@ -250,13 +371,17 @@ int main(int argc, char** argv) {
     return usage();
   }
 
-  std::string store_path, load_mode, socket_path;
+  std::string store_path, repo_dir, circuit, kind_token, load_mode, socket_path;
   ServiceOptions opts;
   bool once = false;
   try {
     store_path = args.get("store");
-    if (store_path.empty())
-      throw std::invalid_argument("flag --store is required");
+    repo_dir = args.get("repo");
+    circuit = args.get("circuit");
+    kind_token = args.get("kind", store_source_name(StoreSource::kSameDifferent));
+    if (store_path.empty() == repo_dir.empty())
+      throw std::invalid_argument(
+          "exactly one of --store and --repo is required");
     opts.threads = static_cast<std::size_t>(args.get_int("threads", 1, 0, 4096));
     opts.batch = static_cast<std::size_t>(args.get_int("batch", 8, 1, 1 << 16));
     opts.cache = static_cast<std::size_t>(args.get_int("cache", 256, 0, 1 << 24));
@@ -277,22 +402,41 @@ int main(int argc, char** argv) {
     const StoreLoadMode mode = load_mode == "mmap"   ? StoreLoadMode::kMmap
                                : load_mode == "stream" ? StoreLoadMode::kStream
                                                        : StoreLoadMode::kAuto;
-    SignatureStore store = SignatureStore::load_file(store_path, mode);
-    std::fprintf(stderr,
-                 "store %s: kind=%s source=%s faults=%zu tests=%zu %s\n",
-                 store_path.c_str(), store_kind_name(store.kind()),
-                 store_source_name(store.source()), store.num_faults(),
-                 store.num_tests(), store.mapped() ? "mmap" : "stream");
-    DiagnosisService service(std::move(store), opts);
+    std::unique_ptr<DiagnosisService> service;
+    std::unique_ptr<DictionaryRepository> repository;
+    RepoServer repo_server;
+    RepoServer* repo = nullptr;
+    if (!repo_dir.empty()) {
+      RepositoryOptions ropts;
+      ropts.load_mode = mode;
+      repository =
+          std::make_unique<DictionaryRepository>(repo_dir, ropts);
+      repo_server.repo = repository.get();
+      repo_server.opts = opts;
+      repo_server.circuit = circuit;
+      if (!parse_store_source(kind_token, &repo_server.kind))
+        throw std::runtime_error("unknown kind '" + kind_token + "'");
+      std::fprintf(stderr, "repo %s: %zu artifacts cataloged\n",
+                   repo_dir.c_str(), repository->manifest().entries.size());
+      repo = &repo_server;
+    } else {
+      SignatureStore store = SignatureStore::load_file(store_path, mode);
+      std::fprintf(stderr,
+                   "store %s: kind=%s source=%s faults=%zu tests=%zu %s\n",
+                   store_path.c_str(), store_kind_name(store.kind()),
+                   store_source_name(store.source()), store.num_faults(),
+                   store.num_tests(), store.mapped() ? "mmap" : "stream");
+      service = std::make_unique<DiagnosisService>(std::move(store), opts);
+    }
     if (!socket_path.empty()) {
 #ifdef SDDICT_SERVE_HAS_SOCKET
-      return serve_socket(service, socket_path, once);
+      return serve_socket(service.get(), repo, socket_path, once);
 #else
       std::fprintf(stderr, "--socket is not supported on this platform\n");
       return 1;
 #endif
     }
-    serve_session(service, std::cin, std::cout);
+    serve_session(service.get(), repo, std::cin, std::cout);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "sddict_serve: %s\n", e.what());

@@ -67,6 +67,7 @@ std::string format_service_stats(const ServiceStats& s) {
   for (int o = 0; o < 4; ++o)
     out << " " << diagnosis_outcome_name(static_cast<DiagnosisOutcome>(o))
         << "=" << s.outcomes[o];
+  out << " swaps=" << s.swaps;
   out << " p50_ms=" << s.p50_ms << " p99_ms=" << s.p99_ms
       << " max_ms=" << s.max_ms;
   return out.str();
@@ -75,6 +76,14 @@ std::string format_service_stats(const ServiceStats& s) {
 DiagnosisService::DiagnosisService(SignatureStore store,
                                    const ServiceOptions& options)
     : backend_(std::move(store)), options_(options), pool_(options.threads) {
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+DiagnosisService::DiagnosisService(std::shared_ptr<const SignatureStore> store,
+                                   const ServiceOptions& options)
+    : backend_(std::move(store)), options_(options), pool_(options.threads) {
+  if (!std::get<std::shared_ptr<const SignatureStore>>(backend_))
+    throw std::runtime_error("DiagnosisService: null shared store");
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
 }
 
@@ -122,11 +131,15 @@ DiagnosisService::~DiagnosisService() {
 
 std::size_t DiagnosisService::num_tests() const {
   return std::visit(
-      [](const auto& b) -> std::size_t {
-        if constexpr (std::is_same_v<std::decay_t<decltype(b)>,
-                                     FirstFailBackend>)
+      [this](const auto& b) -> std::size_t {
+        using B = std::decay_t<decltype(b)>;
+        if constexpr (std::is_same_v<B, FirstFailBackend>)
           return b.dict.num_tests();
-        else
+        else if constexpr (std::is_same_v<B,
+                                          std::shared_ptr<const SignatureStore>>) {
+          std::lock_guard<std::mutex> lk(swap_mutex_);
+          return b->num_tests();
+        } else
           return b.num_tests();
       },
       backend_);
@@ -134,14 +147,46 @@ std::size_t DiagnosisService::num_tests() const {
 
 std::size_t DiagnosisService::num_faults() const {
   return std::visit(
-      [](const auto& b) -> std::size_t {
-        if constexpr (std::is_same_v<std::decay_t<decltype(b)>,
-                                     FirstFailBackend>)
+      [this](const auto& b) -> std::size_t {
+        using B = std::decay_t<decltype(b)>;
+        if constexpr (std::is_same_v<B, FirstFailBackend>)
           return b.dict.num_faults();
-        else
+        else if constexpr (std::is_same_v<B,
+                                          std::shared_ptr<const SignatureStore>>) {
+          std::lock_guard<std::mutex> lk(swap_mutex_);
+          return b->num_faults();
+        } else
           return b.num_faults();
       },
       backend_);
+}
+
+void DiagnosisService::swap_store(std::shared_ptr<const SignatureStore> next) {
+  if (!next)
+    throw std::runtime_error("DiagnosisService: swap_store on a null store");
+  auto* slot = std::get_if<std::shared_ptr<const SignatureStore>>(&backend_);
+  if (!slot)
+    throw std::runtime_error(
+        "DiagnosisService: swap_store outside repository-backed mode");
+  {
+    std::lock_guard<std::mutex> lk(swap_mutex_);
+    *slot = std::move(next);
+    // Release-publish AFTER the pointer: the dispatcher's acquire load of
+    // the epoch at its next batch then implies it sees the new store too,
+    // so its cache flush and the swap can never be observed out of order.
+    swap_epoch_.fetch_add(1, std::memory_order_release);
+  }
+  std::lock_guard<std::mutex> lk(stats_mutex_);
+  ++stats_.swaps;
+}
+
+std::shared_ptr<const SignatureStore> DiagnosisService::current_store() const {
+  if (auto* slot =
+          std::get_if<std::shared_ptr<const SignatureStore>>(&backend_)) {
+    std::lock_guard<std::mutex> lk(swap_mutex_);
+    return *slot;
+  }
+  return nullptr;
 }
 
 std::future<ServiceResponse> DiagnosisService::submit(
@@ -231,16 +276,38 @@ EngineDiagnosis DiagnosisService::run_one(const std::vector<Observed>& observed,
   }
   return std::visit(
       [&](const auto& b) -> EngineDiagnosis {
-        if constexpr (std::is_same_v<std::decay_t<decltype(b)>,
-                                     FirstFailBackend>)
+        using B = std::decay_t<decltype(b)>;
+        if constexpr (std::is_same_v<B, FirstFailBackend>)
           return diagnose_observed(b.dict, b.rm, observed, opt);
-        else
+        else if constexpr (std::is_same_v<B,
+                                          std::shared_ptr<const SignatureStore>>) {
+          // Snapshot the published pointer; the request then ranks against
+          // that version even if a swap lands mid-rank, and keeps the old
+          // store alive until it resolves.
+          std::shared_ptr<const SignatureStore> snap;
+          {
+            std::lock_guard<std::mutex> lk(swap_mutex_);
+            snap = b;
+          }
+          return diagnose_observed(*snap, observed, opt);
+        } else
           return diagnose_observed(b, observed, opt);
       },
       backend_);
 }
 
 void DiagnosisService::process_batch(std::vector<Request>& batch) {
+  // A hot-swap may have changed the backing store since the last batch;
+  // cached rankings from the old version must not leak past it. The cache
+  // is dispatcher-thread-only, so the swapping thread bumps an epoch and
+  // the flush happens here.
+  const std::uint64_t epoch = swap_epoch_.load(std::memory_order_acquire);
+  if (epoch != seen_swap_epoch_) {
+    cache_.clear();
+    lru_.clear();
+    seen_swap_epoch_ = epoch;
+  }
+
   struct Slot {
     Request* req = nullptr;
     Hash128 key{};

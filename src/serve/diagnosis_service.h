@@ -23,6 +23,7 @@
 // the single-query equivalence gate (tests/test_serving.cpp) pins down.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
@@ -30,6 +31,7 @@
 #include <deque>
 #include <future>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -70,6 +72,7 @@ struct ServiceStats {
   // Fallback-stage tallies, indexed by DiagnosisOutcome.
   std::uint64_t outcomes[4] = {0, 0, 0, 0};
   std::uint64_t deadline_expired = 0;  // resolved with completed == false
+  std::uint64_t swaps = 0;             // hot-swaps published via swap_store()
   double p50_ms = 0;
   double p99_ms = 0;
   double max_ms = 0;
@@ -81,6 +84,11 @@ class DiagnosisService {
  public:
   // Store-backed service: the deployment path.
   DiagnosisService(SignatureStore store, const ServiceOptions& options = {});
+  // Repository-backed (hot-swappable) service: the store is shared, and
+  // swap_store() can atomically publish a replacement version at any time.
+  // Throws std::runtime_error on a null store.
+  DiagnosisService(std::shared_ptr<const SignatureStore> store,
+                   const ServiceOptions& options = {});
   // Dictionary-backed services: same engine, same batching, no packed
   // rows. These exist so every dictionary type (including first-fail,
   // which a store can only carry as its pass/fail projection) can be
@@ -118,6 +126,16 @@ class DiagnosisService {
 
   ServiceStats stats() const;
 
+  // Hot-swap (repository-backed mode only; throws otherwise). Publication
+  // is atomic: requests already ranking finish on the version they
+  // snapshotted at dispatch; every later request sees `next`. The old
+  // version is retired when the last in-flight reference drains. The
+  // dispatcher's result cache is invalidated at its next batch, so a
+  // content-changing swap can never serve a stale cached ranking.
+  void swap_store(std::shared_ptr<const SignatureStore> next);
+  // The currently published store, or nullptr outside repository mode.
+  std::shared_ptr<const SignatureStore> current_store() const;
+
  private:
   struct Request {
     std::vector<Observed> observed;
@@ -140,9 +158,15 @@ class DiagnosisService {
     FirstFailDictionary dict;
     ResponseMatrix rm;
   };
-  std::variant<SignatureStore, PassFailDictionary, SameDifferentDictionary,
+  // The shared_ptr alternative is the hot-swappable (repository-backed)
+  // mode; reads and writes of the pointer itself go through swap_mutex_.
+  std::variant<SignatureStore, std::shared_ptr<const SignatureStore>,
+               PassFailDictionary, SameDifferentDictionary,
                MultiBaselineDictionary, FullDictionary, FirstFailBackend>
       backend_;
+  mutable std::mutex swap_mutex_;
+  std::atomic<std::uint64_t> swap_epoch_{0};
+  std::uint64_t seen_swap_epoch_ = 0;  // dispatcher-thread-only
   ServiceOptions options_;
   ThreadPool pool_;
 

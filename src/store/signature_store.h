@@ -123,6 +123,8 @@ class SignatureStore {
   StoreSource source() const { return source_; }
   bool mapped() const { return mapped_; }
   std::size_t size_bytes() const { return size_; }
+  // The whole validated image (repository CRC verification).
+  const std::byte* data() const { return base_; }
 
   std::size_t num_faults() const { return num_faults_; }
   std::size_t num_tests() const { return num_tests_; }

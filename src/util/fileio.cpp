@@ -1,0 +1,132 @@
+#include "util/fileio.h"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/failpoint.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SDDICT_HAS_POSIX_IO 1
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace sddict {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("fileio: " + what);
+}
+
+}  // namespace
+
+bool file_exists(const std::string& path) {
+#ifdef SDDICT_HAS_POSIX_IO
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+#else
+  std::ifstream in(path, std::ios::binary);
+  return in.good();
+#endif
+}
+
+bool dir_exists(const std::string& path) {
+#ifdef SDDICT_HAS_POSIX_IO
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+#else
+  return true;  // no portable check; callers degrade to open-time errors
+#endif
+}
+
+void make_dir(const std::string& path) {
+#ifdef SDDICT_HAS_POSIX_IO
+  if (::mkdir(path.c_str(), 0755) != 0 && !dir_exists(path))
+    fail("cannot create directory " + path);
+#else
+  (void)path;  // no portable mkdir; callers degrade to open-time errors
+#endif
+}
+
+std::string parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+std::string read_file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("cannot open " + path + " for reading");
+  std::string bytes;
+  char buf[1 << 16];
+  while (in.read(buf, sizeof buf) || in.gcount() > 0) {
+    bytes.append(buf, static_cast<std::size_t>(in.gcount()));
+    if (in.bad()) break;
+  }
+  if (in.bad()) fail("read of " + path + " failed mid-stream");
+  return bytes;
+}
+
+void atomic_write_file(const std::string& path, std::string_view bytes) {
+  const std::string dir = parent_dir(path);
+  if (!dir_exists(dir)) fail("directory " + dir + " does not exist");
+  const std::string tmp = path + ".tmp";
+#ifdef SDDICT_HAS_POSIX_IO
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail("cannot open temp file " + tmp + " for writing");
+  try {
+    SDDICT_FAILPOINT("fileio.write");
+    const char* p = bytes.data();
+    std::size_t left = bytes.size();
+    while (left > 0) {
+      const ssize_t n = ::write(fd, p, left);
+      if (n <= 0) fail("write to temp file " + tmp + " failed");
+      p += n;
+      left -= static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd) != 0) fail("fsync of temp file " + tmp + " failed");
+    SDDICT_FAILPOINT("fileio.rename");
+  } catch (...) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    fail("close of temp file " + tmp + " failed");
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    fail("rename of " + tmp + " over " + path + " failed");
+  }
+  // Persist the rename itself: fsync the containing directory.
+  const int dfd = ::open(dir.c_str(), O_RDONLY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+#else
+  try {
+    SDDICT_FAILPOINT("fileio.write");
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) fail("cannot open temp file " + tmp + " for writing");
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) fail("write to temp file " + tmp + " failed");
+    SDDICT_FAILPOINT("fileio.rename");
+  } catch (...) {
+    std::remove(tmp.c_str());
+    throw;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    fail("rename of " + tmp + " over " + path + " failed");
+  }
+#endif
+}
+
+}  // namespace sddict

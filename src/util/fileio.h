@@ -1,0 +1,39 @@
+// Small filesystem helpers shared by the artifact-repository layer and the
+// CLI tools: whole-file reads and crash-consistent whole-file writes.
+//
+// atomic_write_file is the torn-file discipline for binary artifacts: the
+// bytes land in a temp file in the destination directory, are flushed and
+// fsync'd, and the temp file is renamed over the destination (POSIX rename
+// is atomic within a filesystem), after which the directory itself is
+// fsync'd so the rename survives a crash. A reader can therefore only ever
+// observe the old file or the complete new file, never a prefix.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace sddict {
+
+bool file_exists(const std::string& path);
+bool dir_exists(const std::string& path);
+
+// Creates one directory level (parent must exist). Succeeds silently when
+// the directory already exists; throws std::runtime_error otherwise.
+void make_dir(const std::string& path);
+
+// Directory part of `path` ("." when the path has no separator).
+std::string parent_dir(const std::string& path);
+
+// Reads the whole file as binary; throws std::runtime_error naming the
+// path on open/read failure.
+std::string read_file_bytes(const std::string& path);
+
+// Atomically replaces `path` with `bytes` (temp file + flush + fsync +
+// rename + directory fsync). Throws std::runtime_error naming the failing
+// step; on failure the temp file is removed and the destination is
+// untouched. Failpoints "fileio.write" (mid-write) and "fileio.rename"
+// (after the temp file is complete, before it is renamed) model a crash at
+// the two interesting instants.
+void atomic_write_file(const std::string& path, std::string_view bytes);
+
+}  // namespace sddict

@@ -18,6 +18,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -329,6 +330,68 @@ TEST(SignatureStore, MmapAndStreamLoadsAreIdentical) {
 TEST(SignatureStore, LoadFileMissingPathThrows) {
   EXPECT_THROW(SignatureStore::load_file(temp_path("no_such_store.bin")),
                std::runtime_error);
+}
+
+// ------------------------------------------------------------ edge cases --
+
+// Degenerate dimensions: a dictionary with zero faults or zero tests has
+// no signatures to pack. The builder refuses with a named error rather
+// than emitting an image the loader would have to special-case.
+TEST(SignatureStore, ZeroFaultDictionaryIsRejectedByName) {
+  try {
+    SignatureStore::build(PassFailDictionary::from_rows({}, 4, 2));
+    FAIL() << "zero-fault build should throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("empty dictionary"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SignatureStore, ZeroTestDictionaryIsRejectedByName) {
+  try {
+    SignatureStore::build(
+        PassFailDictionary::from_rows({BitVec(0), BitVec(0)}, 0, 2));
+    FAIL() << "zero-test build should throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("empty dictionary"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+// An image whose header claims zero faults or zero tests is rejected at
+// parse time ("empty dimensions"), so a corrupted dimension field can
+// never produce a store that silently answers nothing.
+TEST(SignatureStore, ParseRejectsZeroDimensionHeaders) {
+  const SignatureStore s =
+      SignatureStore::build(PassFailDictionary::build(rm()));
+  for (const std::size_t off : {std::size_t{24}, std::size_t{32}}) {
+    std::string img = s.to_bytes();
+    for (std::size_t i = 0; i < 8; ++i) img[off + i] = '\0';
+    EXPECT_THROW(SignatureStore::from_bytes(img), std::runtime_error);
+  }
+}
+
+// A zero-length file is a named error in every load mode — kMmap cannot
+// map it, kStream sees a truncated header, and kAuto falls back from the
+// failed mmap to the stream path and reports the same defect. Never a
+// crash, never a store.
+TEST(SignatureStore, ZeroLengthFileIsANamedErrorInEveryLoadMode) {
+  const std::string path = temp_path("zero_len.store");
+  { std::ofstream out(path, std::ios::binary); }
+  for (const StoreLoadMode mode :
+       {StoreLoadMode::kAuto, StoreLoadMode::kStream, StoreLoadMode::kMmap}) {
+    try {
+      SignatureStore::load_file(path, mode);
+      FAIL() << "zero-length load should throw (mode "
+             << static_cast<int>(mode) << ")";
+    } catch (const std::runtime_error& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("SignatureStore:"), std::string::npos) << what;
+    }
+  }
+  std::remove(path.c_str());
 }
 
 // --------------------------------------------------------------- fuzzers --
