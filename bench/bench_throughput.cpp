@@ -1,13 +1,18 @@
-// Serving-layer throughput bench (ISSUE 4 acceptance harness).
+// Serving-layer throughput bench (ISSUE 4 acceptance harness, extended
+// with the runtime-dispatched SIMD variants and top-k pruned ranking).
 //
-// Three measurements over one packed signature store built from a >= 1k-
-// fault same/different dictionary:
+// Measurements over one packed signature store built from a >= 1k-fault
+// same/different dictionary:
 //
-//   1. Kernel speedup — per-query ranking sweeps with the word-parallel
-//      popcount kernel vs. the legacy per-bit loop, on identical rows.
-//      Built-in self-check: both paths must produce identical mismatch
-//      counts and identical rankings for every query; the run FAILS
-//      (exit 1) on any divergence or if the single-thread speedup is < 3x.
+//   1. Kernel speedup — per-query ranking sweeps with the dispatched
+//      kernel (widest SIMD the CPU supports) vs. the legacy per-bit loop,
+//      on identical rows; then every supported variant (scalar/SIMD) A/B'd
+//      on the same sweep. Built-in self-check: every path must produce
+//      identical mismatch counts and identical rankings for every query;
+//      the run FAILS (exit 1) on any divergence or if the single-thread
+//      dispatched-vs-per-bit speedup is < 3x.
+//   1c. Top-k pruned engine ranking vs the exhaustive sweep — bit-
+//      identical on every query (and sharded == sequential), then timed.
 //   2. Service throughput — queries/sec and p50/p99 latency across a
 //      thread-count x batch-size grid of DiagnosisService configurations
 //      (cache off, so every query pays a full ranking sweep).
@@ -21,6 +26,7 @@
 //   $ ./bench_throughput [--circuit=s1423] [--seed=1] [--patterns=96]
 //       [--queries=256] [--threads-list=1,2,4] [--batch-list=1,8,32]
 //       [--json=BENCH_throughput.json]
+#include <algorithm>
 #include <cstdio>
 #include <cstdint>
 #include <exception>
@@ -41,6 +47,7 @@
 #include "store/signature_store.h"
 #include "util/cli.h"
 #include "util/rng.h"
+#include "util/threadpool.h"
 #include "util/timer.h"
 
 using namespace sddict;
@@ -168,8 +175,13 @@ int main(int argc, char** argv) {
     for (std::size_t t = 0; t < n; ++t)
       qs[q].observed[t] = Observed::of(full.entry(f, t));
     if (q % 4 == 0 && n >= 2) {
-      qs[q].observed[rng.below(n)] = Observed::missing();
-      qs[q].observed[rng.below(n)] = Observed::missing();
+      // Two DISTINCT dropped records: independent draws can collide and
+      // silently degrade a two-dropout query into a single-dropout one.
+      const std::size_t i1 = rng.below(n);
+      std::size_t i2 = rng.below(n - 1);
+      if (i2 >= i1) ++i2;
+      qs[q].observed[i1] = Observed::missing();
+      qs[q].observed[i2] = Observed::missing();
     }
     qs[q].bits = BitVec(n);
     qs[q].care = BitVec(n);
@@ -241,14 +253,43 @@ int main(int argc, char** argv) {
   std::printf("\nkernel ranking sweep (%zu queries x %zu faults x %zu tests, "
               "single thread)\n", queries, k, n);
   std::printf("  %-18s %12.3f ms/sweep\n", "legacy per-bit", legacy_s * 1e3);
-  std::printf("  %-18s %12.3f ms/sweep  (%.1f sweeps/s)\n", "packed popcount",
-              packed_s * 1e3, sweeps_per_s);
+  std::printf("  %-18s %12.3f ms/sweep  (%.1f sweeps/s)  [dispatched: %s]\n",
+              "packed popcount", packed_s * 1e3, sweeps_per_s,
+              kernels::dispatch().name);
   std::printf("  speedup %.1fx (criterion: >= 3x)%s\n", speedup,
               speedup >= 3.0 ? "" : "  FAILED");
   if (speedup < 3.0) ok = false;
   rec(1, "legacy_ms_per_sweep", legacy_s * 1e3);
   rec(1, "packed_ms_per_sweep", packed_s * 1e3);
   rec(1, "kernel_speedup", speedup);
+
+  // --- 1b. Every supported kernel variant on the same sweep. ------------
+  // The dispatched table above is one of these; timing all of them turns
+  // the bench into an on-machine A/B of scalar vs each SIMD width, each
+  // gated bit-identical against the per-bit legacy counts first.
+  std::vector<std::uint32_t> variant_counts(queries * k);
+  for (const kernels::KernelTable* kt : kernels::supported_kernels()) {
+    const double var_s = time_per_sweep([&] {
+      for (std::size_t q = 0; q < queries; ++q) {
+        const std::uint64_t* ow = qs[q].bits.words().data();
+        const std::uint64_t* cw = qs[q].care.words().data();
+        for (std::size_t f = 0; f < k; ++f) {
+          const std::uint32_t m = kt->masked_hamming(
+              store.row_words(static_cast<FaultId>(f)), ow, cw, nwords);
+          variant_counts[q * k + f] = m;
+          sink += m;
+        }
+      }
+    });
+    if (variant_counts != legacy_counts) {
+      std::printf("SELF-CHECK FAILED: %s kernel counts diverge from the "
+                  "per-bit oracle\n", kt->name);
+      ok = false;
+    }
+    std::printf("  %-18s %12.3f ms/sweep  (%.1fx vs per-bit)\n", kt->name,
+                var_s * 1e3, legacy_s / var_s);
+    rec(1, std::string("ms_per_sweep_") + kt->name, var_s * 1e3);
+  }
 
   // --- Equivalence self-checks (store vs dict, service vs engine). ------
   for (std::size_t q = 0; q < std::min<std::size_t>(queries, 16); ++q) {
@@ -278,6 +319,62 @@ int main(int argc, char** argv) {
     }
   }
   if (ok) std::printf("self-check passed: identical rankings on all paths\n");
+
+  // --- 1c. Top-k pruned ranking vs the exhaustive sweep. ----------------
+  // The pruned path must be bit-identical on EVERY query (engine.h proves
+  // why; this pins it on real data) — then its speedup is free accuracy.
+  {
+    EngineOptions full_opt;
+    full_opt.prune = false;
+    EngineOptions pruned_opt;
+    pruned_opt.prune = true;
+
+    for (std::size_t q = 0; q < queries; ++q) {
+      if (!same_diagnosis(diagnose_observed(store, qs[q].observed, pruned_opt),
+                          diagnose_observed(store, qs[q].observed, full_opt))) {
+        std::printf("SELF-CHECK FAILED: pruned and full rankings diverge on "
+                    "query %zu\n", q);
+        ok = false;
+        break;
+      }
+    }
+    // Sharded sweep (forced on): same answers as the sequential one.
+    {
+      ThreadPool pool(2);
+      EngineOptions sharded_opt = pruned_opt;
+      sharded_opt.pool = &pool;
+      sharded_opt.shard_min_faults = 1;
+      for (std::size_t q = 0; q < std::min<std::size_t>(queries, 16); ++q) {
+        if (!same_diagnosis(
+                diagnose_observed(store, qs[q].observed, sharded_opt),
+                diagnose_observed(store, qs[q].observed, pruned_opt))) {
+          std::printf("SELF-CHECK FAILED: sharded and sequential rankings "
+                      "diverge on query %zu\n", q);
+          ok = false;
+          break;
+        }
+      }
+    }
+
+    const double full_rank_s = time_per_sweep([&] {
+      for (std::size_t q = 0; q < queries; ++q)
+        sink += diagnose_observed(store, qs[q].observed, full_opt).matches.size();
+    }) / static_cast<double>(queries);
+    const double pruned_rank_s = time_per_sweep([&] {
+      for (std::size_t q = 0; q < queries; ++q)
+        sink +=
+            diagnose_observed(store, qs[q].observed, pruned_opt).matches.size();
+    }) / static_cast<double>(queries);
+    std::printf("\nengine ranking, top-k pruning (max_results=%zu)\n",
+                pruned_opt.max_results);
+    std::printf("  %-18s %12.3f ms/query\n", "full sweep",
+                full_rank_s * 1e3);
+    std::printf("  %-18s %12.3f ms/query  (%.2fx)\n", "pruned top-k",
+                pruned_rank_s * 1e3, full_rank_s / pruned_rank_s);
+    rec(1, "rank_full_ms_per_query", full_rank_s * 1e3);
+    rec(1, "rank_pruned_ms_per_query", pruned_rank_s * 1e3);
+    rec(1, "topk_speedup", full_rank_s / pruned_rank_s);
+  }
 
   // --- 2. Service throughput grid (cache off). --------------------------
   std::printf("\nservice throughput, %zu queries (cache off)\n", queries);

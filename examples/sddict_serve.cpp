@@ -54,6 +54,7 @@
 #include "diag/testerlog.h"
 #include "repo/repository.h"
 #include "serve/diagnosis_service.h"
+#include "store/kernels.h"
 #include "store/signature_store.h"
 #include "util/cli.h"
 #include "util/strings.h"
@@ -338,7 +339,8 @@ int serve_socket(DiagnosisService* service, RepoServer* repo,
     ::close(listener);
     return 1;
   }
-  std::fprintf(stderr, "listening on %s\n", path.c_str());
+  std::fprintf(stderr, "listening on %s (kernels: %s)\n", path.c_str(),
+               kernels::dispatch().name);
   for (;;) {
     const int conn = ::accept(listener, nullptr, nullptr);
     if (conn < 0) continue;

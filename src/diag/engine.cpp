@@ -1,13 +1,16 @@
 #include "diag/engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <functional>
+#include <queue>
 #include <stdexcept>
 #include <utility>
 
 #include "store/kernels.h"
 #include "store/signature_store.h"
 #include "util/bitvec.h"
+#include "util/threadpool.h"
 
 namespace sddict {
 
@@ -32,6 +35,35 @@ namespace {
 
 // Faults scored between budget polls in the ranking loops.
 constexpr FaultId kPollStride = 256;
+
+// "No pruning bound" sentinel handed to the bounded scorers; the bounded
+// kernels short-circuit on it (store/kernels.h).
+constexpr std::uint32_t kNoLimit = ~std::uint32_t{0};
+
+// Running k-th-best tracker for the pruning bound: a max-heap of the k
+// smallest exact mismatch counts seen so far. kth() stays kNoLimit until k
+// rows have been fully counted — any k counts give a valid (if loose)
+// upper bound on the final k-th best, which is all the pruning proof
+// needs.
+class TopKBound {
+ public:
+  explicit TopKBound(std::size_t k) : k_(k) {}
+  void add(std::uint32_t m) {
+    if (heap_.size() < k_) {
+      heap_.push(m);
+    } else if (m < heap_.top()) {
+      heap_.pop();
+      heap_.push(m);
+    }
+  }
+  std::uint32_t kth() const {
+    return heap_.size() == k_ ? heap_.top() : kNoLimit;
+  }
+
+ private:
+  std::size_t k_;
+  std::priority_queue<std::uint32_t> heap_;
+};
 
 // Tri-state pass/fail projection: 1 fail, 0 pass, -1 not derivable (for a
 // row bit) or don't-care (for an observation).
@@ -84,6 +116,19 @@ struct StageRank {
 
 // Scores every fault (budget permitting), sorts, and truncates to
 // max(max_results, faults within tolerance) — the tolerance-e guarantee.
+//
+// `mism(f, limit)` follows the bounded-kernel contract (store/kernels.h):
+// the returned count is exact when <= limit, and any value > limit only
+// promises the true count is also > limit. With opt.prune the sweep hands
+// each row the bound max(k-th best so far, tolerance), k =
+// max(max_results, 2), and drops rows whose count provably exceeds it.
+// Every dropped row's final count is strictly greater than that of every
+// row the truncation below can keep (the k-th best only tightens, and keep
+// <= max(k, faults within tolerance)), and with k >= 2 the runner-up
+// stays exact — so order, counts, margin and the tolerance-e guarantee
+// are bit-identical to the unpruned sweep, including on budget-stopped
+// prefixes.
+//
 // `tiebreak` (optional) orders faults whose mismatch counts tie before the
 // fault-id fallback; it never reorders differently-scored candidates, so
 // reported mismatch counts are unaffected.
@@ -94,15 +139,71 @@ StageRank rank_stage(std::size_t num_faults, std::size_t effective,
                      const std::function<std::uint32_t(FaultId)>& tiebreak =
                          nullptr) {
   StageRank r;
+  const auto eff32 = static_cast<std::uint32_t>(effective);
+  const std::size_t k = std::max<std::size_t>(opt.max_results, 2);
   std::vector<DiagnosisMatch> all;
-  all.reserve(num_faults);
-  for (FaultId f = 0; f < num_faults; ++f) {
-    if (f % kPollStride == 0 && scope.stop()) {
-      r.complete = false;
-      break;
+
+  const bool sharded = opt.pool != nullptr && opt.pool->num_threads() > 1 &&
+                       num_faults >= opt.shard_min_faults;
+  if (sharded) {
+    // Index-addressed slots, so shard timing cannot reorder anything: slot
+    // f holds fault f's exact count, or kNoLimit for a pruned (or, after a
+    // budget stop, unreached) row. Shards prune against the minimum of
+    // their local k-th best and a shared published bound; every published
+    // value is a valid bound, so the relaxed min-CAS can lose races
+    // without affecting what is returned — only how much gets pruned.
+    std::vector<std::uint32_t> counts(num_faults, kNoLimit);
+    std::atomic<std::uint32_t> shared_kth{kNoLimit};
+    std::atomic<bool> stopped{false};
+    const std::size_t chunks = opt.pool->num_threads() * 4;
+    opt.pool->parallel_for_chunks(
+        0, num_faults, chunks, [&](std::size_t begin, std::size_t end) {
+          TopKBound local(k);
+          for (std::size_t i = begin; i < end; ++i) {
+            if ((i - begin) % kPollStride == 0 && scope.stop()) {
+              stopped.store(true, std::memory_order_relaxed);
+              return;
+            }
+            std::uint32_t limit = kNoLimit;
+            if (opt.prune) {
+              const std::uint32_t kth = std::min(
+                  local.kth(), shared_kth.load(std::memory_order_relaxed));
+              if (kth != kNoLimit) limit = std::max(kth, opt.tolerance);
+            }
+            const std::uint32_t m = mism(static_cast<FaultId>(i), limit);
+            if (m > limit) continue;  // provably outside top-k and tolerance
+            counts[i] = m;
+            if (opt.prune) {
+              local.add(m);
+              const std::uint32_t lk = local.kth();
+              std::uint32_t cur = shared_kth.load(std::memory_order_relaxed);
+              while (lk < cur && !shared_kth.compare_exchange_weak(
+                                     cur, lk, std::memory_order_relaxed)) {
+              }
+            }
+          }
+        });
+    r.complete = !stopped.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < num_faults; ++i)
+      if (counts[i] != kNoLimit)
+        all.push_back({static_cast<FaultId>(i), counts[i], 0, eff32});
+  } else {
+    all.reserve(opt.prune ? std::min<std::size_t>(num_faults, 1024)
+                          : num_faults);
+    TopKBound best(k);
+    for (FaultId f = 0; f < num_faults; ++f) {
+      if (f % kPollStride == 0 && scope.stop()) {
+        r.complete = false;
+        break;
+      }
+      std::uint32_t limit = kNoLimit;
+      if (opt.prune && best.kth() != kNoLimit)
+        limit = std::max(best.kth(), opt.tolerance);
+      const std::uint32_t m = mism(f, limit);
+      if (m > limit) continue;
+      all.push_back({f, m, 0, eff32});
+      if (opt.prune) best.add(m);
     }
-    all.push_back(
-        {f, mism(f), 0, static_cast<std::uint32_t>(effective)});
   }
   if (tiebreak) {
     // Keyed by fault id (not position), so the comparator stays correct if
@@ -138,10 +239,14 @@ StageRank rank_stage(std::size_t num_faults, std::size_t effective,
   return r;
 }
 
+// Bounded scorer shared by run_chain's stages: exact when the result is
+// <= limit, early-exits otherwise (the bounded-kernel contract).
+using BoundedScorer = std::function<std::uint32_t(FaultId, std::uint32_t)>;
+
 // The staged fallback chain shared by all dictionary types.
 EngineDiagnosis run_chain(const ObservationSummary& sum,
-                          const std::function<std::uint32_t(FaultId)>& native,
-                          const PfProjection& pf, const EngineOptions& opt) {
+                          const BoundedScorer& native, const PfProjection& pf,
+                          const EngineOptions& opt) {
   BudgetScope scope(opt.budget);
   EngineDiagnosis out;
   out.dont_care_tests = sum.dont_care_tests;
@@ -150,15 +255,18 @@ EngineDiagnosis run_chain(const ObservationSummary& sum,
 
   // Pass/fail-projection mismatch count of one fault, reused by the
   // native-stage tiebreak and by stage 3.
-  const auto proj_mism = [&pf](FaultId f) {
+  const auto proj_mism_bounded = [&pf](FaultId f, std::uint32_t limit) {
     std::uint32_t mism = 0;
     for (std::size_t t = 0; t < pf.obs.size(); ++t) {
       const int o = pf.obs[t];
       if (o < 0) continue;
       const int b = pf.bit(f, t);
-      if (b >= 0 && b != o) ++mism;
+      if (b >= 0 && b != o && ++mism > limit) return mism;
     }
     return mism;
+  };
+  const auto proj_mism = [&proj_mism_bounded](FaultId f) {
+    return proj_mism_bounded(f, kNoLimit);
   };
 
   // Stages 1+2: exact / tolerant nearest match in the dictionary's native
@@ -175,7 +283,7 @@ EngineDiagnosis run_chain(const ObservationSummary& sum,
   // ranking exactly.
   const bool degraded = sum.dont_care_tests > 0 || sum.unknown_tests > 0;
   StageRank nat = rank_stage(sum.num_faults, sum.effective_tests, opt, scope,
-                             [&](FaultId f) { return native(f); },
+                             native,
                              degraded ? std::function<std::uint32_t(FaultId)>(
                                             proj_mism)
                                       : nullptr);
@@ -194,7 +302,7 @@ EngineDiagnosis run_chain(const ObservationSummary& sum,
   // Stage 3: pass/fail projection — compare only the tests where both the
   // observation and the dictionary row project onto pass/fail.
   StageRank proj = rank_stage(sum.num_faults, pf.comparable_tests, opt, scope,
-                              proj_mism);
+                              proj_mism_bounded);
   out.completed = nat.complete && proj.complete;
   out.stop_reason = out.completed ? StopReason::kCompleted : scope.reason();
 
@@ -291,9 +399,14 @@ EngineDiagnosis diagnose_passfail_impl(std::size_t num_faults,
   const std::uint64_t* ow = bits.words().data();
   const std::uint64_t* cw = care.words().data();
   const std::size_t nw = bits.words().size();
+  // Hoisted: one dispatch() guard per query, not per row.
+  const kernels::KernelTable& kt = kernels::dispatch();
   return run_chain(
       sum,
-      [&](FaultId f) { return kernels::masked_hamming(row_words(f), ow, cw, nw); },
+      [&](FaultId f, std::uint32_t limit) {
+        return kernels::masked_hamming_bounded(kt, row_words(f), ow, cw, nw,
+                                               limit);
+      },
       pf, options);
 }
 
@@ -331,9 +444,14 @@ EngineDiagnosis diagnose_samediff_impl(std::size_t num_faults,
   const std::uint64_t* ow = bits.words().data();
   const std::uint64_t* cw = care.words().data();
   const std::size_t nw = bits.words().size();
+  // Hoisted: one dispatch() guard per query, not per row.
+  const kernels::KernelTable& kt = kernels::dispatch();
   return run_chain(
       sum,
-      [&](FaultId f) { return kernels::masked_hamming(row_words(f), ow, cw, nw); },
+      [&](FaultId f, std::uint32_t limit) {
+        return kernels::masked_hamming_bounded(kt, row_words(f), ow, cw, nw,
+                                               limit);
+      },
       pf, options);
 }
 
@@ -390,9 +508,14 @@ EngineDiagnosis diagnose_multibaseline_impl(
   const std::uint64_t* ow = bits.words().data();
   const std::uint64_t* cw = care.words().data();
   const std::size_t nw = bits.words().size();
+  // Hoisted: one dispatch() guard per query, not per row.
+  const kernels::KernelTable& kt = kernels::dispatch();
   return run_chain(
       sum,
-      [&](FaultId f) { return kernels::masked_hamming(row_words(f), ow, cw, nw); },
+      [&](FaultId f, std::uint32_t limit) {
+        return kernels::masked_hamming_bounded(kt, row_words(f), ow, cw, nw,
+                                               limit);
+      },
       pf, options);
 }
 
@@ -424,11 +547,12 @@ EngineDiagnosis diagnose_full_impl(std::size_t num_faults,
     care[t] = 1;
     obs[t] = observed[t].value;
   }
+  const kernels::KernelTable& kt = kernels::dispatch();
   return run_chain(
       sum,
-      [&](FaultId f) {
-        return kernels::masked_symbol_mismatches(row_ids(f), obs.data(),
-                                                 care.data(), num_tests);
+      [&](FaultId f, std::uint32_t limit) {
+        return kernels::masked_symbol_mismatches_bounded(
+            kt, row_ids(f), obs.data(), care.data(), num_tests, limit);
       },
       pf, options);
 }
@@ -511,10 +635,15 @@ EngineDiagnosis diagnose_observed(const FirstFailDictionary& dict,
   }
   return run_chain(
       sum,
-      [&](FaultId f) {
+      [&](FaultId f, std::uint32_t limit) {
+        // Bounded by hand (no packed kernel for this dictionary): check the
+        // running count against the pruning bound every 64 entries.
         std::uint32_t mism = 0;
-        for (const auto& [t, sym] : cared)
-          if (dict.entry(f, t) != sym) ++mism;
+        std::size_t seen = 0;
+        for (const auto& [t, sym] : cared) {
+          mism += static_cast<std::uint32_t>(dict.entry(f, t) != sym);
+          if ((++seen & 63) == 0 && mism > limit) return mism;
+        }
         return mism;
       },
       pf, options);

@@ -21,6 +21,19 @@
 //    carries its one honest bit of information: the test failed.
 //  * Budget-aware: ranking loops poll a RunBudget and return the
 //    best-so-far prefix with completed == false on expiry, never throwing.
+//  * Top-k pruned ranking: the sweep maintains the k-th-best mismatch count
+//    seen so far (k = max(max_results, 2)) and hands each row's scorer the
+//    bound max(k-th best, tolerance); the bounded kernels
+//    (store/kernels.h) abandon a row as soon as its block-wise partial
+//    count exceeds that bound. A row is only ever dropped when its final
+//    count is provably larger, so the returned candidate list — order,
+//    mismatch counts, margin, tolerance-e guarantee — is bit-identical to
+//    the unpruned sweep's, including under budget expiry. `prune = false`
+//    keeps the exhaustive sweep (the pruned path's differential oracle).
+//  * Sharded ranking: with a ThreadPool and a large enough fault list, the
+//    sweep splits across worker threads; shards prune against a shared
+//    best-k bound (any published bound is valid, so racy timing can change
+//    how much is pruned but never what is returned).
 #pragma once
 
 #include <cstddef>
@@ -38,6 +51,8 @@
 
 namespace sddict {
 
+class ThreadPool;
+
 struct EngineOptions {
   std::size_t max_results = 10;
   // Tolerance e of the nearest-match stage. The tolerant (and projection)
@@ -47,6 +62,19 @@ struct EngineOptions {
   std::size_t max_cover = 8;
   // Wall-clock / cancellation budget; anytime, never throws on expiry.
   RunBudget budget{};
+  // Top-k pruned ranking (see header comment): provably identical output,
+  // skips most of most rows once the top-k bound tightens. Off = the
+  // exhaustive sweep the pruned path is differentially tested against.
+  bool prune = true;
+  // When set and the fault list has at least shard_min_faults rows, the
+  // ranking sweeps run as parallel_for_chunks on this pool. The caller must
+  // not be a task on that same pool (ThreadPool::parallel_for is not
+  // reentrant); the serving layer therefore only passes its pool on the
+  // dispatcher-inline single-miss path. Results stay bit-identical to the
+  // sequential sweep on completed runs; a budget expiry stops each shard at
+  // its own prefix instead of one global prefix.
+  ThreadPool* pool = nullptr;
+  std::size_t shard_min_faults = 4096;
 };
 
 // How far down the fallback chain the engine had to go. The order is the

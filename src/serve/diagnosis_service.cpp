@@ -29,6 +29,8 @@ Hash128 observation_key(const std::vector<Observed>& observed) {
   return hash_words(packed.data(), packed.size(), /*seed=*/0x5eed5eed);
 }
 
+}  // namespace
+
 // log2 microsecond bucket of a latency, clamped to [0, 63].
 std::size_t latency_bucket(double ms) {
   const double us = ms * 1000.0;
@@ -49,15 +51,17 @@ double percentile_from_buckets(const std::uint64_t* buckets,
   const auto target = static_cast<std::uint64_t>(
       std::ceil(p * static_cast<double>(total)));
   std::uint64_t seen = 0;
+  std::size_t last_nonempty = 0;
   for (std::size_t b = 0; b < 64; ++b) {
+    if (buckets[b] > 0) last_nonempty = b;
     seen += buckets[b];
-    if (seen >= target && buckets[b] > 0) return bucket_upper_ms(b);
-    if (seen >= target) return bucket_upper_ms(b);
+    // The target sample lives in the last non-empty bucket at or below b
+    // (b itself can be empty when earlier buckets already covered the
+    // target); b's own bound would be one no recorded latency ever hit.
+    if (seen >= target) return bucket_upper_ms(last_nonempty);
   }
   return bucket_upper_ms(63);
 }
-
-}  // namespace
 
 std::string format_service_stats(const ServiceStats& s) {
   std::ostringstream out;
@@ -264,8 +268,14 @@ void DiagnosisService::dispatcher_loop() {
 }
 
 EngineDiagnosis DiagnosisService::run_one(const std::vector<Observed>& observed,
-                                          Clock::time_point submitted) {
+                                          Clock::time_point submitted,
+                                          bool allow_sharding) {
   EngineOptions opt = options_.engine;
+  // ThreadPool::parallel_for is not reentrant, so only the dispatcher-
+  // inline single-miss path may shard its rank sweep across the worker
+  // pool; calls made from inside a pool task must clear it — including a
+  // pool the caller put into options_.engine.
+  opt.pool = allow_sharding ? &pool_ : nullptr;
   if (options_.deadline_ms > 0) {
     // Deadline counts from submission, so queueing time eats into the
     // rank budget — a request that waited too long resolves immediately
@@ -333,10 +343,13 @@ void DiagnosisService::process_batch(std::vector<Request>& batch) {
   }
 
   if (misses.size() == 1) {
-    // No point paying the dispatch barrier for a single query.
+    // No point paying the dispatch barrier for a single query — and since
+    // this runs on the dispatcher thread, the workers are free to shard
+    // the rank sweep itself (engine.h: EngineOptions::pool).
     Slot& s = slots[misses[0]];
     try {
-      s.result = run_one(s.req->observed, s.req->submitted);
+      s.result = run_one(s.req->observed, s.req->submitted,
+                         /*allow_sharding=*/true);
     } catch (...) {
       s.error = std::current_exception();
     }

@@ -80,6 +80,19 @@ struct ServiceStats {
 
 std::string format_service_stats(const ServiceStats& s);
 
+// Latency-histogram plumbing behind ServiceStats, exposed so the
+// percentile math is unit-testable against hand-built histograms.
+// latency_bucket maps a latency to its log2-microsecond bucket in [0, 63];
+// bucket_upper_ms is that bucket's upper bound back in milliseconds.
+std::size_t latency_bucket(double ms);
+double bucket_upper_ms(std::size_t b);
+// p-th percentile (p in [0, 1]) over a 64-bucket histogram holding `total`
+// samples: the upper bound of the bucket containing the ceil(p * total)-th
+// sample — always a bound some recorded sample actually fell under, never
+// the bound of an empty bucket.
+double percentile_from_buckets(const std::uint64_t* buckets,
+                               std::uint64_t total, double p);
+
 class DiagnosisService {
  public:
   // Store-backed service: the deployment path.
@@ -149,8 +162,12 @@ class DiagnosisService {
 
   void dispatcher_loop();
   void process_batch(std::vector<Request>& batch);
+  // allow_sharding: whether the engine may split its rank sweep across
+  // pool_ (true only when called from the dispatcher thread itself —
+  // parallel_for is not reentrant from a pool task).
   EngineDiagnosis run_one(const std::vector<Observed>& observed,
-                          std::chrono::steady_clock::time_point submitted);
+                          std::chrono::steady_clock::time_point submitted,
+                          bool allow_sharding = false);
   void record(const EngineDiagnosis& d, bool cache_hit, double latency_ms);
 
   // Exactly one alternative is engaged for the service's lifetime.

@@ -19,6 +19,7 @@
 // Registered under the "serving" ctest label; the tsan preset includes it.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <future>
 #include <stdexcept>
 #include <thread>
@@ -377,6 +378,68 @@ TEST(Serving, StatsTallyOutcomesAndFormat) {
   const std::string text = format_service_stats(s);
   EXPECT_NE(text.find("requests"), std::string::npos);
   EXPECT_NE(text.find("p99"), std::string::npos);
+}
+
+// ------------------------------------------------- latency percentiles --
+
+// percentile_from_buckets over hand-built histograms. The regression this
+// pins: when the cumulative count crosses the target in a bucket that is
+// itself empty (the crossing happened earlier and a gap follows), the
+// reported bound must be that of the last NON-EMPTY bucket — a latency
+// some request actually recorded — not the empty bucket's.
+TEST(Serving, PercentileFromHandBuiltHistograms) {
+  std::uint64_t buckets[64] = {};
+
+  // All mass in one bucket: every percentile reports that bucket's bound.
+  buckets[5] = 100;
+  EXPECT_DOUBLE_EQ(percentile_from_buckets(buckets, 100, 0.50),
+                   bucket_upper_ms(5));
+  EXPECT_DOUBLE_EQ(percentile_from_buckets(buckets, 100, 0.99),
+                   bucket_upper_ms(5));
+
+  // Bimodal with a gap: 90 fast (bucket 2), 10 slow (bucket 9). p50 lands
+  // inside the fast mode, p99 inside the slow one; neither may report a
+  // bound from the empty buckets 3..8 in between.
+  std::fill(std::begin(buckets), std::end(buckets), 0);
+  buckets[2] = 90;
+  buckets[9] = 10;
+  EXPECT_DOUBLE_EQ(percentile_from_buckets(buckets, 100, 0.50),
+                   bucket_upper_ms(2));
+  EXPECT_DOUBLE_EQ(percentile_from_buckets(buckets, 100, 0.90),
+                   bucket_upper_ms(2));
+  EXPECT_DOUBLE_EQ(percentile_from_buckets(buckets, 100, 0.91),
+                   bucket_upper_ms(9));
+  EXPECT_DOUBLE_EQ(percentile_from_buckets(buckets, 100, 0.99),
+                   bucket_upper_ms(9));
+
+  // Empty histogram: degenerate, reports 0.
+  std::fill(std::begin(buckets), std::end(buckets), 0);
+  EXPECT_DOUBLE_EQ(percentile_from_buckets(buckets, 0, 0.99), 0.0);
+
+  // Mass only in the last bucket: the final-bucket fallback still returns
+  // a real bound.
+  buckets[63] = 1;
+  EXPECT_DOUBLE_EQ(percentile_from_buckets(buckets, 1, 0.99),
+                   bucket_upper_ms(63));
+}
+
+// latency_bucket / bucket_upper_ms invariants: every latency's bucket
+// bound is >= the latency itself (so percentiles are upper bounds), and
+// the mapping is monotone.
+TEST(Serving, LatencyBucketBoundsAreUpperBounds) {
+  const double samples[] = {0.0,  0.0005, 0.001, 0.004, 0.1,
+                            1.0,  1.5,    16.0,  250.0, 10000.0};
+  for (const double ms : samples) {
+    const std::size_t b = latency_bucket(ms);
+    ASSERT_LT(b, 64u);
+    EXPECT_GE(bucket_upper_ms(b), ms) << "ms=" << ms;
+  }
+  std::size_t prev = 0;
+  for (double ms = 0.001; ms < 1000.0; ms *= 1.7) {
+    const std::size_t b = latency_bucket(ms);
+    EXPECT_GE(b, prev);
+    prev = b;
+  }
 }
 
 }  // namespace

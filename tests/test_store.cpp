@@ -40,6 +40,7 @@
 #include "store/signature_store.h"
 #include "util/crc32.h"
 #include "util/rng.h"
+#include "util/threadpool.h"
 
 namespace sddict {
 namespace {
@@ -171,6 +172,170 @@ TEST(Kernels, MaskedSymbolMismatchesMatchesReference) {
   }
 }
 
+// Every dispatched variant (scalar word-parallel + whatever SIMD tables
+// this machine supports) against the per-bit oracle, sweeping tail widths
+// around every vector-width boundary (nbits mod 64 in {0, 1, 63}) and the
+// degenerate all-care / no-care masks. A variant whose tail handling is
+// off by even one lane fails here before it can misrank anything.
+TEST(Kernels, EveryVariantMatchesPerBitOracleAcrossTailWidths) {
+  const auto tables = kernels::supported_kernels();
+  ASSERT_FALSE(tables.empty());
+  EXPECT_STREQ(tables.front()->name, "scalar");
+  Rng rng(13);
+  const std::size_t widths[] = {1,   63,  64,  65,  127, 128, 129,
+                                191, 192, 193, 320, 321, 512, 513};
+  for (const std::size_t nbits : widths) {
+    const std::size_t nwords = (nbits + 63) / 64;
+    std::vector<std::uint64_t> row(nwords), obs(nwords), care(nwords);
+    for (std::size_t i = 0; i < nwords; ++i) {
+      row[i] = rng.next();
+      obs[i] = rng.next();
+      care[i] = rng.next();
+    }
+    const std::size_t tail = nwords * 64 - nbits;
+    const std::uint64_t mask =
+        tail > 0 ? ~std::uint64_t{0} >> tail : ~std::uint64_t{0};
+    row[nwords - 1] &= mask;
+    obs[nwords - 1] &= mask;
+    care[nwords - 1] &= mask;
+
+    const std::uint32_t want_masked = kernels::masked_hamming_reference(
+        row.data(), obs.data(), care.data(), nbits);
+    std::vector<std::uint64_t> all_care(nwords, ~std::uint64_t{0});
+    all_care[nwords - 1] = mask;
+    const std::uint32_t want_all = kernels::masked_hamming_reference(
+        row.data(), obs.data(), all_care.data(), nbits);
+    const std::vector<std::uint64_t> no_care(nwords, 0);
+
+    for (const kernels::KernelTable* t : tables) {
+      EXPECT_EQ(t->masked_hamming(row.data(), obs.data(), care.data(), nwords),
+                want_masked)
+          << t->name << " nbits=" << nbits;
+      EXPECT_EQ(
+          t->masked_hamming(row.data(), obs.data(), all_care.data(), nwords),
+          want_all)
+          << t->name << " all-care nbits=" << nbits;
+      EXPECT_EQ(
+          t->masked_hamming(row.data(), obs.data(), no_care.data(), nwords),
+          0u)
+          << t->name << " no-care nbits=" << nbits;
+      // hamming == masked_hamming under the all-ones mask.
+      EXPECT_EQ(t->hamming(row.data(), obs.data(), nwords), want_all)
+          << t->name << " hamming nbits=" << nbits;
+    }
+  }
+}
+
+// Regression test for the care-byte contract (any non-zero byte means
+// "cared"): the pre-fix scalar kernel masked with the raw care byte, so an
+// even byte (2, 0x80, ...) silently dropped real mismatches. Every
+// variant must count a mismatch under every non-zero care byte, across
+// lane-tail widths of the 8- and 16-lane SIMD loops.
+TEST(Kernels, EveryVariantCountsSymbolMismatchesForAnyNonZeroCareByte) {
+  const auto tables = kernels::supported_kernels();
+  const std::uint8_t care_bytes[] = {0, 1, 2, 0x80, 0xFF};
+
+  // Deterministic single-lane probe: one mismatching lane, every care byte.
+  for (const std::uint8_t c : care_bytes) {
+    const std::uint32_t row = 3, obs = 4;
+    const std::uint32_t want = c != 0 ? 1u : 0u;
+    for (const kernels::KernelTable* t : tables)
+      EXPECT_EQ(t->masked_symbol_mismatches(&row, &obs, &c, 1), want)
+          << t->name << " care=" << int{c};
+  }
+
+  Rng rng(14);
+  const std::size_t lane_counts[] = {1,  2,  3,  4,  5,  7,  8,  9,
+                                     15, 16, 17, 31, 32, 33, 64, 65};
+  for (const std::size_t n : lane_counts) {
+    std::vector<std::uint32_t> row(n), obs(n);
+    std::vector<std::uint8_t> care(n);
+    for (std::size_t t = 0; t < n; ++t) {
+      row[t] = static_cast<std::uint32_t>(rng.below(4));
+      obs[t] = rng.coin() ? row[t] : static_cast<std::uint32_t>(rng.below(4));
+      care[t] = care_bytes[rng.below(5)];
+    }
+    const std::uint32_t want = kernels::masked_symbol_mismatches_reference(
+        row.data(), obs.data(), care.data(), n);
+    for (const kernels::KernelTable* t : tables)
+      EXPECT_EQ(t->masked_symbol_mismatches(row.data(), obs.data(),
+                                            care.data(), n),
+                want)
+          << t->name << " n=" << n;
+  }
+}
+
+// The bounded kernels' contract (the top-k pruning primitive): a result
+// <= limit is the exact count; a result > limit proves the true count is
+// also > limit. Checked for every variant over random operands and limits
+// straddling the true count, plus the no-limit short-circuit.
+TEST(Kernels, BoundedKernelsHonorTheirContract) {
+  const auto tables = kernels::supported_kernels();
+  Rng rng(15);
+  constexpr std::uint32_t kNoLimit = ~std::uint32_t{0};
+  for (int iter = 0; iter < 100; ++iter) {
+    const std::size_t nbits = 1 + rng.below(1200);
+    const std::size_t nwords = (nbits + 63) / 64;
+    std::vector<std::uint64_t> row(nwords), obs(nwords), care(nwords);
+    for (std::size_t i = 0; i < nwords; ++i) {
+      row[i] = rng.next();
+      obs[i] = rng.next();
+      care[i] = rng.next();
+    }
+    const std::size_t tail = nwords * 64 - nbits;
+    if (tail > 0) {
+      const std::uint64_t mask = ~std::uint64_t{0} >> tail;
+      row[nwords - 1] &= mask;
+      obs[nwords - 1] &= mask;
+      care[nwords - 1] &= mask;
+    }
+    const std::uint32_t truth = kernels::masked_hamming_reference(
+        row.data(), obs.data(), care.data(), nbits);
+    const std::uint32_t limits[] = {0,
+                                    truth > 0 ? truth - 1 : 0,
+                                    truth,
+                                    truth + 1,
+                                    truth + 17,
+                                    static_cast<std::uint32_t>(rng.below(
+                                        2 * truth + 2)),
+                                    kNoLimit};
+    for (const kernels::KernelTable* t : tables) {
+      for (const std::uint32_t limit : limits) {
+        const std::uint32_t got = kernels::masked_hamming_bounded(
+            *t, row.data(), obs.data(), care.data(), nwords, limit);
+        if (got <= limit)
+          EXPECT_EQ(got, truth) << t->name << " limit=" << limit;
+        else
+          EXPECT_GT(truth, limit) << t->name << " limit=" << limit;
+      }
+    }
+  }
+  // Symbol-lane flavor.
+  for (int iter = 0; iter < 100; ++iter) {
+    const std::size_t n = 1 + rng.below(400);
+    std::vector<std::uint32_t> row(n), obs(n);
+    std::vector<std::uint8_t> care(n);
+    for (std::size_t t = 0; t < n; ++t) {
+      row[t] = static_cast<std::uint32_t>(rng.below(4));
+      obs[t] = rng.coin() ? row[t] : static_cast<std::uint32_t>(rng.below(4));
+      care[t] = static_cast<std::uint8_t>(rng.below(3));
+    }
+    const std::uint32_t truth = kernels::masked_symbol_mismatches_reference(
+        row.data(), obs.data(), care.data(), n);
+    const std::uint32_t limits[] = {0, truth, truth + 1, kNoLimit};
+    for (const kernels::KernelTable* t : tables) {
+      for (const std::uint32_t limit : limits) {
+        const std::uint32_t got = kernels::masked_symbol_mismatches_bounded(
+            *t, row.data(), obs.data(), care.data(), n, limit);
+        if (got <= limit)
+          EXPECT_EQ(got, truth) << t->name << " limit=" << limit;
+        else
+          EXPECT_GT(truth, limit) << t->name << " limit=" << limit;
+      }
+    }
+  }
+}
+
 // ----------------------------------------------------------- round trips --
 
 TEST(SignatureStore, PassFailRoundTrip) {
@@ -296,6 +461,78 @@ TEST(SignatureStore, DiagnoseEquivalentToDictionaryAllKinds) {
                           diagnose_observed(mb, obs), "multi-baseline");
     expect_same_diagnosis(diagnose_observed(SignatureStore::build(full), obs),
                           diagnose_observed(full, obs), "full");
+  }
+}
+
+// --------------------------------------------------- top-k pruned ranking --
+
+// The pruned sweep must be bit-identical to the exhaustive one (engine.h)
+// for every store kind, including: degraded observations (which switch on
+// the projection tiebreak), mass ties in the mismatch counts, max_results
+// down to 1 (the k >= 2 clamp that keeps the margin exact), and non-zero
+// tolerance (every fault within e keeps its guaranteed slot).
+TEST(SignatureStore, PrunedRankingIsBitIdenticalToUnpruned) {
+  const FullDictionary full = FullDictionary::build(rm());
+  const SignatureStore stores[] = {
+      SignatureStore::build(PassFailDictionary::build(rm())),
+      SignatureStore::build(
+          SameDifferentDictionary::build(rm(), nontrivial_baselines(rm()))),
+      SignatureStore::build(
+          MultiBaselineDictionary::build(rm(), ragged_baselines(rm()))),
+      SignatureStore::build(full)};
+
+  Rng rng(21);
+  for (int i = 0; i < 8; ++i) {
+    const auto f = static_cast<FaultId>(rng.below(full.num_faults()));
+    std::vector<Observed> obs = fault_observation(full, f);
+    if (i % 2 == 1) {
+      // Degraded: dropped record + unmodeled response.
+      obs[rng.below(obs.size())] = Observed::missing();
+      obs[rng.below(obs.size())] = Observed::of(kUnknownResponse);
+    }
+    if (i >= 4) {
+      // Scramble toward the fault-free response so many faults tie: ties
+      // are where an unsound pruning bound would first leak (a kept row
+      // displacing an equal-count pruned one).
+      for (int j = 0; j < 12; ++j) obs[rng.below(obs.size())] = Observed::of(0);
+    }
+    EngineOptions opt;
+    opt.max_results = 1 + static_cast<std::size_t>(i % 3);
+    opt.tolerance = (i % 2 == 1) ? 2u : 0u;
+    EngineOptions unpruned = opt;
+    unpruned.prune = false;
+    for (const SignatureStore& s : stores)
+      expect_same_diagnosis(diagnose_observed(s, obs, opt),
+                            diagnose_observed(s, obs, unpruned),
+                            "pruned vs unpruned");
+  }
+}
+
+// Sharding the sweep across a real pool (forced on via shard_min_faults =
+// 1) must agree with the sequential sweep, pruned and unpruned.
+TEST(SignatureStore, ShardedRankingMatchesSequential) {
+  const FullDictionary full = FullDictionary::build(rm());
+  const SignatureStore s = SignatureStore::build(full);
+  ThreadPool pool(2);
+
+  Rng rng(22);
+  for (int i = 0; i < 4; ++i) {
+    const auto f = static_cast<FaultId>(rng.below(full.num_faults()));
+    std::vector<Observed> obs = fault_observation(full, f);
+    if (i % 2 == 1) obs[rng.below(obs.size())] = Observed::unstable();
+
+    EngineOptions sequential;
+    sequential.max_results = 3;
+    EngineOptions sharded = sequential;
+    sharded.pool = &pool;
+    sharded.shard_min_faults = 1;
+    expect_same_diagnosis(diagnose_observed(s, obs, sharded),
+                          diagnose_observed(s, obs, sequential),
+                          "sharded vs sequential");
+    sharded.prune = false;
+    expect_same_diagnosis(diagnose_observed(s, obs, sharded),
+                          diagnose_observed(s, obs, sequential),
+                          "sharded unpruned vs sequential pruned");
   }
 }
 
