@@ -1,0 +1,603 @@
+// Multi-process soak/load generator for the networked serving tier
+// (ISSUE 7 acceptance harness).
+//
+// What one run proves:
+//
+//   1. Byte identity under concurrency, overload and injected faults —
+//      the parent first drives every planned request through the SAME
+//      server binary in single-connection stdio mode (threads=1, batch=1,
+//      cache off: the serial reference), then starts it as a TCP server
+//      under deliberately tiny admission limits with syscall failpoints
+//      armed (short reads, spurious EINTR, hard resets — via
+//      SDDICT_FAILPOINTS) and hammers it with >= 8 forked client
+//      processes. Every non-busy ranking a worker records must match the
+//      stdio reference byte for byte (the volatile timing line is the
+//      only permitted difference).
+//   2. Every request is answered — each worker accounts for every request
+//      it sent: a full diagnosis, an explicit `busy retry_after_ms=N`
+//      reply, or a hard failure (which fails the run). Hangs surface as
+//      client I/O timeouts, not as a wedged harness.
+//   3. Overload sheds explicitly — worker 0 pipelines its whole request
+//      stream in one burst against a small per-session in-flight cap, so
+//      the server MUST shed (the parent asserts busy_shed > 0 in the
+//      final stats probe), and sheds arrive in request order behind
+//      earlier replies.
+//   4. Chaos does not leak — dedicated chaos workers feed the server
+//      garbage frames, mid-frame disconnects, slow-loris dribbles and
+//      stats probes the whole time; the run still has to satisfy 1-3.
+//   5. Clean drain — the parent SIGTERMs the server and requires exit 0
+//      (the event loop drains and returns; the `drained:` stderr line is
+//      echoed into the report).
+//
+//   $ ./bench_soak --server=./examples/sddict_serve [--workers=8]
+//       [--chaos=3] [--requests=25] [--seed=1] [--timeout-s=180]
+//       [--failpoints=SPEC]        server-side fault injection override
+//
+// Exit 0 only if every check above holds. Designed to be run under a
+// ThreadSanitizer build of the server in CI (the soak smoke job).
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bmcirc/synth.h"
+#include "diag/testerlog.h"
+#include "dict/full_dict.h"
+#include "dict/samediff_dict.h"
+#include "fault/collapse.h"
+#include "net/client.h"
+#include "sim/response.h"
+#include "sim/testset.h"
+#include "store/signature_store.h"
+#include "util/cli.h"
+#include "util/failpoint.h"
+#include "util/rng.h"
+
+using namespace sddict;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_soak --server=PATH [--workers=8] [--chaos=3]\n"
+               "  [--requests=25] [--seed=1] [--timeout-s=180]\n"
+               "  [--failpoints=SPEC]\n");
+  return 2;
+}
+
+// Default server-side fault injection: degraded syscalls on every path,
+// plus rare hard resets (clients reconnect and resend — the rankings must
+// still come back identical).
+constexpr const char* kServerFailpoints =
+    "net.read.short=every:7,net.read.eintr=every:5,net.write.short=every:9,"
+    "net.write.eintr=every:11,net.accept.eintr=every:3,"
+    "net.read.fail=every:97,net.write.fail=every:101";
+
+// ---------------------------------------------------------------- fixture --
+
+ResponseMatrix soak_matrix() {
+  SynthProfile profile;
+  profile.name = "soak";
+  profile.inputs = 10;
+  profile.outputs = 4;
+  profile.dffs = 0;
+  profile.gates = 80;
+  profile.seed = 0x50a6;
+  const Netlist nl = generate_synthetic(profile);
+  const FaultList faults = collapsed_fault_list(nl).collapsed;
+  TestSet tests(nl.num_inputs());
+  Rng rng(11);
+  tests.add_random(40, rng);
+  ResponseMatrixStatus status;
+  return build_response_matrix(nl, faults, tests, {.store_diff_outputs = true},
+                               &status);
+}
+
+// The request plan is a pure function of (seed, worker, index), so the
+// parent and every forked worker agree on it without any communication.
+FaultId planned_fault(const ResponseMatrix& rm, std::uint64_t seed, int worker,
+                      int index) {
+  Rng rng(seed * 1000003 + static_cast<std::uint64_t>(worker) * 131 +
+          static_cast<std::uint64_t>(index));
+  return static_cast<FaultId>(rng.below(rm.num_faults()));
+}
+
+std::string frame_for(const FullDictionary& full, const ResponseMatrix& rm,
+                      FaultId f) {
+  std::vector<ResponseId> ids(rm.num_tests());
+  for (std::size_t t = 0; t < rm.num_tests(); ++t) ids[t] = full.entry(f, t);
+  std::ostringstream os;
+  write_testerlog(os, qualify(ids));
+  return os.str();
+}
+
+// Reply canonicalization: everything but the volatile timing line.
+std::string canonical(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const std::string& l : lines)
+    if (l.rfind("timing ", 0) != 0) out += l + "\n";
+  return out;
+}
+
+// ------------------------------------------------------- process plumbing --
+
+struct ChildProc {
+  pid_t pid = -1;
+  int stdin_fd = -1;   // parent's write end, -1 if not captured
+  int stdout_fd = -1;  // parent's read end
+  int stderr_fd = -1;
+};
+
+// fork+exec `argv[0]` with selected stdio captured through pipes.
+// `failpoints`: nullptr leaves SDDICT_FAILPOINTS alone in the child,
+// empty string scrubs it, anything else sets it.
+ChildProc spawn(const std::vector<std::string>& argv, bool capture_stdin,
+                bool capture_stdout, bool capture_stderr,
+                const char* failpoints) {
+  int in_pipe[2] = {-1, -1}, out_pipe[2] = {-1, -1}, err_pipe[2] = {-1, -1};
+  if ((capture_stdin && ::pipe(in_pipe) != 0) ||
+      (capture_stdout && ::pipe(out_pipe) != 0) ||
+      (capture_stderr && ::pipe(err_pipe) != 0))
+    throw std::runtime_error(std::string("pipe: ") + std::strerror(errno));
+  const pid_t pid = ::fork();
+  if (pid < 0) throw std::runtime_error(std::string("fork: ") + std::strerror(errno));
+  if (pid == 0) {
+    if (capture_stdin) {
+      ::dup2(in_pipe[0], 0);
+      ::close(in_pipe[0]);
+      ::close(in_pipe[1]);
+    }
+    if (capture_stdout) {
+      ::dup2(out_pipe[1], 1);
+      ::close(out_pipe[0]);
+      ::close(out_pipe[1]);
+    }
+    if (capture_stderr) {
+      ::dup2(err_pipe[1], 2);
+      ::close(err_pipe[0]);
+      ::close(err_pipe[1]);
+    }
+    if (failpoints != nullptr) {
+      if (*failpoints == '\0')
+        ::unsetenv("SDDICT_FAILPOINTS");
+      else
+        ::setenv("SDDICT_FAILPOINTS", failpoints, 1);
+    }
+    std::vector<char*> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const std::string& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
+    cargv.push_back(nullptr);
+    ::execv(cargv[0], cargv.data());
+    std::fprintf(stderr, "exec %s: %s\n", cargv[0], std::strerror(errno));
+    ::_exit(127);
+  }
+  ChildProc p;
+  p.pid = pid;
+  if (capture_stdin) {
+    ::close(in_pipe[0]);
+    p.stdin_fd = in_pipe[1];
+  }
+  if (capture_stdout) {
+    ::close(out_pipe[1]);
+    p.stdout_fd = out_pipe[0];
+  }
+  if (capture_stderr) {
+    ::close(err_pipe[1]);
+    p.stderr_fd = err_pipe[0];
+  }
+  return p;
+}
+
+std::string read_to_eof(int fd) {
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  return out;
+}
+
+std::string read_line_fd(int fd) {
+  std::string line;
+  char c;
+  for (;;) {
+    const ssize_t n = ::read(fd, &c, 1);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0 || c == '\n') return line;
+    line.push_back(c);
+  }
+}
+
+int wait_exit(pid_t pid) {
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+  }
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+  return -1;
+}
+
+// ---------------------------------------------------- stdio reference run --
+
+// Drives every planned request through the server binary in stdio mode
+// (serial, gate-configured) and returns the canonical reply per request.
+std::vector<std::string> stdio_reference(const std::string& server,
+                                         const std::string& store_path,
+                                         const std::vector<std::string>& frames) {
+  ChildProc proc = spawn({server, "--store=" + store_path, "--threads=1",
+                          "--batch=1", "--cache=0", "--load=stream"},
+                         /*stdin=*/true, /*stdout=*/true, /*stderr=*/false,
+                         /*failpoints=*/"");
+  // Feed from a thread: with ~hundreds of frames the reply pipe would
+  // otherwise fill and deadlock against our own blocking writes.
+  std::thread feeder([&] {
+    for (const std::string& f : frames) {
+      std::size_t off = 0;
+      while (off < f.size()) {
+        const ssize_t n = ::write(proc.stdin_fd, f.data() + off, f.size() - off);
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) return;
+        off += static_cast<std::size_t>(n);
+      }
+    }
+    (void)!::write(proc.stdin_fd, "quit\n", 5);
+    ::close(proc.stdin_fd);
+  });
+  const std::string out = read_to_eof(proc.stdout_fd);
+  feeder.join();
+  ::close(proc.stdout_fd);
+  const int rc = wait_exit(proc.pid);
+  if (rc != 0)
+    throw std::runtime_error("stdio reference server exited with " +
+                             std::to_string(rc));
+
+  std::vector<std::string> replies;
+  std::istringstream is(out);
+  std::vector<std::string> block;
+  for (std::string line; std::getline(is, line);) {
+    block.push_back(line);
+    if (line == "done") {
+      replies.push_back(canonical(block));
+      block.clear();
+    }
+  }
+  if (replies.size() != frames.size())
+    throw std::runtime_error("stdio reference: " + std::to_string(frames.size()) +
+                             " requests but " + std::to_string(replies.size()) +
+                             " replies");
+  return replies;
+}
+
+// ----------------------------------------------------------- soak workers --
+
+// Worker 0: pipelines every frame in one burst to force per-session
+// shedding, then reads the replies back strictly in order. Others: one
+// request at a time through the retry/backoff client, reconnecting (and
+// resending) when an injected hard fault kills the connection mid-flight.
+// Each worker writes one record per request — `ok` + canonical reply,
+// `busy`, or `fail` + reason — separated by `===` lines.
+int run_worker(int worker, int port, int requests,
+               const std::vector<std::string>& frames,
+               const std::string& result_path) {
+  // Client-side syscall degradation too: both ends of the wire misbehave.
+  failpoint::arm_from_spec("net.read.short=every:11,net.write.eintr=every:13");
+  std::ofstream out(result_path);
+  try {
+    if (worker == 0) {
+      net::Client client = net::Client::connect_tcp("127.0.0.1", port, 30);
+      std::string burst;
+      for (const std::string& f : frames) burst += f;
+      client.send_raw(burst);
+      for (int i = 0; i < requests; ++i) {
+        const net::Reply reply = client.read_reply();
+        if (reply.busy)
+          out << "busy\n";
+        else if (reply.error)
+          out << "fail error-reply: " << reply.error_text << "\n";
+        else
+          out << "ok\n" << canonical(reply.lines);
+        out << "===\n";
+      }
+      return 0;
+    }
+    net::BackoffPolicy policy;
+    policy.base_ms = 2;
+    policy.max_ms = 120;  // stay under the server's idle reap window
+    policy.max_attempts = 20;
+    policy.seed = static_cast<std::uint64_t>(worker) * 7919 + 17;
+    net::Client client = net::Client::connect_tcp("127.0.0.1", port, 30);
+    for (int i = 0; i < requests; ++i) {
+      net::Reply reply;
+      bool answered = false;
+      std::string failure;
+      // An injected reset mid-request is a lost connection, not a lost
+      // request: reconnect and resend (queries are idempotent).
+      for (int attempt = 0; attempt < 4 && !answered; ++attempt) {
+        try {
+          if (!client.connected())
+            client = net::Client::connect_tcp("127.0.0.1", port, 30);
+          reply = client.request_with_retry(frames[static_cast<std::size_t>(i)],
+                                            policy);
+          answered = true;
+        } catch (const std::exception& e) {
+          failure = e.what();
+          client.close();
+        }
+      }
+      if (!answered)
+        out << "fail " << failure << "\n";
+      else if (reply.busy)
+        out << "busy\n";
+      else if (reply.error)
+        out << "fail error-reply: " << reply.error_text << "\n";
+      else
+        out << "ok\n" << canonical(reply.lines);
+      out << "===\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    out << "fail " << e.what() << "\n===\n";
+    return 1;
+  }
+}
+
+// Chaos worker: garbage frames (must get an explicit error reply),
+// mid-frame disconnects, slow-loris dribbles, stats probes. Nothing here
+// may hang, and none of it may disturb the identity workers.
+int run_chaos(int worker, int port, int iters) {
+  Rng rng(0xc4a05 + static_cast<std::uint64_t>(worker));
+  try {
+    for (int i = 0; i < iters; ++i) {
+      switch (rng.below(4)) {
+        case 0: {  // malformed datalog -> explicit error, session survives
+          net::Client c = net::Client::connect_tcp("127.0.0.1", port, 30);
+          const net::Reply r = c.request("t 0 garbage\nend\n");
+          if (!r.error) return 1;
+          break;
+        }
+        case 1: {  // mid-frame disconnect
+          net::Client c = net::Client::connect_tcp("127.0.0.1", port, 30);
+          c.send_raw("sddict testerlog v1\ntests 40\nt 0 1\n");
+          break;  // destructor closes with the frame open
+        }
+        case 2: {  // slow loris: open a frame, dribble, vanish
+          net::Client c = net::Client::connect_tcp("127.0.0.1", port, 30);
+          c.send_raw("sddict testerlog v1\n");
+          std::this_thread::sleep_for(std::chrono::milliseconds(30));
+          c.send_raw("tests 40\n");
+          break;
+        }
+        default: {  // stats probe
+          net::Client c = net::Client::connect_tcp("127.0.0.1", port, 30);
+          const std::string line = c.command_line("stats");
+          if (line.rfind("stats ", 0) != 0) return 1;
+          break;
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return 0;
+  } catch (const std::exception&) {
+    // The server may legitimately reap a dribbling chaos session; only
+    // the identity workers define pass/fail beyond the checks above.
+    return 0;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ::signal(SIGPIPE, SIG_IGN);
+  CliArgs args(argc, argv);
+  const auto unknown = args.unknown_flags(
+      {"server", "workers", "chaos", "requests", "seed", "timeout-s",
+       "failpoints"});
+  if (!unknown.empty()) {
+    for (const auto& f : unknown)
+      std::fprintf(stderr, "unknown flag --%s\n", f.c_str());
+    return usage();
+  }
+  std::string server;
+  int workers = 8, chaos = 3, requests = 25;
+  std::uint64_t seed = 1;
+  std::string server_failpoints;
+  try {
+    server = args.get("server");
+    if (server.empty()) throw std::invalid_argument("--server=PATH is required");
+    workers = static_cast<int>(args.get_int("workers", 8, 1, 256));
+    chaos = static_cast<int>(args.get_int("chaos", 3, 0, 256));
+    requests = static_cast<int>(args.get_int("requests", 25, 1, 10000));
+    seed = static_cast<std::uint64_t>(args.get_int("seed", 1, 0));
+    server_failpoints = args.get("failpoints", kServerFailpoints);
+    // A wedged soak must die loudly, not hang CI.
+    ::alarm(static_cast<unsigned>(args.get_int("timeout-s", 180, 1, 3600)));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return usage();
+  }
+
+  try {
+    // ---- fixture + request plan (shared with workers through fork) ----
+    const ResponseMatrix rm = soak_matrix();
+    const SameDifferentDictionary sd = SameDifferentDictionary::build(
+        rm, std::vector<ResponseId>(rm.num_tests(), 0));
+    const FullDictionary full = FullDictionary::build(rm);
+
+    char dir_template[] = "/tmp/sddict_soakXXXXXX";
+    if (::mkdtemp(dir_template) == nullptr)
+      throw std::runtime_error(std::string("mkdtemp: ") + std::strerror(errno));
+    const std::string dir = dir_template;
+    const std::string store_path = dir + "/soak.store";
+    SignatureStore::build(sd).write_file(store_path);
+
+    std::vector<std::vector<std::string>> frames(
+        static_cast<std::size_t>(workers));
+    std::vector<std::string> flat;
+    for (int w = 0; w < workers; ++w)
+      for (int i = 0; i < requests; ++i) {
+        frames[static_cast<std::size_t>(w)].push_back(
+            frame_for(full, rm, planned_fault(rm, seed, w, i)));
+        flat.push_back(frames[static_cast<std::size_t>(w)].back());
+      }
+
+    // ---- pass 1: the serial stdio reference through the same binary ----
+    const std::vector<std::string> reference =
+        stdio_reference(server, store_path, flat);
+    std::fprintf(stderr, "soak: stdio reference captured (%zu replies)\n",
+                 reference.size());
+
+    // ---- pass 2: TCP server under tiny limits + injected faults ----
+    ChildProc srv = spawn(
+        {server, "--store=" + store_path, "--tcp=0", "--threads=2", "--batch=4",
+         "--cache=64", "--max-inflight=4", "--pending=6", "--session-inflight=4",
+         "--busy-retry-ms=2", "--idle-timeout-ms=2000", "--frame-timeout-ms=300",
+         "--write-timeout-ms=5000"},
+        /*stdin=*/false, /*stdout=*/false, /*stderr=*/true,
+        server_failpoints.c_str());
+    int port = -1;
+    std::string startup;
+    for (int i = 0; i < 50 && port < 0; ++i) {
+      const std::string line = read_line_fd(srv.stderr_fd);
+      if (line.empty()) break;
+      startup += line + "\n";
+      const std::size_t at = line.find("listening on tcp ");
+      if (at != std::string::npos) {
+        // "listening on tcp 127.0.0.1:38259 (kernels: ...)" — the port is
+        // the host:port token's suffix, not the line's last colon.
+        std::string endpoint = line.substr(at + 17);
+        endpoint = endpoint.substr(0, endpoint.find(' '));
+        const std::size_t colon = endpoint.rfind(':');
+        if (colon != std::string::npos)
+          port = std::atoi(endpoint.c_str() + colon + 1);
+      }
+    }
+    if (port <= 0) {
+      std::fprintf(stderr, "soak: server never reported a port:\n%s",
+                   startup.c_str());
+      ::kill(srv.pid, SIGKILL);
+      wait_exit(srv.pid);
+      return 1;
+    }
+    std::fprintf(stderr, "soak: server pid %d on port %d, failpoints: %s\n",
+                 static_cast<int>(srv.pid), port, server_failpoints.c_str());
+
+    // ---- fork the fleet ----
+    std::vector<pid_t> pids;
+    for (int w = 0; w < workers; ++w) {
+      const std::string path = dir + "/worker_" + std::to_string(w) + ".txt";
+      const pid_t pid = ::fork();
+      if (pid < 0) throw std::runtime_error("fork worker");
+      if (pid == 0)
+        ::_exit(run_worker(w, port, requests, frames[static_cast<std::size_t>(w)],
+                           path));
+      pids.push_back(pid);
+    }
+    for (int c = 0; c < chaos; ++c) {
+      const pid_t pid = ::fork();
+      if (pid < 0) throw std::runtime_error("fork chaos");
+      if (pid == 0) ::_exit(run_chaos(c, port, 3 * requests / 2));
+      pids.push_back(pid);
+    }
+    int child_failures = 0;
+    for (const pid_t pid : pids)
+      if (wait_exit(pid) != 0) ++child_failures;
+
+    // ---- final stats probe, then clean shutdown ----
+    std::uint64_t busy_shed = 0;
+    {
+      net::Client probe = net::Client::connect_tcp("127.0.0.1", port, 30);
+      const std::string line = probe.command_line("stats");
+      const std::size_t at = line.find(" busy_shed=");
+      if (at != std::string::npos)
+        busy_shed = std::strtoull(line.c_str() + at + 11, nullptr, 10);
+      std::fprintf(stderr, "soak: %s\n", line.c_str());
+    }
+    ::kill(srv.pid, SIGTERM);
+    const std::string drained = read_to_eof(srv.stderr_fd);
+    ::close(srv.stderr_fd);
+    const int server_rc = wait_exit(srv.pid);
+    std::fprintf(stderr, "%s", drained.c_str());
+
+    // ---- diff worker records against the stdio reference ----
+    std::size_t ok = 0, busy = 0, mismatches = 0, fails = 0;
+    for (int w = 0; w < workers; ++w) {
+      std::ifstream in(dir + "/worker_" + std::to_string(w) + ".txt");
+      std::string record;
+      int index = 0;
+      for (std::string line; std::getline(in, line);) {
+        if (line != "===") {
+          record += line + "\n";
+          continue;
+        }
+        const std::size_t ref =
+            static_cast<std::size_t>(w) * static_cast<std::size_t>(requests) +
+            static_cast<std::size_t>(index);
+        if (record == "busy\n") {
+          ++busy;
+        } else if (record.rfind("ok\n", 0) == 0) {
+          if (record.substr(3) == reference[ref]) {
+            ++ok;
+          } else {
+            ++mismatches;
+            std::fprintf(stderr,
+                         "soak: MISMATCH worker %d request %d:\n-- got --\n%s"
+                         "-- want --\n%s",
+                         w, index, record.substr(3).c_str(),
+                         reference[ref].c_str());
+          }
+        } else {
+          ++fails;
+          std::fprintf(stderr, "soak: worker %d request %d: %s", w, index,
+                       record.c_str());
+        }
+        record.clear();
+        ++index;
+      }
+      if (index != requests) {
+        std::fprintf(stderr, "soak: worker %d answered %d/%d requests\n", w,
+                     index, requests);
+        ++child_failures;
+      }
+    }
+
+    const std::size_t total =
+        static_cast<std::size_t>(workers) * static_cast<std::size_t>(requests);
+    std::printf(
+        "soak: workers=%d chaos=%d requests=%zu ok=%zu busy=%zu "
+        "mismatches=%zu fails=%zu child_failures=%d busy_shed=%llu "
+        "server_exit=%d\n",
+        workers, chaos, total, ok, busy, mismatches, fails, child_failures,
+        static_cast<unsigned long long>(busy_shed), server_rc);
+
+    bool pass = mismatches == 0 && fails == 0 && child_failures == 0 &&
+                server_rc == 0 && ok + busy == total;
+    if (busy_shed == 0) {
+      std::fprintf(stderr, "soak: FAIL — no load shedding observed\n");
+      pass = false;
+    }
+    if (ok == 0) {
+      std::fprintf(stderr, "soak: FAIL — no successful rankings verified\n");
+      pass = false;
+    }
+    std::printf("soak: %s\n", pass ? "PASS" : "FAIL");
+    return pass ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_soak: %s\n", e.what());
+    return 1;
+  }
+}

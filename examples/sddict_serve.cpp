@@ -36,10 +36,23 @@
 //                         in-flight requests
 //   !stats                repository + per-service counters
 //
+// Networked mode (--tcp=PORT, port 0 = kernel-assigned): an event-loop
+// front end (src/net/server.h) multiplexes many concurrent TCP sessions —
+// plus a Unix listener when --socket is also given — onto the same
+// service, with per-connection timeouts, bounded in-flight limits, and
+// load shedding via explicit `busy retry_after_ms=N` replies (see
+// src/net/client.h for the backoff discipline clients should follow).
+// SIGINT/SIGTERM drain every accepted request before exiting.
+//
 //   $ ./sddict_serve --store=dict.store [--threads=N] [--batch=N]
 //       [--cache=N] [--deadline-ms=X] [--load=auto|mmap|stream]
-//       [--socket=PATH [--once]]
+//       [--socket=PATH [--once] [--backlog=N]]
+//       [--tcp=PORT [--host=ADDR] [--max-sessions=N] [--max-inflight=N]
+//        [--session-inflight=N] [--pending=N] [--idle-timeout-ms=X]
+//        [--frame-timeout-ms=X] [--write-timeout-ms=X] [--busy-retry-ms=N]
+//        [--failpoints=SPEC]]
 //   $ ./sddict_serve --repo=DIR --circuit=NAME [--kind=KIND] [...]
+#include <csignal>
 #include <cstdio>
 #include <deque>
 #include <exception>
@@ -52,16 +65,22 @@
 #include <vector>
 
 #include "diag/testerlog.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
 #include "repo/repository.h"
 #include "serve/diagnosis_service.h"
 #include "store/kernels.h"
 #include "store/signature_store.h"
 #include "util/cli.h"
+#include "util/failpoint.h"
+#include "util/fdio.h"
 #include "util/strings.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define SDDICT_SERVE_HAS_SOCKET 1
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 #endif
@@ -74,7 +93,12 @@ int usage() {
   std::fprintf(stderr,
                "usage: sddict_serve --store=FILE [--threads=N] [--batch=N]\n"
                "  [--cache=N] [--deadline-ms=X] [--load=auto|mmap|stream]\n"
-               "  [--socket=PATH [--once]]\n"
+               "  [--socket=PATH [--once] [--backlog=N]]\n"
+               "  [--tcp=PORT [--host=ADDR] [--max-sessions=N]\n"
+               "   [--max-inflight=N] [--session-inflight=N] [--pending=N]\n"
+               "   [--idle-timeout-ms=X] [--frame-timeout-ms=X]\n"
+               "   [--write-timeout-ms=X] [--busy-retry-ms=N]\n"
+               "   [--failpoints=SPEC]]\n"
                "   or: sddict_serve --repo=DIR --circuit=NAME [--kind=KIND]\n"
                "  [same options]\n");
   return 1;
@@ -112,32 +136,10 @@ struct PendingQuery {
   std::size_t dropped = 0;  // recovery-mode datalog records set aside
 };
 
-void print_response(std::ostream& out, const PendingQuery& q,
-                    ServiceResponse resp) {
-  const EngineDiagnosis& d = resp.diagnosis;
-  out << "diagnosis " << diagnosis_outcome_name(d.outcome)
-      << " best=" << d.best_mismatches << " margin=" << d.margin
-      << " effective=" << d.effective_tests << " dont_care=" << d.dont_care_tests
-      << " unknown=" << d.unknown_tests << " completed=" << (d.completed ? 1 : 0)
-      << " stop=" << stop_reason_name(d.stop_reason);
-  if (q.dropped > 0) out << " dropped=" << q.dropped;
-  out << "\n";
-  for (std::size_t i = 0; i < d.matches.size(); ++i)
-    out << "candidate " << (i + 1) << " fault=" << d.matches[i].fault
-        << " mismatches=" << d.matches[i].mismatches << "\n";
-  if (d.outcome == DiagnosisOutcome::kUnmodeledDefect && !d.cover.empty()) {
-    out << "cover";
-    for (FaultId f : d.cover) out << " fault=" << f;
-    out << " uncovered=" << d.uncovered_failures << "\n";
-  }
-  out << "timing latency_ms=" << resp.latency_ms
-      << " cache_hit=" << (resp.cache_hit ? 1 : 0) << "\n";
-  out << "done\n";
-  out.flush();
-}
-
 // Resolves and prints every pending response in submission order; with
-// block == false stops at the first not-yet-ready future.
+// block == false stops at the first not-yet-ready future. Rendering is
+// shared with the event-loop front end (net/protocol.h) so stdio and TCP
+// replies are byte-identical.
 void drain(std::ostream& out, std::deque<PendingQuery>& pending, bool block) {
   while (!pending.empty()) {
     auto& q = pending.front();
@@ -145,11 +147,11 @@ void drain(std::ostream& out, std::deque<PendingQuery>& pending, bool block) {
         q.future.wait_for(std::chrono::seconds(0)) != std::future_status::ready)
       return;
     try {
-      print_response(out, q, q.future.get());
+      net::write_response(out, q.future.get(), q.dropped);
     } catch (const std::exception& e) {
-      out << "error " << e.what() << "\n" << "done\n";
-      out.flush();
+      net::write_error(out, e.what());
     }
+    out.flush();
     pending.pop_front();
   }
 }
@@ -318,7 +320,7 @@ class FdStreamBuf : public std::streambuf {
 };
 
 int serve_socket(DiagnosisService* service, RepoServer* repo,
-                 const std::string& path, bool once) {
+                 const std::string& path, bool once, int backlog) {
   const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (listener < 0) {
     std::perror("socket");
@@ -332,9 +334,19 @@ int serve_socket(DiagnosisService* service, RepoServer* repo,
     return 1;
   }
   std::snprintf(addr.sun_path, sizeof addr.sun_path, "%s", path.c_str());
-  ::unlink(path.c_str());
+  // Reclaim a stale socket file from a dead server, but refuse to clobber
+  // anything that is not a socket.
+  struct stat st{};
+  if (::lstat(path.c_str(), &st) == 0) {
+    if (!S_ISSOCK(st.st_mode)) {
+      std::fprintf(stderr, "refusing to replace non-socket %s\n", path.c_str());
+      ::close(listener);
+      return 1;
+    }
+    ::unlink(path.c_str());
+  }
   if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
-      ::listen(listener, 8) != 0) {
+      ::listen(listener, backlog) != 0) {
     std::perror(path.c_str());
     ::close(listener);
     return 1;
@@ -342,7 +354,8 @@ int serve_socket(DiagnosisService* service, RepoServer* repo,
   std::fprintf(stderr, "listening on %s (kernels: %s)\n", path.c_str(),
                kernels::dispatch().name);
   for (;;) {
-    const int conn = ::accept(listener, nullptr, nullptr);
+    fdio::IoResult ar;
+    const int conn = fdio::accept_retry(listener, &ar);  // EINTR-tolerant
     if (conn < 0) continue;
     {
       FdStreamBuf buf(conn);
@@ -357,16 +370,74 @@ int serve_socket(DiagnosisService* service, RepoServer* repo,
   ::unlink(path.c_str());
   return 0;
 }
+
+// ----------------------------------------------------- event-loop mode --
+
+// Backend adapters handing the event loop its dispatch target: the single
+// store service, or the repo server's current circuit plus admin verbs.
+struct StoreBackend : net::NetServer::Backend {
+  DiagnosisService* svc;
+  explicit StoreBackend(DiagnosisService* s) : svc(s) {}
+  DiagnosisService& service() override { return *svc; }
+  bool handle_admin(const std::vector<std::string>&, std::ostream&) override {
+    return false;  // admin verbs need repository mode
+  }
+};
+
+struct RepoBackend : net::NetServer::Backend {
+  RepoServer* rs;
+  explicit RepoBackend(RepoServer* r) : rs(r) {}
+  DiagnosisService& service() override { return rs->current(); }
+  bool handle_admin(const std::vector<std::string>& tokens,
+                    std::ostream& out) override {
+    ::handle_admin(*rs, tokens, out);  // the free admin-verb handler above
+    return true;
+  }
+};
+
+net::NetServer* g_net_server = nullptr;
+
+void on_stop_signal(int) {
+  // request_stop is async-signal-safe: an atomic store + self-pipe write.
+  if (g_net_server != nullptr) g_net_server->request_stop();
+}
+
+int serve_net(DiagnosisService* service, RepoServer* repo,
+              const net::NetServerOptions& nopts) {
+  StoreBackend store_backend(service);
+  RepoBackend repo_backend(repo);
+  net::NetServer::Backend& backend =
+      repo ? static_cast<net::NetServer::Backend&>(repo_backend)
+           : static_cast<net::NetServer::Backend&>(store_backend);
+  net::NetServer server(backend, nopts);
+  server.start();
+  g_net_server = &server;
+  std::signal(SIGINT, on_stop_signal);
+  std::signal(SIGTERM, on_stop_signal);
+  if (server.tcp_port() >= 0)
+    std::fprintf(stderr, "listening on tcp %s:%d (kernels: %s)\n",
+                 nopts.bind_host.c_str(), server.tcp_port(),
+                 kernels::dispatch().name);
+  if (!nopts.unix_path.empty())
+    std::fprintf(stderr, "listening on %s\n", nopts.unix_path.c_str());
+  server.run();  // returns after a stop signal, fully drained
+  g_net_server = nullptr;
+  std::fprintf(stderr, "drained: %s\n",
+               format_net_stats(server.stats()).c_str());
+  return 0;
+}
 #endif
 
 }  // namespace
 
 int main(int argc, char** argv) {
   CliArgs args(argc, argv);
-  const auto unknown = args.unknown_flags({"store", "repo", "circuit", "kind",
-                                           "threads", "batch", "cache",
-                                           "deadline-ms", "load", "socket",
-                                           "once"});
+  const auto unknown = args.unknown_flags(
+      {"store", "repo", "circuit", "kind", "threads", "batch", "cache",
+       "deadline-ms", "load", "socket", "once", "backlog", "tcp", "host",
+       "max-sessions", "max-inflight", "session-inflight", "pending",
+       "idle-timeout-ms", "frame-timeout-ms", "write-timeout-ms",
+       "busy-retry-ms", "failpoints"});
   if (!unknown.empty()) {
     for (const auto& f : unknown)
       std::fprintf(stderr, "unknown flag --%s\n", f.c_str());
@@ -375,7 +446,9 @@ int main(int argc, char** argv) {
 
   std::string store_path, repo_dir, circuit, kind_token, load_mode, socket_path;
   ServiceOptions opts;
+  net::NetServerOptions nopts;
   bool once = false;
+  bool tcp_mode = false;
   try {
     store_path = args.get("store");
     repo_dir = args.get("repo");
@@ -395,6 +468,30 @@ int main(int argc, char** argv) {
       throw std::invalid_argument("flag --load must be auto, mmap or stream");
     socket_path = args.get("socket");
     once = args.get_bool("once", false);
+    tcp_mode = args.has("tcp");
+    nopts.tcp_port =
+        tcp_mode ? static_cast<int>(args.get_int("tcp", 0, 0, 65535)) : -1;
+    nopts.bind_host = args.get("host", "127.0.0.1");
+    nopts.backlog = static_cast<int>(args.get_int("backlog", 64, 1, 65535));
+    nopts.max_sessions =
+        static_cast<std::size_t>(args.get_int("max-sessions", 256, 1, 1 << 20));
+    nopts.max_inflight =
+        static_cast<std::size_t>(args.get_int("max-inflight", 64, 1, 1 << 20));
+    nopts.session_inflight = static_cast<std::size_t>(
+        args.get_int("session-inflight", 8, 1, 1 << 20));
+    nopts.max_pending =
+        static_cast<std::size_t>(args.get_int("pending", 128, 1, 1 << 20));
+    nopts.idle_timeout_ms = args.get_double("idle-timeout-ms", 30000);
+    nopts.frame_timeout_ms = args.get_double("frame-timeout-ms", 10000);
+    nopts.write_timeout_ms = args.get_double("write-timeout-ms", 10000);
+    nopts.busy_retry_ms = static_cast<std::uint32_t>(
+        args.get_int("busy-retry-ms", 25, 1, 1 << 20));
+    // Chaos harness hook: deterministic fault injection armed from the
+    // command line or the SDDICT_FAILPOINTS environment variable.
+    std::size_t armed = failpoint::arm_from_env();
+    armed += failpoint::arm_from_spec(args.get("failpoints"));
+    if (armed > 0)
+      std::fprintf(stderr, "armed %zu failpoint(s)\n", armed);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return usage();
@@ -430,9 +527,20 @@ int main(int argc, char** argv) {
                    store.num_tests(), store.mapped() ? "mmap" : "stream");
       service = std::make_unique<DiagnosisService>(std::move(store), opts);
     }
+    if (tcp_mode) {
+#ifdef SDDICT_SERVE_HAS_SOCKET
+      // --socket alongside --tcp adds a Unix listener on the same loop.
+      nopts.unix_path = socket_path;
+      return serve_net(service.get(), repo, nopts);
+#else
+      std::fprintf(stderr, "--tcp is not supported on this platform\n");
+      return 1;
+#endif
+    }
     if (!socket_path.empty()) {
 #ifdef SDDICT_SERVE_HAS_SOCKET
-      return serve_socket(service.get(), repo, socket_path, once);
+      return serve_socket(service.get(), repo, socket_path, once,
+                          nopts.backlog);
 #else
       std::fprintf(stderr, "--socket is not supported on this platform\n");
       return 1;

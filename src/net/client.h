@@ -1,0 +1,86 @@
+// Blocking client for the sddict_serve line protocol (TCP or Unix
+// socket): sends one datalog frame, reads the reply up to its closing
+// `done`, and understands the explicit `busy retry_after_ms=N` load-shed
+// reply — request_with_retry() honors the server's hint with capped,
+// jittered exponential backoff, which is the retry discipline the soak
+// generator (bench/bench_soak.cpp) drives thousands of requests through.
+//
+// Deliberately synchronous and single-connection: the concurrency in the
+// system lives server-side; clients are testers, chaos probes, and load
+// workers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sddict::net {
+
+struct BackoffPolicy {
+  std::uint32_t base_ms = 10;
+  std::uint32_t max_ms = 2000;
+  double factor = 2.0;
+  int max_attempts = 12;
+  std::uint64_t seed = 1;  // deterministic jitter stream
+};
+
+struct Reply {
+  bool busy = false;                // the server shed this request
+  std::uint32_t retry_after_ms = 0; // its suggested delay (busy only)
+  bool error = false;               // `error ...` reply
+  std::string error_text;
+  std::vector<std::string> lines;   // every reply line incl. `done`
+  int busy_retries = 0;             // retries request_with_retry spent
+};
+
+class Client {
+ public:
+  // Throw std::runtime_error on connection failure. `timeout_s` bounds
+  // every subsequent read/write (SO_RCVTIMEO/SO_SNDTIMEO) so a wedged
+  // server surfaces as an exception, not a hang.
+  static Client connect_tcp(const std::string& host, int port,
+                            double timeout_s = 30);
+  static Client connect_unix(const std::string& path, double timeout_s = 30);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  // Sends the frame (must end with its `end\n` line) and reads one reply.
+  // Throws std::runtime_error on I/O failure, timeout, or EOF mid-reply.
+  Reply request(const std::string& frame);
+
+  // request(), but busy replies are retried with exponential backoff:
+  // each delay is max(server hint, base * factor^attempt), jittered into
+  // [50%, 100%], capped at max_ms. Returns the first non-busy reply, or
+  // the last busy one when max_attempts is exhausted.
+  Reply request_with_retry(const std::string& frame,
+                           const BackoffPolicy& policy = {});
+
+  // Sends a bare command line ("stats") and reads its single reply line.
+  std::string command_line(const std::string& line);
+
+  // Reads one reply (or line) without sending anything — for pipelined
+  // use: send_raw several frames, then collect each reply in order.
+  Reply read_reply();
+  std::string read_line();
+
+  // Chaos helpers: raw bytes with no framing, and a half-close of the
+  // write side (what a mid-frame client death looks like to the server).
+  void send_raw(const std::string& bytes);
+  void shutdown_write();
+
+  void close();
+  bool connected() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  std::string inbuf_;
+};
+
+}  // namespace sddict::net

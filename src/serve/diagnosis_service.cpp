@@ -67,7 +67,8 @@ std::string format_service_stats(const ServiceStats& s) {
   std::ostringstream out;
   out << "requests=" << s.requests << " batches=" << s.batches
       << " cache_hits=" << s.cache_hits << " cache_misses=" << s.cache_misses
-      << " deadline_expired=" << s.deadline_expired;
+      << " deadline_expired=" << s.deadline_expired << " shed=" << s.shed_count
+      << " queue_depth=" << s.queue_depth << " in_flight=" << s.in_flight;
   for (int o = 0; o < 4; ++o)
     out << " " << diagnosis_outcome_name(static_cast<DiagnosisOutcome>(o))
         << "=" << s.outcomes[o];
@@ -212,8 +213,34 @@ std::future<ServiceResponse> DiagnosisService::submit(
   return fut;
 }
 
+std::optional<std::future<ServiceResponse>> DiagnosisService::try_submit(
+    std::vector<Observed> observed) {
+  Request req;
+  req.observed = std::move(observed);
+  req.submitted = Clock::now();
+  std::future<ServiceResponse> fut = req.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lk(queue_mutex_);
+    if (!accepting_)
+      throw std::runtime_error("DiagnosisService: submit after shutdown");
+    if (queue_.size() >= options_.queue_capacity) {
+      std::lock_guard<std::mutex> slk(stats_mutex_);
+      ++stats_.shed_count;
+      return std::nullopt;
+    }
+    queue_.push_back(std::move(req));
+  }
+  queue_not_empty_.notify_one();
+  return fut;
+}
+
 ServiceResponse DiagnosisService::diagnose(std::vector<Observed> observed) {
   return submit(std::move(observed)).get();
+}
+
+std::size_t DiagnosisService::queue_depth() const {
+  std::lock_guard<std::mutex> lk(queue_mutex_);
+  return queue_.size();
 }
 
 void DiagnosisService::shutdown() {
@@ -228,12 +255,20 @@ void DiagnosisService::shutdown() {
 }
 
 ServiceStats DiagnosisService::stats() const {
-  std::lock_guard<std::mutex> lk(stats_mutex_);
-  ServiceStats s = stats_;
-  std::uint64_t total = 0;
-  for (std::size_t b = 0; b < 64; ++b) total += latency_buckets_[b];
-  s.p50_ms = percentile_from_buckets(latency_buckets_, total, 0.50);
-  s.p99_ms = percentile_from_buckets(latency_buckets_, total, 0.99);
+  ServiceStats s;
+  {
+    std::lock_guard<std::mutex> lk(stats_mutex_);
+    s = stats_;
+    std::uint64_t total = 0;
+    for (std::size_t b = 0; b < 64; ++b) total += latency_buckets_[b];
+    s.p50_ms = percentile_from_buckets(latency_buckets_, total, 0.50);
+    s.p99_ms = percentile_from_buckets(latency_buckets_, total, 0.99);
+  }
+  // Gauges come from the queue lock, taken after the stats lock is
+  // released — never both at once.
+  std::lock_guard<std::mutex> lk(queue_mutex_);
+  s.queue_depth = queue_.size();
+  s.in_flight = inflight_requests_;
   return s;
 }
 
@@ -256,12 +291,14 @@ void DiagnosisService::dispatcher_loop() {
         queue_.pop_front();
       }
       in_flight_ = true;
+      inflight_requests_ = batch.size();
     }
     queue_not_full_.notify_all();
     process_batch(batch);
     {
       std::lock_guard<std::mutex> lk(queue_mutex_);
       in_flight_ = false;
+      inflight_requests_ = 0;
     }
     queue_drained_.notify_all();
   }

@@ -33,6 +33,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -73,6 +74,12 @@ struct ServiceStats {
   std::uint64_t outcomes[4] = {0, 0, 0, 0};
   std::uint64_t deadline_expired = 0;  // resolved with completed == false
   std::uint64_t swaps = 0;             // hot-swaps published via swap_store()
+  std::uint64_t shed_count = 0;        // try_submit() rejections (queue full)
+  // Point-in-time gauges sampled by stats(): requests waiting in the MPMC
+  // queue, and requests the dispatcher currently holds unresolved. The
+  // admission-control layer (src/net) keys its load shedding off these.
+  std::uint64_t queue_depth = 0;
+  std::uint64_t in_flight = 0;
   double p50_ms = 0;
   double p99_ms = 0;
   double max_ms = 0;
@@ -130,8 +137,19 @@ class DiagnosisService {
   // exception rather than throwing here.
   std::future<ServiceResponse> submit(std::vector<Observed> observed);
 
+  // Non-blocking admission: enqueues like submit() but, instead of
+  // blocking while the queue is full, returns nullopt and tallies the
+  // rejection in ServiceStats::shed_count — the primitive the networked
+  // front end's load shedding is built on (an event loop must never park
+  // inside submit()). Still throws after shutdown().
+  std::optional<std::future<ServiceResponse>> try_submit(
+      std::vector<Observed> observed);
+
   // submit() + wait: the synchronous convenience path.
   ServiceResponse diagnose(std::vector<Observed> observed);
+
+  // Lock-taking convenience gauge (also sampled into stats()).
+  std::size_t queue_depth() const;
 
   // Stops accepting new requests and blocks until everything queued has
   // resolved. Idempotent; stats() remains valid afterwards.
@@ -187,7 +205,7 @@ class DiagnosisService {
   ServiceOptions options_;
   ThreadPool pool_;
 
-  std::mutex queue_mutex_;
+  mutable std::mutex queue_mutex_;
   std::condition_variable queue_not_empty_;
   std::condition_variable queue_not_full_;
   std::condition_variable queue_drained_;
@@ -195,6 +213,7 @@ class DiagnosisService {
   bool accepting_ = true;
   bool stopping_ = false;
   bool in_flight_ = false;  // dispatcher holds an unresolved batch
+  std::size_t inflight_requests_ = 0;  // size of that unresolved batch
 
   // Dispatcher-thread-only state (no lock: single reader/writer).
   std::unordered_map<Hash128, CacheEntry, Hash128Hasher> cache_;

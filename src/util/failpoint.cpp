@@ -1,6 +1,7 @@
 #include "util/failpoint.h"
 
 #include <atomic>
+#include <cstdlib>
 #include <map>
 #include <mutex>
 #include <new>
@@ -10,6 +11,7 @@ namespace {
 
 struct Point {
   std::size_t remaining = 0;
+  std::size_t period = 0;  // 0 = one-shot; > 0 re-arms after each firing
   Kind kind = Kind::kRuntimeError;
 };
 
@@ -22,13 +24,42 @@ std::map<std::string, Point>& points() {
 // mutex so un-instrumented runs pay one relaxed load per hit.
 std::atomic<int> g_armed{0};
 
+void arm_locked(const std::string& name, Point point) {
+  auto [it, inserted] = points().insert_or_assign(name, point);
+  (void)it;
+  if (inserted) g_armed.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Counts one hit against `name`; returns the firing kind, or nothing when
+// the point is unarmed or its countdown has not reached zero yet.
+bool hit(const char* name, Kind* kind) {
+  if (g_armed.load(std::memory_order_relaxed) == 0) return false;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  const auto it = points().find(name);
+  if (it == points().end()) return false;
+  if (--it->second.remaining > 0) return false;
+  *kind = it->second.kind;
+  if (it->second.period > 0) {
+    it->second.remaining = it->second.period;
+  } else {
+    points().erase(it);
+    g_armed.fetch_sub(1, std::memory_order_relaxed);
+  }
+  return true;
+}
+
 }  // namespace
 
 void arm(const std::string& name, std::size_t countdown, Kind kind) {
   std::lock_guard<std::mutex> lock(g_mutex);
-  auto [it, inserted] = points().insert_or_assign(name, Point{countdown, kind});
-  (void)it;
-  if (inserted) g_armed.fetch_add(1, std::memory_order_relaxed);
+  arm_locked(name, Point{countdown, 0, kind});
+}
+
+void arm_cyclic(const std::string& name, std::size_t period, Kind kind) {
+  if (period == 0)
+    throw std::invalid_argument("failpoint: cyclic period must be >= 1");
+  std::lock_guard<std::mutex> lock(g_mutex);
+  arm_locked(name, Point{period, period, kind});
 }
 
 void disarm(const std::string& name) {
@@ -45,20 +76,61 @@ void disarm_all() {
 }
 
 void check(const char* name) {
-  if (g_armed.load(std::memory_order_relaxed) == 0) return;
   Kind kind;
-  {
-    std::lock_guard<std::mutex> lock(g_mutex);
-    const auto it = points().find(name);
-    if (it == points().end()) return;
-    if (--it->second.remaining > 0) return;
-    kind = it->second.kind;
-    points().erase(it);
-    g_armed.fetch_sub(1, std::memory_order_relaxed);
-  }
+  if (!hit(name, &kind)) return;
   // Throw outside the lock so the unwound stack can arm/disarm freely.
   if (kind == Kind::kBadAlloc) throw std::bad_alloc();
   throw InjectedFault(std::string("injected fault at '") + name + "'");
+}
+
+bool triggered(const char* name) {
+  Kind kind;
+  return hit(name, &kind);
+}
+
+std::size_t arm_from_spec(const std::string& spec) {
+  std::size_t armed = 0;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == 0 || eq == std::string::npos)
+      throw std::invalid_argument("failpoint spec entry '" + entry +
+                                  "' is not name=N or name=every:N");
+    const std::string name = entry.substr(0, eq);
+    std::string count = entry.substr(eq + 1);
+    bool cyclic = false;
+    if (count.rfind("every:", 0) == 0) {
+      cyclic = true;
+      count = count.substr(6);
+    }
+    std::size_t consumed = 0;
+    unsigned long n = 0;
+    try {
+      n = std::stoul(count, &consumed);
+    } catch (const std::exception&) {
+      consumed = 0;
+    }
+    if (consumed == 0 || consumed != count.size() || n == 0)
+      throw std::invalid_argument("failpoint spec entry '" + entry +
+                                  "' needs a positive count");
+    if (cyclic)
+      arm_cyclic(name, n);
+    else
+      arm(name, n);
+    ++armed;
+  }
+  return armed;
+}
+
+std::size_t arm_from_env(const char* envvar) {
+  const char* value = std::getenv(envvar);
+  if (value == nullptr || *value == '\0') return 0;
+  return arm_from_spec(value);
 }
 
 }  // namespace sddict::failpoint

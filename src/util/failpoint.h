@@ -5,6 +5,14 @@
 // the RAII harness). When nothing is armed — the production case — a hit
 // costs a single relaxed atomic load. Points are process-global and
 // thread-safe: hits from pool workers decrement the same countdown.
+//
+// The networked serving tier needs faults that are *conditions*, not
+// exceptions — a short read, a spurious EINTR, a dropped byte — so besides
+// the throwing check() there is a non-throwing triggered() query, and
+// points can be armed cyclically (fire on every period-th hit, forever)
+// so a soak run keeps injecting for its whole duration. Cross-process
+// runs (the soak harness starting a server binary) arm points through the
+// SDDICT_FAILPOINTS environment variable via arm_from_env().
 #pragma once
 
 #include <cstddef>
@@ -29,11 +37,36 @@ struct InjectedFault : std::runtime_error {
 void arm(const std::string& name, std::size_t countdown = 1,
          Kind kind = Kind::kRuntimeError);
 
+// Arms `name` to fire on every `period`-th hit, indefinitely (period = 1
+// fires on every hit). Cyclic points stay armed after firing; disarm
+// explicitly. Meant for triggered()-style condition points, but check()
+// honors them too (throwing on each firing hit).
+void arm_cyclic(const std::string& name, std::size_t period,
+                Kind kind = Kind::kRuntimeError);
+
 void disarm(const std::string& name);
 void disarm_all();
 
 // Called by instrumented library code; throws when the point fires.
 void check(const char* name);
+
+// Non-throwing variant for condition-style injection (I/O paths where the
+// "fault" is a degraded syscall result, not an exception): counts a hit
+// and returns true when the point fires. One-shot points disarm on
+// firing; cyclic points re-arm for their next period.
+bool triggered(const char* name);
+
+// Arms every point listed in the environment variable `envvar` (default
+// SDDICT_FAILPOINTS), a comma-separated list of `name=N` (one-shot, fires
+// on the N-th hit) and `name=every:N` (cyclic) entries, e.g.
+//   SDDICT_FAILPOINTS=net.read.short=every:7,net.accept.eintr=3
+// Returns the number of points armed; malformed entries throw
+// std::invalid_argument naming the entry. A missing/empty variable arms
+// nothing and returns 0.
+std::size_t arm_from_env(const char* envvar = "SDDICT_FAILPOINTS");
+
+// Parses one spec list (the env-var syntax above) and arms the points.
+std::size_t arm_from_spec(const std::string& spec);
 
 }  // namespace sddict::failpoint
 

@@ -346,6 +346,63 @@ TEST(Serving, ShutdownDrainsThenRejects) {
   service.shutdown();  // idempotent
 }
 
+// try_submit: the non-blocking admission primitive the networked front
+// end (src/net) sheds with. A full queue returns nullopt — tallied in
+// shed_count — instead of parking the caller, accepted futures all still
+// resolve, and the queue_depth/in_flight gauges read zero once drained.
+TEST(Serving, TrySubmitShedsWhenQueueFullInsteadOfBlocking) {
+  const PassFailDictionary pf = PassFailDictionary::build(rm());
+  ServiceOptions o;
+  o.threads = 1;
+  o.batch = 1;
+  o.cache = 0;
+  o.queue_capacity = 1;
+  DiagnosisService service(SignatureStore::build(pf), o);
+
+  const auto obs = observation_stream(1, 0xaaa).front();
+  std::vector<std::future<ServiceResponse>> accepted;
+  std::uint64_t shed = 0;
+  // try_submit costs nanoseconds; ranking costs far more. A tight loop
+  // over a one-slot queue must observe it full long before the attempt
+  // bound.
+  for (int i = 0; i < 100000 && shed == 0; ++i) {
+    auto fut = service.try_submit(obs);
+    if (fut.has_value())
+      accepted.push_back(std::move(*fut));
+    else
+      ++shed;
+  }
+  EXPECT_GT(shed, 0u);
+  // A shed is a refusal, never a hang or a lost accepted request.
+  for (auto& f : accepted) EXPECT_NO_THROW(f.get());
+
+  // The dispatcher resolves the future before it zeroes the in-flight
+  // gauge, so give it a bounded moment to go quiescent.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const ServiceStats g = service.stats();
+    if (g.queue_depth == 0 && g.in_flight == 0 &&
+        g.requests == accepted.size())
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  const ServiceStats s = service.stats();
+  EXPECT_EQ(s.shed_count, shed);
+  EXPECT_EQ(s.requests, accepted.size());
+  EXPECT_EQ(s.queue_depth, 0u);  // drained: gauges back to zero
+  EXPECT_EQ(s.in_flight, 0u);
+  EXPECT_EQ(service.queue_depth(), 0u);
+  const std::string text = format_service_stats(s);
+  EXPECT_NE(text.find(" shed="), std::string::npos);
+  EXPECT_NE(text.find(" queue_depth="), std::string::npos);
+  EXPECT_NE(text.find(" in_flight="), std::string::npos);
+
+  service.shutdown();
+  EXPECT_THROW(service.try_submit(obs), std::runtime_error);
+}
+
 TEST(Serving, MalformedObservationResolvesWithEngineError) {
   const PassFailDictionary pf = PassFailDictionary::build(rm());
   DiagnosisService service(SignatureStore::build(pf), gate_options());
