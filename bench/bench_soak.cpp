@@ -1,5 +1,5 @@
 // Multi-process soak/load generator for the networked serving tier
-// (ISSUE 7 acceptance harness).
+// (ISSUE 7 acceptance harness) and the supervised fleet (ISSUE 8).
 //
 // What one run proves:
 //
@@ -29,9 +29,27 @@
 //      (the event loop drains and returns; the `drained:` stderr line is
 //      echoed into the report).
 //
+// Fleet chaos mode (--fleet=PATH pointing at sddict_fleet): the same
+// request plan and stdio reference, but the far end is a supervised
+// fleet of --backends sddict_serve processes behind the failover proxy.
+// On top of checks 1-5 (against the proxy port) the run also:
+//
+//   6. kill -9s a random healthy backend every --kill-every-ms while the
+//      workers hammer — the supervisor must respawn it (respawns >= 1)
+//      and the proxy must fail its in-flight requests over (failovers
+//      >= 1) without any client seeing a lost or duplicated reply.
+//   7. Publishes v2 of the dictionary mid-run and issues a fleet-wide
+//      `!reload`; afterwards every healthy backend must serve version 2
+//      (the epoch flip is all-or-nothing, never a mixed fleet).
+//   8. Measures a serial client's qps/p50/p99 twice — once on the quiet
+//      healthy fleet, once mid-chaos — and (with --json=FILE) writes the
+//      four numbers plus the chaos counters as BENCH records.
+//
 //   $ ./bench_soak --server=./examples/sddict_serve [--workers=8]
 //       [--chaos=3] [--requests=25] [--seed=1] [--timeout-s=180]
 //       [--failpoints=SPEC]        server-side fault injection override
+//       [--fleet=./examples/sddict_fleet] [--backends=3]
+//       [--kill-every-ms=400] [--json=FILE]
 //
 // Exit 0 only if every check above holds. Designed to be run under a
 // ThreadSanitizer build of the server in CI (the soak smoke job).
@@ -41,7 +59,10 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
+#include <chrono>
+#include <cmath>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -57,7 +78,9 @@
 #include "dict/full_dict.h"
 #include "dict/samediff_dict.h"
 #include "fault/collapse.h"
+#include "json_writer.h"
 #include "net/client.h"
+#include "repo/repository.h"
 #include "sim/response.h"
 #include "sim/testset.h"
 #include "store/signature_store.h"
@@ -73,7 +96,9 @@ int usage() {
   std::fprintf(stderr,
                "usage: bench_soak --server=PATH [--workers=8] [--chaos=3]\n"
                "  [--requests=25] [--seed=1] [--timeout-s=180]\n"
-               "  [--failpoints=SPEC]\n");
+               "  [--failpoints=SPEC]\n"
+               "  [--fleet=PATH] [--backends=3] [--kill-every-ms=400]\n"
+               "  [--json=FILE]\n");
   return 2;
 }
 
@@ -129,6 +154,12 @@ std::string canonical(const std::vector<std::string>& lines) {
   for (const std::string& l : lines)
     if (l.rfind("timing ", 0) != 0) out += l + "\n";
   return out;
+}
+
+double mono_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 // ------------------------------------------------------- process plumbing --
@@ -399,6 +430,453 @@ int run_chaos(int worker, int port, int iters) {
   }
 }
 
+// Forks the identity + chaos workers against `port` and returns the pids.
+std::vector<pid_t> fork_workers(const std::string& dir, int workers, int chaos,
+                                int port, int requests,
+                                const std::vector<std::vector<std::string>>& frames) {
+  std::vector<pid_t> pids;
+  for (int w = 0; w < workers; ++w) {
+    const std::string path = dir + "/worker_" + std::to_string(w) + ".txt";
+    const pid_t pid = ::fork();
+    if (pid < 0) throw std::runtime_error("fork worker");
+    if (pid == 0)
+      ::_exit(run_worker(w, port, requests, frames[static_cast<std::size_t>(w)],
+                         path));
+    pids.push_back(pid);
+  }
+  for (int c = 0; c < chaos; ++c) {
+    const pid_t pid = ::fork();
+    if (pid < 0) throw std::runtime_error("fork chaos");
+    if (pid == 0) ::_exit(run_chaos(c, port, 3 * requests / 2));
+    pids.push_back(pid);
+  }
+  return pids;
+}
+
+// Diffs every worker's record file against the stdio reference.
+struct DiffTally {
+  std::size_t ok = 0, busy = 0, mismatches = 0, fails = 0;
+  int incomplete = 0;  // workers that answered fewer requests than planned
+};
+
+DiffTally diff_worker_records(const std::string& dir, int workers, int requests,
+                              const std::vector<std::string>& reference) {
+  DiffTally t;
+  for (int w = 0; w < workers; ++w) {
+    std::ifstream in(dir + "/worker_" + std::to_string(w) + ".txt");
+    std::string record;
+    int index = 0;
+    for (std::string line; std::getline(in, line);) {
+      if (line != "===") {
+        record += line + "\n";
+        continue;
+      }
+      const std::size_t ref =
+          static_cast<std::size_t>(w) * static_cast<std::size_t>(requests) +
+          static_cast<std::size_t>(index);
+      if (record == "busy\n") {
+        ++t.busy;
+      } else if (record.rfind("ok\n", 0) == 0) {
+        if (record.substr(3) == reference[ref]) {
+          ++t.ok;
+        } else {
+          ++t.mismatches;
+          std::fprintf(stderr,
+                       "soak: MISMATCH worker %d request %d:\n-- got --\n%s"
+                       "-- want --\n%s",
+                       w, index, record.substr(3).c_str(),
+                       reference[ref].c_str());
+        }
+      } else {
+        ++t.fails;
+        std::fprintf(stderr, "soak: worker %d request %d: %s", w, index,
+                     record.c_str());
+      }
+      record.clear();
+      ++index;
+    }
+    if (index != requests) {
+      std::fprintf(stderr, "soak: worker %d answered %d/%d requests\n", w,
+                   index, requests);
+      ++t.incomplete;
+    }
+  }
+  return t;
+}
+
+// ------------------------------------------------------- fleet chaos mode --
+
+// Polls the sddict_fleet --port-file handshake until the proxy address
+// appears (whole-file atomic rename, so a partial read is impossible).
+int wait_port_file(const std::string& path, double timeout_ms) {
+  const double deadline = mono_ms() + timeout_ms;
+  while (mono_ms() < deadline) {
+    std::ifstream in(path);
+    std::string line;
+    if (in && std::getline(in, line)) {
+      const std::size_t colon = line.rfind(':');
+      if (colon != std::string::npos) {
+        const int port = std::atoi(line.c_str() + colon + 1);
+        if (port > 0) return port;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return -1;
+}
+
+// One `!fleet` round trip (fresh connection; the proxy answers it inline
+// even mid-flip). Throws on I/O failure.
+std::vector<std::string> fleet_probe(int port) {
+  net::Client c = net::Client::connect_tcp("127.0.0.1", port, 10);
+  c.send_raw("!fleet\n");
+  return c.read_reply().lines;
+}
+
+// " key=123" field out of a status line; 0 when absent.
+std::uint64_t line_counter(const std::string& line, const std::string& key) {
+  const std::size_t at = line.find(" " + key + "=");
+  if (at == std::string::npos) return 0;
+  return std::strtoull(line.c_str() + at + key.size() + 2, nullptr, 10);
+}
+
+// Polls `!fleet` until `want_healthy` backends are healthy — and, when
+// `want_version` > 0, every healthy backend serves exactly that version
+// (the epoch-flip acceptance: never a mixed fleet at convergence) — and
+// the respawn counter has reached `min_respawns`. Reports the last-seen
+// respawn/failover counters either way.
+bool wait_fleet_converged(int port, int want_healthy,
+                          std::uint64_t want_version,
+                          std::uint64_t min_respawns, double timeout_ms,
+                          std::uint64_t* respawns, std::uint64_t* failovers) {
+  const double deadline = mono_ms() + timeout_ms;
+  while (mono_ms() < deadline) {
+    try {
+      const std::vector<std::string> lines = fleet_probe(port);
+      int healthy = 0;
+      bool versions_ok = true;
+      std::uint64_t seen_respawns = 0, seen_failovers = 0;
+      for (const std::string& l : lines) {
+        if (l.rfind("fleet ", 0) == 0) {
+          seen_respawns = line_counter(l, "respawns");
+          seen_failovers = line_counter(l, "failovers");
+          continue;
+        }
+        if (l.rfind("backend ", 0) != 0 ||
+            l.find(" state=healthy") == std::string::npos)
+          continue;
+        ++healthy;
+        if (want_version > 0 && line_counter(l, "version") != want_version)
+          versions_ok = false;
+      }
+      if (respawns != nullptr) *respawns = seen_respawns;
+      if (failovers != nullptr) *failovers = seen_failovers;
+      if (healthy >= want_healthy && versions_ok &&
+          seen_respawns >= min_respawns)
+        return true;
+    } catch (const std::exception&) {
+      // Transient probe failure; the fleet may be mid-recovery.
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  return false;
+}
+
+// The chaos killer: every `every_ms`, kill -9 one random healthy backend.
+// Never the last one — the point is proving failover, not an outage.
+void kill_loop(int port, double every_ms, std::atomic<bool>* stop,
+               std::atomic<int>* kills) {
+  Rng rng(0xf1ee7);
+  double next = mono_ms() + every_ms;
+  while (!stop->load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    if (mono_ms() < next) continue;
+    next = mono_ms() + every_ms;
+    try {
+      const std::vector<std::string> lines = fleet_probe(port);
+      std::vector<int> pids;
+      for (const std::string& l : lines) {
+        if (l.rfind("backend ", 0) != 0 ||
+            l.find(" state=healthy") == std::string::npos)
+          continue;
+        const std::size_t at = l.find(" pid=");
+        if (at != std::string::npos) pids.push_back(std::atoi(l.c_str() + at + 5));
+      }
+      if (pids.size() < 2) continue;
+      const int victim = pids[rng.below(pids.size())];
+      if (victim > 1 && ::kill(victim, SIGKILL) == 0) {
+        kills->fetch_add(1);
+        std::fprintf(stderr, "soak[fleet]: kill -9 backend pid %d\n", victim);
+      }
+    } catch (const std::exception&) {
+      // Probe shed or proxy busy; try again next tick.
+    }
+  }
+}
+
+// One serial measurement pass: every frame answered (reconnect + resend on
+// a severed connection, backoff on busy), per-request latency recorded.
+struct MeasuredPass {
+  double qps = 0, p50_ms = 0, p99_ms = 0;
+};
+
+double percentile_ms(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const double rank = std::ceil(p * static_cast<double>(v.size()));
+  std::size_t idx = rank <= 1 ? 0 : static_cast<std::size_t>(rank) - 1;
+  if (idx >= v.size()) idx = v.size() - 1;
+  return v[idx];
+}
+
+MeasuredPass measure_pass(int port, const std::vector<std::string>& frames,
+                          const char* label) {
+  net::BackoffPolicy policy;
+  policy.base_ms = 2;
+  policy.max_ms = 200;
+  policy.max_attempts = 40;
+  policy.seed = 0x9e3779b9;
+  net::Client client = net::Client::connect_tcp("127.0.0.1", port, 60);
+  std::vector<double> lat;
+  lat.reserve(frames.size());
+  const double t0 = mono_ms();
+  for (const std::string& f : frames) {
+    const double started = mono_ms();
+    bool answered = false;
+    std::string failure = "busy retries exhausted";
+    for (int attempt = 0; attempt < 8 && !answered; ++attempt) {
+      try {
+        if (!client.connected())
+          client = net::Client::connect_tcp("127.0.0.1", port, 60);
+        const net::Reply r = client.request_with_retry(f, policy);
+        if (r.busy) continue;  // schedule exhausted; start a fresh one
+        if (r.error) throw std::runtime_error("error reply: " + r.error_text);
+        answered = true;
+      } catch (const std::exception& e) {
+        failure = e.what();
+        client.close();
+      }
+    }
+    if (!answered)
+      throw std::runtime_error(std::string("measurement (") + label +
+                               "): request unanswered: " + failure);
+    lat.push_back(mono_ms() - started);
+  }
+  MeasuredPass m;
+  const double wall_ms = mono_ms() - t0;
+  if (wall_ms > 0)
+    m.qps = 1000.0 * static_cast<double>(frames.size()) / wall_ms;
+  m.p50_ms = percentile_ms(lat, 0.50);
+  m.p99_ms = percentile_ms(lat, 0.99);
+  std::fprintf(stderr,
+               "soak[fleet]: %s pass: %zu requests, %.0f qps, p50 %.2f ms, "
+               "p99 %.2f ms\n",
+               label, frames.size(), m.qps, m.p50_ms, m.p99_ms);
+  return m;
+}
+
+struct FleetConfig {
+  std::string fleet_binary;
+  std::string server_binary;
+  std::string backend_failpoints;
+  std::string json_path;
+  int backends = 3;
+  int workers = 8;
+  int chaos = 3;
+  int requests = 25;
+  double kill_every_ms = 400;
+  std::uint64_t seed = 1;
+};
+
+// The fleet run: checks 1-5 against the proxy port, plus kill -9 respawn,
+// failover, and the mid-run epoch flip (checks 6-8 in the header comment).
+int run_fleet(const FleetConfig& cfg, const std::string& dir,
+              const ResponseMatrix& rm, const FullDictionary& full,
+              const SameDifferentDictionary& sd,
+              const std::vector<std::vector<std::string>>& frames,
+              const std::vector<std::string>& reference) {
+  // v1 into a fresh repository; the backends serve (soak, sd) from it.
+  DictionaryRepository repo(dir + "/repo");
+  repo.publish("soak", StoreSource::kSameDifferent, SignatureStore::build(sd),
+               Provenance{});
+
+  const std::string port_file = dir + "/fleet.port";
+  // The proxy gets its own deliberate fault: sever a proxy->backend
+  // connection mid-stream every ~100 flushes, so failovers are exercised
+  // even between kill -9s. Backends get the usual syscall degradation.
+  ChildProc fp = spawn(
+      {cfg.fleet_binary, "--repo=" + dir + "/repo", "--circuit=soak",
+       "--backends=" + std::to_string(cfg.backends),
+       "--serve-bin=" + cfg.server_binary, "--port-file=" + port_file,
+       "--respawn-min-ms=100", "--respawn-max-ms=1000",
+       "--probe-interval-ms=50", "--probation-ms=250", "--max-failovers=8",
+       "--failpoints=fleet.backend.reset=every:101",
+       "--backend-failpoints=" + cfg.backend_failpoints},
+      /*stdin=*/false, /*stdout=*/false, /*stderr=*/false, /*failpoints=*/"");
+  const int port = wait_port_file(port_file, 20000);
+  if (port <= 0) {
+    std::fprintf(stderr, "soak[fleet]: proxy never wrote %s\n",
+                 port_file.c_str());
+    ::kill(fp.pid, SIGKILL);
+    wait_exit(fp.pid);
+    return 1;
+  }
+  std::fprintf(stderr, "soak[fleet]: proxy pid %d on port %d (%d backends)\n",
+               static_cast<int>(fp.pid), port, cfg.backends);
+
+  bool pass = true;
+  if (!wait_fleet_converged(port, cfg.backends, /*want_version=*/1,
+                            /*min_respawns=*/0, 15000, nullptr, nullptr)) {
+    std::fprintf(stderr, "soak[fleet]: FAIL — fleet never became healthy\n");
+    pass = false;
+  }
+
+  // ---- healthy-fleet measurement (serial client, quiet fleet) ----
+  std::vector<std::string> probes_healthy, probes_degraded;
+  for (int i = 0; i < 120; ++i) {
+    probes_healthy.push_back(
+        frame_for(full, rm, planned_fault(rm, cfg.seed, 101, i)));
+    probes_degraded.push_back(
+        frame_for(full, rm, planned_fault(rm, cfg.seed, 103, i)));
+  }
+  MeasuredPass healthy{}, degraded{};
+  if (pass) healthy = measure_pass(port, probes_healthy, "healthy");
+
+  // ---- chaos: v2 published, workers forked, killer running ----
+  repo.publish("soak", StoreSource::kSameDifferent, SignatureStore::build(sd),
+               Provenance{});
+  std::atomic<bool> stop{false};
+  std::atomic<int> kills{0};
+  std::thread killer(kill_loop, port, cfg.kill_every_ms, &stop, &kills);
+  std::vector<pid_t> pids =
+      fork_workers(dir, cfg.workers, cfg.chaos, port, cfg.requests, frames);
+
+  // Fleet-wide epoch flip mid-chaos. The reply arrives only after every
+  // in-rotation backend acked the new version.
+  try {
+    net::Client c = net::Client::connect_tcp("127.0.0.1", port, 60);
+    c.send_raw("!reload\n");
+    const net::Reply r = c.read_reply();
+    if (r.error || r.lines.empty() ||
+        r.lines.front().rfind("reloaded backends=", 0) != 0) {
+      std::fprintf(stderr, "soak[fleet]: FAIL — flip replied: %s\n",
+                   r.lines.empty() ? "(nothing)" : r.lines.front().c_str());
+      pass = false;
+    } else {
+      std::fprintf(stderr, "soak[fleet]: %s\n", r.lines.front().c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "soak[fleet]: FAIL — flip: %s\n", e.what());
+    pass = false;
+  }
+
+  try {
+    if (pass) degraded = measure_pass(port, probes_degraded, "degraded");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "soak[fleet]: FAIL — %s\n", e.what());
+    pass = false;
+  }
+
+  int child_failures = 0;
+  for (const pid_t pid : pids)
+    if (wait_exit(pid) != 0) ++child_failures;
+
+  // Keep the killer alive until it has landed at least one kill (a very
+  // fast run could otherwise finish between ticks).
+  const double kill_deadline = mono_ms() + 5000;
+  while (kills.load() == 0 && mono_ms() < kill_deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  stop.store(true);
+  killer.join();
+
+  // ---- convergence: every backend healthy again, all at version 2 ----
+  std::uint64_t respawns = 0, failovers = 0;
+  const bool converged =
+      wait_fleet_converged(port, cfg.backends, /*want_version=*/2,
+                           /*min_respawns=*/1, 20000, &respawns, &failovers);
+  if (!converged) {
+    std::fprintf(stderr,
+                 "soak[fleet]: FAIL — no convergence to a healthy v2 fleet "
+                 "(respawns=%llu)\n",
+                 static_cast<unsigned long long>(respawns));
+    pass = false;
+  }
+
+  // ---- final stats probe, then clean shutdown ----
+  std::uint64_t busy_shed = 0;
+  try {
+    net::Client probe = net::Client::connect_tcp("127.0.0.1", port, 30);
+    const std::string line = probe.command_line("stats");
+    const std::size_t at = line.find(" busy_shed=");
+    if (at != std::string::npos)
+      busy_shed = std::strtoull(line.c_str() + at + 11, nullptr, 10);
+    std::fprintf(stderr, "soak[fleet]: %s\n", line.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "soak[fleet]: FAIL — stats probe: %s\n", e.what());
+    pass = false;
+  }
+  ::kill(fp.pid, SIGTERM);
+  const int fleet_rc = wait_exit(fp.pid);
+
+  // ---- diff worker records against the stdio reference ----
+  const DiffTally t =
+      diff_worker_records(dir, cfg.workers, cfg.requests, reference);
+  child_failures += t.incomplete;
+
+  const std::size_t total = static_cast<std::size_t>(cfg.workers) *
+                            static_cast<std::size_t>(cfg.requests);
+  std::printf(
+      "soak[fleet]: backends=%d workers=%d requests=%zu ok=%zu busy=%zu "
+      "mismatches=%zu fails=%zu child_failures=%d busy_shed=%llu kills=%d "
+      "respawns=%llu failovers=%llu fleet_exit=%d\n",
+      cfg.backends, cfg.workers, total, t.ok, t.busy, t.mismatches, t.fails,
+      child_failures, static_cast<unsigned long long>(busy_shed), kills.load(),
+      static_cast<unsigned long long>(respawns),
+      static_cast<unsigned long long>(failovers), fleet_rc);
+
+  pass = pass && t.mismatches == 0 && t.fails == 0 && child_failures == 0 &&
+         fleet_rc == 0 && t.ok + t.busy == total && t.ok > 0;
+  if (busy_shed == 0) {
+    std::fprintf(stderr, "soak[fleet]: FAIL — no load shedding observed\n");
+    pass = false;
+  }
+  if (kills.load() == 0) {
+    std::fprintf(stderr, "soak[fleet]: FAIL — no backend was killed\n");
+    pass = false;
+  }
+  if (respawns == 0) {
+    std::fprintf(stderr, "soak[fleet]: FAIL — no respawn observed\n");
+    pass = false;
+  }
+  if (failovers == 0) {
+    std::fprintf(stderr, "soak[fleet]: FAIL — no failover observed\n");
+    pass = false;
+  }
+
+  if (!cfg.json_path.empty()) {
+    std::vector<bench::JsonRecord> records;
+    const auto add = [&](const char* metric, double value) {
+      records.push_back({"bench_soak", "soak",
+                         static_cast<std::size_t>(cfg.backends), metric,
+                         value});
+    };
+    add("fleet_qps_healthy", healthy.qps);
+    add("fleet_p50_ms_healthy", healthy.p50_ms);
+    add("fleet_p99_ms_healthy", healthy.p99_ms);
+    add("fleet_qps_degraded", degraded.qps);
+    add("fleet_p50_ms_degraded", degraded.p50_ms);
+    add("fleet_p99_ms_degraded", degraded.p99_ms);
+    add("fleet_kill9_count", kills.load());
+    add("fleet_respawns", static_cast<double>(respawns));
+    add("fleet_failovers", static_cast<double>(failovers));
+    bench::write_bench_json(cfg.json_path, records);
+    std::fprintf(stderr, "soak[fleet]: wrote %s\n", cfg.json_path.c_str());
+  }
+
+  std::printf("soak: %s\n", pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -406,13 +884,14 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   const auto unknown = args.unknown_flags(
       {"server", "workers", "chaos", "requests", "seed", "timeout-s",
-       "failpoints"});
+       "failpoints", "fleet", "backends", "kill-every-ms", "json"});
   if (!unknown.empty()) {
     for (const auto& f : unknown)
       std::fprintf(stderr, "unknown flag --%s\n", f.c_str());
     return usage();
   }
   std::string server;
+  FleetConfig fleet_cfg;
   int workers = 8, chaos = 3, requests = 25;
   std::uint64_t seed = 1;
   std::string server_failpoints;
@@ -424,6 +903,12 @@ int main(int argc, char** argv) {
     requests = static_cast<int>(args.get_int("requests", 25, 1, 10000));
     seed = static_cast<std::uint64_t>(args.get_int("seed", 1, 0));
     server_failpoints = args.get("failpoints", kServerFailpoints);
+    fleet_cfg.fleet_binary = args.get("fleet");
+    fleet_cfg.backends = static_cast<int>(args.get_int("backends", 3, 2, 16));
+    fleet_cfg.kill_every_ms = args.get_double("kill-every-ms", 400);
+    fleet_cfg.json_path = args.get("json");
+    if (!fleet_cfg.json_path.empty() && fleet_cfg.fleet_binary.empty())
+      throw std::invalid_argument("--json is only emitted in --fleet mode");
     // A wedged soak must die loudly, not hang CI.
     ::alarm(static_cast<unsigned>(args.get_int("timeout-s", 180, 1, 3600)));
   } catch (const std::exception& e) {
@@ -461,6 +946,16 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "soak: stdio reference captured (%zu replies)\n",
                  reference.size());
 
+    if (!fleet_cfg.fleet_binary.empty()) {
+      fleet_cfg.server_binary = server;
+      fleet_cfg.backend_failpoints = server_failpoints;
+      fleet_cfg.workers = workers;
+      fleet_cfg.chaos = chaos;
+      fleet_cfg.requests = requests;
+      fleet_cfg.seed = seed;
+      return run_fleet(fleet_cfg, dir, rm, full, sd, frames, reference);
+    }
+
     // ---- pass 2: TCP server under tiny limits + injected faults ----
     ChildProc srv = spawn(
         {server, "--store=" + store_path, "--tcp=0", "--threads=2", "--batch=4",
@@ -497,22 +992,8 @@ int main(int argc, char** argv) {
                  static_cast<int>(srv.pid), port, server_failpoints.c_str());
 
     // ---- fork the fleet ----
-    std::vector<pid_t> pids;
-    for (int w = 0; w < workers; ++w) {
-      const std::string path = dir + "/worker_" + std::to_string(w) + ".txt";
-      const pid_t pid = ::fork();
-      if (pid < 0) throw std::runtime_error("fork worker");
-      if (pid == 0)
-        ::_exit(run_worker(w, port, requests, frames[static_cast<std::size_t>(w)],
-                           path));
-      pids.push_back(pid);
-    }
-    for (int c = 0; c < chaos; ++c) {
-      const pid_t pid = ::fork();
-      if (pid < 0) throw std::runtime_error("fork chaos");
-      if (pid == 0) ::_exit(run_chaos(c, port, 3 * requests / 2));
-      pids.push_back(pid);
-    }
+    std::vector<pid_t> pids = fork_workers(dir, workers, chaos, port, requests,
+                                           frames);
     int child_failures = 0;
     for (const pid_t pid : pids)
       if (wait_exit(pid) != 0) ++child_failures;
@@ -534,46 +1015,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s", drained.c_str());
 
     // ---- diff worker records against the stdio reference ----
-    std::size_t ok = 0, busy = 0, mismatches = 0, fails = 0;
-    for (int w = 0; w < workers; ++w) {
-      std::ifstream in(dir + "/worker_" + std::to_string(w) + ".txt");
-      std::string record;
-      int index = 0;
-      for (std::string line; std::getline(in, line);) {
-        if (line != "===") {
-          record += line + "\n";
-          continue;
-        }
-        const std::size_t ref =
-            static_cast<std::size_t>(w) * static_cast<std::size_t>(requests) +
-            static_cast<std::size_t>(index);
-        if (record == "busy\n") {
-          ++busy;
-        } else if (record.rfind("ok\n", 0) == 0) {
-          if (record.substr(3) == reference[ref]) {
-            ++ok;
-          } else {
-            ++mismatches;
-            std::fprintf(stderr,
-                         "soak: MISMATCH worker %d request %d:\n-- got --\n%s"
-                         "-- want --\n%s",
-                         w, index, record.substr(3).c_str(),
-                         reference[ref].c_str());
-          }
-        } else {
-          ++fails;
-          std::fprintf(stderr, "soak: worker %d request %d: %s", w, index,
-                       record.c_str());
-        }
-        record.clear();
-        ++index;
-      }
-      if (index != requests) {
-        std::fprintf(stderr, "soak: worker %d answered %d/%d requests\n", w,
-                     index, requests);
-        ++child_failures;
-      }
-    }
+    const DiffTally t = diff_worker_records(dir, workers, requests, reference);
+    child_failures += t.incomplete;
 
     const std::size_t total =
         static_cast<std::size_t>(workers) * static_cast<std::size_t>(requests);
@@ -581,16 +1024,16 @@ int main(int argc, char** argv) {
         "soak: workers=%d chaos=%d requests=%zu ok=%zu busy=%zu "
         "mismatches=%zu fails=%zu child_failures=%d busy_shed=%llu "
         "server_exit=%d\n",
-        workers, chaos, total, ok, busy, mismatches, fails, child_failures,
-        static_cast<unsigned long long>(busy_shed), server_rc);
+        workers, chaos, total, t.ok, t.busy, t.mismatches, t.fails,
+        child_failures, static_cast<unsigned long long>(busy_shed), server_rc);
 
-    bool pass = mismatches == 0 && fails == 0 && child_failures == 0 &&
-                server_rc == 0 && ok + busy == total;
+    bool pass = t.mismatches == 0 && t.fails == 0 && child_failures == 0 &&
+                server_rc == 0 && t.ok + t.busy == total;
     if (busy_shed == 0) {
       std::fprintf(stderr, "soak: FAIL — no load shedding observed\n");
       pass = false;
     }
-    if (ok == 0) {
+    if (t.ok == 0) {
       std::fprintf(stderr, "soak: FAIL — no successful rankings verified\n");
       pass = false;
     }

@@ -1,0 +1,160 @@
+// sddict_fleet: supervised serving fleet over one shared repository.
+//
+//   sddict_fleet --repo=DIR [--circuit=NAME] [--kind=sd|pf]
+//                [--backends=3] [--tcp=0] [--host=127.0.0.1]
+//                [--serve-bin=PATH] [--state-dir=DIR] [--port-file=PATH]
+//                [--threads=N] [--batch=N]
+//                [--respawn-min-ms=200] [--respawn-max-ms=5000]
+//                [--probe-interval-ms=250] [--probe-timeout-ms=2000]
+//                [--eject-after=3] [--probation-ms=1000]
+//                [--max-failovers=4] [--op-timeout-ms=20000]
+//                [--failpoints=SPEC] [--backend-failpoints=SPEC]
+//
+// Forks --backends sddict_serve processes (`--serve-bin`, defaulting to
+// a sibling of this binary) over the shared --repo directory, each with
+// `--tcp=0 --port-file=...` so its kernel-assigned address is discovered
+// race-free, then runs the round-robin proxy on --tcp. Backend crashes
+// (including kill -9) are respawned under exponential backoff and their
+// in-flight requests fail over to healthy backends — the client sees
+// exactly one reply per request. Clients speak the same line protocol as
+// sddict_serve; the proxy adds `!fleet` (per-backend status), `!reload`
+// (fleet-wide epoch-consistent hot swap) and `!rolling` (drain+restart
+// each backend in turn).
+//
+// --failpoints arms the proxy process (plus SDDICT_FAILPOINTS from the
+// environment); --backend-failpoints is handed to the children — they
+// never inherit the proxy's own spec.
+//
+// Try it: start a fleet, then kill a backend mid-stream and watch the
+// request finish anyway (see README "Fleet serving" for the full demo).
+#include <csignal>
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "fleet/proxy.h"
+#include "fleet/supervisor.h"
+#include "util/cli.h"
+#include "util/failpoint.h"
+#include "util/fileio.h"
+
+using namespace sddict;
+
+namespace {
+
+fleet::FleetProxy* g_proxy = nullptr;
+
+void on_stop_signal(int) {
+  // request_stop is async-signal-safe: an atomic store + self-pipe write.
+  if (g_proxy != nullptr) g_proxy->request_stop();
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: sddict_fleet --repo=DIR [--circuit=NAME] [--kind=sd|pf]\n"
+      "                    [--backends=3] [--tcp=0] [--host=127.0.0.1]\n"
+      "                    [--serve-bin=PATH] [--state-dir=DIR]\n"
+      "                    [--port-file=PATH] [--threads=N] [--batch=N]\n"
+      "                    [--respawn-min-ms=200] [--respawn-max-ms=5000]\n"
+      "                    [--probe-interval-ms=250] [--probe-timeout-ms=2000]\n"
+      "                    [--eject-after=3] [--probation-ms=1000]\n"
+      "                    [--max-failovers=4] [--op-timeout-ms=20000]\n"
+      "                    [--failpoints=SPEC] [--backend-failpoints=SPEC]\n");
+  return 2;
+}
+
+// The sddict_serve binary normally sits next to sddict_fleet.
+std::string sibling_serve_binary(const char* argv0) {
+  const std::string self(argv0 != nullptr ? argv0 : "");
+  const std::size_t slash = self.rfind('/');
+  if (slash == std::string::npos) return "./sddict_serve";
+  return self.substr(0, slash + 1) + "sddict_serve";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const auto unknown = args.unknown_flags(
+      {"repo", "circuit", "kind", "backends", "tcp", "host", "serve-bin",
+       "state-dir", "port-file", "threads", "batch", "respawn-min-ms",
+       "respawn-max-ms", "probe-interval-ms", "probe-timeout-ms",
+       "eject-after", "probation-ms", "max-failovers", "op-timeout-ms",
+       "failpoints", "backend-failpoints"});
+  if (!unknown.empty()) {
+    for (const auto& f : unknown)
+      std::fprintf(stderr, "unknown flag --%s\n", f.c_str());
+    return usage();
+  }
+
+  fleet::SupervisorOptions sopts;
+  fleet::ProxyOptions popts;
+  std::string port_file;
+  try {
+    const std::string repo_dir = args.get("repo");
+    if (repo_dir.empty()) return usage();
+    sopts.serve_binary = args.get("serve-bin", sibling_serve_binary(argv[0]));
+    sopts.state_dir = args.get("state-dir", repo_dir + "/.fleet");
+    sopts.backends = static_cast<int>(args.get_int("backends", 3, 1, 64));
+    sopts.respawn_min_ms = args.get_double("respawn-min-ms", 200);
+    sopts.respawn_max_ms = args.get_double("respawn-max-ms", 5000);
+    sopts.backend_failpoints = args.get("backend-failpoints");
+    sopts.backend_args.push_back("--repo=" + repo_dir);
+    if (args.has("circuit"))
+      sopts.backend_args.push_back("--circuit=" + args.get("circuit"));
+    if (args.has("kind"))
+      sopts.backend_args.push_back("--kind=" + args.get("kind"));
+    if (args.has("threads"))
+      sopts.backend_args.push_back(
+          "--threads=" + std::to_string(args.get_int("threads", 1, 0, 4096)));
+    if (args.has("batch"))
+      sopts.backend_args.push_back(
+          "--batch=" + std::to_string(args.get_int("batch", 8, 1, 1 << 16)));
+
+    popts.tcp_port = static_cast<int>(args.get_int("tcp", 0, 0, 65535));
+    popts.bind_host = args.get("host", "127.0.0.1");
+    popts.probe_interval_ms = args.get_double("probe-interval-ms", 250);
+    popts.probe_timeout_ms = args.get_double("probe-timeout-ms", 2000);
+    popts.eject_after_failures =
+        static_cast<int>(args.get_int("eject-after", 3, 1, 1 << 10));
+    popts.probation_ms = args.get_double("probation-ms", 1000);
+    popts.max_failovers =
+        static_cast<int>(args.get_int("max-failovers", 4, 1, 1 << 10));
+    popts.op_timeout_ms = args.get_double("op-timeout-ms", 20000);
+    port_file = args.get("port-file");
+
+    std::size_t armed = failpoint::arm_from_env();
+    armed += failpoint::arm_from_spec(args.get("failpoints"));
+    if (armed > 0)
+      std::fprintf(stderr, "sddict_fleet: %zu failpoint(s) armed\n", armed);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sddict_fleet: %s\n", e.what());
+    return usage();
+  }
+
+  try {
+    fleet::Supervisor supervisor(sopts);
+    fleet::FleetProxy proxy(supervisor, popts);
+    proxy.start();
+    std::fprintf(stderr, "sddict_fleet: listening on %s:%d (%d backends)\n",
+                 popts.bind_host.c_str(), proxy.tcp_port(), sopts.backends);
+    if (!port_file.empty())
+      atomic_write_file(port_file, popts.bind_host + ":" +
+                                       std::to_string(proxy.tcp_port()) + "\n");
+    g_proxy = &proxy;
+    std::signal(SIGINT, on_stop_signal);
+    std::signal(SIGTERM, on_stop_signal);
+    proxy.run();  // returns after a stop signal, fully drained
+    g_proxy = nullptr;
+    supervisor.shutdown();  // backends stop only after the drain
+    const fleet::ProxyStats s = proxy.stats();
+    std::fprintf(stderr, "sddict_fleet: %s\n",
+                 fleet::format_proxy_stats(s).c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sddict_fleet: fatal: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -20,7 +20,8 @@
 //   timing latency_ms=<x> cache_hit=<0|1>   <- volatile; CI diffs ignore it
 //   done
 //
-// Between datalogs the bare commands `stats` (print a counters line) and
+// Between datalogs the bare commands `stats` (print a counters line),
+// `!health` (a machine-readable liveness one-liner for supervisors) and
 // `quit` are accepted. Responses always come back in request order, but
 // requests are submitted asynchronously as they are read, so piped input
 // actually exercises the service's micro-batching.
@@ -42,7 +43,10 @@
 // service, with per-connection timeouts, bounded in-flight limits, and
 // load shedding via explicit `busy retry_after_ms=N` replies (see
 // src/net/client.h for the backoff discipline clients should follow).
-// SIGINT/SIGTERM drain every accepted request before exiting.
+// SIGINT/SIGTERM drain every accepted request before exiting. With
+// --port-file=PATH the bound address is additionally written to PATH
+// atomically (host:port + newline) once the listener is up, so a
+// supervisor never has to scrape stderr — and never reads a torn file.
 //
 //   $ ./sddict_serve --store=dict.store [--threads=N] [--batch=N]
 //       [--cache=N] [--deadline-ms=X] [--load=auto|mmap|stream]
@@ -75,6 +79,7 @@
 #include "util/cli.h"
 #include "util/failpoint.h"
 #include "util/fdio.h"
+#include "util/fileio.h"
 #include "util/strings.h"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -98,7 +103,7 @@ int usage() {
                "   [--max-inflight=N] [--session-inflight=N] [--pending=N]\n"
                "   [--idle-timeout-ms=X] [--frame-timeout-ms=X]\n"
                "   [--write-timeout-ms=X] [--busy-retry-ms=N]\n"
-               "   [--failpoints=SPEC]]\n"
+               "   [--port-file=PATH] [--failpoints=SPEC]]\n"
                "   or: sddict_serve --repo=DIR --circuit=NAME [--kind=KIND]\n"
                "  [same options]\n");
   return 1;
@@ -112,6 +117,10 @@ struct RepoServer {
   std::string circuit;                          // current target
   StoreSource kind = StoreSource::kSameDifferent;
   std::map<std::string, std::unique_ptr<DiagnosisService>> services;
+  // Manifest version each service currently serves, by the same key.
+  // `!health` reports this so a fleet supervisor can check every backend
+  // flipped to the same version after a republish.
+  std::map<std::string, std::uint64_t> versions;
 
   std::string key(const std::string& c, StoreSource k) const {
     return c + '\0' + store_source_name(k);
@@ -122,12 +131,18 @@ struct RepoServer {
       throw std::runtime_error("no circuit selected (use !use CIRCUIT)");
     const std::string k = key(circuit, kind);
     auto it = services.find(k);
-    if (it == services.end())
+    if (it == services.end()) {
       it = services
                .emplace(k, std::make_unique<DiagnosisService>(
                                 repo->acquire(circuit, kind), opts))
                .first;
+      versions[k] = repo->latest_version(circuit, kind);
+    }
     return *it->second;
+  }
+  std::uint64_t served_version() const {
+    const auto it = versions.find(key(circuit, kind));
+    return it == versions.end() ? 0 : it->second;
   }
 };
 
@@ -194,6 +209,7 @@ void handle_admin(RepoServer& rs, const std::vector<std::string>& tokens,
       StoreSource kind{};
       parse_store_source(key.substr(nul + 1), &kind);
       svc->swap_store(rs.repo->acquire(target, kind));
+      rs.versions[key] = rs.repo->latest_version(target, kind);
       ++swapped;
     }
     out << "reloaded circuit=" << target << " swapped=" << swapped << "\n"
@@ -223,6 +239,23 @@ void serve_session(DiagnosisService* service, RepoServer* repo,
   bool in_block = false;
   while (std::getline(in, line)) {
     const std::vector<std::string> tokens = split_ws(line);
+    if (!in_block && tokens.size() == 1 && tokens[0] == "!health") {
+      // Same one-liner shape the event-loop front end emits. Replies are
+      // strictly ordered, so everything owed drains first — which is why
+      // in_flight is honestly zero here: stdio mode is serial.
+      drain(out, pending, /*block=*/true);
+      try {
+        DiagnosisService& svc = repo ? repo->current() : *service;
+        const ServiceStats st = svc.stats();
+        out << "health state=ok queue_depth=" << st.queue_depth
+            << " in_flight=" << pending.size() << " epoch=" << st.swaps
+            << " version=" << (repo ? repo->served_version() : 0) << "\n";
+      } catch (const std::exception& e) {
+        out << "error " << e.what() << "\n" << "done\n";
+      }
+      out.flush();
+      continue;
+    }
     if (!in_block && !tokens.empty() && tokens[0][0] == '!') {
       drain(out, pending, /*block=*/true);
       try {
@@ -393,6 +426,7 @@ struct RepoBackend : net::NetServer::Backend {
     ::handle_admin(*rs, tokens, out);  // the free admin-verb handler above
     return true;
   }
+  std::uint64_t store_version() override { return rs->served_version(); }
 };
 
 net::NetServer* g_net_server = nullptr;
@@ -403,7 +437,8 @@ void on_stop_signal(int) {
 }
 
 int serve_net(DiagnosisService* service, RepoServer* repo,
-              const net::NetServerOptions& nopts) {
+              const net::NetServerOptions& nopts,
+              const std::string& port_file) {
   StoreBackend store_backend(service);
   RepoBackend repo_backend(repo);
   net::NetServer::Backend& backend =
@@ -420,6 +455,11 @@ int serve_net(DiagnosisService* service, RepoServer* repo,
                  kernels::dispatch().name);
   if (!nopts.unix_path.empty())
     std::fprintf(stderr, "listening on %s\n", nopts.unix_path.c_str());
+  if (!port_file.empty() && server.tcp_port() >= 0)
+    // Atomic (temp + rename): a supervisor polling the path sees either
+    // nothing or the complete address, never a torn prefix.
+    atomic_write_file(port_file, nopts.bind_host + ":" +
+                                     std::to_string(server.tcp_port()) + "\n");
   server.run();  // returns after a stop signal, fully drained
   g_net_server = nullptr;
   std::fprintf(stderr, "drained: %s\n",
@@ -437,7 +477,7 @@ int main(int argc, char** argv) {
        "deadline-ms", "load", "socket", "once", "backlog", "tcp", "host",
        "max-sessions", "max-inflight", "session-inflight", "pending",
        "idle-timeout-ms", "frame-timeout-ms", "write-timeout-ms",
-       "busy-retry-ms", "failpoints"});
+       "busy-retry-ms", "port-file", "failpoints"});
   if (!unknown.empty()) {
     for (const auto& f : unknown)
       std::fprintf(stderr, "unknown flag --%s\n", f.c_str());
@@ -445,6 +485,7 @@ int main(int argc, char** argv) {
   }
 
   std::string store_path, repo_dir, circuit, kind_token, load_mode, socket_path;
+  std::string port_file;
   ServiceOptions opts;
   net::NetServerOptions nopts;
   bool once = false;
@@ -486,6 +527,7 @@ int main(int argc, char** argv) {
     nopts.write_timeout_ms = args.get_double("write-timeout-ms", 10000);
     nopts.busy_retry_ms = static_cast<std::uint32_t>(
         args.get_int("busy-retry-ms", 25, 1, 1 << 20));
+    port_file = args.get("port-file");
     // Chaos harness hook: deterministic fault injection armed from the
     // command line or the SDDICT_FAILPOINTS environment variable.
     std::size_t armed = failpoint::arm_from_env();
@@ -531,7 +573,7 @@ int main(int argc, char** argv) {
 #ifdef SDDICT_SERVE_HAS_SOCKET
       // --socket alongside --tcp adds a Unix listener on the same loop.
       nopts.unix_path = socket_path;
-      return serve_net(service.get(), repo, nopts);
+      return serve_net(service.get(), repo, nopts, port_file);
 #else
       std::fprintf(stderr, "--tcp is not supported on this platform\n");
       return 1;

@@ -1,0 +1,185 @@
+#include "fleet/supervisor.h"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "util/fileio.h"
+#include "util/process.h"
+#include "util/strings.h"
+
+namespace sddict::fleet {
+
+namespace {
+
+// Parses "host:port" (trailing whitespace tolerated). Returns false on
+// anything else — a half-written file cannot occur (atomic_write_file on
+// the server side) but an empty one could in principle.
+bool parse_addr(const std::string& text, std::string* host, int* port) {
+  const std::string trimmed = trim(text);
+  const std::size_t colon = trimmed.rfind(':');
+  if (colon == std::string::npos || colon == 0) return false;
+  const std::string port_str = trimmed.substr(colon + 1);
+  if (port_str.empty()) return false;
+  char* end = nullptr;
+  const long p = std::strtol(port_str.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || p <= 0 || p > 65535) return false;
+  *host = trimmed.substr(0, colon);
+  *port = static_cast<int>(p);
+  return true;
+}
+
+}  // namespace
+
+Supervisor::Supervisor(const SupervisorOptions& options) : options_(options) {
+  if (!dir_exists(options_.state_dir)) make_dir(options_.state_dir);
+  backends_.resize(static_cast<std::size_t>(std::max(options_.backends, 1)));
+  for (std::size_t i = 0; i < backends_.size(); ++i) {
+    Backend& b = backends_[i];
+    b.id = static_cast<int>(i);
+    b.port_file =
+        options_.state_dir + "/backend_" + std::to_string(i) + ".port";
+    b.backoff_ms = options_.respawn_min_ms;
+    b.next_spawn_ms = 0;  // spawn at the first tick
+  }
+}
+
+Supervisor::~Supervisor() { shutdown(); }
+
+void Supervisor::spawn_backend(Backend& b, double now_ms) {
+  // A stale port file from the previous incarnation would read as a bound
+  // address for a listener that no longer exists.
+  ::unlink(b.port_file.c_str());
+  std::vector<std::string> argv;
+  argv.push_back(options_.serve_binary);
+  for (const std::string& a : options_.backend_args) argv.push_back(a);
+  argv.push_back("--tcp=0");
+  argv.push_back("--port-file=" + b.port_file);
+  proc::SpawnOptions sopts;
+  sopts.env.emplace_back("SDDICT_FAILPOINTS",
+                         options_.backend_failpoints.empty()
+                             ? std::optional<std::string>{}
+                             : std::optional<std::string>{
+                                   options_.backend_failpoints});
+  try {
+    const proc::Child child = proc::spawn(argv, sopts);
+    b.pid = child.pid;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fleet: spawn backend %d failed: %s\n", b.id,
+                 e.what());
+    b.state = State::kBackoff;
+    b.next_spawn_ms = now_ms + b.backoff_ms;
+    b.backoff_ms = std::min(b.backoff_ms * 2, options_.respawn_max_ms);
+    return;
+  }
+  if (b.generation > 0) ++respawns_;
+  ++b.generation;
+  b.state = State::kWaitPort;
+  b.spawn_time_ms = now_ms;
+  b.port = -1;
+  b.intentional_exit = false;
+}
+
+void Supervisor::handle_exit(Backend& b, double now_ms) {
+  b.pid = -1;
+  b.port = -1;
+  b.state = State::kBackoff;
+  if (b.intentional_exit ||
+      (b.up_since_ms > 0 && now_ms - b.up_since_ms > options_.stable_ms)) {
+    // An asked-for restart, or a crash after a long stable stretch, is
+    // not a crash loop: come back at the floor.
+    b.backoff_ms = options_.respawn_min_ms;
+  }
+  b.next_spawn_ms = now_ms + b.backoff_ms;
+  b.backoff_ms = std::min(b.backoff_ms * 2, options_.respawn_max_ms);
+  b.up_since_ms = 0;
+}
+
+void Supervisor::tick(double now_ms, FleetView* view) {
+  for (Backend& b : backends_) {
+    if (b.pid > 0) {
+      if (const auto exit_code = proc::try_wait(b.pid)) {
+        std::fprintf(stderr, "fleet: backend %d (pid %d) exited %d\n", b.id,
+                     static_cast<int>(b.pid), *exit_code);
+        handle_exit(b, now_ms);
+      }
+    }
+    switch (b.state) {
+      case State::kBackoff:
+        if (!shut_down_ && now_ms >= b.next_spawn_ms) spawn_backend(b, now_ms);
+        break;
+      case State::kWaitPort:
+        if (file_exists(b.port_file) &&
+            parse_addr(read_file_bytes(b.port_file), &b.host, &b.port)) {
+          b.state = State::kUp;
+          b.up_since_ms = now_ms;
+          std::fprintf(stderr, "fleet: backend %d (pid %d) up at %s:%d\n",
+                       b.id, static_cast<int>(b.pid), b.host.c_str(), b.port);
+        } else if (now_ms - b.spawn_time_ms > options_.port_wait_ms) {
+          // Wedged before bind — e.g. a bad flag or a full disk. Kill it;
+          // the exit is reaped above and backoff takes over.
+          std::fprintf(stderr, "fleet: backend %d never bound; killing\n",
+                       b.id);
+          proc::send_signal(b.pid, SIGKILL);
+        }
+        break;
+      case State::kUp:
+        break;
+    }
+  }
+  if (view != nullptr) {
+    view->backends.clear();
+    for (const Backend& b : backends_)
+      view->backends.push_back(FleetBackendAddr{
+          b.id, b.host, b.state == State::kUp ? b.port : -1, b.generation,
+          b.pid});
+    view->respawns = respawns_;
+  }
+}
+
+bool Supervisor::restart(int id) {
+  for (Backend& b : backends_) {
+    if (b.id != id) continue;
+    if (b.pid <= 0) return false;
+    b.intentional_exit = true;
+    return proc::send_signal(b.pid, SIGTERM);
+  }
+  return false;
+}
+
+void Supervisor::shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  for (Backend& b : backends_)
+    if (b.pid > 0) proc::send_signal(b.pid, SIGTERM);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double, std::milli>(
+                            shutdown_grace_ms_);
+  for (;;) {
+    bool any_alive = false;
+    for (Backend& b : backends_) {
+      if (b.pid <= 0) continue;
+      if (proc::try_wait(b.pid).has_value())
+        b.pid = -1;
+      else
+        any_alive = true;
+    }
+    if (!any_alive) break;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      for (Backend& b : backends_) {
+        if (b.pid <= 0) continue;
+        proc::send_signal(b.pid, SIGKILL);
+        proc::wait_exit(b.pid);
+        b.pid = -1;
+      }
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+}  // namespace sddict::fleet

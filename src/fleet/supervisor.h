@@ -1,0 +1,120 @@
+// Fleet supervisor: forks and babysits N sddict_serve backend processes
+// over one shared repository directory, and tells the proxy where they
+// live.
+//
+// Address discovery is race-free: each backend is spawned with
+// `--tcp=0 --port-file=<state_dir>/backend_<i>.port`, and the server
+// writes its kernel-assigned address to the port file atomically (temp +
+// rename) only after bind+listen succeed — so when the supervisor sees
+// the file, the listener is already accepting. No stderr scraping, no
+// torn reads, no connect-before-listen window.
+//
+// Crash recovery: child exits (including kill -9) are detected with
+// non-blocking waitpid and answered by a respawn under exponential
+// backoff (respawn_min_ms doubling up to respawn_max_ms), reset to the
+// floor when the exit was an intentional restart (rolling restart path)
+// or the previous incarnation held its port long enough to count as
+// stable. Every respawn bumps the backend's generation so the proxy
+// knows its old connection (if any) is to a corpse.
+//
+// Threading: the supervisor is driven entirely by tick() calls from the
+// proxy's event-loop thread — no threads, no locks of its own.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sddict::fleet {
+
+// One backend as the proxy should see it. port == -1 means down or not
+// yet bound; generation bumps on every (re)spawn, so a proxy connection
+// tagged with an older generation is known-stale.
+struct FleetBackendAddr {
+  int id = 0;
+  std::string host;
+  int port = -1;
+  std::uint64_t generation = 0;
+  pid_t pid = -1;
+};
+
+struct FleetView {
+  std::vector<FleetBackendAddr> backends;
+  std::uint64_t respawns = 0;  // spawns that replaced a dead process
+};
+
+// How the proxy learns where its backends live. tick() is called once
+// per event-loop iteration (reap, respawn, read port files, fill the
+// view); restart(id) requests a graceful restart of one backend — the
+// rolling-restart primitive. Implemented by Supervisor for real process
+// fleets and by in-process fakes in tests.
+struct BackendSource {
+  virtual ~BackendSource() = default;
+  virtual void tick(double now_ms, FleetView* view) = 0;
+  virtual bool restart(int id) = 0;
+  virtual void shutdown() {}
+};
+
+struct SupervisorOptions {
+  std::string serve_binary;                // path to the sddict_serve binary
+  std::vector<std::string> backend_args;   // common args (--repo=..., ...)
+  std::string state_dir;                   // port files live here
+  int backends = 3;
+  double respawn_min_ms = 200;             // backoff floor (and reset value)
+  double respawn_max_ms = 5000;            // backoff ceiling
+  double stable_ms = 10000;                // up this long resets the backoff
+  double port_wait_ms = 15000;             // spawn -> port-file deadline
+  // SDDICT_FAILPOINTS for the children. Always set explicitly (or
+  // explicitly unset when empty): backends must never silently inherit
+  // the supervisor's own failpoint spec.
+  std::string backend_failpoints;
+};
+
+class Supervisor : public BackendSource {
+ public:
+  explicit Supervisor(const SupervisorOptions& options);
+  ~Supervisor() override;  // calls shutdown()
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  void tick(double now_ms, FleetView* view) override;
+  // SIGTERM the backend; the exit is reaped by tick() and respawned at
+  // the backoff floor. False when it is not running.
+  bool restart(int id) override;
+  // SIGTERM everything, wait up to `grace_ms`, SIGKILL stragglers, reap.
+  void shutdown() override;
+
+  std::uint64_t respawns() const { return respawns_; }
+
+ private:
+  enum class State { kBackoff, kWaitPort, kUp };
+
+  struct Backend {
+    int id = 0;
+    State state = State::kBackoff;
+    pid_t pid = -1;
+    std::uint64_t generation = 0;  // 0 = never spawned
+    std::string port_file;
+    std::string host;
+    int port = -1;
+    double backoff_ms = 0;
+    double next_spawn_ms = 0;   // kBackoff: earliest spawn time
+    double spawn_time_ms = 0;   // kWaitPort: deadline anchor
+    double up_since_ms = 0;     // kUp: for the stable-reset rule
+    bool intentional_exit = false;  // restart() was asked for this pid
+  };
+
+  void spawn_backend(Backend& b, double now_ms);
+  void handle_exit(Backend& b, double now_ms);
+
+  SupervisorOptions options_;
+  std::vector<Backend> backends_;
+  std::uint64_t respawns_ = 0;
+  double shutdown_grace_ms_ = 5000;
+  bool shut_down_ = false;
+};
+
+}  // namespace sddict::fleet

@@ -38,6 +38,17 @@ void set_io_timeouts(int fd, double timeout_s) {
 
 }  // namespace
 
+double compute_backoff_delay_ms(double hint_ms, double backoff_ms,
+                                double max_ms, double u) {
+  const double target = std::max(hint_ms, backoff_ms);
+  const double excess = target - hint_ms;
+  double delay = hint_ms + excess * (0.5 + 0.5 * u);
+  delay = std::min(delay, max_ms);
+  // The hint outranks the cap: sleeping less than the server asked just
+  // earns another shed.
+  return std::max(delay, hint_ms);
+}
+
 Client Client::connect_tcp(const std::string& host, int port,
                            double timeout_s) {
   ::signal(SIGPIPE, SIG_IGN);
@@ -176,13 +187,8 @@ Reply Client::request_with_retry(const std::string& frame,
     Reply reply = request(frame);
     reply.busy_retries = attempt;
     if (!reply.busy || attempt >= policy.max_attempts) return reply;
-    // Honor the server's hint as a floor under our own exponential
-    // schedule, jittered into [50%, 100%] so a shed herd doesn't return
-    // in lockstep.
-    const double want =
-        std::max<double>(reply.retry_after_ms, backoff) *
-        (0.5 + 0.5 * rng.uniform01());
-    const double delay = std::min<double>(want, policy.max_ms);
+    const double delay = compute_backoff_delay_ms(
+        reply.retry_after_ms, backoff, policy.max_ms, rng.uniform01());
     std::this_thread::sleep_for(
         std::chrono::microseconds(static_cast<std::int64_t>(delay * 1000)));
     backoff = std::min<double>(backoff * policy.factor, policy.max_ms);

@@ -24,6 +24,15 @@ struct BackoffPolicy {
   std::uint64_t seed = 1;  // deterministic jitter stream
 };
 
+// The retry schedule's delay for one attempt: the server's retry_after_ms
+// hint is a hard floor; only the exponential-backoff portion *above* the
+// hint is jittered into [50%, 100%] (so a shed herd doesn't return in
+// lockstep but nobody comes back before the server asked). `u` is a
+// uniform draw in [0, 1). The max_ms cap applies to the jittered excess,
+// never to the hint itself. Pure, for unit testing.
+double compute_backoff_delay_ms(double hint_ms, double backoff_ms,
+                                double max_ms, double u);
+
 struct Reply {
   bool busy = false;                // the server shed this request
   std::uint32_t retry_after_ms = 0; // its suggested delay (busy only)
@@ -52,10 +61,11 @@ class Client {
   // Throws std::runtime_error on I/O failure, timeout, or EOF mid-reply.
   Reply request(const std::string& frame);
 
-  // request(), but busy replies are retried with exponential backoff:
-  // each delay is max(server hint, base * factor^attempt), jittered into
-  // [50%, 100%], capped at max_ms. Returns the first non-busy reply, or
-  // the last busy one when max_attempts is exhausted.
+  // request(), but busy replies are retried with exponential backoff per
+  // compute_backoff_delay_ms(): the server's retry_after_ms hint is a
+  // hard floor, the exponential excess above it is jittered into
+  // [50%, 100%] and capped at max_ms. Returns the first non-busy reply,
+  // or the last busy one when max_attempts is exhausted.
   Reply request_with_retry(const std::string& frame,
                            const BackoffPolicy& policy = {});
 

@@ -436,6 +436,18 @@ void NetServer::resolve_fronts(Session& s) {
           if (front.tokens.size() == 1 && front.tokens[0] == "stats") {
             os << "stats " << format_service_stats(backend_.service().stats())
                << " " << format_net_stats(snapshot_live()) << "\n";
+          } else if (front.tokens.size() == 1 && front.tokens[0] == "!health") {
+            // Machine-readable one-liner (no `done`): what a supervisor or
+            // proxy health probe needs to decide rotation membership and
+            // drain completion. in_flight counts every accepted request not
+            // yet replied to (net pending + dispatched), so zero here means
+            // this backend owes nobody anything.
+            const ServiceStats svc = backend_.service().stats();
+            os << "health state=" << (draining_ ? "draining" : "ok")
+               << " queue_depth=" << svc.queue_depth
+               << " in_flight=" << (pending_.size() + inflight_)
+               << " epoch=" << svc.swaps
+               << " version=" << backend_.store_version() << "\n";
           } else if (!backend_.handle_admin(front.tokens, os)) {
             write_error(os, "admin verbs need repository mode (--repo)");
           }
@@ -512,7 +524,7 @@ void NetServer::force_close(Session& s, bool count_midframe) {
 }
 
 void NetServer::run() {
-  bool draining = false;
+  draining_ = false;
   double drain_start = 0;
   std::vector<pollfd> fds;
   std::vector<std::uint64_t> fd_session;  // session id per pollfd slot, 0 = none
@@ -522,7 +534,7 @@ void NetServer::run() {
     fds.push_back(pollfd{wake_.read_fd(), POLLIN, 0});
     fd_session.push_back(0);
     std::size_t tcp_idx = 0, unix_idx = 0;
-    if (!draining) {
+    if (!draining_) {
       if (tcp_listener_ >= 0) {
         tcp_idx = fds.size();
         fds.push_back(pollfd{tcp_listener_, POLLIN, 0});
@@ -539,7 +551,7 @@ void NetServer::run() {
       Session& s = *sp;
       if (s.dead) continue;
       short events = 0;
-      if (!s.closing && !draining) events |= POLLIN;
+      if (!s.closing && !draining_) events |= POLLIN;
       if (!s.outbuf.empty()) events |= POLLOUT;
       fds.push_back(pollfd{s.fd, events, 0});
       fd_session.push_back(id);
@@ -557,8 +569,8 @@ void NetServer::run() {
     if (nready < 0 && errno != EINTR) ++live_.io_errors;
     wake_.drain();
 
-    if (stop_requested_.load(std::memory_order_acquire) && !draining) {
-      draining = true;
+    if (stop_requested_.load(std::memory_order_acquire) && !draining_) {
+      draining_ = true;
       drain_start = now_ms();
       if (tcp_listener_ >= 0) ::close(tcp_listener_);
       if (unix_listener_ >= 0) {
@@ -569,7 +581,7 @@ void NetServer::run() {
       unix_listener_ = -1;
     }
 
-    if (!draining && nready > 0) {
+    if (!draining_ && nready > 0) {
       if (tcp_idx != 0 && (fds[tcp_idx].revents & POLLIN))
         accept_ready(fds[tcp_idx].fd);
       if (unix_idx != 0 && (fds[unix_idx].revents & POLLIN))
@@ -585,7 +597,7 @@ void NetServer::run() {
         force_close(s, s.reader.mid_frame());
         continue;
       }
-      if (!draining && (fds[i].revents & (POLLIN | POLLHUP))) read_ready(s);
+      if (!draining_ && (fds[i].revents & (POLLIN | POLLHUP))) read_ready(s);
     }
 
     pump_admission();
@@ -640,7 +652,7 @@ void NetServer::run() {
       stats_.in_flight = inflight_;
     }
 
-    if (draining) {
+    if (draining_) {
       bool work_left = !pending_.empty() || inflight_ > 0;
       for (auto& [id, sp] : sessions_)
         if (!sp->dead && (!sp->slots.empty() || !sp->outbuf.empty()))

@@ -102,6 +102,10 @@ class NetServer {
     virtual DiagnosisService& service() = 0;
     virtual bool handle_admin(const std::vector<std::string>& tokens,
                               std::ostream& out) = 0;
+    // The store version currently served (repository mode); 0 when the
+    // backend has no versioning (single-store mode). Reported by the
+    // `!health` verb so fleet supervisors can verify epoch consistency.
+    virtual std::uint64_t store_version() { return 0; }
   };
 
   NetServer(Backend& backend, const NetServerOptions& options);
@@ -147,6 +151,7 @@ class NetServer {
   int bound_tcp_port_ = -1;
   fdio::WakePipe wake_;
   std::atomic<bool> stop_requested_{false};
+  bool draining_ = false;  // loop-thread-only; reported by `!health`
 
   std::uint64_t next_session_id_ = 1;
   std::map<std::uint64_t, std::unique_ptr<Session>> sessions_;

@@ -163,6 +163,13 @@ void DictionaryRepository::evict_to_budget_locked(const std::string& keep_key) {
   stats_.cached_entries = cache_.size();
 }
 
+std::uint64_t DictionaryRepository::latest_version(std::string_view circuit,
+                                                   StoreSource kind) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const ManifestEntry* e = manifest_.find(circuit, kind);
+  return e ? e->version : 0;
+}
+
 bool DictionaryRepository::is_stale(std::string_view circuit, StoreSource kind,
                                     const Provenance& prov) const {
   std::lock_guard<std::mutex> lock(mutex_);

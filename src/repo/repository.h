@@ -95,6 +95,12 @@ class DictionaryRepository {
   std::shared_ptr<const SignatureStore> acquire_version(
       std::string_view circuit, StoreSource kind, std::uint64_t version);
 
+  // Highest cataloged version for (circuit, kind); 0 when absent. The
+  // cheap query fleet components poll to decide whether a served store is
+  // current, without loading anything.
+  std::uint64_t latest_version(std::string_view circuit,
+                               StoreSource kind) const;
+
   // True when no version is cataloged or the latest entry's provenance
   // differs from `prov` in any field both sides fill in ("" matches all).
   bool is_stale(std::string_view circuit, StoreSource kind,

@@ -243,6 +243,11 @@ std::size_t DiagnosisService::queue_depth() const {
   return queue_.size();
 }
 
+bool DiagnosisService::accepting() const {
+  std::lock_guard<std::mutex> lk(queue_mutex_);
+  return accepting_;
+}
+
 void DiagnosisService::shutdown() {
   std::unique_lock<std::mutex> lk(queue_mutex_);
   accepting_ = false;

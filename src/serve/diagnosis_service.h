@@ -151,6 +151,11 @@ class DiagnosisService {
   // Lock-taking convenience gauge (also sampled into stats()).
   std::size_t queue_depth() const;
 
+  // False once shutdown() has begun: submit()/try_submit() throw from
+  // then on. Drain introspection for supervisors deciding when a service
+  // is safe to restart.
+  bool accepting() const;
+
   // Stops accepting new requests and blocks until everything queued has
   // resolved. Idempotent; stats() remains valid afterwards.
   void shutdown();

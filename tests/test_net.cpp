@@ -393,6 +393,49 @@ TEST(NetServing, MidFrameDisconnectIsIsolated) {
             expected_reply(obs));
 }
 
+// ------------------------------------------------------------ health probe --
+
+TEST(NetServing, HealthVerbAnswersOneMachineReadableLine) {
+  TestServer server;
+  net::Client client = server.connect();
+  // One line, no `done`: shaped for the fleet proxy's rotation and drain
+  // decisions. Store mode has no repository version to report.
+  const std::string line = client.command_line("!health");
+  EXPECT_EQ(line.rfind("health state=ok ", 0), 0u) << line;
+  EXPECT_NE(line.find(" queue_depth=0"), std::string::npos) << line;
+  EXPECT_NE(line.find(" in_flight=0"), std::string::npos) << line;
+  EXPECT_NE(line.find(" epoch=0"), std::string::npos) << line;
+  EXPECT_NE(line.find(" version=0"), std::string::npos) << line;
+  // The session is fully usable afterwards — nothing queued behind the
+  // one-liner.
+  const auto obs = fault_observation(7);
+  EXPECT_EQ(canonical(client.request(frame_text(obs)).lines),
+            expected_reply(obs));
+}
+
+// ----------------------------------------------------------- retry backoff --
+
+TEST(NetClient, BackoffNeverSleepsBelowServerHint) {
+  // Regression: the jitter used to scale the WHOLE delay into
+  // [0.5, 1.0]x, so a client could sleep less than the server's
+  // retry_after_ms floor and earn an immediate re-shed. Only the excess
+  // above the hint is jittered now.
+  for (const double u : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    // Hint above the client's own backoff: the hint is the floor.
+    EXPECT_GE(net::compute_backoff_delay_ms(50, 10, 1000, u), 50.0);
+    // Hint below the backoff: never under the hint, never over the
+    // un-jittered target.
+    const double d = net::compute_backoff_delay_ms(50, 200, 1000, u);
+    EXPECT_GE(d, 50.0);
+    EXPECT_LE(d, 200.0);
+  }
+  // u sweeps exactly the [hint + excess/2, target] range.
+  EXPECT_DOUBLE_EQ(net::compute_backoff_delay_ms(50, 200, 1000, 0.0), 125.0);
+  EXPECT_DOUBLE_EQ(net::compute_backoff_delay_ms(50, 200, 1000, 1.0), 200.0);
+  // The cap bounds the backoff but can never undercut the server's hint.
+  EXPECT_DOUBLE_EQ(net::compute_backoff_delay_ms(500, 800, 300, 1.0), 500.0);
+}
+
 // ----------------------------------------------------------------- reaping --
 
 TEST(NetServing, IdleAndSlowLorisSessionsAreReaped) {

@@ -346,6 +346,41 @@ TEST(Serving, ShutdownDrainsThenRejects) {
   service.shutdown();  // idempotent
 }
 
+// Drain introspection: what the fleet's rolling-restart path keys off —
+// after shutdown() the gauges must prove quiescence (queue_depth == 0,
+// in_flight == 0, accepting() false), and a swap_store() racing the
+// drain is serialized, never torn: every request resolves and the swap
+// is counted exactly once.
+TEST(Serving, DrainIntrospectionProvesQuiescence) {
+  const SameDifferentDictionary sd =
+      SameDifferentDictionary::build(rm(), sd_baselines());
+  auto v1 = std::make_shared<const SignatureStore>(SignatureStore::build(sd));
+  auto v2 = std::make_shared<const SignatureStore>(SignatureStore::build(sd));
+  ServiceOptions o;
+  o.threads = 2;
+  o.batch = 2;
+  o.cache = 0;
+  DiagnosisService service(v1, o);
+  EXPECT_TRUE(service.accepting());
+
+  const auto stream = observation_stream(12, 0x778);
+  std::vector<std::future<ServiceResponse>> futures;
+  for (const auto& obs : stream) futures.push_back(service.submit(obs));
+  std::thread swapper([&] { service.swap_store(v2); });
+  service.shutdown();
+  swapper.join();
+
+  for (auto& f : futures)
+    EXPECT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  const ServiceStats s = service.stats();
+  EXPECT_EQ(s.queue_depth, 0u);
+  EXPECT_EQ(s.in_flight, 0u);
+  EXPECT_EQ(s.requests, stream.size());
+  EXPECT_EQ(s.swaps, 1u);
+  EXPECT_FALSE(service.accepting());
+  EXPECT_THROW(service.submit(stream[0]), std::runtime_error);
+}
+
 // try_submit: the non-blocking admission primitive the networked front
 // end (src/net) sheds with. A full queue returns nullopt — tallied in
 // shed_count — instead of parking the caller, accepted futures all still
