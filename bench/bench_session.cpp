@@ -1,0 +1,296 @@
+// Session-diagnoser bench (ISSUE 9 acceptance harness): multi-fault
+// diagnostic resolution and cover-search cost on a real benchmark
+// circuit.
+//
+// Workload: two-fault composite observations (fault a's response wherever
+// it deviates from fault-free, fault b's elsewhere) repeated over `runs`
+// noisy test-set applications per session — the retest flow the session
+// subsystem exists for. Per session the driver measures the evidence
+// aggregation + branch-and-bound ambiguity-group search and, as the
+// baseline, the anytime greedy path alone (a pre-cancelled budget).
+//
+// Built-in self-checks (the run FAILS with exit 1 on any violation):
+//
+//   1. identity gate — a clean single-run session's single-fault block is
+//      bit-identical to diagnose_observed() on the same observation;
+//   2. cover soundness — on a full-kind store the injected pair itself
+//      covers every consensus failure, so every completed search must
+//      prove min_cover <= 2 with nothing uncovered, and every reported
+//      group must actually cover the coverable consensus failures;
+//   3. anytime soundness — the greedy incumbent returned under a
+//      cancelled budget is a valid (possibly non-minimal) cover.
+//
+// Headline metrics: pair_recovered_rate (the injected pair appears among
+// the ranked ambiguity groups), mean_groups (ambiguity left), and the
+// per-session costs bb_ms_per_session / greedy_ms_per_session.
+//
+//   $ ./bench_session [--circuit=s1423] [--seed=1] [--patterns=96]
+//       [--sessions=48] [--runs=3] [--noise=2] [--json=BENCH_session.json]
+#include <algorithm>
+#include <cstdio>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bmcirc/registry.h"
+#include "diag/engine.h"
+#include "dict/full_dict.h"
+#include "fault/collapse.h"
+#include "json_writer.h"
+#include "netlist/transform.h"
+#include "session/engine.h"
+#include "session/evidence.h"
+#include "sim/testset.h"
+#include "store/signature_store.h"
+#include "util/cli.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+using namespace sddict;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_session [--circuit=s1423] [--seed=1]\n"
+               "  [--patterns=96] [--sessions=48] [--runs=3] [--noise=2]\n"
+               "  [--json=FILE]\n");
+  return 1;
+}
+
+bool same_matches(const std::vector<DiagnosisMatch>& a,
+                  const std::vector<DiagnosisMatch>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i].fault != b[i].fault || a[i].mismatches != b[i].mismatches)
+      return false;
+  return true;
+}
+
+bool same_diagnosis(const EngineDiagnosis& a, const EngineDiagnosis& b) {
+  return a.outcome == b.outcome && a.best_mismatches == b.best_mismatches &&
+         a.margin == b.margin && a.effective_tests == b.effective_tests &&
+         a.dont_care_tests == b.dont_care_tests &&
+         a.unknown_tests == b.unknown_tests && a.completed == b.completed &&
+         a.cover == b.cover && a.uncovered_failures == b.uncovered_failures &&
+         same_matches(a.matches, b.matches);
+}
+
+// Does `group` cover every consensus failure some modeled fault detects?
+bool covers_consensus(const SessionEngine& eng,
+                      const std::vector<Observed>& consensus,
+                      const std::vector<FaultId>& group) {
+  for (std::size_t t = 0; t < consensus.size(); ++t) {
+    if (consensus[t].dont_care() || consensus[t].value == 0) continue;
+    bool covered = false;
+    for (const FaultId g : group)
+      if (eng.detects(g, t)) {
+        covered = true;
+        break;
+      }
+    if (covered) continue;
+    for (FaultId f = 0; f < eng.num_faults(); ++f)
+      if (eng.detects(f, t)) return false;  // detectable yet uncovered
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const auto unknown = args.unknown_flags(
+      {"circuit", "seed", "patterns", "sessions", "runs", "noise", "json"});
+  if (!unknown.empty()) {
+    for (const auto& f : unknown)
+      std::fprintf(stderr, "unknown flag --%s\n", f.c_str());
+    return usage();
+  }
+
+  std::string circuit;
+  std::uint64_t seed = 1;
+  std::size_t patterns = 96, num_sessions = 48, runs = 3, noise_pct = 2;
+  try {
+    circuit = args.get("circuit", "s1423");
+    seed = static_cast<std::uint64_t>(args.get_int("seed", 1, 0));
+    patterns =
+        static_cast<std::size_t>(args.get_int("patterns", 96, 4, 1 << 16));
+    num_sessions =
+        static_cast<std::size_t>(args.get_int("sessions", 48, 1, 1 << 16));
+    runs = static_cast<std::size_t>(args.get_int("runs", 3, 1, 1024));
+    noise_pct = static_cast<std::size_t>(args.get_int("noise", 2, 0, 100));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return usage();
+  }
+  const std::string json_path = args.get("json");
+
+  std::vector<bench::JsonRecord> records;
+  const auto rec = [&](const std::string& metric, double value) {
+    records.push_back({"bench_session", circuit, runs, metric, value});
+  };
+
+  Netlist nl = load_benchmark(circuit);
+  if (nl.has_dffs()) nl = full_scan(nl);
+  const FaultList faults = collapsed_fault_list(nl).collapsed;
+  Rng rng(seed);
+  TestSet tests(nl.num_inputs());
+  tests.add_random(patterns, rng);
+  const ResponseMatrix rm = build_response_matrix(nl, faults, tests, {});
+  const FullDictionary full = FullDictionary::build(rm);
+  const auto store = std::make_shared<const SignatureStore>(
+      SignatureStore::build(full));
+  const SessionEngine engine(store);
+  const std::size_t n = rm.num_tests();
+  std::printf("%s: %zu collapsed faults, %zu patterns, %zu sessions x %zu "
+              "runs, %zu%% noise\n",
+              circuit.c_str(), faults.size(), patterns, num_sessions, runs,
+              noise_pct);
+
+  // --- self-check 1: single-run identity gate -------------------------
+  for (std::size_t q = 0; q < 16; ++q) {
+    const auto f = static_cast<FaultId>(rng.below(faults.size()));
+    std::vector<Observed> obs(n);
+    for (std::size_t t = 0; t < n; ++t) obs[t] = Observed::of(full.entry(f, t));
+    SessionRun run;
+    run.observed = obs;
+    const SessionDiagnosis d = engine.diagnose(aggregate_runs({run}));
+    if (!same_diagnosis(d.single, diagnose_observed(*store, obs))) {
+      std::fprintf(stderr,
+                   "FAIL: single-run session diverges from "
+                   "diagnose_observed() on fault %u\n",
+                   f);
+      return 1;
+    }
+  }
+  std::printf("identity gate: single-run session == diagnose_observed()\n");
+
+  // --- the session workload -------------------------------------------
+  // Only faults the test set detects at all: an undetected fault has an
+  // all-fault-free response and contributes nothing to a composite.
+  std::vector<FaultId> detected;
+  for (FaultId f = 0; f < faults.size(); ++f)
+    for (std::size_t t = 0; t < n; ++t)
+      if (full.entry(f, t) != 0) {
+        detected.push_back(f);
+        break;
+      }
+  if (detected.size() < 2) {
+    std::fprintf(stderr, "FAIL: test set detects < 2 faults\n");
+    return 1;
+  }
+  struct Session {
+    FaultId a = 0, b = 0;
+    std::vector<SessionRun> runs;
+  };
+  std::vector<Session> work(num_sessions);
+  for (Session& s : work) {
+    s.a = detected[rng.below(detected.size())];
+    do {
+      s.b = detected[rng.below(detected.size())];
+    } while (s.b == s.a);
+    std::vector<Observed> clean(n);
+    for (std::size_t t = 0; t < n; ++t) {
+      const ResponseId ra = full.entry(s.a, t);
+      clean[t] = Observed::of(ra != 0 ? ra : full.entry(s.b, t));
+    }
+    for (std::size_t r = 0; r < runs; ++r) {
+      SessionRun run;
+      run.observed = clean;
+      for (std::size_t t = 0; t < n; ++t)
+        if (rng.below(100) < noise_pct)
+          run.observed[t] =
+              (rng.below(2) == 0) ? Observed::missing() : Observed::unstable();
+      s.runs.push_back(std::move(run));
+    }
+  }
+
+  std::size_t pair_recovered = 0, singleton = 0, truncated = 0;
+  std::size_t total_groups = 0;
+  double confidence_sum = 0;
+  double aggregate_s = 0, bb_s = 0, greedy_s = 0;
+  for (const Session& s : work) {
+    Timer ta;
+    const SessionEvidence ev = aggregate_runs(s.runs);
+    aggregate_s += ta.seconds();
+
+    // Wider group cap than the serving default: the resolution metric
+    // asks whether the truth is among the enumerated covers at all.
+    SessionOptions bb_opt;
+    bb_opt.max_groups = 64;
+    Timer tb;
+    const SessionDiagnosis d = engine.diagnose(ev, bb_opt);
+    bb_s += tb.seconds();
+
+    // --- self-check 2: cover soundness on a full-kind store ---
+    const std::vector<Observed> consensus = ev.consensus();
+    if (d.failing_tests == 0) continue;  // noise erased every failure
+    if (!d.completed || !d.cover_minimal || d.min_cover > 2 ||
+        d.uncovered_failures != 0) {
+      std::fprintf(stderr,
+                   "FAIL: pair (%u,%u) not proven covered: min_cover=%zu "
+                   "minimal=%d uncovered=%zu completed=%d\n",
+                   s.a, s.b, d.min_cover, d.cover_minimal ? 1 : 0,
+                   d.uncovered_failures, d.completed ? 1 : 0);
+      return 1;
+    }
+    for (const AmbiguityGroup& g : d.groups)
+      if (!covers_consensus(engine, consensus, g.faults)) {
+        std::fprintf(stderr, "FAIL: reported group does not cover\n");
+        return 1;
+      }
+
+    SessionOptions greedy_opt;
+    greedy_opt.budget.cancel.cancel();
+    Timer tg;
+    const SessionDiagnosis g = engine.diagnose(ev, greedy_opt);
+    greedy_s += tg.seconds();
+    // --- self-check 3: the anytime incumbent is a valid cover ---
+    if (g.uncovered_failures != 0 || g.groups.empty() ||
+        !covers_consensus(engine, consensus, g.groups.front().faults)) {
+      std::fprintf(stderr, "FAIL: cancelled-budget incumbent not a cover\n");
+      return 1;
+    }
+
+    std::vector<FaultId> pair = {std::min(s.a, s.b), std::max(s.a, s.b)};
+    bool found = false;
+    for (const AmbiguityGroup& grp : d.groups)
+      if (grp.faults == pair ||
+          (d.min_cover == 1 &&
+           (grp.faults == std::vector<FaultId>{s.a} ||
+            grp.faults == std::vector<FaultId>{s.b})))
+        found = true;
+    pair_recovered += found ? 1 : 0;
+    singleton += d.min_cover <= 1 ? 1 : 0;
+    truncated += d.groups_truncated ? 1 : 0;
+    total_groups += d.groups.size();
+    if (!d.groups.empty()) confidence_sum += d.groups.front().confidence;
+  }
+  std::printf("cover soundness + anytime soundness: ok\n");
+
+  const double ns = static_cast<double>(num_sessions);
+  rec("pair_recovered_rate", static_cast<double>(pair_recovered) / ns);
+  rec("singleton_cover_rate", static_cast<double>(singleton) / ns);
+  rec("truncated_rate", static_cast<double>(truncated) / ns);
+  rec("mean_groups", static_cast<double>(total_groups) / ns);
+  rec("mean_top_confidence", confidence_sum / ns);
+  rec("aggregate_ms_per_session", aggregate_s * 1000 / ns);
+  rec("bb_ms_per_session", bb_s * 1000 / ns);
+  rec("greedy_ms_per_session", greedy_s * 1000 / ns);
+
+  std::printf(
+      "pair recovered %zu/%zu  mean groups %.2f  top confidence %.4f\n"
+      "aggregate %.3f ms  b&b %.3f ms  greedy %.3f ms  per session\n",
+      pair_recovered, num_sessions, static_cast<double>(total_groups) / ns,
+      confidence_sum / ns, aggregate_s * 1000 / ns, bb_s * 1000 / ns,
+      greedy_s * 1000 / ns);
+
+  if (!json_path.empty()) {
+    bench::write_bench_json(json_path, records);
+    std::printf("wrote %zu records to %s\n", records.size(),
+                json_path.c_str());
+  }
+  return 0;
+}

@@ -37,6 +37,20 @@
 //                         in-flight requests
 //   !stats                repository + per-service counters
 //
+// Session verbs (multi-observation diagnosis, src/session): a retest flow
+// opens a session per die, appends one datalog per test-set application,
+// and asks for a session-level diagnosis — consensus single-fault ranking
+// plus minimal multi-fault covers as ranked ambiguity groups. Each verb
+// is itself a datalog-type frame (closed by a bare `end`; the appended
+// testerlog's own `end` doubles as the frame close), so the verbs flow
+// through every front end and the fleet proxy unchanged:
+//
+//   session begin DIE42        session append DIE42      session diagnose DIE42
+//   end                        sddict testerlog v1       end
+//                              tests <k> ... end
+//   session end DIE42
+//   end
+//
 // Networked mode (--tcp=PORT, port 0 = kernel-assigned): an event-loop
 // front end (src/net/server.h) multiplexes many concurrent TCP sessions —
 // plus a Unix listener when --socket is also given — onto the same
@@ -74,6 +88,7 @@
 #include "net/server.h"
 #include "repo/repository.h"
 #include "serve/diagnosis_service.h"
+#include "session/service.h"
 #include "store/kernels.h"
 #include "store/signature_store.h"
 #include "util/cli.h"
@@ -104,6 +119,8 @@ int usage() {
                "   [--idle-timeout-ms=X] [--frame-timeout-ms=X]\n"
                "   [--write-timeout-ms=X] [--busy-retry-ms=N]\n"
                "   [--port-file=PATH] [--failpoints=SPEC]]\n"
+               "  [--session-deadline-ms=X] [--max-die-sessions=N]\n"
+               "  [--session-runs=N] [--session-cover=N]\n"
                "   or: sddict_serve --repo=DIR --circuit=NAME [--kind=KIND]\n"
                "  [same options]\n");
   return 1;
@@ -232,7 +249,8 @@ void handle_admin(RepoServer& rs, const std::vector<std::string>& tokens,
 // One client session: reads datalogs and commands until quit/EOF. Exactly
 // one of `service` (single-store mode) and `repo` is non-null.
 void serve_session(DiagnosisService* service, RepoServer* repo,
-                   std::istream& in, std::ostream& out) {
+                   SessionService* session, std::istream& in,
+                   std::ostream& out) {
   std::deque<PendingQuery> pending;
   std::string line;
   std::string block;
@@ -287,6 +305,17 @@ void serve_session(DiagnosisService* service, RepoServer* repo,
     // A well-formed `end` line is exactly what closes a datalog for the
     // reader (diag/testerlog.h) — same framing rule here.
     if (tokens.size() == 1 && tokens[0] == "end") {
+      if (net::is_session_frame(block)) {
+        // Session verbs are stateful and ordered: drain everything owed,
+        // then execute inline — the same discipline admin verbs follow.
+        const std::string frame = std::move(block);
+        block.clear();
+        in_block = false;
+        drain(out, pending, /*block=*/true);
+        session->handle(frame, out);
+        out.flush();
+        continue;
+      }
       std::istringstream blockin(block);
       block.clear();
       in_block = false;
@@ -353,7 +382,8 @@ class FdStreamBuf : public std::streambuf {
 };
 
 int serve_socket(DiagnosisService* service, RepoServer* repo,
-                 const std::string& path, bool once, int backlog) {
+                 SessionService* session, const std::string& path, bool once,
+                 int backlog) {
   const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (listener < 0) {
     std::perror("socket");
@@ -394,7 +424,7 @@ int serve_socket(DiagnosisService* service, RepoServer* repo,
       FdStreamBuf buf(conn);
       std::istream in(&buf);
       std::ostream out(&buf);
-      serve_session(service, repo, in, out);
+      serve_session(service, repo, session, in, out);
     }
     ::close(conn);
     if (once) break;
@@ -410,20 +440,33 @@ int serve_socket(DiagnosisService* service, RepoServer* repo,
 // store service, or the repo server's current circuit plus admin verbs.
 struct StoreBackend : net::NetServer::Backend {
   DiagnosisService* svc;
-  explicit StoreBackend(DiagnosisService* s) : svc(s) {}
+  SessionService* session;
+  StoreBackend(DiagnosisService* s, SessionService* ss)
+      : svc(s), session(ss) {}
   DiagnosisService& service() override { return *svc; }
   bool handle_admin(const std::vector<std::string>&, std::ostream&) override {
     return false;  // admin verbs need repository mode
+  }
+  bool handle_session(const std::string& frame_text,
+                      std::ostream& out) override {
+    session->handle(frame_text, out);
+    return true;
   }
 };
 
 struct RepoBackend : net::NetServer::Backend {
   RepoServer* rs;
-  explicit RepoBackend(RepoServer* r) : rs(r) {}
+  SessionService* session;
+  RepoBackend(RepoServer* r, SessionService* ss) : rs(r), session(ss) {}
   DiagnosisService& service() override { return rs->current(); }
   bool handle_admin(const std::vector<std::string>& tokens,
                     std::ostream& out) override {
     ::handle_admin(*rs, tokens, out);  // the free admin-verb handler above
+    return true;
+  }
+  bool handle_session(const std::string& frame_text,
+                      std::ostream& out) override {
+    session->handle(frame_text, out);
     return true;
   }
   std::uint64_t store_version() override { return rs->served_version(); }
@@ -437,10 +480,10 @@ void on_stop_signal(int) {
 }
 
 int serve_net(DiagnosisService* service, RepoServer* repo,
-              const net::NetServerOptions& nopts,
+              SessionService* session, const net::NetServerOptions& nopts,
               const std::string& port_file) {
-  StoreBackend store_backend(service);
-  RepoBackend repo_backend(repo);
+  StoreBackend store_backend(service, session);
+  RepoBackend repo_backend(repo, session);
   net::NetServer::Backend& backend =
       repo ? static_cast<net::NetServer::Backend&>(repo_backend)
            : static_cast<net::NetServer::Backend&>(store_backend);
@@ -477,7 +520,8 @@ int main(int argc, char** argv) {
        "deadline-ms", "load", "socket", "once", "backlog", "tcp", "host",
        "max-sessions", "max-inflight", "session-inflight", "pending",
        "idle-timeout-ms", "frame-timeout-ms", "write-timeout-ms",
-       "busy-retry-ms", "port-file", "failpoints"});
+       "busy-retry-ms", "port-file", "failpoints", "session-deadline-ms",
+       "max-die-sessions", "session-runs", "session-cover"});
   if (!unknown.empty()) {
     for (const auto& f : unknown)
       std::fprintf(stderr, "unknown flag --%s\n", f.c_str());
@@ -487,6 +531,7 @@ int main(int argc, char** argv) {
   std::string store_path, repo_dir, circuit, kind_token, load_mode, socket_path;
   std::string port_file;
   ServiceOptions opts;
+  SessionServiceOptions sopts;
   net::NetServerOptions nopts;
   bool once = false;
   bool tcp_mode = false;
@@ -528,6 +573,15 @@ int main(int argc, char** argv) {
     nopts.busy_retry_ms = static_cast<std::uint32_t>(
         args.get_int("busy-retry-ms", 25, 1, 1 << 20));
     port_file = args.get("port-file");
+    sopts.deadline_ms = args.get_double("session-deadline-ms", 0);
+    if (sopts.deadline_ms < 0)
+      throw std::invalid_argument("flag --session-deadline-ms must be >= 0");
+    sopts.limits.max_sessions = static_cast<std::size_t>(
+        args.get_int("max-die-sessions", 64, 1, 1 << 20));
+    sopts.limits.max_runs =
+        static_cast<std::size_t>(args.get_int("session-runs", 64, 1, 1 << 20));
+    sopts.diagnose.max_cover =
+        static_cast<std::size_t>(args.get_int("session-cover", 8, 1, 64));
     // Chaos harness hook: deterministic fault injection armed from the
     // command line or the SDDICT_FAILPOINTS environment variable.
     std::size_t armed = failpoint::arm_from_env();
@@ -567,13 +621,28 @@ int main(int argc, char** argv) {
                    store_path.c_str(), store_kind_name(store.kind()),
                    store_source_name(store.source()), store.num_faults(),
                    store.num_tests(), store.mapped() ? "mmap" : "stream");
-      service = std::make_unique<DiagnosisService>(std::move(store), opts);
+      // Shared (not owned) so the session diagnoser can build its packed
+      // detection rows over the very store the single-fault service runs
+      // on; behavior of the service itself is unchanged.
+      service = std::make_unique<DiagnosisService>(
+          std::make_shared<const SignatureStore>(std::move(store)), opts);
     }
+    // Session verbs resolve the engine lazily per request, so repo-mode
+    // hot swaps are picked up; the cache rebuilds only when the served
+    // store pointer actually changes.
+    auto session_cache = std::make_shared<SessionEngineCache>();
+    SessionService session_service(
+        [svc = service.get(), repo, session_cache]() {
+          DiagnosisService& s = repo ? repo->current() : *svc;
+          return session_cache->get(s.current_store());
+        },
+        sopts);
     if (tcp_mode) {
 #ifdef SDDICT_SERVE_HAS_SOCKET
       // --socket alongside --tcp adds a Unix listener on the same loop.
       nopts.unix_path = socket_path;
-      return serve_net(service.get(), repo, nopts, port_file);
+      return serve_net(service.get(), repo, &session_service, nopts,
+                       port_file);
 #else
       std::fprintf(stderr, "--tcp is not supported on this platform\n");
       return 1;
@@ -581,14 +650,14 @@ int main(int argc, char** argv) {
     }
     if (!socket_path.empty()) {
 #ifdef SDDICT_SERVE_HAS_SOCKET
-      return serve_socket(service.get(), repo, socket_path, once,
-                          nopts.backlog);
+      return serve_socket(service.get(), repo, &session_service, socket_path,
+                          once, nopts.backlog);
 #else
       std::fprintf(stderr, "--socket is not supported on this platform\n");
       return 1;
 #endif
     }
-    serve_session(service.get(), repo, std::cin, std::cout);
+    serve_session(service.get(), repo, &session_service, std::cin, std::cout);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "sddict_serve: %s\n", e.what());

@@ -327,10 +327,24 @@ EngineDiagnosis run_chain(const ObservationSummary& sum,
 
   // Stage 4: unmodeled defect. Build a best-effort multiple-fault cover of
   // the observed failing tests (greedy set cover over detection sets).
+  // Detector lists and per-fault gains are built once and maintained
+  // incrementally as tests get covered, so each pick costs one max-scan
+  // plus the decrements its newly covered tests induce instead of an
+  // O(faults x failing) recount. Selection is unchanged from the
+  // recounting version — highest gain, lowest fault id among ties — so
+  // the covers are identical.
   out.outcome = DiagnosisOutcome::kUnmodeledDefect;
   std::vector<std::size_t> failing;
   for (std::size_t t = 0; t < pf.obs.size(); ++t)
     if (pf.obs[t] == 1) failing.push_back(t);
+  std::vector<std::vector<FaultId>> detectors(failing.size());
+  std::vector<std::size_t> gain(sum.num_faults, 0);
+  for (FaultId f = 0; f < sum.num_faults; ++f)
+    for (std::size_t i = 0; i < failing.size(); ++i)
+      if (pf.bit(f, failing[i]) == 1) {
+        detectors[i].push_back(f);
+        ++gain[f];
+      }
   std::vector<bool> covered(failing.size(), false);
   std::size_t uncovered = failing.size();
   while (uncovered > 0 && out.cover.size() < opt.max_cover) {
@@ -341,21 +355,18 @@ EngineDiagnosis run_chain(const ObservationSummary& sum,
     }
     FaultId best_f = kNoFault;
     std::size_t best_gain = 0;
-    for (FaultId f = 0; f < sum.num_faults; ++f) {
-      std::size_t gain = 0;
-      for (std::size_t i = 0; i < failing.size(); ++i)
-        if (!covered[i] && pf.bit(f, failing[i]) == 1) ++gain;
-      if (gain > best_gain) {
-        best_gain = gain;
+    for (FaultId f = 0; f < sum.num_faults; ++f)
+      if (gain[f] > best_gain) {
+        best_gain = gain[f];
         best_f = f;
       }
-    }
     if (best_gain == 0) break;
     out.cover.push_back(best_f);
     for (std::size_t i = 0; i < failing.size(); ++i)
       if (!covered[i] && pf.bit(best_f, failing[i]) == 1) {
         covered[i] = true;
         --uncovered;
+        for (FaultId f : detectors[i]) --gain[f];
       }
   }
   out.uncovered_failures = uncovered;

@@ -53,6 +53,76 @@ bool parse_u64(const std::string& s, std::uint64_t* out) {
   return true;
 }
 
+// Applies one body record (`t <index> <value>`) to the observation
+// vector; defects go through drop(col, reason) and leave it untouched.
+// Shared by the testerlog and sessionlog readers so the two formats
+// accept byte-identical record grammar.
+template <typename DropFn>
+void apply_record(const std::vector<Token>& toks, std::size_t num_tests,
+                  std::vector<char>& seen, std::vector<Observed>& observations,
+                  const DropFn& drop) {
+  if (toks[0].text != "t") {
+    drop(toks[0].col, "unknown record type '" + toks[0].text + "'");
+    return;
+  }
+  if (toks.size() != 3) {
+    drop(toks.back().col + toks.back().text.size(),
+         "expected 't <index> <value>'");
+    return;
+  }
+  std::uint64_t idx = 0;
+  if (!parse_u64(toks[1].text, &idx)) {
+    drop(toks[1].col, "bad test index '" + toks[1].text + "'");
+    return;
+  }
+  if (idx >= num_tests) {
+    drop(toks[1].col, "test index " + toks[1].text + " out of range (tests " +
+                          std::to_string(num_tests) + ")");
+    return;
+  }
+  if (seen[idx]) {  // keep-first: the earlier record stands
+    drop(toks[1].col, "duplicate record for test " + toks[1].text);
+    return;
+  }
+  Observed obs;
+  const std::string& val = toks[2].text;
+  std::uint64_t v = 0;
+  if (val == "missing") {
+    obs = Observed::missing();
+  } else if (val == "unstable") {
+    obs = Observed::unstable();
+  } else if (val == "unknown") {
+    obs = Observed::of(kUnknownResponse);
+  } else if (parse_u64(val, &v) &&
+             v <= std::numeric_limits<std::uint32_t>::max()) {
+    obs = Observed::of(static_cast<ResponseId>(v));
+  } else {
+    drop(toks[2].col, "bad response value '" + val + "'");
+    return;
+  }
+  seen[idx] = 1;
+  observations[static_cast<std::size_t>(idx)] = obs;
+}
+
+void write_records(std::ostream& out, const std::vector<Observed>& observed) {
+  for (std::size_t t = 0; t < observed.size(); ++t) {
+    const Observed& o = observed[t];
+    switch (o.status) {
+      case ObservedStatus::kMissing:
+        break;  // absence means missing
+      case ObservedStatus::kUnstable:
+        out << "t " << t << " unstable\n";
+        break;
+      case ObservedStatus::kValue:
+        if (o.value == kUnknownResponse)
+          out << "t " << t << " unknown\n";
+        else
+          out << "t " << t << " " << o.value << "\n";
+        break;
+    }
+  }
+}
+
 }  // namespace
 
 TesterLogError::TesterLogError(std::size_t line, std::size_t column,
@@ -119,50 +189,7 @@ TesterLog read_testerlog(std::istream& in, const TesterLogOptions& options) {
       saw_end = true;
       break;
     }
-    if (toks[0].text != "t") {
-      fail_or_drop(toks[0].col,
-                   "unknown record type '" + toks[0].text + "'");
-      continue;
-    }
-    if (toks.size() != 3) {
-      fail_or_drop(toks.back().col + toks.back().text.size(),
-                   "expected 't <index> <value>'");
-      continue;
-    }
-    std::uint64_t idx = 0;
-    if (!parse_u64(toks[1].text, &idx)) {
-      fail_or_drop(toks[1].col, "bad test index '" + toks[1].text + "'");
-      continue;
-    }
-    if (idx >= num_tests) {
-      fail_or_drop(toks[1].col, "test index " + toks[1].text +
-                                    " out of range (tests " +
-                                    std::to_string(num_tests) + ")");
-      continue;
-    }
-    if (seen[idx]) {  // keep-first: the earlier record stands
-      fail_or_drop(toks[1].col,
-                   "duplicate record for test " + toks[1].text);
-      continue;
-    }
-    Observed obs;
-    const std::string& val = toks[2].text;
-    std::uint64_t v = 0;
-    if (val == "missing") {
-      obs = Observed::missing();
-    } else if (val == "unstable") {
-      obs = Observed::unstable();
-    } else if (val == "unknown") {
-      obs = Observed::of(kUnknownResponse);
-    } else if (parse_u64(val, &v) &&
-               v <= std::numeric_limits<std::uint32_t>::max()) {
-      obs = Observed::of(static_cast<ResponseId>(v));
-    } else {
-      fail_or_drop(toks[2].col, "bad response value '" + val + "'");
-      continue;
-    }
-    seen[idx] = 1;
-    log.observations[static_cast<std::size_t>(idx)] = obs;
+    apply_record(toks, num_tests, seen, log.observations, fail_or_drop);
   }
 
   if (!saw_header)
@@ -182,23 +209,127 @@ void write_testerlog(std::ostream& out,
                      const std::vector<Observed>& observed) {
   out << "sddict testerlog v1\n";
   out << "tests " << observed.size() << "\n";
-  for (std::size_t t = 0; t < observed.size(); ++t) {
-    const Observed& o = observed[t];
-    switch (o.status) {
-      case ObservedStatus::kMissing:
-        break;  // absence means missing
-      case ObservedStatus::kUnstable:
-        out << "t " << t << " unstable\n";
-        break;
-      case ObservedStatus::kValue:
-        if (o.value == kUnknownResponse)
-          out << "t " << t << " unknown\n";
-        else
-          out << "t " << t << " " << o.value << "\n";
-        break;
-    }
-  }
+  write_records(out, observed);
   out << "end\n";
+}
+
+SessionLog read_sessionlog(std::istream& in, const TesterLogOptions& options) {
+  SessionLog log;
+  std::string line;
+  std::size_t lineno = 0;
+  // 0 = expecting header, 1 = `session <id>`, 2 = `tests <count>`, 3 = body.
+  int stage = 0;
+  bool in_run = false;
+  SessionLogRun run;
+  std::vector<char> seen;
+
+  const auto fail_or_drop = [&](std::size_t col, const std::string& reason) {
+    const std::string where =
+        in_run ? "run " + std::to_string(log.runs.size() + 1) + ": " + reason
+               : reason;
+    if (!options.recover) throw TesterLogError(lineno, col, where);
+    (in_run ? run.dropped : log.dropped).push_back({lineno, col, line, where});
+  };
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    while (!line.empty() && (line.back() == '\r' || line.back() == '\n'))
+      line.pop_back();
+    if (stage == 0) {
+      if (line != "sddict sessionlog v1")
+        throw TesterLogError(lineno, 1,
+                             "expected header 'sddict sessionlog v1'");
+      stage = 1;
+      continue;
+    }
+    const std::vector<Token> toks = split(line);
+    if (toks.empty() || toks[0].text[0] == '#') continue;
+    if (stage == 1) {
+      if (toks[0].text != "session" || toks.size() != 2)
+        throw TesterLogError(lineno, toks[0].col, "expected 'session <id>'");
+      log.id = toks[1].text;
+      stage = 2;
+      continue;
+    }
+    if (stage == 2) {
+      if (toks[0].text != "tests")
+        throw TesterLogError(lineno, toks[0].col, "expected 'tests <count>'");
+      std::uint64_t k = 0;
+      if (toks.size() != 2 || !parse_u64(toks[1].text, &k))
+        throw TesterLogError(lineno,
+                             toks.size() > 1 ? toks[1].col : toks[0].col,
+                             "expected 'tests <count>'");
+      if (k > kMaxTests)
+        throw TesterLogError(lineno, toks[1].col, "test count too large");
+      log.num_tests = static_cast<std::size_t>(k);
+      stage = 3;
+      continue;
+    }
+    if (!in_run) {
+      if (toks[0].text == "begin" && toks.size() == 1) {
+        in_run = true;
+        run = SessionLogRun{};
+        run.observations.assign(log.num_tests, Observed::missing());
+        seen.assign(log.num_tests, 0);
+        continue;
+      }
+      fail_or_drop(toks[0].col, "record outside a run (expected 'begin')");
+      continue;
+    }
+    if (toks[0].text == "end") {
+      if (toks.size() != 1) {
+        fail_or_drop(toks[1].col, "trailing tokens after 'end'");
+        continue;
+      }
+      in_run = false;
+      log.runs.push_back(std::move(run));
+      continue;
+    }
+    if (toks[0].text == "begin") {
+      fail_or_drop(toks[0].col, "'begin' inside an open run");
+      continue;
+    }
+    apply_record(toks, log.num_tests, seen, run.observations, fail_or_drop);
+  }
+
+  if (stage == 0)
+    throw TesterLogError(lineno == 0 ? 1 : lineno, 1,
+                         "empty log: missing header");
+  if (stage == 1)
+    throw TesterLogError(lineno + 1, 1, "missing 'session <id>' line");
+  if (stage == 2)
+    throw TesterLogError(lineno + 1, 1, "missing 'tests <count>' line");
+  if (in_run) {
+    if (!options.recover)
+      throw TesterLogError(lineno + 1, 1,
+                           "run " + std::to_string(log.runs.size() + 1) +
+                               ": missing 'end' trailer");
+    run.truncated = true;
+    log.runs.push_back(std::move(run));
+  }
+  return log;
+}
+
+void write_sessionlog(std::ostream& out, const std::string& id,
+                      const std::vector<std::vector<Observed>>& runs) {
+  out << "sddict sessionlog v1\n";
+  out << "session " << id << "\n";
+  out << "tests " << (runs.empty() ? 0 : runs.front().size()) << "\n";
+  for (const std::vector<Observed>& observed : runs) {
+    out << "begin\n";
+    write_records(out, observed);
+    out << "end\n";
+  }
+}
+
+bool sniff_sessionlog(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) return false;
+  while (!line.empty() && (line.back() == '\r' || line.back() == '\n'))
+    line.pop_back();
+  in.clear();
+  in.seekg(0);
+  return line == "sddict sessionlog v1";
 }
 
 }  // namespace sddict

@@ -70,4 +70,50 @@ TesterLog read_testerlog(std::istream& in, const TesterLogOptions& options = {})
 // omitted (absence already means missing).
 void write_testerlog(std::ostream& out, const std::vector<Observed>& observed);
 
+// ---------------------------------------------------------------------------
+// Sessionlog: several applications of the same test set to one die, in a
+// single file — the on-disk form of a retest session.
+//
+//   sddict sessionlog v1
+//   session <id>
+//   tests <k>
+//   begin
+//   t <index> <value>     # same record grammar as the testerlog body
+//   end
+//   begin
+//   ...
+//   end                   # EOF terminates the log; runs may repeat freely
+//
+// Strict mode names the offending run in every record-level error ("run
+// 2: bad response value ..."). Recovery mode salvages run by run: a
+// malformed record is set aside into that run's dropped list, a record
+// outside any begin/end block lands in the log-level dropped list, and
+// EOF inside an open run keeps what that run held and marks it truncated.
+// Structural defects (header, `session`, `tests` lines) throw in both
+// modes — without them there is no session to salvage into.
+
+struct SessionLogRun {
+  std::vector<Observed> observations;
+  std::vector<DroppedRecord> dropped;  // recovery mode only
+  bool truncated = false;              // EOF hit before this run's `end`
+};
+
+struct SessionLog {
+  std::string id;
+  std::size_t num_tests = 0;
+  std::vector<SessionLogRun> runs;
+  std::vector<DroppedRecord> dropped;  // records outside any run
+};
+
+SessionLog read_sessionlog(std::istream& in,
+                           const TesterLogOptions& options = {});
+
+// Writes a log read_sessionlog round-trips.
+void write_sessionlog(std::ostream& out, const std::string& id,
+                      const std::vector<std::vector<Observed>>& runs);
+
+// Distinguishes the two on-disk formats by their header line so
+// `diagnose_chip --from-log` can accept either.
+bool sniff_sessionlog(std::istream& in);
+
 }  // namespace sddict

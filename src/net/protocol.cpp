@@ -35,6 +35,13 @@ void write_busy(std::ostream& out, std::uint32_t retry_after_ms) {
   out << "busy retry_after_ms=" << retry_after_ms << "\n" << "done\n";
 }
 
+bool is_session_frame(const std::string& frame_text) {
+  const std::size_t eol = frame_text.find('\n');
+  const std::vector<std::string> toks = split_ws(
+      eol == std::string::npos ? frame_text : frame_text.substr(0, eol));
+  return !toks.empty() && toks[0] == "session";
+}
+
 void FrameReader::feed(const char* data, std::size_t n) {
   if (oversized_) return;  // session is doomed; stop buffering
   for (std::size_t i = 0; i < n; ++i) {

@@ -45,6 +45,13 @@ void write_response(std::ostream& out, const ServiceResponse& resp,
 void write_error(std::ostream& out, const std::string& what);
 void write_busy(std::ostream& out, std::uint32_t retry_after_ms);
 
+// True when a complete datalog-type frame is a session verb (first line
+// leads with the token `session`). Session verbs deliberately ride the
+// datalog frame type — a block closed by a bare `end` line — so they
+// traverse the framer, the event loop and the fleet proxy unchanged;
+// this is the one routing test the front ends share.
+bool is_session_frame(const std::string& frame_text);
+
 struct Frame {
   enum class Type {
     kCommand,   // a bare command or !admin line; `tokens` holds it split

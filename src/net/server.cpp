@@ -54,6 +54,7 @@ struct SessionSlot {
     kInFlight,  // submitted; future pending
     kText,      // rendered reply text, ready to write
     kAdmin,     // admin/stats command, executed when it reaches the front
+    kSession,   // `session` verb frame, executed when it reaches the front
     kQuit,      // quit command: start closing when it reaches the front
   };
   State state = State::kText;
@@ -305,6 +306,16 @@ void NetServer::handle_frame(Session& s, Frame frame) {
   ++live_.frames;
   SessionSlot slot;
   slot.seq = s.next_slot_seq++;
+  if (is_session_frame(frame.text)) {
+    // Session verbs execute inline on the loop thread when they reach the
+    // front of the slot queue (the admin-verb discipline), so they stay
+    // ordered with the replies around them and the session state needs no
+    // locking. The raw frame rides in the slot's text field until then.
+    slot.state = SessionSlot::State::kSession;
+    slot.text = std::move(frame.text);
+    s.slots.push_back(std::move(slot));
+    return;
+  }
   std::istringstream blockin(frame.text);
   try {
     TesterLog log = read_testerlog(blockin, {.recover = true});
@@ -451,6 +462,19 @@ void NetServer::resolve_fronts(Session& s) {
           } else if (!backend_.handle_admin(front.tokens, os)) {
             write_error(os, "admin verbs need repository mode (--repo)");
           }
+        } catch (const std::exception& e) {
+          write_error(os, e.what());
+        }
+        s.outbuf += os.str();
+        ++live_.responses;
+        s.slots.pop_front();
+        break;
+      }
+      case SessionSlot::State::kSession: {
+        std::ostringstream os;
+        try {
+          if (!backend_.handle_session(front.text, os))
+            write_error(os, "session verbs not supported by this server");
         } catch (const std::exception& e) {
           write_error(os, e.what());
         }

@@ -102,6 +102,17 @@ class NetServer {
     virtual DiagnosisService& service() = 0;
     virtual bool handle_admin(const std::vector<std::string>& tokens,
                               std::ostream& out) = 0;
+    // Services one complete `session ...` frame (see session/service.h),
+    // writing the full reply including its closing `done`. Executed
+    // inline on the loop thread, in request order, exactly like admin
+    // verbs — session state is loop-thread-owned and needs no locking.
+    // Returns false when session verbs are unsupported.
+    virtual bool handle_session(const std::string& frame_text,
+                                std::ostream& out) {
+      (void)frame_text;
+      (void)out;
+      return false;
+    }
     // The store version currently served (repository mode); 0 when the
     // backend has no versioning (single-store mode). Reported by the
     // `!health` verb so fleet supervisors can verify epoch consistency.

@@ -1,0 +1,420 @@
+#include "session/engine.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "store/kernels.h"
+#include "store/signature_store.h"
+#include "util/bitvec.h"
+
+namespace sddict {
+
+namespace {
+
+std::uint32_t popcount_and(const std::uint64_t* a, const std::uint64_t* b,
+                           std::size_t n) {
+  std::uint32_t c = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    c += static_cast<std::uint32_t>(std::popcount(a[i] & b[i]));
+  return c;
+}
+
+}  // namespace
+
+bool SessionEngine::detects(FaultId f, std::size_t t) const {
+  return kernels::bit_at(detect_.data() + f * words_, t);
+}
+
+void SessionEngine::build(
+    std::size_t num_faults, std::size_t num_tests,
+    const std::function<bool(FaultId, std::size_t)>& detect) {
+  num_faults_ = num_faults;
+  num_tests_ = num_tests;
+  words_ = BitVec::word_count(num_tests);
+  detect_.assign(num_faults * words_, 0);
+  ad_.assign(num_faults, 0);
+  for (FaultId f = 0; f < num_faults; ++f) {
+    std::uint64_t* row = detect_.data() + f * words_;
+    std::uint32_t ad = 0;
+    for (std::size_t t = 0; t < num_tests; ++t)
+      if (detect(f, t)) {
+        row[t >> 6] |= std::uint64_t{1} << (t & 63);
+        ++ad;
+      }
+    ad_[f] = ad;
+  }
+}
+
+SessionEngine::SessionEngine(std::shared_ptr<const SignatureStore> store)
+    : store_(std::move(store)) {
+  if (!store_) throw std::invalid_argument("SessionEngine: null store");
+  const SignatureStore& s = *store_;
+  switch (s.kind()) {
+    case StoreKind::kPassFail:
+      build(s.num_faults(), s.num_tests(),
+            [&s](FaultId f, std::size_t t) { return s.row_bit(f, t); });
+      break;
+    case StoreKind::kSameDifferent:
+      // Bit semantics of the staged engine's projection: against the
+      // fault-free baseline the bit IS the fail bit; against a faulty
+      // baseline only bit 0 ("same as that faulty response") is a
+      // definite fail.
+      build(s.num_faults(), s.num_tests(), [&s](FaultId f, std::size_t t) {
+        return s.baselines()[t] == 0 ? s.row_bit(f, t) : !s.row_bit(f, t);
+      });
+      break;
+    case StoreKind::kMultiBaseline: {
+      const std::size_t rank = s.rank();
+      build(s.num_faults(), s.num_tests(),
+            [&s, rank](FaultId f, std::size_t t) {
+              const auto [ids, count] = s.baseline_set(t);
+              for (std::size_t l = 0; l < count; ++l) {
+                const bool differs = s.row_bit(f, t * rank + l);
+                if (ids[l] == 0) {
+                  if (differs) return true;  // differs from fault-free
+                } else if (!differs) {
+                  return true;  // matches a faulty baseline
+                }
+              }
+              return false;
+            });
+      break;
+    }
+    case StoreKind::kFull:
+      build(s.num_faults(), s.num_tests(),
+            [&s](FaultId f, std::size_t t) { return s.entry(f, t) != 0; });
+      break;
+  }
+  rank_ = [sp = store_](const std::vector<Observed>& obs,
+                        const EngineOptions& o) {
+    return diagnose_observed(*sp, obs, o);
+  };
+}
+
+SessionEngine::SessionEngine(const PassFailDictionary& dict) {
+  build(dict.num_faults(), dict.num_tests(),
+        [&dict](FaultId f, std::size_t t) { return dict.bit(f, t); });
+  rank_ = [&dict](const std::vector<Observed>& obs, const EngineOptions& o) {
+    return diagnose_observed(dict, obs, o);
+  };
+}
+
+SessionEngine::SessionEngine(const SameDifferentDictionary& dict) {
+  const auto& bl = dict.baselines();
+  build(dict.num_faults(), dict.num_tests(),
+        [&dict, &bl](FaultId f, std::size_t t) {
+          return bl[t] == 0 ? dict.bit(f, t) : !dict.bit(f, t);
+        });
+  rank_ = [&dict](const std::vector<Observed>& obs, const EngineOptions& o) {
+    return diagnose_observed(dict, obs, o);
+  };
+}
+
+SessionEngine::SessionEngine(const MultiBaselineDictionary& dict) {
+  const std::size_t rank = dict.baselines_per_test();
+  const auto& bl = dict.baselines();
+  build(dict.num_faults(), dict.num_tests(),
+        [&dict, &bl, rank](FaultId f, std::size_t t) {
+          for (std::size_t l = 0; l < bl[t].size(); ++l) {
+            const bool differs = dict.row(f).get(t * rank + l);
+            if (bl[t][l] == 0) {
+              if (differs) return true;
+            } else if (!differs) {
+              return true;
+            }
+          }
+          return false;
+        });
+  rank_ = [&dict](const std::vector<Observed>& obs, const EngineOptions& o) {
+    return diagnose_observed(dict, obs, o);
+  };
+}
+
+SessionEngine::SessionEngine(const FullDictionary& dict) {
+  build(dict.num_faults(), dict.num_tests(),
+        [&dict](FaultId f, std::size_t t) { return dict.entry(f, t) != 0; });
+  rank_ = [&dict](const std::vector<Observed>& obs, const EngineOptions& o) {
+    return diagnose_observed(dict, obs, o);
+  };
+}
+
+SessionEngine::SessionEngine(const FirstFailDictionary& dict,
+                             const ResponseMatrix& rm) {
+  build(dict.num_faults(), dict.num_tests(),
+        [&dict](FaultId f, std::size_t t) { return dict.entry(f, t) != 0; });
+  // This backend is the one whose fault-free response may be interned
+  // away from id 0; resolve the pass baseline per test like the engine's
+  // first-fail overload does.
+  ff_.resize(dict.num_tests());
+  for (std::size_t t = 0; t < dict.num_tests(); ++t)
+    ff_[t] = rm.fault_free_id(t);
+  rank_ = [&dict, &rm](const std::vector<Observed>& obs,
+                       const EngineOptions& o) {
+    return diagnose_observed(dict, rm, obs, o);
+  };
+}
+
+SessionDiagnosis SessionEngine::diagnose(const SessionEvidence& ev,
+                                         const SessionOptions& opt) const {
+  if (ev.num_runs == 0)
+    throw std::invalid_argument("session diagnose: session has no runs");
+  if (ev.num_tests != num_tests_)
+    throw std::invalid_argument(
+        "session diagnose: evidence covers " + std::to_string(ev.num_tests) +
+        " tests, dictionary has " + std::to_string(num_tests_));
+
+  SessionDiagnosis out;
+  out.num_runs = ev.num_runs;
+  const std::vector<Observed> consensus = ev.consensus();
+  // Single-fault ranking through the existing staged chain. With one
+  // clean run the consensus IS that run's observation vector, so this is
+  // bit-identical to calling diagnose_observed() directly.
+  out.single = rank_(consensus, opt.engine);
+
+  BudgetScope scope(opt.budget);
+
+  // Pass/fail view of the consensus: a concrete reading that differs
+  // from the fault-free response is a fail (kUnknownResponse included —
+  // its one honest bit), qualified tests are don't-cares.
+  BitVec fail_mask(num_tests_);
+  BitVec pass_mask(num_tests_);
+  std::vector<std::size_t> failing;
+  for (std::size_t t = 0; t < num_tests_; ++t) {
+    if (consensus[t].dont_care()) continue;
+    const ResponseId ff = ff_.empty() ? 0 : ff_[t];
+    if (consensus[t].value != ff) {
+      fail_mask.set(t, true);
+      failing.push_back(t);
+    } else {
+      pass_mask.set(t, true);
+    }
+  }
+  out.failing_tests = failing.size();
+  if (failing.empty()) {
+    out.cover_minimal = true;
+    return out;
+  }
+
+  // Candidate scoring on the packed rows: per-fault coverage of the
+  // failing set and conflicts against the passing set, one kernel call
+  // each (obs = zeros, so masked_hamming counts row & mask). Setup and
+  // the greedy incumbent below run un-polled — they are the bounded floor
+  // an anytime result always includes; only the exponential search polls.
+  const kernels::KernelTable& kt = kernels::dispatch();
+  const std::vector<std::uint64_t> zeros(words_, 0);
+  const std::uint64_t* fm = fail_mask.words().data();
+  const std::uint64_t* pm = pass_mask.words().data();
+  std::vector<std::uint32_t> relevant;       // faults covering >= 1 failure
+  std::vector<std::uint32_t> conflicts_of;   // indexed like `relevant`
+  std::vector<std::uint64_t> detected(words_, 0);  // union of relevant rows
+  for (FaultId f = 0; f < num_faults_; ++f) {
+    const std::uint64_t* row = detect_.data() + f * words_;
+    if (kt.masked_hamming(row, zeros.data(), fm, words_) == 0) continue;
+    relevant.push_back(static_cast<std::uint32_t>(f));
+    conflicts_of.push_back(kt.masked_hamming(row, zeros.data(), pm, words_));
+    for (std::size_t w = 0; w < words_; ++w) detected[w] |= row[w];
+  }
+
+  // Failing tests no modeled fault detects cannot constrain the cover;
+  // report them and search over the rest.
+  std::vector<std::size_t> coverable;
+  for (const std::size_t t : failing) {
+    if (kernels::bit_at(detected.data(), t))
+      coverable.push_back(t);
+    else
+      ++out.unexplained_failures;
+  }
+  const std::size_t nf = coverable.size();
+  if (nf == 0) {
+    out.cover_minimal = true;
+    return out;
+  }
+
+  // Compressed coverage rows over the coverable-failure positions, so the
+  // search never touches full-width rows: cov[r] bit i <=> relevant[r]
+  // detects coverable[i].
+  const std::size_t fw = BitVec::word_count(nf);
+  std::vector<std::uint64_t> cov(relevant.size() * fw, 0);
+  std::vector<std::vector<std::uint32_t>> cand(nf);  // detectors per failure
+  for (std::size_t r = 0; r < relevant.size(); ++r) {
+    const std::uint64_t* row =
+        detect_.data() + static_cast<std::size_t>(relevant[r]) * words_;
+    std::uint64_t* crow = cov.data() + r * fw;
+    for (std::size_t i = 0; i < nf; ++i)
+      if (kernels::bit_at(row, coverable[i])) {
+        crow[i >> 6] |= std::uint64_t{1} << (i & 63);
+        cand[i].push_back(static_cast<std::uint32_t>(r));
+      }
+  }
+
+  // Candidate preference at equal coverage gain: fewer conflicts, then
+  // the AD index (a low accidental-detection count makes a fault hard to
+  // implicate by accident), then fault id.
+  const auto prefer = [&](std::uint32_t a, std::uint32_t b) {
+    if (conflicts_of[a] != conflicts_of[b])
+      return conflicts_of[a] < conflicts_of[b];
+    if (ad_[relevant[a]] != ad_[relevant[b]])
+      return ad_[relevant[a]] < ad_[relevant[b]];
+    return relevant[a] < relevant[b];
+  };
+
+  // Greedy incumbent: the anytime fallback and the branch-and-bound's
+  // initial upper bound.
+  std::vector<std::uint64_t> uncov(fw, 0);
+  for (std::size_t i = 0; i < nf; ++i)
+    uncov[i >> 6] |= std::uint64_t{1} << (i & 63);
+  std::vector<std::uint32_t> greedy;
+  std::size_t greedy_uncovered = nf;
+  {
+    std::vector<std::uint64_t> u = uncov;
+    std::size_t left = nf;
+    while (left > 0 && greedy.size() < opt.max_cover) {
+      std::uint32_t best_r = 0;
+      std::uint32_t best_gain = 0;
+      for (std::uint32_t r = 0; r < relevant.size(); ++r) {
+        const std::uint32_t g = popcount_and(cov.data() + r * fw, u.data(), fw);
+        if (g > best_gain || (g == best_gain && g > 0 && prefer(r, best_r)))
+          best_r = r, best_gain = g;
+      }
+      if (best_gain == 0) break;  // cannot happen: every position has a cand
+      greedy.push_back(best_r);
+      const std::uint64_t* crow = cov.data() + best_r * fw;
+      for (std::size_t w = 0; w < fw; ++w) u[w] &= ~crow[w];
+      left -= best_gain;
+    }
+    greedy_uncovered = left;
+  }
+  const bool greedy_full = greedy_uncovered == 0;
+
+  // Branch-and-bound enumeration of minimal covers. Exclusion branching
+  // (branch i of a node bans candidates 0..i-1 of that node in its whole
+  // subtree) yields every cover exactly once: a cover surfaces in the
+  // branch of its lowest-ordered member among the branch test's
+  // candidates. The admissible bound ceil(uncovered / gmax) prunes with
+  // > (not >=), so every tie at the minimal cardinality is enumerated.
+  std::uint32_t gmax = 1;
+  for (std::size_t r = 0; r < relevant.size(); ++r)
+    gmax = std::max(gmax, popcount_and(cov.data() + r * fw, uncov.data(), fw));
+
+  std::size_t best = greedy_full ? greedy.size() : opt.max_cover + 1;
+  bool have_full = greedy_full;
+  std::vector<std::vector<std::uint32_t>> sols;
+  bool truncated = false;
+  bool stopped = false;
+  std::vector<char> banned(relevant.size(), 0);
+  std::vector<std::uint32_t> chosen;
+
+  const std::function<void(const std::vector<std::uint64_t>&, std::size_t)>
+      search = [&](const std::vector<std::uint64_t>& u, std::size_t left) {
+        // Polled per node: the node's own work (candidate scan + sort)
+        // dwarfs the clock read, and per-node polling makes truncation
+        // deterministic — an expired budget stops at the very next node.
+        if (stopped || scope.stop()) {
+          stopped = true;
+          return;
+        }
+        if (left == 0) {
+          if (chosen.size() < best || !have_full) {
+            best = chosen.size();
+            have_full = true;
+            sols.clear();
+            truncated = false;
+          }
+          if (sols.size() < opt.max_groups)
+            sols.push_back(chosen);
+          else
+            truncated = true;
+          return;
+        }
+        const std::size_t limit = have_full ? best : opt.max_cover;
+        if (chosen.size() + (left + gmax - 1) / gmax > limit) return;
+        // Branch on the most constrained uncovered failure (fewest
+        // detectors overall — a cheap static proxy).
+        std::size_t pick = nf;
+        for (std::size_t i = 0; i < nf; ++i) {
+          if (!((u[i >> 6] >> (i & 63)) & 1u)) continue;
+          if (pick == nf || cand[i].size() < cand[pick].size()) pick = i;
+        }
+        // Order its detectors: coverage gain against the live uncovered
+        // set first, then the conflict/AD/id preference.
+        std::vector<std::pair<std::uint32_t, std::uint32_t>> order;  // (r, gain)
+        order.reserve(cand[pick].size());
+        for (const std::uint32_t r : cand[pick]) {
+          if (banned[r]) continue;
+          order.emplace_back(r,
+                             popcount_and(cov.data() + r * fw, u.data(), fw));
+        }
+        std::sort(order.begin(), order.end(), [&](const auto& a, const auto& b) {
+          if (a.second != b.second) return a.second > b.second;
+          return prefer(a.first, b.first);
+        });
+        std::size_t banned_here = 0;
+        for (const auto& [r, gain] : order) {
+          std::vector<std::uint64_t> child(fw);
+          const std::uint64_t* crow = cov.data() + r * fw;
+          for (std::size_t w = 0; w < fw; ++w) child[w] = u[w] & ~crow[w];
+          chosen.push_back(r);
+          search(child, left - gain);
+          chosen.pop_back();
+          if (stopped) break;
+          banned[r] = 1;  // later branches must not re-enumerate covers of r
+          ++banned_here;
+        }
+        for (std::size_t i = 0; i < banned_here; ++i) banned[order[i].first] = 0;
+      };
+  search(uncov, nf);
+
+  out.completed = !stopped;
+  out.stop_reason = stopped ? scope.reason() : StopReason::kCompleted;
+  if (sols.empty()) {
+    if (greedy.empty()) return out;  // budget died before the greedy pass
+    sols.push_back(greedy);  // anytime incumbent (possibly partial)
+    out.uncovered_failures = greedy_uncovered;
+    out.cover_minimal = false;
+  } else {
+    out.cover_minimal = !stopped;
+    out.groups_truncated = truncated;
+  }
+  out.min_cover = sols.front().size();
+
+  // Score each cover as an ambiguity group on the full-width rows.
+  double weight_total = 0;
+  for (std::size_t t = 0; t < num_tests_; ++t)
+    if (!consensus[t].dont_care()) weight_total += ev.weight(t);
+  std::vector<std::uint64_t> joint(words_);
+  for (const std::vector<std::uint32_t>& sol : sols) {
+    AmbiguityGroup g;
+    std::fill(joint.begin(), joint.end(), 0);
+    for (const std::uint32_t r : sol) {
+      const FaultId f = relevant[r];
+      g.faults.push_back(f);
+      g.ad_sum += ad_[f];
+      const std::uint64_t* row = detect_.data() + f * words_;
+      for (std::size_t w = 0; w < words_; ++w) joint[w] |= row[w];
+    }
+    std::sort(g.faults.begin(), g.faults.end());
+    g.conflicts = popcount_and(joint.data(), pm, words_);
+    double consistent = 0;
+    for (std::size_t t = 0; t < num_tests_; ++t) {
+      if (consensus[t].dont_care()) continue;
+      const bool predicted_fail = kernels::bit_at(joint.data(), t);
+      if (predicted_fail == fail_mask.get(t)) consistent += ev.weight(t);
+    }
+    g.confidence = weight_total > 0 ? consistent / weight_total : 0.0;
+    out.groups.push_back(std::move(g));
+  }
+  std::sort(out.groups.begin(), out.groups.end(),
+            [](const AmbiguityGroup& a, const AmbiguityGroup& b) {
+              if (a.conflicts != b.conflicts) return a.conflicts < b.conflicts;
+              if (a.confidence != b.confidence)
+                return a.confidence > b.confidence;
+              if (a.ad_sum != b.ad_sum) return a.ad_sum < b.ad_sum;
+              return a.faults < b.faults;
+            });
+  return out;
+}
+
+}  // namespace sddict

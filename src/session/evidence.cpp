@@ -1,0 +1,74 @@
+#include "session/evidence.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace sddict {
+
+std::vector<Observed> SessionEvidence::consensus() const {
+  std::vector<Observed> out(tests.size());
+  for (std::size_t t = 0; t < tests.size(); ++t) out[t] = tests[t].consensus;
+  return out;
+}
+
+SessionEvidence aggregate_runs(const std::vector<SessionRun>& runs) {
+  SessionEvidence ev;
+  ev.num_runs = runs.size();
+  if (runs.empty()) return ev;
+  ev.num_tests = runs.front().observed.size();
+  for (std::size_t r = 1; r < runs.size(); ++r)
+    if (runs[r].observed.size() != ev.num_tests)
+      throw std::invalid_argument(
+          "aggregate_runs: run " + std::to_string(r + 1) + " has " +
+          std::to_string(runs[r].observed.size()) + " tests, expected " +
+          std::to_string(ev.num_tests));
+
+  ev.tests.resize(ev.num_tests);
+  // Distinct values per test are tiny (usually 1); a flat first-seen list
+  // beats a map at every realistic retest count.
+  std::vector<ResponseId> vals;
+  std::vector<std::uint32_t> counts;
+  for (std::size_t t = 0; t < ev.num_tests; ++t) {
+    TestEvidence& e = ev.tests[t];
+    vals.clear();
+    counts.clear();
+    bool unstable_seen = false;
+    for (const SessionRun& run : runs) {
+      const Observed& o = run.observed[t];
+      if (o.status == ObservedStatus::kUnstable) unstable_seen = true;
+      if (o.status != ObservedStatus::kValue) continue;
+      ++e.votes;
+      std::size_t i = 0;
+      while (i < vals.size() && vals[i] != o.value) ++i;
+      if (i == vals.size()) {
+        vals.push_back(o.value);
+        counts.push_back(1);
+      } else {
+        ++counts[i];
+      }
+    }
+    if (vals.empty()) {
+      e.consensus = unstable_seen ? Observed::unstable() : Observed::missing();
+      continue;
+    }
+    e.conflicted = vals.size() >= 2;
+    if (e.conflicted) ++ev.conflicted_tests;
+    std::size_t best = 0;
+    bool tied = false;
+    for (std::size_t i = 1; i < vals.size(); ++i) {
+      if (counts[i] > counts[best]) {
+        best = i;
+        tied = false;
+      } else if (counts[i] == counts[best]) {
+        tied = true;
+      }
+    }
+    e.agree = counts[best];
+    // A tied plurality has no honest winner: the tester read the die two
+    // ways equally often, which is exactly what kUnstable means.
+    e.consensus = tied ? Observed::unstable() : Observed::of(vals[best]);
+  }
+  return ev;
+}
+
+}  // namespace sddict

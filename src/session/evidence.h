@@ -1,0 +1,66 @@
+// Cross-run evidence aggregation for session-level diagnosis: a tester
+// retests the same die several times, and each run yields one qualified
+// observation vector (sim/response.h). aggregate_runs() folds the runs
+// into a per-test consensus — majority vote over the concrete values,
+// with disagreement demoted to kUnstable rather than silently trusting
+// either reading — plus the agreement counts the diagnoser turns into
+// per-group confidence.
+//
+// A single run aggregates to exactly itself (consensus == the run's
+// observation vector, record for record), which is what the session
+// engine's single-run ≡ diagnose() identity gate rests on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/response.h"
+
+namespace sddict {
+
+// One application of the test set to the die under diagnosis.
+struct SessionRun {
+  std::vector<Observed> observed;
+  std::size_t dropped = 0;  // datalog records set aside by the reader
+};
+
+// Consensus of one test across every run of the session.
+struct TestEvidence {
+  Observed consensus = Observed::missing();
+  // Runs that recorded a concrete value (kValue) for this test.
+  std::uint32_t votes = 0;
+  // Of those, runs agreeing with the plurality value.
+  std::uint32_t agree = 0;
+  // Two or more distinct concrete values were recorded across runs.
+  bool conflicted = false;
+};
+
+struct SessionEvidence {
+  std::size_t num_tests = 0;
+  std::size_t num_runs = 0;
+  std::vector<TestEvidence> tests;
+  std::size_t conflicted_tests = 0;
+
+  // The consensus observation vector the single-fault engine ranks.
+  std::vector<Observed> consensus() const;
+
+  // Agreement weight of test t in [0, 1]: the fraction of runs backing
+  // the consensus value (0 for tests with no concrete reading). The
+  // confidence of an ambiguity group is the weighted fraction of this
+  // evidence its fault set predicts correctly.
+  double weight(std::size_t t) const {
+    return num_runs == 0 ? 0.0
+                         : static_cast<double>(tests[t].agree) /
+                               static_cast<double>(num_runs);
+  }
+};
+
+// Folds the runs test by test. The plurality value wins; a tie between
+// distinct values has no honest winner and aggregates to kUnstable; a
+// test no run read concretely stays kUnstable (if any run flagged it so)
+// or kMissing. Throws std::invalid_argument when runs disagree on the
+// observation-vector length.
+SessionEvidence aggregate_runs(const std::vector<SessionRun>& runs);
+
+}  // namespace sddict

@@ -1,0 +1,157 @@
+#include "session/service.h"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "diag/testerlog.h"
+#include "util/strings.h"
+
+namespace sddict {
+
+namespace {
+
+// Same two-line shape net::write_error produces; duplicated here so the
+// session library stays independent of the net layer.
+void write_session_error(std::ostream& out, const std::string& what) {
+  out << "error " << what << "\n" << "done\n";
+}
+
+std::string format_confidence(double c) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f", c);
+  return buf;
+}
+
+}  // namespace
+
+void write_session_diagnosis(std::ostream& out, const std::string& id,
+                             const SessionEvidence& evidence,
+                             const SessionDiagnosis& d) {
+  out << "session id=" << id << " runs=" << d.num_runs
+      << " tests=" << evidence.num_tests
+      << " conflicted=" << evidence.conflicted_tests << "\n";
+  // The single-fault consensus ranking, in write_response's exact line
+  // format minus the volatile timing line — stdio and TCP transcripts of
+  // the same session diff clean.
+  const EngineDiagnosis& s = d.single;
+  out << "diagnosis " << diagnosis_outcome_name(s.outcome)
+      << " best=" << s.best_mismatches << " margin=" << s.margin
+      << " effective=" << s.effective_tests
+      << " dont_care=" << s.dont_care_tests << " unknown=" << s.unknown_tests
+      << " completed=" << (s.completed ? 1 : 0)
+      << " stop=" << stop_reason_name(s.stop_reason) << "\n";
+  for (std::size_t i = 0; i < s.matches.size(); ++i)
+    out << "candidate " << (i + 1) << " fault=" << s.matches[i].fault
+        << " mismatches=" << s.matches[i].mismatches << "\n";
+  if (s.outcome == DiagnosisOutcome::kUnmodeledDefect && !s.cover.empty()) {
+    out << "cover";
+    for (FaultId f : s.cover) out << " fault=" << f;
+    out << " uncovered=" << s.uncovered_failures << "\n";
+  }
+  out << "multifault failing=" << d.failing_tests
+      << " unexplained=" << d.unexplained_failures
+      << " min_cover=" << d.min_cover
+      << " minimal=" << (d.cover_minimal ? 1 : 0)
+      << " uncovered=" << d.uncovered_failures << " groups=" << d.groups.size()
+      << " truncated=" << (d.groups_truncated ? 1 : 0)
+      << " completed=" << (d.completed ? 1 : 0)
+      << " stop=" << stop_reason_name(d.stop_reason) << "\n";
+  for (std::size_t i = 0; i < d.groups.size(); ++i) {
+    const AmbiguityGroup& g = d.groups[i];
+    out << "group " << (i + 1) << " faults=";
+    for (std::size_t j = 0; j < g.faults.size(); ++j) {
+      if (j > 0) out << ',';
+      out << g.faults[j];
+    }
+    out << " conflicts=" << g.conflicts << " ad=" << g.ad_sum
+        << " confidence=" << format_confidence(g.confidence) << "\n";
+  }
+  out << "done\n";
+}
+
+SessionService::SessionService(EngineFn engine,
+                               const SessionServiceOptions& options)
+    : engine_(std::move(engine)),
+      options_(options),
+      store_(options.limits) {}
+
+void SessionService::handle(const std::string& frame_text, std::ostream& out) {
+  const std::size_t eol = frame_text.find('\n');
+  const std::string first =
+      eol == std::string::npos ? frame_text : frame_text.substr(0, eol);
+  const std::string rest =
+      eol == std::string::npos ? std::string() : frame_text.substr(eol + 1);
+  const std::vector<std::string> tokens = split_ws(first);
+  if (tokens.size() != 3 || tokens[0] != "session") {
+    write_session_error(out,
+                        "usage: session begin|append|diagnose|end <id>");
+    return;
+  }
+  const std::string& verb = tokens[1];
+  const std::string& id = tokens[2];
+  try {
+    if (verb == "begin") {
+      store_.begin(id);
+      out << "session id=" << id << " state=open runs=0\n" << "done\n";
+    } else if (verb == "append") {
+      (void)store_.runs(id);  // fail with the no-open-session message first
+      std::istringstream log(rest);
+      const TesterLog parsed = read_testerlog(log, {.recover = true});
+      if (parsed.truncated)
+        throw std::runtime_error("datalog truncated: no 'end' trailer");
+      const std::shared_ptr<const SessionEngine> eng = engine_();
+      if (parsed.observations.size() != eng->num_tests())
+        throw std::runtime_error(
+            "run observes " + std::to_string(parsed.observations.size()) +
+            " tests, dictionary has " + std::to_string(eng->num_tests()));
+      SessionRun run;
+      run.observed = parsed.observations;
+      run.dropped = parsed.dropped.size();
+      const std::size_t n = store_.append(id, std::move(run));
+      out << "session id=" << id << " state=open runs=" << n;
+      if (!parsed.dropped.empty()) out << " dropped=" << parsed.dropped.size();
+      out << "\n" << "done\n";
+    } else if (verb == "diagnose") {
+      const std::vector<SessionRun>& runs = store_.runs(id);
+      if (runs.empty())
+        throw std::runtime_error("session '" + id +
+                                 "' has no runs (use 'session append')");
+      const SessionEvidence evidence = aggregate_runs(runs);
+      const std::shared_ptr<const SessionEngine> eng = engine_();
+      SessionOptions opt = options_.diagnose;
+      if (options_.deadline_ms > 0) {
+        opt.budget =
+            fold_legacy_deadline(opt.budget, options_.deadline_ms / 1000.0);
+        opt.engine.budget = fold_legacy_deadline(opt.engine.budget,
+                                                 options_.deadline_ms / 1000.0);
+      }
+      const SessionDiagnosis d = eng->diagnose(evidence, opt);
+      write_session_diagnosis(out, id, evidence, d);
+    } else if (verb == "end") {
+      const std::size_t n = store_.end(id);
+      out << "session id=" << id << " state=closed runs=" << n << "\n"
+          << "done\n";
+    } else {
+      write_session_error(out, "unknown session verb '" + verb + "'");
+    }
+  } catch (const std::exception& e) {
+    write_session_error(out, e.what());
+  }
+}
+
+std::shared_ptr<const SessionEngine> SessionEngineCache::get(
+    std::shared_ptr<const SignatureStore> store) {
+  if (!store)
+    throw std::runtime_error(
+        "session diagnosis needs a store-backed service");
+  if (!engine_ || store.get() != store_.get()) {
+    engine_ = std::make_shared<const SessionEngine>(store);
+    store_ = std::move(store);
+  }
+  return engine_;
+}
+
+}  // namespace sddict

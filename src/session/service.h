@@ -1,0 +1,91 @@
+// Protocol glue for the session diagnoser: parses the datalog-type
+// `session` frames the serving front ends hand over, drives SessionStore
+// + SessionEngine, and renders the deterministic reply text.
+//
+// Wire grammar (every verb is a datalog-type frame, i.e. a block closed
+// by a bare `end` line — which is exactly why the verbs pass through the
+// FrameReader, the net event loop and the fleet proxy unchanged):
+//
+//   session begin DIE          session append DIE         session diagnose DIE
+//   end                        sddict testerlog v1        end
+//                              tests <k>
+//   session end DIE            t <i> <val>
+//   end                        end        <- doubles as the frame close
+//
+// Replies (always closed by `done`; no volatile timing line, so stdio
+// and TCP transcripts diff clean):
+//
+//   session id=DIE state=open runs=<n> [dropped=<d>]     begin/append
+//   session id=DIE state=closed runs=<n>                 end
+//   session id=DIE runs=<r> tests=<k> conflicted=<c>     diagnose, then the
+//   diagnosis ... / candidate ... / cover ...            single-fault block
+//   multifault failing=... min_cover=... groups=...      and the ranked
+//   group <rank> faults=<a,b> ... confidence=<x.xxxx>    ambiguity groups
+//   done
+//
+// handle() is single-threaded by design: front ends execute session verbs
+// inline on their loop thread (the same discipline admin verbs follow).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "session/engine.h"
+#include "session/store.h"
+
+namespace sddict {
+
+class SignatureStore;
+
+struct SessionServiceOptions {
+  SessionLimits limits{};
+  SessionOptions diagnose{};
+  // Per-diagnose wall-clock bound folded into the cover-search and
+  // single-fault budgets; 0 = none. Keeps an inline diagnose from
+  // stalling the serving loop.
+  double deadline_ms = 0;
+};
+
+void write_session_diagnosis(std::ostream& out, const std::string& id,
+                             const SessionEvidence& evidence,
+                             const SessionDiagnosis& d);
+
+class SessionService {
+ public:
+  // Resolves the engine for the currently-served dictionary on every
+  // verb, so a hot-swapped store is picked up without any session-side
+  // plumbing (pair with SessionEngineCache to rebuild only on swap).
+  using EngineFn = std::function<std::shared_ptr<const SessionEngine>()>;
+
+  explicit SessionService(EngineFn engine,
+                          const SessionServiceOptions& options = {});
+
+  // Handles one complete `session` frame; writes the full reply,
+  // including the closing `done`. Never throws: every failure renders as
+  // an `error ...` reply.
+  void handle(const std::string& frame_text, std::ostream& out);
+
+  std::size_t open_sessions() const { return store_.size(); }
+
+ private:
+  EngineFn engine_;
+  SessionServiceOptions options_;
+  SessionStore store_;
+};
+
+// Store-identity-keyed cache: the packed detection rows and AD index are
+// rebuilt only when the serving layer actually publishes a new store.
+class SessionEngineCache {
+ public:
+  std::shared_ptr<const SessionEngine> get(
+      std::shared_ptr<const SignatureStore> store);
+
+ private:
+  std::shared_ptr<const SignatureStore> store_;
+  std::shared_ptr<const SessionEngine> engine_;
+};
+
+}  // namespace sddict

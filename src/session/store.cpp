@@ -1,0 +1,69 @@
+#include "session/store.h"
+
+#include <stdexcept>
+
+namespace sddict {
+
+namespace {
+
+constexpr std::size_t kMaxIdLength = 128;
+
+void check_id(const std::string& id) {
+  if (id.empty()) throw std::runtime_error("session id must not be empty");
+  if (id.size() > kMaxIdLength)
+    throw std::runtime_error("session id longer than " +
+                             std::to_string(kMaxIdLength) + " characters");
+}
+
+[[noreturn]] void unknown(const std::string& id) {
+  throw std::runtime_error("no open session '" + id +
+                           "' (use 'session begin')");
+}
+
+}  // namespace
+
+void SessionStore::begin(const std::string& id) {
+  check_id(id);
+  if (sessions_.count(id) != 0)
+    throw std::runtime_error("session '" + id + "' is already open");
+  if (sessions_.size() >= limits_.max_sessions)
+    throw std::runtime_error(
+        "too many open sessions (max " + std::to_string(limits_.max_sessions) +
+        "); close one with 'session end'");
+  sessions_.emplace(id, std::vector<SessionRun>{});
+}
+
+std::size_t SessionStore::append(const std::string& id, SessionRun run) {
+  check_id(id);
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) unknown(id);
+  std::vector<SessionRun>& runs = it->second;
+  if (runs.size() >= limits_.max_runs)
+    throw std::runtime_error("session '" + id + "' already holds " +
+                             std::to_string(limits_.max_runs) + " runs");
+  if (!runs.empty() &&
+      runs.front().observed.size() != run.observed.size())
+    throw std::runtime_error(
+        "run observes " + std::to_string(run.observed.size()) +
+        " tests, session '" + id + "' started with " +
+        std::to_string(runs.front().observed.size()));
+  runs.push_back(std::move(run));
+  return runs.size();
+}
+
+const std::vector<SessionRun>& SessionStore::runs(const std::string& id) const {
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) unknown(id);
+  return it->second;
+}
+
+std::size_t SessionStore::end(const std::string& id) {
+  check_id(id);
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) unknown(id);
+  const std::size_t n = it->second.size();
+  sessions_.erase(it);
+  return n;
+}
+
+}  // namespace sddict

@@ -1,0 +1,47 @@
+// Open diagnosis sessions keyed by die/session id: the state behind the
+// `session begin/append/diagnose/end` protocol verbs. Runs accumulate
+// until the client asks for a diagnosis or closes the session.
+//
+// Deliberately simple: a bounded map owned and touched only by the
+// serving loop thread (stdio session or the net event loop — the same
+// place admin verbs already execute), so it needs no locking. Bounds are
+// explicit admission errors, never silent eviction: a tester flow that
+// leaks sessions should hear about it.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "session/evidence.h"
+
+namespace sddict {
+
+struct SessionLimits {
+  std::size_t max_sessions = 64;  // concurrently open dies
+  std::size_t max_runs = 64;      // retest applications per die
+};
+
+class SessionStore {
+ public:
+  explicit SessionStore(const SessionLimits& limits = {}) : limits_(limits) {}
+
+  // All throw std::runtime_error with protocol-ready messages.
+  void begin(const std::string& id);
+  // Appends one run; returns the session's new run count. Every run must
+  // observe the same number of tests as the first.
+  std::size_t append(const std::string& id, SessionRun run);
+  const std::vector<SessionRun>& runs(const std::string& id) const;
+  // Closes the session; returns how many runs it held.
+  std::size_t end(const std::string& id);
+
+  bool open(const std::string& id) const { return sessions_.count(id) != 0; }
+  std::size_t size() const { return sessions_.size(); }
+
+ private:
+  SessionLimits limits_;
+  std::map<std::string, std::vector<SessionRun>> sessions_;
+};
+
+}  // namespace sddict
