@@ -5,6 +5,7 @@
 // baseline storage against resolution for every dictionary type.
 //
 //   $ ./bench_ablation_compaction [--circuits=s344] [--tests=150] [--seed=1]
+//       [--json=FILE]
 #include <cstdio>
 
 #include "bmcirc/registry.h"
@@ -12,6 +13,7 @@
 #include "dict/full_dict.h"
 #include "dict/passfail_dict.h"
 #include "fault/collapse.h"
+#include "json_writer.h"
 #include "netlist/transform.h"
 #include "util/cli.h"
 #include "util/log.h"
@@ -21,7 +23,9 @@ using namespace sddict;
 namespace {
 
 int usage() {
-  std::fprintf(stderr, "usage: bench_ablation_compaction [--circuits=s298,...] [--tests=N] [--seed=N]\n");
+  std::fprintf(stderr,
+               "usage: bench_ablation_compaction [--circuits=s298,...] "
+               "[--tests=N] [--seed=N] [--json=FILE]\n");
   return 1;
 }
 
@@ -29,7 +33,8 @@ int usage() {
 
 int main(int argc, char** argv) {
   CliArgs args(argc, argv);
-  const auto unknown = args.unknown_flags({"circuits", "tests", "seed"});
+  const auto unknown =
+      args.unknown_flags({"circuits", "tests", "seed", "json"});
   if (!unknown.empty()) {
     for (const auto& f : unknown)
       std::fprintf(stderr, "unknown flag --%s\n", f.c_str());
@@ -38,16 +43,19 @@ int main(int argc, char** argv) {
   std::vector<std::string> circuits;
   std::size_t num_tests = 0;
   std::uint64_t seed = 0;
+  std::string json_path;
   try {
     set_log_level(LogLevel::kWarn);
     circuits = args.get_list("circuits");
     if (circuits.empty()) circuits = {"s344", "s526"};
     num_tests = args.get_int("tests", 150, 1, 1 << 20);
     seed = args.get_int("seed", 1, 0);
+    json_path = args.get("json");
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return usage();
   }
+  std::vector<bench::JsonRecord> records;
 
   std::printf("Ablation: XOR response compaction (%zu random tests)\n\n",
               num_tests);
@@ -82,17 +90,35 @@ int main(int argc, char** argv) {
       cfg.seed = seed;
       cfg.target_indistinguished = full.indistinguished_pairs();
       const auto p1 = run_procedure1(rm, cfg);
+      const std::uint64_t sd_bits =
+          dictionary_sizes(tests.size(), faults.size(), sigs)
+              .same_different_bits;
       std::printf("%-8s %8zu %12llu %12llu %12llu %14llu\n", name.c_str(),
                   sigs, (unsigned long long)full.indistinguished_pairs(),
                   (unsigned long long)pf.indistinguished_pairs(),
                   (unsigned long long)p1.indistinguished_pairs,
-                  (unsigned long long)dictionary_sizes(tests.size(),
-                                                       faults.size(), sigs)
-                      .same_different_bits);
+                  (unsigned long long)sd_bits);
+      const std::string tag = "_sig" + std::to_string(sigs);
+      records.push_back({"bench_ablation_compaction", name, 0,
+                         "indist_full" + tag,
+                         (double)full.indistinguished_pairs()});
+      records.push_back({"bench_ablation_compaction", name, 0,
+                         "indist_passfail" + tag,
+                         (double)pf.indistinguished_pairs()});
+      records.push_back({"bench_ablation_compaction", name, 0,
+                         "indist_sd_p1" + tag,
+                         (double)p1.indistinguished_pairs});
+      records.push_back({"bench_ablation_compaction", name, 0,
+                         "sd_bits" + tag, (double)sd_bits});
     }
     std::printf("\n");
   }
   std::printf("fewer signature outputs shrink s/d baseline storage but "
               "aliasing raises every dictionary's indistinguished count.\n");
+  if (!json_path.empty()) {
+    bench::write_bench_json(json_path, records);
+    std::printf("wrote %zu records to %s\n", records.size(),
+                json_path.c_str());
+  }
   return 0;
 }

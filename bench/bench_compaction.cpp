@@ -1,0 +1,211 @@
+// Dictionary-aware test-set compaction benchmark (ISSUE 10 acceptance
+// harness): per circuit and dictionary kind, builds the packed store over a
+// random test set, runs the lossless AD-index-ordered compactor, and
+// reports tests/bytes/resolution before and after plus the measured
+// ms-per-diagnosis-sweep on both stores.
+//
+// Built-in self-checks (the run fails instead of printing wrong numbers):
+//   * lossless compaction keeps the indistinguished-pair count unchanged
+//     and its exact verification pass ran (report.verified),
+//   * a sample of clean single-fault sweeps returns the same verdict and
+//     best-mismatch count on the compacted store as on the original.
+//
+//   $ ./bench_compaction [--circuits=s344,s526] [--tests=150] [--seed=1]
+//       [--sweeps=64] [--json=BENCH_compaction.json]
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "bmcirc/registry.h"
+#include "compact/compact.h"
+#include "core/baseline.h"
+#include "diag/engine.h"
+#include "dict/full_dict.h"
+#include "dict/passfail_dict.h"
+#include "dict/samediff_dict.h"
+#include "fault/collapse.h"
+#include "json_writer.h"
+#include "netlist/transform.h"
+#include "sim/response.h"
+#include "store/signature_store.h"
+#include "util/cli.h"
+#include "util/log.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+using namespace sddict;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_compaction [--circuits=s344,s526] [--tests=N]\n"
+               "  [--seed=N] [--sweeps=N] [--json=FILE]\n");
+  return 1;
+}
+
+// Mean milliseconds of one full diagnosis sweep (rank every fault against
+// one observation) over `sweeps` distinct clean single-fault observations.
+double ms_per_sweep(const SignatureStore& store, const ResponseMatrix& rm,
+                    std::size_t sweeps,
+                    const std::vector<std::size_t>* kept) {
+  const std::size_t n = std::min<std::size_t>(sweeps, rm.num_faults());
+  Timer timer;
+  for (std::size_t i = 0; i < n; ++i) {
+    const FaultId f = static_cast<FaultId>((i * 131) % rm.num_faults());
+    std::vector<ResponseId> ids(rm.num_tests());
+    for (std::size_t t = 0; t < rm.num_tests(); ++t)
+      ids[t] = rm.response(f, t);
+    std::vector<Observed> obs = qualify(ids);
+    if (kept) obs = project_observations(obs, *kept);
+    (void)diagnose_observed(store, obs);
+  }
+  return timer.seconds() * 1000.0 / static_cast<double>(n);
+}
+
+std::vector<std::size_t> kept_of(const SignatureStore& store,
+                                 const CompactionReport& report) {
+  std::vector<std::size_t> kept;
+  std::size_t d = 0;
+  for (std::size_t t = 0; t < store.num_tests(); ++t) {
+    if (d < report.dropped.size() && report.dropped[d] == t)
+      ++d;
+    else
+      kept.push_back(t);
+  }
+  return kept;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const auto unknown =
+      args.unknown_flags({"circuits", "tests", "seed", "sweeps", "json"});
+  if (!unknown.empty()) {
+    for (const auto& f : unknown)
+      std::fprintf(stderr, "unknown flag --%s\n", f.c_str());
+    return usage();
+  }
+  std::vector<std::string> circuits;
+  std::size_t num_tests = 0;
+  std::size_t sweeps = 0;
+  std::uint64_t seed = 0;
+  std::string json_path;
+  try {
+    set_log_level(LogLevel::kWarn);
+    circuits = args.get_list("circuits");
+    if (circuits.empty()) circuits = {"s344", "s526"};
+    num_tests = args.get_int("tests", 150, 2, 1 << 20);
+    sweeps = args.get_int("sweeps", 64, 1, 1 << 20);
+    seed = args.get_int("seed", 1, 0);
+    json_path = args.get("json");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return usage();
+  }
+
+  std::printf("Lossless store compaction (%zu random tests, %zu sweeps)\n\n",
+              num_tests, sweeps);
+  std::printf("%-8s %-14s %5s %5s %9s %9s %9s %9s %8s %8s\n", "circuit",
+              "kind", "k", "k'", "bytes", "bytes'", "ms/sweep", "ms/swp'",
+              "pairs", "pairs'");
+
+  std::vector<bench::JsonRecord> records;
+  const auto record = [&](const std::string& circuit,
+                          const std::string& metric, double value) {
+    records.push_back({"bench_compaction", circuit, 0, metric, value});
+  };
+
+  for (const auto& name : circuits) {
+    Netlist nl = load_benchmark(name);
+    if (nl.has_dffs()) nl = full_scan(nl);
+    const FaultList faults = collapsed_fault_list(nl).collapsed;
+    TestSet tests(nl.num_inputs());
+    Rng rng(seed);
+    tests.add_random(num_tests, rng);
+    const ResponseMatrix rm = build_response_matrix(nl, faults, tests);
+
+    BaselineSelectionConfig bcfg;
+    bcfg.calls1 = 10;
+    bcfg.seed = seed;
+    bcfg.target_indistinguished =
+        FullDictionary::build(rm).indistinguished_pairs();
+    const BaselineSelection p1 = run_procedure1(rm, bcfg);
+
+    struct Row {
+      std::string kind;
+      SignatureStore store;
+    };
+    std::vector<Row> rows;
+    rows.push_back({"pass/fail",
+                    SignatureStore::build(PassFailDictionary::build(rm))});
+    rows.push_back({"same/different",
+                    SignatureStore::build(
+                        SameDifferentDictionary::build(rm, p1.baselines))});
+    rows.push_back({"full", SignatureStore::build(FullDictionary::build(rm))});
+
+    for (const Row& row : rows) {
+      const CompactionResult cr = compact_store(row.store);
+      const CompactionReport& rep = cr.report;
+      // Self-check 1: lossless means zero resolution delta, and the
+      // planner's exact re-partition verification must have run.
+      if (rep.pairs_after != rep.pairs_before || !rep.verified) {
+        std::fprintf(stderr,
+                     "FAIL %s %s: lossless compaction moved resolution "
+                     "(%llu -> %llu, verified=%d)\n",
+                     name.c_str(), row.kind.c_str(),
+                     (unsigned long long)rep.pairs_before,
+                     (unsigned long long)rep.pairs_after, (int)rep.verified);
+        return 1;
+      }
+      const std::vector<std::size_t> kept = kept_of(row.store, rep);
+      // Self-check 2: sampled clean sweeps agree across the compaction.
+      for (FaultId f = 0; f < rm.num_faults();
+           f += std::max<std::size_t>(1, rm.num_faults() / 8)) {
+        std::vector<ResponseId> ids(rm.num_tests());
+        for (std::size_t t = 0; t < rm.num_tests(); ++t)
+          ids[t] = rm.response(f, t);
+        const EngineDiagnosis a = diagnose_observed(row.store, qualify(ids));
+        const EngineDiagnosis b = diagnose_observed(
+            cr.store, project_observations(qualify(ids), kept));
+        if (a.outcome != b.outcome || a.best_mismatches != b.best_mismatches) {
+          std::fprintf(stderr,
+                       "FAIL %s %s: diagnosis diverged on fault %u\n",
+                       name.c_str(), row.kind.c_str(), (unsigned)f);
+          return 1;
+        }
+      }
+      const double ms_before = ms_per_sweep(row.store, rm, sweeps, nullptr);
+      const double ms_after = ms_per_sweep(cr.store, rm, sweeps, &kept);
+      std::printf("%-8s %-14s %5zu %5zu %9zu %9zu %9.4f %9.4f %8llu %8llu\n",
+                  name.c_str(), row.kind.c_str(), rep.tests_before,
+                  rep.tests_after, rep.bytes_before, rep.bytes_after,
+                  ms_before, ms_after,
+                  (unsigned long long)rep.pairs_before,
+                  (unsigned long long)rep.pairs_after);
+      const std::string k = row.kind == "pass/fail"       ? "pf"
+                            : row.kind == "same/different" ? "sd"
+                                                           : "full";
+      record(name, "tests_before_" + k, (double)rep.tests_before);
+      record(name, "tests_after_" + k, (double)rep.tests_after);
+      record(name, "store_bytes_before_" + k, (double)rep.bytes_before);
+      record(name, "store_bytes_after_" + k, (double)rep.bytes_after);
+      record(name, "ms_per_sweep_before_" + k, ms_before);
+      record(name, "ms_per_sweep_after_" + k, ms_after);
+      record(name, "resolution_before_" + k, (double)rep.pairs_before);
+      record(name, "resolution_after_" + k, (double)rep.pairs_after);
+    }
+    std::printf("\n");
+  }
+  std::printf("lossless compaction: every kept store resolves exactly the "
+              "pairs the original did (verified by exact re-partition).\n");
+
+  if (!json_path.empty()) {
+    bench::write_bench_json(json_path, records);
+    std::printf("wrote %zu records to %s\n", records.size(),
+                json_path.c_str());
+  }
+  return 0;
+}

@@ -26,6 +26,7 @@
 
 #include "bmcirc/registry.h"
 #include "core/experiment.h"
+#include "json_writer.h"
 #include "netlist/stats.h"
 #include "netlist/transform.h"
 #include "util/cli.h"
@@ -41,7 +42,7 @@ int usage() {
                "usage: bench_table6 [--circuits=s208,s298,...]\n"
                "  [--ttype=diag|10det|both] [--calls1=N] [--lower=N]\n"
                "  [--ndetect=N] [--proc2=false] [--seed=N] [--threads=N]\n"
-               "  [--verbose=true]\n");
+               "  [--verbose=true] [--json=FILE]\n");
   return 1;
 }
 
@@ -51,7 +52,7 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   const auto unknown = args.unknown_flags(
       {"circuits", "ttype", "calls1", "lower", "ndetect", "proc2", "seed",
-       "threads", "verbose"});
+       "threads", "verbose", "json"});
   if (!unknown.empty()) {
     for (const auto& f : unknown)
       std::fprintf(stderr, "unknown flag --%s\n", f.c_str());
@@ -60,8 +61,10 @@ int main(int argc, char** argv) {
 
   std::vector<std::string> circuits;
   std::string ttype;
+  std::string json_path;
   ExperimentConfig cfg;
   try {
+    json_path = args.get("json");
     if (args.get_bool("verbose", false))
       set_log_level(LogLevel::kDebug);
     else
@@ -93,6 +96,7 @@ int main(int argc, char** argv) {
   std::printf("%s\n", experiment_header().c_str());
 
   Timer total;
+  std::vector<bench::JsonRecord> records;
   for (const auto& name : circuits) {
     if (!is_known_benchmark(name)) {
       std::fprintf(stderr, "skipping unknown circuit '%s'\n", name.c_str());
@@ -109,6 +113,18 @@ int main(int argc, char** argv) {
       const ExperimentRow row = run_experiment(nl, kind, cfg);
       std::printf("%s\n", format_experiment_row(row).c_str());
       std::fflush(stdout);
+      const auto record = [&](const std::string& metric, double value) {
+        records.push_back({"bench_table6", row.circuit,
+                           cfg.baseline.num_threads,
+                           metric + "_" + row.ttype, value});
+      };
+      record("tests", (double)row.num_tests);
+      record("faults", (double)row.num_faults);
+      record("indist_full", (double)row.indist_full);
+      record("indist_passfail", (double)row.indist_passfail);
+      record("indist_sd_p1", (double)row.indist_sd_rand);
+      record("indist_sd_p2", (double)row.indist_sd_repl);
+      record("sd_bits", (double)row.sizes.same_different_bits);
       std::fprintf(stderr,
                    "  [%s %s: %.1fs total; testgen %.1fs, faultsim %.1fs, "
                    "proc1 %.1fs (%zu calls), proc2 %.1fs; %zu faults, %zu "
@@ -120,5 +136,10 @@ int main(int argc, char** argv) {
     }
   }
   std::fprintf(stderr, "table 6 complete in %.1fs\n", total.seconds());
+  if (!json_path.empty()) {
+    bench::write_bench_json(json_path, records);
+    std::printf("wrote %zu records to %s\n", records.size(),
+                json_path.c_str());
+  }
   return 0;
 }

@@ -11,6 +11,7 @@
 #include <fstream>
 
 #include "bmcirc/registry.h"
+#include "compact/compact.h"
 #include "core/baseline.h"
 #include "core/hybrid.h"
 #include "core/procedure2.h"
@@ -29,6 +30,7 @@
 #include "util/budget.h"
 #include "util/cli.h"
 #include "util/fileio.h"
+#include "util/rng.h"
 #include "util/timer.h"
 
 using namespace sddict;
@@ -41,7 +43,8 @@ int usage() {
                "  [--ttype=diag|10det] [--calls1=N] [--lower=N] [--seed=N]\n"
                "  [--threads=N] [--deadline=SECONDS] [--hybrid=true]\n"
                "  [--save=FILE] [--export-store=FILE [--force]]\n"
-               "  [--publish=REPODIR]\n\n"
+               "  [--publish=REPODIR [--append=N]]\n"
+               "  [--compact[=lossless|lossy:EPS]]\n\n"
                "registered benchmarks:");
   for (const auto& n : benchmark_names()) std::fprintf(stderr, " %s", n.c_str());
   std::fprintf(stderr, "\n");
@@ -54,7 +57,7 @@ int main(int argc, char** argv) {
   CliArgs args(argc, argv);
   const auto unknown = args.unknown_flags(
       {"ttype", "calls1", "lower", "seed", "threads", "deadline", "hybrid",
-       "save", "export-store", "force", "publish"});
+       "save", "export-store", "force", "publish", "compact", "append"});
   if (!unknown.empty()) {
     for (const auto& f : unknown)
       std::fprintf(stderr, "unknown flag --%s\n", f.c_str());
@@ -68,6 +71,9 @@ int main(int argc, char** argv) {
   double deadline = 0;
   bool hybrid = false;
   bool force = false;
+  bool do_compact = false;
+  std::uint64_t compact_loss = 0;
+  std::size_t append_n = 0;
   try {
     ttype = args.get("ttype", "diag");
     seed = static_cast<std::uint64_t>(args.get_int("seed", 1, 0));
@@ -80,6 +86,29 @@ int main(int argc, char** argv) {
       throw std::invalid_argument("flag --deadline must be >= 0");
     hybrid = args.get_bool("hybrid", false);
     force = args.get_bool("force", false);
+    if (args.has("compact")) {
+      do_compact = true;
+      // Bare --compact means lossless; --compact=lossy:EPS tolerates EPS
+      // extra indistinguished fault pairs in the exported store.
+      const std::string mode = args.get("compact");
+      if (mode != "true" && mode != "lossless") {
+        if (mode.rfind("lossy:", 0) != 0)
+          throw std::invalid_argument("bad --compact=" + mode +
+                                      " (use lossless or lossy:EPS)");
+        const std::string eps = mode.substr(6);
+        std::size_t consumed = 0;
+        compact_loss = static_cast<std::uint64_t>(std::stoll(eps, &consumed));
+        if (consumed != eps.size())
+          throw std::invalid_argument("bad --compact=" + mode +
+                                      " (use lossless or lossy:EPS)");
+      }
+    }
+    append_n =
+        static_cast<std::size_t>(args.get_int("append", 0, 0, 1 << 20));
+    if (append_n > 0 && !args.has("publish"))
+      throw std::invalid_argument("--append needs --publish");
+    if (append_n > 0 && do_compact)
+      throw std::invalid_argument("--append and --compact are exclusive");
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return usage();
@@ -197,6 +226,24 @@ int main(int argc, char** argv) {
     std::printf("same/different dictionary written to %s\n", save.c_str());
   }
 
+  // Dictionary-aware test-set compaction (src/compact): drop store columns
+  // that distinguish no extra fault pair, lossless by default. Applied to
+  // whatever artifact is exported or published below.
+  auto maybe_compact = [&](SignatureStore store) {
+    if (!do_compact) return store;
+    CompactionOptions copts;
+    copts.max_resolution_loss = compact_loss;
+    CompactionResult cr = compact_store(store, copts);
+    std::printf("compacted tests=%zu->%zu dropped=%zu pairs=%llu->%llu "
+                "bytes=%zu->%zu\n",
+                cr.report.tests_before, cr.report.tests_after,
+                cr.report.dropped.size(),
+                (unsigned long long)cr.report.pairs_before,
+                (unsigned long long)cr.report.pairs_after,
+                cr.report.bytes_before, cr.report.bytes_after);
+    return std::move(cr.store);
+  };
+
   // Packed serving artifact: what sddict_serve loads (mmap-ready, CRC'd).
   const std::string export_store = args.get("export-store");
   if (!export_store.empty()) {
@@ -207,7 +254,7 @@ int main(int argc, char** argv) {
       if (!force && file_exists(export_store))
         throw std::runtime_error(export_store +
                                  " already exists (pass --force to overwrite)");
-      const SignatureStore store = SignatureStore::build(sd);
+      const SignatureStore store = maybe_compact(SignatureStore::build(sd));
       store.write_file(export_store);
       std::printf("same/different store written to %s (%zu bytes)\n",
                   export_store.c_str(), store.size_bytes());
@@ -239,14 +286,63 @@ int main(int argc, char** argv) {
                     ",lower=" + std::to_string(lower);
 
       DictionaryRepository repo(publish);
-      const SignatureStore store = SignatureStore::build(sd);
-      const ManifestEntry entry =
-          repo.publish(circuit, StoreSource::kSameDifferent, store, prov,
-                       pipeline_timer.millis());
-      std::printf("published %s x %s v%llu to %s (%llu bytes, %s)\n",
-                  entry.circuit.c_str(), store_source_name(entry.kind),
-                  (unsigned long long)entry.version, publish.c_str(),
-                  (unsigned long long)entry.bytes, entry.file.c_str());
+      if (append_n > 0) {
+        // Incremental maintenance: instead of republishing the whole
+        // store, catalog N extra seeded random tests as an added-columns
+        // delta on top of the current latest version. Base columns are
+        // untouched; only the new columns are simulated and stored.
+        const Manifest catalog = repo.manifest();
+        const ManifestEntry* base =
+            catalog.find(circuit, StoreSource::kSameDifferent);
+        if (base == nullptr)
+          throw std::runtime_error(
+              "--append needs a published base version (run --publish "
+              "without --append first)");
+        if (!base->provenance.faults_hash.empty() &&
+            base->provenance.faults_hash != prov.faults_hash)
+          throw std::runtime_error(
+              "fault list changed since base version " +
+              std::to_string(base->version) + " (full republish required)");
+        TestSet extended = tests;
+        Rng arng(seed ^ 0xA99E4Dull);
+        extended.add_random(append_n, arng);
+        std::vector<std::size_t> idx(append_n);
+        for (std::size_t i = 0; i < append_n; ++i) idx[i] = tests.size() + i;
+        const TestSet appended = extended.subset(idx);
+        const ResponseMatrix arm = build_response_matrix(
+            nl, faults, appended, {.num_threads = threads});
+        const FullDictionary afull = FullDictionary::build(arm);
+        BaselineSelectionConfig abcfg = bcfg;
+        abcfg.target_indistinguished = afull.indistinguished_pairs();
+        const BaselineSelection ap1 = run_procedure1(arm, abcfg);
+        Procedure2Config ap2cfg;
+        ap2cfg.target_indistinguished = afull.indistinguished_pairs();
+        const Procedure2Result ap2 = run_procedure2(arm, ap1.baselines, ap2cfg);
+        const SignatureStore added = SignatureStore::build(
+            SameDifferentDictionary::build(arm, ap2.baselines));
+        prov.tests_hash = hash_hex(hash_testset(extended));
+        prov.config += ",append=" + std::to_string(append_n);
+        const ManifestEntry entry = repo.publish_delta(
+            circuit, StoreSource::kSameDifferent, &added, {}, prov,
+            pipeline_timer.millis());
+        std::printf(
+            "published %s x %s v%llu to %s (delta base=%llu added=%zu, "
+            "%llu bytes, %s)\n",
+            entry.circuit.c_str(), store_source_name(entry.kind),
+            (unsigned long long)entry.version, publish.c_str(),
+            (unsigned long long)entry.base_version, append_n,
+            (unsigned long long)entry.bytes, entry.file.c_str());
+      } else {
+        if (do_compact) prov.config += ",compact=" + std::to_string(compact_loss);
+        const SignatureStore store = maybe_compact(SignatureStore::build(sd));
+        const ManifestEntry entry =
+            repo.publish(circuit, StoreSource::kSameDifferent, store, prov,
+                         pipeline_timer.millis());
+        std::printf("published %s x %s v%llu to %s (%llu bytes, %s)\n",
+                    entry.circuit.c_str(), store_source_name(entry.kind),
+                    (unsigned long long)entry.version, publish.c_str(),
+                    (unsigned long long)entry.bytes, entry.file.c_str());
+      }
     } catch (const std::exception& e) {
       std::fprintf(stderr, "failed to publish to %s: %s\n", publish.c_str(),
                    e.what());

@@ -35,7 +35,17 @@
 //   !reload [CIRCUIT]     re-read the manifest and hot-swap the circuit's
 //                         service to the newest version, without dropping
 //                         in-flight requests
-//   !stats                repository + per-service counters
+//   !stats                repository + per-service counters (per-version
+//                         store bytes and delta-chain length included)
+//   !compact [lossless|lossy:EPS]
+//                         plan a test-set compaction of the current
+//                         target's latest version, publish it as a
+//                         drop-only delta, and hot-swap the service
+//   !squash               collapse the current target's delta chain into
+//                         a fresh full store version and hot-swap
+//
+// With --max-chain=N a !reload additionally kicks background squashing
+// (repo.squash_async on a maintenance pool) for chains deeper than N.
 //
 // Session verbs (multi-observation diagnosis, src/session): a retest flow
 // opens a session per die, appends one datalog per test-set application,
@@ -82,6 +92,7 @@
 #include <string>
 #include <vector>
 
+#include "compact/repo_compact.h"
 #include "diag/testerlog.h"
 #include "net/client.h"
 #include "net/protocol.h"
@@ -96,6 +107,7 @@
 #include "util/fdio.h"
 #include "util/fileio.h"
 #include "util/strings.h"
+#include "util/threadpool.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define SDDICT_SERVE_HAS_SOCKET 1
@@ -122,7 +134,7 @@ int usage() {
                "  [--session-deadline-ms=X] [--max-die-sessions=N]\n"
                "  [--session-runs=N] [--session-cover=N]\n"
                "   or: sddict_serve --repo=DIR --circuit=NAME [--kind=KIND]\n"
-               "  [same options]\n");
+               "  [--max-chain=N] [same options]\n");
   return 1;
 }
 
@@ -138,6 +150,15 @@ struct RepoServer {
   // `!health` reports this so a fleet supervisor can check every backend
   // flipped to the same version after a republish.
   std::map<std::string, std::uint64_t> versions;
+  // Delta chains deeper than this get squashed in the background on
+  // !reload (0 = maintenance off). The pool exists only once needed.
+  std::size_t max_chain = 0;
+  std::unique_ptr<ThreadPool> maintenance;
+
+  ThreadPool& maintenance_pool() {
+    if (!maintenance) maintenance = std::make_unique<ThreadPool>(1);
+    return *maintenance;
+  }
 
   std::string key(const std::string& c, StoreSource k) const {
     return c + '\0' + store_source_name(k);
@@ -195,10 +216,18 @@ void handle_admin(RepoServer& rs, const std::vector<std::string>& tokens,
   const std::string& verb = tokens[0];
   if (verb == "!list") {
     const Manifest m = rs.repo->manifest();
-    for (const ManifestEntry& e : m.entries)
+    for (const ManifestEntry& e : m.entries) {
+      // Established fields stay a stable prefix (CI greps them); the
+      // chain/delta maintenance fields are appended after.
       out << "artifact circuit=" << e.circuit
           << " kind=" << store_source_name(e.kind) << " version=" << e.version
-          << " bytes=" << e.bytes << " file=" << e.file << "\n";
+          << " bytes=" << e.bytes
+          << " chain=" << rs.repo->chain_length_of(e.circuit, e.kind, e.version);
+      if (e.is_delta)
+        out << " base=" << e.base_version << " added=" << e.added_tests
+            << " dropped=" << encode_index_ranges(e.dropped);
+      out << " file=" << (e.file.empty() ? "-" : e.file) << "\n";
+    }
     out << "done\n";
   } else if (verb == "!use") {
     if (tokens.size() < 2 || tokens.size() > 3)
@@ -220,29 +249,108 @@ void handle_admin(RepoServer& rs, const std::vector<std::string>& tokens,
       throw std::runtime_error("no circuit selected (use !reload CIRCUIT)");
     rs.repo->reload();
     std::size_t swapped = 0;
+    std::size_t squashed = 0;
     for (auto& [key, svc] : rs.services) {
       const std::size_t nul = key.find('\0');
       if (key.substr(0, nul) != target) continue;
       StoreSource kind{};
       parse_store_source(key.substr(nul + 1), &kind);
+      // Background chain maintenance: with --max-chain=N, a reload of a
+      // chain deeper than N squashes it first (on the maintenance pool;
+      // the blocking get keeps replies deterministic) so the swap below
+      // lands on the collapsed store.
+      if (rs.max_chain > 0 &&
+          rs.repo->chain_length(target, kind) > rs.max_chain) {
+        rs.repo->squash_async(rs.maintenance_pool(), target, kind,
+                              rs.max_chain).get();
+        ++squashed;
+      }
       svc->swap_store(rs.repo->acquire(target, kind));
       rs.versions[key] = rs.repo->latest_version(target, kind);
       ++swapped;
     }
-    out << "reloaded circuit=" << target << " swapped=" << swapped << "\n"
-        << "done\n";
+    // `swapped=` stays the line's final established field (CI greps the
+    // prefix); the maintenance counter only appears when armed.
+    out << "reloaded circuit=" << target << " swapped=" << swapped;
+    if (rs.max_chain > 0) out << " squashed=" << squashed;
+    out << "\n" << "done\n";
   } else if (verb == "!stats") {
     out << "stats " << format_repository_stats(rs.repo->stats()) << "\n";
     for (const auto& [key, svc] : rs.services) {
       const std::size_t nul = key.find('\0');
-      out << "stats circuit=" << key.substr(0, nul)
-          << " kind=" << key.substr(nul + 1) << " "
-          << format_service_stats(svc->stats()) << "\n";
+      const std::string circuit = key.substr(0, nul);
+      StoreSource kind{};
+      parse_store_source(key.substr(nul + 1), &kind);
+      const auto it = rs.versions.find(key);
+      const std::uint64_t version = it == rs.versions.end() ? 0 : it->second;
+      out << "stats circuit=" << circuit << " kind=" << key.substr(nul + 1)
+          << " " << format_service_stats(svc->stats())
+          << " version=" << version
+          << " chain=" << rs.repo->chain_length_of(circuit, kind, version)
+          << " store_bytes=" << svc->current_store()->size_bytes() << "\n";
     }
     out << "done\n";
+  } else if (verb == "!compact") {
+    if (tokens.size() > 2)
+      throw std::runtime_error("usage: !compact [lossless|lossy:EPS]");
+    CompactionOptions copts;
+    if (tokens.size() == 2 && tokens[1] != "lossless") {
+      if (tokens[1].rfind("lossy:", 0) != 0)
+        throw std::runtime_error("unknown compaction mode '" + tokens[1] +
+                                 "' (have lossless lossy:EPS)");
+      std::size_t pos = 0;
+      const std::string eps = tokens[1].substr(6);
+      unsigned long long v = 0;
+      try {
+        v = std::stoull(eps, &pos);
+      } catch (const std::exception&) {
+        pos = 0;
+      }
+      if (pos == 0 || pos != eps.size())
+        throw std::runtime_error("bad lossy budget '" + eps + "'");
+      copts.max_resolution_loss = v;
+    }
+    DiagnosisService& svc = rs.current();  // resolves the target, or throws
+    const RepoCompaction rc =
+        compact_published(*rs.repo, rs.circuit, rs.kind, copts);
+    std::size_t swapped = 0;
+    if (rc.published) {
+      // Epoch-consistent hot swap: in-flight queries finish on the old
+      // store, everything after sees the compacted version.
+      svc.swap_store(rs.repo->acquire(rs.circuit, rs.kind));
+      rs.versions[rs.key(rs.circuit, rs.kind)] =
+          rs.repo->latest_version(rs.circuit, rs.kind);
+      swapped = 1;
+    }
+    out << "compacted circuit=" << rs.circuit
+        << " kind=" << store_source_name(rs.kind)
+        << " version=" << rc.entry.version
+        << " tests=" << rc.report.tests_before << "->" << rc.report.tests_after
+        << " dropped=" << rc.report.dropped.size()
+        << " pairs=" << rc.report.pairs_before << "->" << rc.report.pairs_after
+        << " bytes=" << rc.report.bytes_before << "->" << rc.report.bytes_after
+        << " published=" << (rc.published ? 1 : 0) << " swapped=" << swapped
+        << "\n" << "done\n";
+  } else if (verb == "!squash") {
+    if (tokens.size() > 1) throw std::runtime_error("usage: !squash");
+    DiagnosisService& svc = rs.current();
+    const std::size_t chain_before = rs.repo->chain_length(rs.circuit, rs.kind);
+    const ManifestEntry e = rs.repo->squash(rs.circuit, rs.kind);
+    std::size_t swapped = 0;
+    if (chain_before > 0) {
+      svc.swap_store(rs.repo->acquire(rs.circuit, rs.kind));
+      rs.versions[rs.key(rs.circuit, rs.kind)] =
+          rs.repo->latest_version(rs.circuit, rs.kind);
+      swapped = 1;
+    }
+    out << "squashed circuit=" << rs.circuit
+        << " kind=" << store_source_name(rs.kind) << " version=" << e.version
+        << " chain_before=" << chain_before << " bytes=" << e.bytes
+        << " swapped=" << swapped << "\n" << "done\n";
   } else {
-    throw std::runtime_error("unknown admin verb " + verb +
-                             " (have !list !use !reload !stats)");
+    throw std::runtime_error(
+        "unknown admin verb " + verb +
+        " (have !list !use !reload !stats !compact !squash)");
   }
 }
 
@@ -521,7 +629,7 @@ int main(int argc, char** argv) {
        "max-sessions", "max-inflight", "session-inflight", "pending",
        "idle-timeout-ms", "frame-timeout-ms", "write-timeout-ms",
        "busy-retry-ms", "port-file", "failpoints", "session-deadline-ms",
-       "max-die-sessions", "session-runs", "session-cover"});
+       "max-die-sessions", "session-runs", "session-cover", "max-chain"});
   if (!unknown.empty()) {
     for (const auto& f : unknown)
       std::fprintf(stderr, "unknown flag --%s\n", f.c_str());
@@ -535,6 +643,7 @@ int main(int argc, char** argv) {
   net::NetServerOptions nopts;
   bool once = false;
   bool tcp_mode = false;
+  std::size_t max_chain = 0;
   try {
     store_path = args.get("store");
     repo_dir = args.get("repo");
@@ -573,6 +682,8 @@ int main(int argc, char** argv) {
     nopts.busy_retry_ms = static_cast<std::uint32_t>(
         args.get_int("busy-retry-ms", 25, 1, 1 << 20));
     port_file = args.get("port-file");
+    max_chain =
+        static_cast<std::size_t>(args.get_int("max-chain", 0, 0, 1 << 20));
     sopts.deadline_ms = args.get_double("session-deadline-ms", 0);
     if (sopts.deadline_ms < 0)
       throw std::invalid_argument("flag --session-deadline-ms must be >= 0");
@@ -609,6 +720,7 @@ int main(int argc, char** argv) {
       repo_server.repo = repository.get();
       repo_server.opts = opts;
       repo_server.circuit = circuit;
+      repo_server.max_chain = max_chain;
       if (!parse_store_source(kind_token, &repo_server.kind))
         throw std::runtime_error("unknown kind '" + kind_token + "'");
       std::fprintf(stderr, "repo %s: %zu artifacts cataloged\n",

@@ -1,0 +1,100 @@
+// Dictionary-aware test-set compaction front ends (ISSUE 10 tentpole).
+//
+// Two entry points over the shared greedy planner (compact/plan.h):
+//
+//   * compact_store()   — packed-SignatureStore compaction: project the
+//     store onto its symbol matrix (bit / rank-bit-group / response-id
+//     lane per kind), plan an AD-index-ordered elimination, and emit a
+//     fresh store over the kept columns via select_tests(). Lossless mode
+//     (max_resolution_loss == 0) provably preserves the store's fault
+//     partition — the compacted store distinguishes exactly the pairs the
+//     original did — and because select_tests() routes through the same
+//     image builder as build(), the compacted store is byte-identical to
+//     building the dictionary over the kept tests directly.
+//   * compact_testset() — response-matrix compaction for the generation
+//     pipeline (full-response symbols): the dictionary-aware counterpart
+//     of tgen/compact.h's detection-preserving reverse-order pass.
+//
+// Serving note: a query against a compacted store is the original query
+// with the dropped columns projected out — equivalent to diagnosing the
+// UNCOMPACTED store with those observations forced to kMissing (the
+// engine treats missing records as don't-cares): same verdict, same
+// per-fault mismatch counts, same candidate set, same margin. Candidate
+// ORDER may differ within tied mismatch counts on otherwise-clean
+// observations: forcing records to kMissing makes the observation look
+// degraded, which engages the engine's pass/fail-projection tiebreak,
+// while the compacted store sees a clean observation and keeps the
+// classical fault-id order. When the projected observation retains a
+// don't-care record of its own both sides are degraded with identical
+// tiebreak keys and the identity is exact including order.
+// project_observations() performs exactly that projection.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "compact/plan.h"
+#include "sim/response.h"
+#include "sim/testset.h"
+#include "store/signature_store.h"
+#include "util/budget.h"
+
+namespace sddict {
+
+struct CompactionOptions {
+  // Extra indistinguishable fault pairs tolerated (0 = lossless).
+  std::uint64_t max_resolution_loss = 0;
+  CandidateOrder order = CandidateOrder::kAdIndex;
+  RunBudget budget{};
+};
+
+struct CompactionReport {
+  std::size_t tests_before = 0;
+  std::size_t tests_after = 0;
+  std::vector<std::size_t> dropped;  // ascending original test indices
+  std::uint64_t pairs_before = 0;    // indistinguished pairs, full set
+  std::uint64_t pairs_after = 0;     // indistinguished pairs, kept set
+  std::size_t bytes_before = 0;      // packed store image bytes
+  std::size_t bytes_after = 0;
+  bool completed = true;
+  StopReason stop_reason = StopReason::kCompleted;
+  bool verified = false;
+};
+
+struct CompactionResult {
+  SignatureStore store;
+  CompactionReport report;
+};
+
+// The store's distinguishing-symbol projection: one u64 symbol per
+// (fault, test). Throws std::runtime_error for a multi-baseline store of
+// rank > 64 (its per-test bit group no longer fits one symbol).
+SymbolMatrix store_symbols(const SignatureStore& store);
+
+// Full-response symbols of a response matrix (one interned id per cell).
+SymbolMatrix response_symbols(const ResponseMatrix& rm);
+
+// Plan only — no new store is materialized (repository-side drop deltas).
+CompactionPlan plan_store_compaction(const SignatureStore& store,
+                                     const CompactionOptions& opts = {});
+
+CompactionResult compact_store(const SignatureStore& store,
+                               const CompactionOptions& opts = {});
+
+struct TestsetCompaction {
+  TestSet tests;  // kept tests, original order
+  CompactionPlan plan;
+};
+
+// Drops tests that contribute no full-response pair splits (lossless by
+// default); `tests` must be the set the matrix was built from.
+TestsetCompaction compact_testset(const ResponseMatrix& rm,
+                                  const TestSet& tests,
+                                  const CompactionOptions& opts = {});
+
+// Projects a full-width observation vector onto the kept columns.
+std::vector<Observed> project_observations(
+    const std::vector<Observed>& obs, const std::vector<std::size_t>& kept);
+
+}  // namespace sddict

@@ -1,0 +1,233 @@
+#include "compact/plan.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace sddict {
+
+namespace {
+
+std::uint64_t pairs_of(std::uint64_t n) { return n * (n - 1) / 2; }
+
+// splitmix64 finish — mixes (test, symbol) into the per-class XOR hash.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t cell_hash(std::size_t t, std::uint64_t sym) {
+  return mix64((static_cast<std::uint64_t>(t) << 1) ^ mix64(sym));
+}
+
+// One equivalence class of the fault partition: faults whose symbol rows
+// agree on every kept column. `rep` stands in for the whole class when
+// comparing rows; `hash` is the XOR of cell_hash over kept columns.
+struct Class {
+  std::size_t rep = 0;
+  std::uint64_t count = 0;
+  std::uint64_t hash = 0;
+};
+
+// Exact row comparison of two class representatives over the kept columns,
+// optionally ignoring one column (the drop candidate).
+bool reps_equal(const SymbolMatrix& m, const std::vector<char>& kept,
+                std::size_t a, std::size_t b, std::size_t ignore) {
+  for (std::size_t t = 0; t < m.num_tests(); ++t) {
+    if (!kept[t] || t == ignore) continue;
+    if (m.at(a, t) != m.at(b, t)) return false;
+  }
+  return true;
+}
+
+// Partition the faults by their symbol rows over the kept columns.
+std::vector<Class> build_partition(const SymbolMatrix& m,
+                                   const std::vector<char>& kept) {
+  std::vector<std::size_t> order(m.num_faults());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    for (std::size_t t = 0; t < m.num_tests(); ++t) {
+      if (!kept[t]) continue;
+      if (m.at(a, t) != m.at(b, t)) return m.at(a, t) < m.at(b, t);
+    }
+    return a < b;
+  });
+  std::vector<Class> classes;
+  for (std::size_t f : order) {
+    if (!classes.empty() &&
+        reps_equal(m, kept, classes.back().rep, f, m.num_tests())) {
+      ++classes.back().count;
+      continue;
+    }
+    Class c;
+    c.rep = f;
+    c.count = 1;
+    c.hash = 0;
+    for (std::size_t t = 0; t < m.num_tests(); ++t)
+      if (kept[t]) c.hash ^= cell_hash(t, m.at(f, t));
+    classes.push_back(c);
+  }
+  return classes;
+}
+
+std::uint64_t partition_pairs(const std::vector<Class>& classes) {
+  std::uint64_t p = 0;
+  for (const Class& c : classes) p += pairs_of(c.count);
+  return p;
+}
+
+// Groups the classes that would become identical if `drop` were removed
+// from the kept set. Returns the added indistinguished pairs and, via
+// `merge_groups`, the exact-verified groups of class indices to merge.
+std::uint64_t probe_drop(const SymbolMatrix& m, const std::vector<char>& kept,
+                         const std::vector<Class>& classes, std::size_t drop,
+                         std::vector<std::vector<std::size_t>>* merge_groups) {
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> buckets;
+  buckets.reserve(classes.size());
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    const Class& c = classes[i];
+    buckets[c.hash ^ cell_hash(drop, m.at(c.rep, drop))].push_back(i);
+  }
+  std::uint64_t added = 0;
+  for (auto& [h, members] : buckets) {
+    if (members.size() < 2) continue;
+    // Hash collisions only group candidates; confirm every merge by
+    // comparing full representative rows with `drop` ignored.
+    std::vector<char> used(members.size(), 0);
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (used[i]) continue;
+      std::vector<std::size_t> group{members[i]};
+      for (std::size_t j = i + 1; j < members.size(); ++j) {
+        if (used[j]) continue;
+        if (reps_equal(m, kept, classes[members[i]].rep,
+                       classes[members[j]].rep, drop)) {
+          used[j] = 1;
+          group.push_back(members[j]);
+        }
+      }
+      if (group.size() < 2) continue;
+      std::uint64_t total = 0, self = 0;
+      for (std::size_t idx : group) {
+        total += classes[idx].count;
+        self += pairs_of(classes[idx].count);
+      }
+      added += pairs_of(total) - self;
+      if (merge_groups) merge_groups->push_back(std::move(group));
+    }
+  }
+  return added;
+}
+
+}  // namespace
+
+std::uint64_t indistinguished_pairs(const SymbolMatrix& m,
+                                    const std::vector<std::size_t>& tests) {
+  std::vector<char> kept(m.num_tests(), 0);
+  for (std::size_t t : tests) {
+    if (t >= m.num_tests())
+      throw std::invalid_argument(
+          "indistinguished_pairs: test index out of range");
+    kept[t] = 1;
+  }
+  return partition_pairs(build_partition(m, kept));
+}
+
+CompactionPlan plan_compaction(const SymbolMatrix& m, const PlanOptions& opts) {
+  const std::size_t F = m.num_faults();
+  const std::size_t T = m.num_tests();
+  if (F == 0 || T == 0)
+    throw std::invalid_argument("plan_compaction: empty symbol matrix");
+  BudgetScope scope(opts.budget);
+
+  CompactionPlan plan;
+  plan.stats.resize(T);
+
+  // Per-test AD-style split counts under the full set.
+  for (std::size_t t = 0; t < T; ++t) {
+    std::unordered_map<std::uint64_t, std::uint64_t> groups;
+    for (std::size_t f = 0; f < F; ++f) ++groups[m.at(f, t)];
+    std::uint64_t same = 0;
+    for (const auto& [sym, n] : groups) same += pairs_of(n);
+    plan.stats[t].split_pairs = pairs_of(F) - same;
+  }
+
+  std::vector<char> kept(T, 1);
+  std::vector<Class> classes = build_partition(m, kept);
+  plan.pairs_before = partition_pairs(classes);
+
+  // Unique pairs: classes whose rows differ only at t merge when t is
+  // dropped — probe every column against the full-set partition.
+  for (std::size_t t = 0; t < T; ++t)
+    plan.stats[t].unique_pairs = probe_drop(m, kept, classes, t, nullptr);
+
+  // Candidate order.
+  std::vector<std::size_t> order(T);
+  std::iota(order.begin(), order.end(), 0);
+  if (opts.order == CandidateOrder::kAdIndex) {
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      if (plan.stats[a].split_pairs != plan.stats[b].split_pairs)
+        return plan.stats[a].split_pairs < plan.stats[b].split_pairs;
+      if (plan.stats[a].unique_pairs != plan.stats[b].unique_pairs)
+        return plan.stats[a].unique_pairs < plan.stats[b].unique_pairs;
+      return a > b;
+    });
+  } else {
+    std::reverse(order.begin(), order.end());
+  }
+
+  // Greedy elimination walk.
+  std::uint64_t loss = 0;
+  std::size_t kept_count = T;
+  for (std::size_t t : order) {
+    if (scope.stop()) {
+      plan.completed = false;
+      plan.stop_reason = scope.reason();
+      break;
+    }
+    if (kept_count == 1) break;  // never drop the last column
+    std::vector<std::vector<std::size_t>> merge_groups;
+    const std::uint64_t added = probe_drop(m, kept, classes, t, &merge_groups);
+    if (loss + added > opts.max_resolution_loss) continue;
+    loss += added;
+    kept[t] = 0;
+    --kept_count;
+    for (Class& c : classes) c.hash ^= cell_hash(t, m.at(c.rep, t));
+    if (!merge_groups.empty()) {
+      std::vector<char> dead(classes.size(), 0);
+      for (const auto& group : merge_groups) {
+        for (std::size_t i = 1; i < group.size(); ++i) {
+          classes[group[0]].count += classes[group[i]].count;
+          dead[group[i]] = 1;
+        }
+      }
+      std::vector<Class> alive;
+      alive.reserve(classes.size());
+      for (std::size_t i = 0; i < classes.size(); ++i)
+        if (!dead[i]) alive.push_back(classes[i]);
+      classes.swap(alive);
+    }
+  }
+
+  for (std::size_t t = 0; t < T; ++t)
+    (kept[t] ? plan.kept : plan.dropped).push_back(t);
+  plan.pairs_after = plan.pairs_before + loss;
+
+  // Exact verification: recompute the kept-column partition from scratch
+  // and cross-check the incremental pair count. A mismatch would mean the
+  // hash-grouped merge bookkeeping above diverged from the ground truth —
+  // a planner bug, never a data-dependent condition.
+  const std::uint64_t exact = partition_pairs(build_partition(m, kept));
+  if (exact != plan.pairs_after)
+    throw std::logic_error(
+        "plan_compaction: verification pass disagrees with incremental "
+        "partition (exact " +
+        std::to_string(exact) + ", incremental " +
+        std::to_string(plan.pairs_after) + ")");
+  plan.verified = true;
+  return plan;
+}
+
+}  // namespace sddict

@@ -1,0 +1,111 @@
+// Greedy test-set compaction planner — the shared core of the compaction
+// subsystem (ISSUE 10).
+//
+// The input is a symbol matrix: one symbol per (fault, test), where two
+// faults are distinguished by a test exactly when their symbols at that
+// test differ. Every dictionary kind projects onto this view (pass/fail
+// and same/different contribute one bit per test, a multi-baseline store
+// its rank-bit group, a full store the interned response id), so one
+// planner serves them all.
+//
+// The planner walks candidate tests in a caller-chosen order and drops a
+// test whenever doing so merges no equivalence classes of the induced
+// fault partition (lossless), or merges few enough pairs to stay within
+// `max_resolution_loss` (lossy). Candidate orders:
+//
+//   kAdIndex  — ascending accidental-detection-style index (total pairs
+//               the test splits under the FULL set, Pomeranz/Reddy's
+//               diagnostic-value ordering, arXiv 0710.4637): tests that
+//               split the fewest pairs are offered up for elimination
+//               first, which empirically drops the most columns.
+//   kReverse  — descending test index, the classic reverse-order static
+//               compaction walk (tgen/compact.h uses this front end).
+//
+// The incremental partition uses per-fault XOR hashes over the kept
+// columns to GROUP merge candidates, but every merge is confirmed by
+// comparing full representative symbol rows — hashes accelerate, they
+// never decide. A final from-scratch verification pass recomputes the
+// kept-column partition and cross-checks the pair count; `verified` on
+// the plan records that it ran (a mismatch would be a planner bug and
+// throws std::logic_error).
+//
+// Budgeted runs have anytime semantics: on expiry the remaining
+// candidates are simply kept (a valid, merely less-compact plan) and the
+// plan reports completed == false with the StopReason.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/budget.h"
+
+namespace sddict {
+
+// Dense num_faults x num_tests symbol matrix, row-major.
+class SymbolMatrix {
+ public:
+  SymbolMatrix(std::size_t num_faults, std::size_t num_tests)
+      : num_faults_(num_faults),
+        num_tests_(num_tests),
+        cells_(num_faults * num_tests, 0) {}
+
+  std::size_t num_faults() const { return num_faults_; }
+  std::size_t num_tests() const { return num_tests_; }
+  std::uint64_t at(std::size_t f, std::size_t t) const {
+    return cells_[f * num_tests_ + t];
+  }
+  void set(std::size_t f, std::size_t t, std::uint64_t v) {
+    cells_[f * num_tests_ + t] = v;
+  }
+
+ private:
+  std::size_t num_faults_;
+  std::size_t num_tests_;
+  std::vector<std::uint64_t> cells_;
+};
+
+enum class CandidateOrder : std::uint8_t {
+  kAdIndex = 0,
+  kReverse,
+};
+
+struct PlanOptions {
+  // Extra fault pairs allowed to become indistinguishable (0 = lossless).
+  std::uint64_t max_resolution_loss = 0;
+  CandidateOrder order = CandidateOrder::kAdIndex;
+  RunBudget budget{};
+};
+
+// Per-test diagnostic contribution under the full test set.
+struct TestStats {
+  // Fault pairs whose symbols differ at this test (the AD-style index).
+  std::uint64_t split_pairs = 0;
+  // Pairs for which this test is the ONLY distinguishing column — dropping
+  // the test irrecoverably merges them.
+  std::uint64_t unique_pairs = 0;
+};
+
+struct CompactionPlan {
+  std::vector<std::size_t> kept;     // ascending original test indices
+  std::vector<std::size_t> dropped;  // ascending original test indices
+  // Indistinguished fault pairs before / after (pairs_after - pairs_before
+  // is the resolution loss; 0 for a lossless plan).
+  std::uint64_t pairs_before = 0;
+  std::uint64_t pairs_after = 0;
+  std::vector<TestStats> stats;  // per original test
+  bool completed = true;         // false => budget expired mid-walk
+  StopReason stop_reason = StopReason::kCompleted;
+  bool verified = false;  // final exact re-partition cross-check ran
+};
+
+// Number of indistinguishable fault pairs under the given columns
+// (all columns when `tests` is empty is NOT a special case — pass the
+// explicit list). The Table-6 resolution oracle for the planner.
+std::uint64_t indistinguished_pairs(const SymbolMatrix& m,
+                                    const std::vector<std::size_t>& tests);
+
+CompactionPlan plan_compaction(const SymbolMatrix& m,
+                               const PlanOptions& opts = {});
+
+}  // namespace sddict

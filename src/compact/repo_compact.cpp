@@ -1,0 +1,75 @@
+#include "compact/repo_compact.h"
+
+#include <vector>
+
+#include "util/hash.h"
+#include "util/timer.h"
+
+namespace sddict {
+
+namespace {
+
+// Derived tests hash of a compacted set: fold the dropped columns into
+// the base hash so the provenance changes deterministically with the
+// edit. An empty base hash stays empty (wildcard in, wildcard out).
+std::string derive_tests_hash(const std::string& base_hex,
+                              const std::vector<std::size_t>& dropped) {
+  if (base_hex.empty()) return "";
+  std::vector<std::uint64_t> words;
+  words.reserve(base_hex.size() + dropped.size() + 1);
+  for (char c : base_hex) words.push_back(static_cast<std::uint64_t>(c));
+  words.push_back(0xC0117AC7);  // separator
+  for (std::size_t d : dropped) words.push_back(d);
+  return hash_hex(hash_words(words.data(), words.size(), /*seed=*/0xd17f));
+}
+
+}  // namespace
+
+RepoCompaction compact_published(DictionaryRepository& repo,
+                                 const std::string& circuit, StoreSource kind,
+                                 const CompactionOptions& opts) {
+  Timer timer;
+  const std::uint64_t version = repo.latest_version(circuit, kind);
+  if (version == 0)
+    throw std::runtime_error("repo: cannot compact " + circuit + " x " +
+                             store_source_name(kind) + ": nothing cataloged");
+  std::shared_ptr<const SignatureStore> store = repo.acquire(circuit, kind);
+  CompactionPlan plan = plan_store_compaction(*store, opts);
+
+  RepoCompaction out;
+  out.report.tests_before = store->num_tests();
+  out.report.tests_after = plan.kept.size();
+  out.report.dropped = plan.dropped;
+  out.report.pairs_before = plan.pairs_before;
+  out.report.pairs_after = plan.pairs_after;
+  out.report.bytes_before = store->size_bytes();
+  out.report.completed = plan.completed;
+  out.report.stop_reason = plan.stop_reason;
+  out.report.verified = plan.verified;
+
+  const Manifest snapshot = repo.manifest();
+  const ManifestEntry* latest = snapshot.find(circuit, kind);
+  if (!latest || latest->version != version)
+    throw std::runtime_error("repo: " + circuit + " x " +
+                             store_source_name(kind) +
+                             " changed while planning compaction");
+
+  if (plan.dropped.empty()) {
+    out.entry = *latest;
+    out.published = false;
+    out.report.bytes_after = store->size_bytes();
+    return out;
+  }
+
+  Provenance prov = latest->provenance;
+  prov.tests_hash = derive_tests_hash(prov.tests_hash, plan.dropped);
+  std::vector<std::uint64_t> dropped(plan.dropped.begin(), plan.dropped.end());
+  out.entry = repo.publish_delta(circuit, kind, /*added=*/nullptr,
+                                 std::move(dropped), prov, timer.millis());
+  out.published = true;
+  out.report.bytes_after =
+      repo.acquire_version(circuit, kind, out.entry.version)->size_bytes();
+  return out;
+}
+
+}  // namespace sddict

@@ -1,0 +1,33 @@
+// Repository-side compaction: plan a compaction of the latest published
+// version of (circuit, kind) and catalog the result as a DROP-ONLY delta
+// (repo/repository.h) — no store bytes are rewritten, the manifest line
+// records which columns died. Serving layers then hot-swap to the new
+// version through the normal acquire()/swap_store() path.
+//
+// The published provenance keeps the base's faults hash and config but
+// derives a fresh tests hash from (base tests hash, dropped columns) —
+// the compacted test set is a different test set, and staleness checks
+// must see that, but the store alone cannot re-hash a TestSet it never
+// sees.
+#pragma once
+
+#include <string>
+
+#include "compact/compact.h"
+#include "repo/repository.h"
+
+namespace sddict {
+
+struct RepoCompaction {
+  CompactionReport report;
+  // The new delta entry when columns were dropped; the pre-existing
+  // latest entry when the store was already minimal (published == false).
+  ManifestEntry entry;
+  bool published = false;
+};
+
+RepoCompaction compact_published(DictionaryRepository& repo,
+                                 const std::string& circuit, StoreSource kind,
+                                 const CompactionOptions& opts = {});
+
+}  // namespace sddict

@@ -74,8 +74,44 @@ std::string parse_opt_hex(std::string_view v, std::size_t line_no,
   return std::string(v);
 }
 
+// The `dropped=` list: "-" or comma-joined closed ranges, strictly
+// ascending and non-overlapping ("0-3,7,9-12").
+std::vector<std::uint64_t> parse_index_ranges(std::string_view v,
+                                              std::size_t line_no,
+                                              const char* key) {
+  std::vector<std::uint64_t> out;
+  if (v == "-") return out;
+  if (v.empty())
+    fail_line(line_no, std::string("malformed ") + key + " value ''");
+  std::size_t pos = 0;
+  while (pos <= v.size()) {
+    const std::size_t comma = std::min(v.find(',', pos), v.size());
+    const std::string_view part = v.substr(pos, comma - pos);
+    const std::size_t dash = part.find('-');
+    const std::string_view lo_s =
+        dash == std::string_view::npos ? part : part.substr(0, dash);
+    const std::string_view hi_s =
+        dash == std::string_view::npos ? part : part.substr(dash + 1);
+    const std::uint64_t lo = parse_u64(lo_s, line_no, key);
+    const std::uint64_t hi = parse_u64(hi_s, line_no, key);
+    if (hi < lo)
+      fail_line(line_no, std::string("malformed ") + key + " range '" +
+                             std::string(part) + "' (descending)");
+    if (hi - lo >= (std::uint64_t{1} << 32))
+      fail_line(line_no, std::string(key) + " range '" + std::string(part) +
+                             "' too large");
+    if (!out.empty() && lo <= out.back())
+      fail_line(line_no, std::string("malformed ") + key + " value '" +
+                             std::string(v) + "' (not strictly ascending)");
+    for (std::uint64_t i = lo; i <= hi; ++i) out.push_back(i);
+    if (comma == v.size()) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
 ManifestEntry parse_entry(const std::vector<std::string>& tokens,
-                          std::size_t line_no) {
+                          std::size_t line_no, bool is_delta) {
   std::map<std::string, std::string> kv;
   for (std::size_t i = 1; i < tokens.size(); ++i) {
     const std::string& tok = tokens[i];
@@ -89,15 +125,28 @@ ManifestEntry parse_entry(const std::vector<std::string>& tokens,
   static const char* kRequired[] = {"circuit", "kind",   "version", "file",
                                     "bytes",   "crc",    "tests",   "faults",
                                     "config",  "build_ms", "built"};
+  static const char* kDeltaOnly[] = {"base", "added", "dropped"};
+  const auto required = [&](const std::string& key) {
+    const bool common =
+        std::find_if(std::begin(kRequired), std::end(kRequired),
+                     [&](const char* k) { return key == k; }) !=
+        std::end(kRequired);
+    const bool delta_only =
+        std::find_if(std::begin(kDeltaOnly), std::end(kDeltaOnly),
+                     [&](const char* k) { return key == k; }) !=
+        std::end(kDeltaOnly);
+    return common || (is_delta && delta_only);
+  };
   for (const char* key : kRequired)
     if (kv.find(key) == kv.end())
       fail_line(line_no, std::string("missing key '") + key + "'");
+  if (is_delta)
+    for (const char* key : kDeltaOnly)
+      if (kv.find(key) == kv.end())
+        fail_line(line_no, std::string("missing key '") + key + "'");
   for (const auto& [key, value] : kv) {
     (void)value;
-    if (std::find_if(std::begin(kRequired), std::end(kRequired),
-                     [&](const char* k) { return key == k; }) ==
-        std::end(kRequired))
-      fail_line(line_no, "unknown key '" + key + "'");
+    if (!required(key)) fail_line(line_no, "unknown key '" + key + "'");
   }
 
   ManifestEntry e;
@@ -108,8 +157,10 @@ ManifestEntry parse_entry(const std::vector<std::string>& tokens,
   e.version = parse_u64(kv["version"], line_no, "version");
   if (e.version == 0) fail_line(line_no, "version must be >= 1");
   e.file = kv["file"];
-  if (e.file.empty() || e.file.find('/') != std::string::npos ||
-      e.file == "." || e.file == "..")
+  const bool no_file = is_delta && e.file == "-";
+  if (!no_file &&
+      (e.file.empty() || e.file.find('/') != std::string::npos ||
+       e.file == "." || e.file == ".."))
     fail_line(line_no, "bad file name '" + e.file +
                            "' (must be a plain name in the repository dir)");
   e.bytes = parse_u64(kv["bytes"], line_no, "bytes");
@@ -119,10 +170,49 @@ ManifestEntry parse_entry(const std::vector<std::string>& tokens,
   e.provenance.config = kv["config"] == "-" ? "" : kv["config"];
   e.build_ms = parse_ms(kv["build_ms"], line_no, "build_ms");
   e.built_unix = parse_u64(kv["built"], line_no, "built");
+
+  if (is_delta) {
+    e.is_delta = true;
+    e.base_version = parse_u64(kv["base"], line_no, "base");
+    if (e.base_version == 0) fail_line(line_no, "base must be >= 1");
+    if (e.base_version >= e.version)
+      fail_line(line_no, "delta base v" + std::to_string(e.base_version) +
+                             " does not precede version v" +
+                             std::to_string(e.version));
+    e.added_tests = parse_u64(kv["added"], line_no, "added");
+    e.dropped = parse_index_ranges(kv["dropped"], line_no, "dropped");
+    if (e.added_tests == 0 && e.dropped.empty())
+      fail_line(line_no, "empty delta (nothing added or dropped)");
+    if ((e.added_tests == 0) != no_file)
+      fail_line(line_no, no_file
+                             ? "delta with added tests needs an artifact file"
+                             : "drop-only delta must carry file=-");
+    if (no_file && (e.bytes != 0 || e.file_crc != 0))
+      fail_line(line_no, "drop-only delta must carry bytes=0 crc=0x00000000");
+    e.file = no_file ? "" : e.file;
+  }
   return e;
 }
 
 }  // namespace
+
+std::string encode_index_ranges(const std::vector<std::uint64_t>& indices) {
+  if (indices.empty()) return "-";
+  std::string out;
+  std::size_t i = 0;
+  while (i < indices.size()) {
+    std::size_t j = i;
+    while (j + 1 < indices.size() && indices[j + 1] == indices[j] + 1) ++j;
+    if (i > 0 && indices[i] <= indices[i - 1])
+      throw std::invalid_argument(
+          "encode_index_ranges: indices not strictly ascending");
+    if (!out.empty()) out += ',';
+    out += std::to_string(indices[i]);
+    if (j > i) out += '-' + std::to_string(indices[j]);
+    i = j + 1;
+  }
+  return out;
+}
 
 bool parse_store_source(std::string_view token, StoreSource* out) {
   for (std::uint32_t s = 0;
@@ -218,9 +308,9 @@ Manifest read_manifest_string(const std::string& bytes) {
     if (line.empty()) continue;  // blank separators are fine
     const std::vector<std::string> tokens = split_ws(line);
     if (tokens.empty()) continue;
-    if (tokens[0] != "entry")
+    if (tokens[0] != "entry" && tokens[0] != "delta")
       fail_line(line_no, "unknown line '" + tokens[0] + "'");
-    ManifestEntry e = parse_entry(tokens, line_no);
+    ManifestEntry e = parse_entry(tokens, line_no, tokens[0] == "delta");
     if (m.find_version(e.circuit, e.kind, e.version) != nullptr)
       fail_line(line_no, "duplicate entry " + e.circuit + " x " +
                              store_source_name(e.kind) + " v" +
@@ -247,13 +337,19 @@ std::string write_manifest_string(const Manifest& m) {
   out += '\n';
   for (const ManifestEntry& e : m.entries) {
     char buf[160];
-    out += "entry circuit=" + e.circuit;
+    out += e.is_delta ? "delta circuit=" : "entry circuit=";
+    out += e.circuit;
     out += std::string(" kind=") + store_source_name(e.kind);
     out += " version=" + std::to_string(e.version);
-    out += " file=" + e.file;
+    if (e.is_delta) out += " base=" + std::to_string(e.base_version);
+    out += " file=" + (e.is_delta && e.file.empty() ? "-" : e.file);
     out += " bytes=" + std::to_string(e.bytes);
     std::snprintf(buf, sizeof buf, " crc=0x%08x", e.file_crc);
     out += buf;
+    if (e.is_delta) {
+      out += " added=" + std::to_string(e.added_tests);
+      out += " dropped=" + encode_index_ranges(e.dropped);
+    }
     out += " tests=" +
            (e.provenance.tests_hash.empty() ? "-" : e.provenance.tests_hash);
     out += " faults=" +

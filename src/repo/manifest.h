@@ -10,6 +10,10 @@
 //   entry circuit=s27 kind=same/different version=1 file=s27.same-different.v1.store
 //       bytes=12288 crc=0x1a2b3c4d tests=<32 hex> faults=<32 hex>
 //       config=ttype=diag,seed=7 build_ms=12.500 built=1754524800
+//   delta circuit=s27 kind=same/different version=2 base=1
+//       file=s27.same-different.v2.delta bytes=8192 crc=0x55aa55aa
+//       added=6 dropped=0-2,9 tests=<32 hex> faults=<32 hex>
+//       config=... build_ms=4.000 built=1754524860
 //   crc32 0xdeadbeef
 //
 // (an entry is ONE line; wrapped above for readability). The trailer line
@@ -63,6 +67,18 @@ struct ManifestEntry {
   double build_ms = 0;          // wall time of the build that produced it
   std::uint64_t built_unix = 0;  // publish time, seconds since the epoch
 
+  // Delta records (line type "delta" instead of "entry"): the artifact is
+  // not a full store but a column edit against `base_version` of the same
+  // (circuit, kind): drop the listed base test columns, then append the
+  // `added_tests` columns held in `file` — itself a complete, CRC-covered
+  // SignatureStore image of just the added columns. A drop-only delta has
+  // no artifact file: added_tests == 0 <=> file == "-" (bytes and crc 0).
+  // The repository materializes base+delta chains back into flat stores.
+  bool is_delta = false;
+  std::uint64_t base_version = 0;      // must precede `version`
+  std::uint64_t added_tests = 0;       // columns in `file`
+  std::vector<std::uint64_t> dropped;  // strictly ascending base columns
+
   bool operator==(const ManifestEntry&) const = default;
 };
 
@@ -86,6 +102,11 @@ std::string write_manifest_string(const Manifest& m);
 // The manifest's kind token (same spelling as store_source_name — none of
 // the names contain whitespace). Returns false on an unknown token.
 bool parse_store_source(std::string_view token, StoreSource* out);
+
+// The `dropped=` wire form of an ascending index list: "-" when empty,
+// else comma-joined closed ranges ("0-3,7,9-12"). encode throws
+// std::invalid_argument on an unsorted list (the writer's bug, not data).
+std::string encode_index_ranges(const std::vector<std::uint64_t>& indices);
 
 // Provenance hashes: order-sensitive content hashes of the inputs a
 // dictionary build consumes, rendered as 32 lowercase hex digits.

@@ -1,5 +1,6 @@
 #include "repo/repository.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <ctime>
 #include <utility>
@@ -112,6 +113,30 @@ std::shared_ptr<const SignatureStore> DictionaryRepository::acquire_entry_locked
   }
   ++stats_.misses;
 
+  SignatureStore loaded =
+      e.is_delta ? materialize_delta_locked(e) : load_artifact_locked(e);
+  ++stats_.loads;
+
+  // The deleter fires when the LAST reference — cache or client — drains,
+  // which is exactly when an old version is fully retired.
+  auto retired = retired_;
+  std::shared_ptr<const SignatureStore> store(
+      new SignatureStore(std::move(loaded)), [retired](const SignatureStore* p) {
+        delete p;
+        retired->fetch_add(1, std::memory_order_relaxed);
+      });
+
+  const std::uint64_t cached_bytes = store->size_bytes();
+  lru_.push_front(key);
+  cache_.emplace(key, CacheSlot{store, cached_bytes, lru_.begin()});
+  stats_.cached_bytes += cached_bytes;
+  stats_.cached_entries = cache_.size();
+  evict_to_budget_locked(key);
+  return store;
+}
+
+SignatureStore DictionaryRepository::load_artifact_locked(
+    const ManifestEntry& e) const {
   const std::string path = dir_ + "/" + e.file;
   SignatureStore loaded = SignatureStore::load_file(path, options_.load_mode);
   if (loaded.size_bytes() != e.bytes)
@@ -129,23 +154,53 @@ std::shared_ptr<const SignatureStore> DictionaryRepository::acquire_entry_locked
       fail("artifact " + e.file + buf);
     }
   }
-  ++stats_.loads;
+  return loaded;
+}
 
-  // The deleter fires when the LAST reference — cache or client — drains,
-  // which is exactly when an old version is fully retired.
-  auto retired = retired_;
-  std::shared_ptr<const SignatureStore> store(
-      new SignatureStore(std::move(loaded)), [retired](const SignatureStore* p) {
-        delete p;
-        retired->fetch_add(1, std::memory_order_relaxed);
-      });
+SignatureStore DictionaryRepository::materialize_delta_locked(
+    const ManifestEntry& e) {
+  const std::string label = e.circuit + " x " +
+                            std::string(store_source_name(e.kind)) + " v" +
+                            std::to_string(e.version);
+  const ManifestEntry* base =
+      manifest_.find_version(e.circuit, e.kind, e.base_version);
+  if (!base)
+    fail("delta " + label + " references missing base v" +
+         std::to_string(e.base_version));
+  // Walks (and caches) the chain: base < version strictly, so this
+  // recursion always terminates at a full store.
+  std::shared_ptr<const SignatureStore> base_store =
+      acquire_entry_locked(*base);
 
-  lru_.push_front(key);
-  cache_.emplace(key, CacheSlot{store, e.bytes, lru_.begin()});
-  stats_.cached_bytes += e.bytes;
-  stats_.cached_entries = cache_.size();
-  evict_to_budget_locked(key);
-  return store;
+  std::vector<std::size_t> kept;
+  kept.reserve(base_store->num_tests());
+  {
+    std::size_t d = 0;
+    for (std::size_t t = 0; t < base_store->num_tests(); ++t) {
+      if (d < e.dropped.size() && e.dropped[d] == t) {
+        ++d;
+        continue;
+      }
+      kept.push_back(t);
+    }
+    if (d != e.dropped.size())
+      fail("delta " + label + " drops column " +
+           std::to_string(e.dropped[d]) + " out of range (base has " +
+           std::to_string(base_store->num_tests()) + " tests)");
+  }
+  if (kept.empty())
+    fail("delta " + label + " drops every base test column");
+
+  if (e.added_tests == 0) return base_store->select_tests(kept);
+
+  SignatureStore added = load_artifact_locked(e);
+  if (added.num_tests() != e.added_tests)
+    fail("delta artifact " + e.file + " holds " +
+         std::to_string(added.num_tests()) + " test columns, manifest says " +
+         std::to_string(e.added_tests));
+  if (e.dropped.empty())
+    return SignatureStore::concat_tests(*base_store, added);
+  return SignatureStore::concat_tests(base_store->select_tests(kept), added);
 }
 
 void DictionaryRepository::evict_to_budget_locked(const std::string& keep_key) {
@@ -207,10 +262,16 @@ ManifestEntry DictionaryRepository::publish(const std::string& circuit,
   e.build_ms = build_ms;
   e.built_unix = static_cast<std::uint64_t>(std::time(nullptr));
 
-  // Store file first, manifest second: a crash in between orphans the
-  // store file but never catalogs a missing or torn artifact.
+  return commit_entry_locked(std::move(e), &bytes);
+}
+
+ManifestEntry DictionaryRepository::commit_entry_locked(
+    ManifestEntry e, const std::string* artifact_bytes) {
+  // Artifact file first, manifest second: a crash in between orphans the
+  // artifact but never catalogs a missing or torn file. Drop-only deltas
+  // carry no artifact and commit with the manifest write alone.
   SDDICT_FAILPOINT("repo.publish.store");
-  atomic_write_file(dir_ + "/" + e.file, bytes);
+  if (artifact_bytes) atomic_write_file(dir_ + "/" + e.file, *artifact_bytes);
 
   Manifest next = manifest_;
   next.entries.push_back(e);
@@ -221,6 +282,159 @@ ManifestEntry DictionaryRepository::publish(const std::string& circuit,
   manifest_ = std::move(next);
   ++stats_.published;
   return e;
+}
+
+ManifestEntry DictionaryRepository::publish_delta(
+    const std::string& circuit, StoreSource kind, const SignatureStore* added,
+    std::vector<std::uint64_t> dropped, const Provenance& prov,
+    double build_ms) {
+  if (circuit.empty()) fail("empty circuit name");
+  if (circuit.find_first_of(" \t/\\\r\n") != std::string::npos)
+    fail("circuit name '" + circuit + "' has whitespace or path separators");
+  if (!added && dropped.empty())
+    fail("empty delta (nothing added or dropped)");
+  for (std::size_t i = 1; i < dropped.size(); ++i)
+    if (dropped[i] <= dropped[i - 1])
+      fail("dropped columns must be strictly ascending");
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  const ManifestEntry* latest = manifest_.find(circuit, kind);
+  if (!latest)
+    fail("cannot publish a delta for " + circuit + " x " +
+         store_source_name(kind) + ": nothing cataloged");
+
+  ManifestEntry e;
+  e.circuit = circuit;
+  e.kind = kind;
+  e.version = latest->version + 1;
+  e.base_version = latest->version;
+  e.is_delta = true;
+  e.added_tests = added ? added->num_tests() : 0;
+  e.dropped = std::move(dropped);
+  e.provenance = prov;
+  e.build_ms = build_ms;
+  e.built_unix = static_cast<std::uint64_t>(std::time(nullptr));
+
+  std::string added_bytes;
+  if (added) {
+    e.file = circuit + "." + kind_file_token(kind) + ".v" +
+             std::to_string(e.version) + ".delta";
+    added_bytes = added->to_bytes();
+    e.bytes = added_bytes.size();
+    e.file_crc = crc32(added_bytes);
+  }
+
+  // Trial-materialize against the (cached) base before writing anything:
+  // an out-of-range drop, a drop-everything edit, or an added store whose
+  // kind/source/shape disagrees with the base dies here with a named
+  // error instead of poisoning the catalog. The added columns are checked
+  // via the exact concat path acquire() will use.
+  {
+    const ManifestEntry* base = latest;
+    std::shared_ptr<const SignatureStore> base_store =
+        acquire_entry_locked(*base);
+    for (std::uint64_t d : e.dropped)
+      if (d >= base_store->num_tests())
+        fail("dropped column " + std::to_string(d) +
+             " out of range (base has " +
+             std::to_string(base_store->num_tests()) + " tests)");
+    if (e.dropped.size() == base_store->num_tests())
+      fail("delta drops every base test column");
+    if (added) {
+      std::vector<std::size_t> kept;
+      for (std::size_t t = 0; t < base_store->num_tests(); ++t)
+        if (!std::binary_search(e.dropped.begin(), e.dropped.end(), t))
+          kept.push_back(t);
+      SignatureStore trial =
+          e.dropped.empty()
+              ? SignatureStore::concat_tests(*base_store, *added)
+              : SignatureStore::concat_tests(base_store->select_tests(kept),
+                                             *added);
+      (void)trial;
+    }
+  }
+
+  return commit_entry_locked(std::move(e),
+                             added ? &added_bytes : nullptr);
+}
+
+std::size_t DictionaryRepository::chain_length_locked(
+    const ManifestEntry& e) const {
+  std::size_t hops = 0;
+  const ManifestEntry* cur = &e;
+  while (cur && cur->is_delta) {
+    ++hops;
+    cur = manifest_.find_version(cur->circuit, cur->kind, cur->base_version);
+  }
+  return hops;
+}
+
+std::size_t DictionaryRepository::chain_length(std::string_view circuit,
+                                               StoreSource kind) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const ManifestEntry* e = manifest_.find(circuit, kind);
+  return e ? chain_length_locked(*e) : 0;
+}
+
+std::size_t DictionaryRepository::chain_length_of(std::string_view circuit,
+                                                  StoreSource kind,
+                                                  std::uint64_t version) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const ManifestEntry* e = manifest_.find_version(circuit, kind, version);
+  return e ? chain_length_locked(*e) : 0;
+}
+
+ManifestEntry DictionaryRepository::squash(const std::string& circuit,
+                                           StoreSource kind, double build_ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const ManifestEntry* latest = manifest_.find(circuit, kind);
+  if (!latest)
+    fail("cannot squash " + circuit + " x " + store_source_name(kind) +
+         ": nothing cataloged");
+  if (!latest->is_delta) return *latest;
+
+  std::shared_ptr<const SignatureStore> flat = acquire_entry_locked(*latest);
+  const std::string bytes = flat->to_bytes();
+  ManifestEntry e;
+  e.circuit = circuit;
+  e.kind = kind;
+  e.version = latest->version + 1;
+  e.file = circuit + "." + kind_file_token(kind) + ".v" +
+           std::to_string(e.version) + ".store";
+  e.bytes = bytes.size();
+  e.file_crc = crc32(bytes);
+  e.provenance = latest->provenance;
+  e.build_ms = build_ms;
+  e.built_unix = static_cast<std::uint64_t>(std::time(nullptr));
+  return commit_entry_locked(std::move(e), &bytes);
+}
+
+std::future<ManifestEntry> DictionaryRepository::squash_async(
+    ThreadPool& pool, std::string circuit, StoreSource kind,
+    std::size_t max_chain) {
+  auto prom = std::make_shared<std::promise<ManifestEntry>>();
+  std::future<ManifestEntry> fut = prom->get_future();
+  pool.submit([this, prom, circuit = std::move(circuit), kind, max_chain] {
+    try {
+      if (chain_length(circuit, kind) <= max_chain) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const ManifestEntry* e = manifest_.find(circuit, kind);
+        if (!e)
+          fail("cannot squash " + circuit + " x " + store_source_name(kind) +
+               ": nothing cataloged");
+        prom->set_value(*e);
+        return;
+      }
+      Timer timer;
+      // Re-checks under squash()'s own lock; a concurrent squash that
+      // already flattened the chain makes this a no-op returning latest.
+      ManifestEntry e = squash(circuit, kind, timer.millis());
+      prom->set_value(std::move(e));
+    } catch (...) {
+      prom->set_exception(std::current_exception());
+    }
+  });
+  return fut;
 }
 
 std::future<ManifestEntry> DictionaryRepository::refresh_async(

@@ -25,6 +25,19 @@
 // Refresh. refresh_async() checks staleness (provenance mismatch against
 // the cataloged entry) and, when stale, runs the caller's builder on the
 // shared ThreadPool under a RunBudget, then publishes the result.
+//
+// Delta versions (ISSUE 10). publish_delta() catalogs a column edit
+// against the current latest version — drop base test columns and/or
+// append the columns of a small added-columns store — instead of
+// rewriting the whole artifact. acquire() materializes base+delta chains
+// back into flat stores through select_tests()/concat_tests(), which
+// route through the same image builder as a direct build, so a
+// materialized chain is byte-identical to building the same test set from
+// scratch (the ctest gate). Materialized versions land in the same LRU
+// cache, so a chain is walked once, not per acquire. squash() republishes
+// the materialized latest as a fresh full version; squash_async() is the
+// background maintenance hook that squashes once a chain grows past
+// max_chain hops.
 #pragma once
 
 #include <atomic>
@@ -121,6 +134,38 @@ class DictionaryRepository {
       std::function<SignatureStore(const RunBudget&)> builder, Provenance prov,
       RunBudget budget = {});
 
+  // Catalogs a delta version on top of the current latest: drop the listed
+  // base test columns (strictly ascending), then append the columns of
+  // `added` (nullptr for a drop-only delta). The edit is trial-
+  // materialized against the base before anything is written, so an
+  // out-of-range drop or an incompatible added store (kind/source/fault
+  // mismatch) is a named error and never reaches the catalog. The added
+  // columns are written as their own CRC-covered store image; a drop-only
+  // delta writes no artifact at all, only the manifest line.
+  ManifestEntry publish_delta(const std::string& circuit, StoreSource kind,
+                              const SignatureStore* added,
+                              std::vector<std::uint64_t> dropped,
+                              const Provenance& prov, double build_ms = 0);
+
+  // Delta hops from the latest (or the given) version down to its full
+  // base; 0 when the version is a full store or nothing is cataloged.
+  std::size_t chain_length(std::string_view circuit, StoreSource kind) const;
+  std::size_t chain_length_of(std::string_view circuit, StoreSource kind,
+                              std::uint64_t version) const;
+
+  // Materializes the latest version and republishes it as a full store
+  // (the next version), collapsing the delta chain. Returns the existing
+  // entry unchanged when the latest is already full.
+  ManifestEntry squash(const std::string& circuit, StoreSource kind,
+                       double build_ms = 0);
+
+  // Background chain maintenance on the shared pool: squashes when the
+  // latest version sits more than `max_chain` delta hops from its full
+  // base, otherwise resolves with the existing latest entry.
+  std::future<ManifestEntry> squash_async(ThreadPool& pool, std::string circuit,
+                                          StoreSource kind,
+                                          std::size_t max_chain);
+
   RepositoryStats stats() const;
 
  private:
@@ -132,6 +177,11 @@ class DictionaryRepository {
 
   std::shared_ptr<const SignatureStore> acquire_entry_locked(
       const ManifestEntry& e);
+  SignatureStore load_artifact_locked(const ManifestEntry& e) const;
+  SignatureStore materialize_delta_locked(const ManifestEntry& e);
+  ManifestEntry commit_entry_locked(ManifestEntry e,
+                                    const std::string* artifact_bytes);
+  std::size_t chain_length_locked(const ManifestEntry& e) const;
   void evict_to_budget_locked(const std::string& keep_key);
   Manifest read_manifest_file() const;
 

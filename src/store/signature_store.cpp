@@ -287,6 +287,150 @@ SignatureStore SignatureStore::build(const DetectionListDictionary& d,
   return adopt(make_image(spec, &bytes));
 }
 
+SignatureStore SignatureStore::select_tests(
+    const std::vector<std::size_t>& keep) const {
+  if (keep.empty()) fail("select_tests: cannot keep zero test columns");
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    if (keep[i] >= num_tests_)
+      fail("select_tests: column " + std::to_string(keep[i]) +
+           " out of range (store has " + std::to_string(num_tests_) +
+           " tests)");
+    if (i > 0 && keep[i] <= keep[i - 1])
+      fail("select_tests: columns must be strictly ascending");
+  }
+  const std::size_t nk = keep.size();
+  ImageSpec spec;
+  spec.kind = kind_;
+  spec.source = source_;
+  spec.num_faults = num_faults_;
+  spec.num_tests = nk;
+  spec.num_outputs = num_outputs_;
+  spec.rank = rank_;
+  switch (kind_) {
+    case StoreKind::kPassFail:
+    case StoreKind::kSameDifferent: spec.sig_bits = nk; break;
+    case StoreKind::kMultiBaseline: spec.sig_bits = nk * rank_; break;
+    case StoreKind::kFull: spec.sig_bits = std::uint64_t{nk} * 32; break;
+  }
+  if (kind_ == StoreKind::kFull) {
+    spec.fill_row = [this, &keep](FaultId f, std::byte* dst) {
+      const ResponseId* src = full_row(f);
+      for (std::size_t i = 0; i < keep.size(); ++i)
+        put32(dst, 4 * i, src[keep[i]]);
+    };
+  } else {
+    const std::size_t group = kind_ == StoreKind::kMultiBaseline ? rank_ : 1;
+    spec.fill_row = [this, &keep, group](FaultId f, std::byte* dst) {
+      auto* words = reinterpret_cast<std::uint64_t*>(dst);
+      for (std::size_t i = 0; i < keep.size(); ++i)
+        for (std::size_t l = 0; l < group; ++l) {
+          if (!row_bit(f, keep[i] * group + l)) continue;
+          const std::size_t bit = i * group + l;
+          words[bit >> 6] |= std::uint64_t{1} << (bit & 63);
+        }
+    };
+  }
+  if (kind_ == StoreKind::kSameDifferent) {
+    std::vector<ResponseId> bl(nk);
+    for (std::size_t i = 0; i < nk; ++i) bl[i] = baselines()[keep[i]];
+    spec.baselines = ids_to_bytes(bl.data(), bl.size());
+  } else if (kind_ == StoreKind::kMultiBaseline) {
+    const auto* counts = reinterpret_cast<const std::uint32_t*>(baselines_);
+    const auto* grid =
+        reinterpret_cast<const ResponseId*>(baselines_ + 4 * num_tests_);
+    std::vector<std::uint32_t> meta(nk + nk * rank_, 0);
+    for (std::size_t i = 0; i < nk; ++i) {
+      meta[i] = counts[keep[i]];
+      for (std::size_t l = 0; l < rank_; ++l)
+        meta[nk + i * rank_ + l] = grid[keep[i] * rank_ + l];
+    }
+    spec.baselines = ids_to_bytes(meta.data(), meta.size());
+  }
+  std::size_t bytes = 0;
+  return adopt(make_image(spec, &bytes));
+}
+
+SignatureStore SignatureStore::concat_tests(const SignatureStore& a,
+                                            const SignatureStore& b) {
+  if (a.kind_ != b.kind_)
+    fail(std::string("concat_tests: kind mismatch (") +
+         store_kind_name(a.kind_) + " vs " + store_kind_name(b.kind_) + ")");
+  if (a.source_ != b.source_)
+    fail(std::string("concat_tests: source mismatch (") +
+         store_source_name(a.source_) + " vs " + store_source_name(b.source_) +
+         ")");
+  if (a.num_faults_ != b.num_faults_)
+    fail("concat_tests: fault count mismatch (" +
+         std::to_string(a.num_faults_) + " vs " +
+         std::to_string(b.num_faults_) + ")");
+  if (a.num_outputs_ != b.num_outputs_)
+    fail("concat_tests: output count mismatch (" +
+         std::to_string(a.num_outputs_) + " vs " +
+         std::to_string(b.num_outputs_) + ")");
+  if (a.rank_ != b.rank_)
+    fail("concat_tests: rank mismatch (" + std::to_string(a.rank_) + " vs " +
+         std::to_string(b.rank_) + ")");
+  const std::size_t nt = a.num_tests_ + b.num_tests_;
+  ImageSpec spec;
+  spec.kind = a.kind_;
+  spec.source = a.source_;
+  spec.num_faults = a.num_faults_;
+  spec.num_tests = nt;
+  spec.num_outputs = a.num_outputs_;
+  spec.rank = a.rank_;
+  switch (a.kind_) {
+    case StoreKind::kPassFail:
+    case StoreKind::kSameDifferent: spec.sig_bits = nt; break;
+    case StoreKind::kMultiBaseline: spec.sig_bits = nt * a.rank_; break;
+    case StoreKind::kFull: spec.sig_bits = std::uint64_t{nt} * 32; break;
+  }
+  if (a.kind_ == StoreKind::kFull) {
+    spec.fill_row = [&a, &b](FaultId f, std::byte* dst) {
+      std::memcpy(dst, a.full_row(f), a.num_tests_ * 4);
+      std::memcpy(dst + 4 * a.num_tests_, b.full_row(f), b.num_tests_ * 4);
+    };
+  } else {
+    const std::size_t group =
+        a.kind_ == StoreKind::kMultiBaseline ? a.rank_ : 1;
+    spec.fill_row = [&a, &b, group](FaultId f, std::byte* dst) {
+      auto* words = reinterpret_cast<std::uint64_t*>(dst);
+      const std::size_t a_bits = a.num_tests_ * group;
+      for (std::size_t i = 0; i < a_bits; ++i)
+        if (a.row_bit(f, i)) words[i >> 6] |= std::uint64_t{1} << (i & 63);
+      for (std::size_t i = 0; i < b.num_tests_ * group; ++i) {
+        if (!b.row_bit(f, i)) continue;
+        const std::size_t bit = a_bits + i;
+        words[bit >> 6] |= std::uint64_t{1} << (bit & 63);
+      }
+    };
+  }
+  if (a.kind_ == StoreKind::kSameDifferent) {
+    std::vector<ResponseId> bl(nt);
+    for (std::size_t t = 0; t < a.num_tests_; ++t) bl[t] = a.baselines()[t];
+    for (std::size_t t = 0; t < b.num_tests_; ++t)
+      bl[a.num_tests_ + t] = b.baselines()[t];
+    spec.baselines = ids_to_bytes(bl.data(), bl.size());
+  } else if (a.kind_ == StoreKind::kMultiBaseline) {
+    const std::size_t r = a.rank_;
+    std::vector<std::uint32_t> meta(nt + nt * r, 0);
+    for (const SignatureStore* s : {&a, &b}) {
+      const std::size_t off = s == &a ? 0 : a.num_tests_;
+      const auto* counts =
+          reinterpret_cast<const std::uint32_t*>(s->baselines_);
+      const auto* grid = reinterpret_cast<const ResponseId*>(s->baselines_ +
+                                                             4 * s->num_tests_);
+      for (std::size_t t = 0; t < s->num_tests_; ++t) {
+        meta[off + t] = counts[t];
+        for (std::size_t l = 0; l < r; ++l)
+          meta[nt + (off + t) * r + l] = grid[t * r + l];
+      }
+    }
+    spec.baselines = ids_to_bytes(meta.data(), meta.size());
+  }
+  std::size_t bytes = 0;
+  return adopt(make_image(spec, &bytes));
+}
+
 void SignatureStore::parse() {
   const std::byte* p = base_;
   if (size_ < kPageSize)

@@ -114,6 +114,19 @@ class SignatureStore {
   std::string to_bytes() const;
   static SignatureStore from_bytes(const std::string& bytes);
 
+  // Column surgery (src/compact, delta-store repository). Both go through
+  // the same image builder as build(), so the result is byte-identical to
+  // building the equivalent dictionary over the same test columns
+  // directly — the identity the compaction and delta-materialization
+  // gates rest on. select_tests keeps the listed columns (strictly
+  // ascending, in range, at least one), preserving kind/source/rank and
+  // the per-test baseline metadata of the kept columns. concat_tests
+  // appends b's columns after a's; kind, source, num_faults, num_outputs
+  // and rank must all match. Defects throw std::runtime_error.
+  SignatureStore select_tests(const std::vector<std::size_t>& keep) const;
+  static SignatureStore concat_tests(const SignatureStore& a,
+                                     const SignatureStore& b);
+
   SignatureStore(SignatureStore&&) noexcept = default;
   SignatureStore& operator=(SignatureStore&&) noexcept = default;
   SignatureStore(const SignatureStore&) = delete;

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <bit>
 
+#include "compact/compact.h"
 #include "sim/faultsim.h"
+#include "sim/response.h"
 
 namespace sddict {
 
@@ -92,6 +94,14 @@ TestSet compact_reverse_ndetect(const Netlist& nl, const FaultList& faults,
   }
   std::reverse(keep.begin(), keep.end());
   return tests.subset(keep);
+}
+
+TestSet compact_reverse_diagnostic(const Netlist& nl, const FaultList& faults,
+                                   const TestSet& tests) {
+  const ResponseMatrix rm = build_response_matrix(nl, faults, tests);
+  CompactionOptions opts;
+  opts.order = CandidateOrder::kReverse;
+  return compact_testset(rm, tests, opts).tests;
 }
 
 }  // namespace sddict

@@ -20,4 +20,13 @@ TestSet compact_reverse(const Netlist& nl, const FaultList& faults,
 TestSet compact_reverse_ndetect(const Netlist& nl, const FaultList& faults,
                                 const TestSet& tests, std::uint32_t n);
 
+// Diagnostic variant: preserves full-response pair DISTINGUISHABILITY
+// instead of detection coverage — a test is dropped only when removing it
+// merges no equivalence classes of the full-response fault partition. The
+// same reverse-order walk as compact_reverse, run through the shared
+// src/compact planner (which generalizes it with AD-index ordering, lossy
+// budgets and packed-store front ends).
+TestSet compact_reverse_diagnostic(const Netlist& nl, const FaultList& faults,
+                                   const TestSet& tests);
+
 }  // namespace sddict

@@ -166,7 +166,32 @@ Manifest sample_manifest() {
   c.file = "s344.pass-fail.v1.store";
   c.bytes = 8192;
   c.file_crc = 1;
-  m.entries = {a, b, c};
+  // Delta records (ISSUE 10) ride in the same manifest, so the byte-flip
+  // and truncation fuzz below covers their line type too: one delta with
+  // added columns, one drop-only delta (no artifact file at all).
+  ManifestEntry d;
+  d.circuit = "s344";
+  d.kind = StoreSource::kPassFail;
+  d.version = 2;
+  d.file = "s344.pass-fail.v2.delta";
+  d.bytes = 4096;
+  d.file_crc = 0xabad1dea;
+  d.is_delta = true;
+  d.base_version = 1;
+  d.added_tests = 5;
+  d.dropped = {4, 8, 9, 10, 12};
+  d.provenance = make_prov("00112233445566778899aabbccddeeff", "", "append=5");
+  d.build_ms = 3.25;
+  d.built_unix = 1754611200;
+  ManifestEntry e;
+  e.circuit = "s344";
+  e.kind = StoreSource::kPassFail;
+  e.version = 3;
+  e.is_delta = true;
+  e.base_version = 2;
+  e.added_tests = 0;
+  e.dropped = {0, 1, 2, 3, 7};
+  m.entries = {a, b, c, d, e};
   return m;
 }
 
@@ -228,6 +253,55 @@ TEST(Manifest, StrictSchemaRejectsUnknownAndMissingKeys) {
   missing.erase(at, missing.find(' ', at + 1) - at);
   std::snprintf(buf, sizeof buf, "crc32 0x%08x\n", crc32(missing));
   EXPECT_NE(message_of(missing + buf).find("missing key 'bytes'"),
+            std::string::npos);
+}
+
+// Delta lines carry three extra keys (base/added/dropped) with their own
+// validity rules; each violation must be a named ManifestError. Edits are
+// applied to the serialized body and the CRC trailer recomputed, so the
+// parser sees schema problems, not checksum noise.
+TEST(Manifest, DeltaSchemaIsStrict) {
+  const std::string good = write_manifest_string(sample_manifest());
+  const auto message_after = [&](const std::string& from,
+                                 const std::string& to) -> std::string {
+    std::string body = good.substr(0, good.rfind("crc32"));
+    const std::size_t at = body.find(from);
+    if (at == std::string::npos) return "edit target '" + from + "' not found";
+    body.replace(at, from.size(), to);
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "crc32 0x%08x\n", crc32(body));
+    try {
+      read_manifest_string(body + buf);
+    } catch (const ManifestError& e) {
+      return e.what();
+    }
+    return "";
+  };
+  // The base must exist below the delta's own version.
+  EXPECT_NE(message_after("version=2 base=1", "version=2 base=2").find("base"),
+            std::string::npos);
+  EXPECT_NE(message_after("version=2 base=1", "version=2 base=0").find("base"),
+            std::string::npos);
+  // added=0 <=> file="-": break each direction.
+  EXPECT_FALSE(message_after(" added=5", " added=0").empty());
+  EXPECT_FALSE(
+      message_after("file=s344.pass-fail.v2.delta", "file=-").empty());
+  // Nothing added AND nothing dropped is not a delta.
+  EXPECT_NE(message_after("added=0 dropped=0-3,7", "added=0 dropped=-")
+                .find("empty delta"),
+            std::string::npos);
+  // Drop lists must be strictly ascending closed ranges.
+  EXPECT_FALSE(message_after("dropped=4,8-10,12", "dropped=4,3").empty());
+  EXPECT_FALSE(message_after("dropped=4,8-10,12", "dropped=9-8").empty());
+  EXPECT_FALSE(message_after("dropped=4,8-10,12", "dropped=4,x").empty());
+  // Absurd range spans are rejected before any allocation.
+  EXPECT_FALSE(
+      message_after("dropped=4,8-10,12", "dropped=0-18446744073709551615")
+          .empty());
+  // A full entry line must not carry delta keys.
+  EXPECT_NE(message_after("entry circuit=s344 kind=pass/fail version=1",
+                          "entry circuit=s344 kind=pass/fail version=1 base=0")
+                .find("base"),
             std::string::npos);
 }
 
